@@ -1,0 +1,125 @@
+// Ablation: why does the protocol need the D states?
+//
+// The "basic strategy" (transitions 1-7, Section 3.2 of the paper) is the
+// full protocol with rules 8-10 removed.  This bench measures, per (k, n),
+// how often it wedges: a run wedges when it reaches a *silent*
+// configuration (no effective transition enabled) whose partition is not
+// uniform -- under the basic strategy every execution ends in some silent
+// configuration, so wedge rate = 1 - success rate.  The full protocol by
+// Theorem 1 stabilizes uniformly in 100% of runs; shown alongside for the
+// same seeds.
+
+#include <optional>
+
+#include "bench_common.hpp"
+#include "core/invariants.hpp"
+#include "core/kpartition.hpp"
+#include "pp/agent_simulator.hpp"
+#include "pp/transition_table.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+struct WedgeStats {
+  int wedged = 0;
+  int uniform = 0;
+  int undecided = 0;  // budget exhausted before silence
+};
+
+WedgeStats run_basic(ppk::pp::GroupId k, std::uint32_t n, int trials,
+                     std::uint64_t master_seed) {
+  const ppk::core::BasicStrategyProtocol protocol(k);
+  const ppk::pp::TransitionTable table(protocol);
+  WedgeStats stats;
+  for (int trial = 0; trial < trials; ++trial) {
+    ppk::pp::Population population(n, protocol.num_states(),
+                                   protocol.initial_state());
+    ppk::pp::AgentSimulator sim(
+        table, std::move(population),
+        ppk::derive_stream_seed(master_seed,
+                                static_cast<std::uint64_t>(trial)));
+    ppk::pp::SilenceOracle oracle(table);
+    const auto result = sim.run(oracle, 100'000'000ULL);
+    if (!result.stabilized) {
+      ++stats.undecided;
+      continue;
+    }
+    const auto sizes = sim.population().group_sizes(protocol);
+    if (ppk::pp::is_uniform_partition(sizes)) {
+      ++stats.uniform;
+    } else {
+      ++stats.wedged;
+    }
+  }
+  return stats;
+}
+
+int run_full(ppk::pp::GroupId k, std::uint32_t n, int trials,
+             std::uint64_t master_seed) {
+  const ppk::core::KPartitionProtocol protocol(k);
+  const ppk::pp::TransitionTable table(protocol);
+  int uniform = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    ppk::pp::Population population(n, protocol.num_states(),
+                                   protocol.initial_state());
+    ppk::pp::AgentSimulator sim(
+        table, std::move(population),
+        ppk::derive_stream_seed(master_seed,
+                                static_cast<std::uint64_t>(trial)));
+    auto oracle = ppk::core::stable_pattern_oracle(protocol, n);
+    if (sim.run(*oracle, 1'000'000'000ULL).stabilized &&
+        ppk::pp::is_uniform_partition(
+            sim.population().group_sizes(protocol))) {
+      ++uniform;
+    }
+  }
+  return uniform;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ppk::Cli cli("ablation_dstates",
+               "Failure rate of the basic strategy (rules 1-7) vs the full "
+               "protocol.");
+  ppk::bench::CommonFlags common(cli, /*default_trials=*/100);
+  cli.parse(argc, argv);
+  const int trials = *common.paper ? 100 : *common.trials;
+  const auto seed = static_cast<std::uint64_t>(*common.seed);
+
+  ppk::bench::print_header(
+      "Ablation: D states",
+      "wedge rate of the basic strategy (transitions 1-7 only)");
+
+  std::optional<ppk::io::CsvFile> csv;
+  if (!common.csv->empty()) {
+    csv.emplace(*common.csv, std::vector<std::string>{
+                                 "k", "n", "basic_wedged", "basic_uniform",
+                                 "full_uniform", "trials"});
+  }
+
+  ppk::analysis::Table table({"k", "n", "basic wedge rate",
+                              "basic uniform rate", "full uniform rate"});
+  for (ppk::pp::GroupId k : {ppk::pp::GroupId{3}, ppk::pp::GroupId{4}, ppk::pp::GroupId{5}, ppk::pp::GroupId{6}}) {
+    for (std::uint32_t mult : {2u, 3u, 5u, 10u}) {
+      const std::uint32_t n = mult * k;
+      const WedgeStats basic = run_basic(k, n, trials, seed);
+      const int full = run_full(k, n, trials, seed);
+      const auto rate = [&](int count) {
+        return static_cast<double>(count) / trials;
+      };
+      table.row(int{k}, n, rate(basic.wedged), rate(basic.uniform),
+                rate(full));
+      if (csv) {
+        csv->row(int{k}, n, basic.wedged, basic.uniform, full, trials);
+      }
+    }
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nReading: without rules 8-10 a non-trivial fraction of executions\n"
+      "wedges in a non-uniform silent configuration (paper Section 3.2: this\n"
+      "happens whenever >= ceil(n/k) builders appear).  The full protocol\n"
+      "stabilizes uniformly in every run, as Theorem 1 guarantees.\n");
+  return 0;
+}

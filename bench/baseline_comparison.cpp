@@ -1,0 +1,168 @@
+// Baseline comparison (paper Section 1 context):
+//
+//  1. KPartitionProtocol      -- the paper's contribution, 3k-2 states,
+//                                exact uniformity for every n, any k >= 2.
+//  2. RecursiveBipartition    -- the intro's prior approach (k = 2^h by
+//                                repeated bipartition), also 3k-2 states,
+//                                but exact only when k | n; the bench
+//                                measures its deviation elsewhere.
+//  3. ApproxPartition         -- reconstruction in the spirit of [14]:
+//                                fewer guarantees (>= n/(2k) per group),
+//                                different state budget.
+//
+// Columns: states/agent, mean interactions to termination, and the maximum
+// group-size spread (max - min; uniform means spread <= 1).
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "bench_common.hpp"
+#include "core/approx_partition.hpp"
+#include "core/invariants.hpp"
+#include "core/kpartition.hpp"
+#include "core/recursive_bipartition.hpp"
+#include "pp/agent_simulator.hpp"
+#include "pp/transition_table.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+struct Row {
+  double mean_interactions = 0.0;
+  double mean_spread = 0.0;
+  double max_spread = 0.0;
+  int finished = 0;
+};
+
+/// Runs `trials` executions of `protocol`, stopping each at `make_oracle`'s
+/// stability signal or at a budget for protocols that never go silent.
+Row run_protocol(const ppk::pp::Protocol& protocol,
+                 const std::function<std::unique_ptr<ppk::pp::StabilityOracle>(
+                     const ppk::pp::TransitionTable&)>& make_oracle,
+                 std::uint32_t n, int trials, std::uint64_t master_seed,
+                 std::uint64_t budget) {
+  const ppk::pp::TransitionTable table(protocol);
+  Row row;
+  double sum_interactions = 0.0;
+  double sum_spread = 0.0;
+  for (int trial = 0; trial < trials; ++trial) {
+    ppk::pp::Population population(n, protocol.num_states(),
+                                   protocol.initial_state());
+    ppk::pp::AgentSimulator sim(
+        table, std::move(population),
+        ppk::derive_stream_seed(master_seed,
+                                static_cast<std::uint64_t>(trial)));
+    auto oracle = make_oracle(table);
+    const auto result = sim.run(*oracle, budget);
+    if (result.stabilized) ++row.finished;
+    sum_interactions += static_cast<double>(result.interactions);
+    const auto sizes = sim.population().group_sizes(protocol);
+    const auto [lo, hi] = std::minmax_element(sizes.begin(), sizes.end());
+    const double spread = static_cast<double>(*hi - *lo);
+    sum_spread += spread;
+    row.max_spread = std::max(row.max_spread, spread);
+  }
+  row.mean_interactions = sum_interactions / trials;
+  row.mean_spread = sum_spread / trials;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ppk::Cli cli("baseline_comparison",
+               "Paper's protocol vs recursive bipartition vs approximate "
+               "partition.");
+  ppk::bench::CommonFlags common(cli, /*default_trials=*/30);
+  cli.parse(argc, argv);
+  const int trials = *common.paper ? 100 : *common.trials;
+  const auto seed = static_cast<std::uint64_t>(*common.seed);
+
+  ppk::bench::print_header("Baseline comparison",
+                           "states, speed, and uniformity guarantees");
+
+  std::optional<ppk::io::CsvFile> csv;
+  if (!common.csv->empty()) {
+    csv.emplace(*common.csv, std::vector<std::string>{
+                                 "protocol", "k", "n", "states",
+                                 "mean_interactions", "mean_spread",
+                                 "max_spread", "finished", "trials"});
+  }
+
+  ppk::analysis::Table table({"protocol", "k", "n", "states",
+                              "mean interactions", "mean spread",
+                              "max spread"});
+
+  // k = 4 and k = 8 so the recursive baseline applies; n both divisible
+  // and non-divisible by k to expose the deviation.
+  struct Case {
+    unsigned h;
+    std::uint32_t n;
+  };
+  for (const Case& c : {Case{2, 64}, Case{2, 67}, Case{3, 64}, Case{3, 70}}) {
+    const auto k = static_cast<ppk::pp::GroupId>(1u << c.h);
+
+    {
+      const ppk::core::KPartitionProtocol protocol(k);
+      const Row row = run_protocol(
+          protocol,
+          [&](const ppk::pp::TransitionTable&) {
+            return ppk::core::stable_pattern_oracle(protocol, c.n);
+          },
+          c.n, trials, seed, 2'000'000'000ULL);
+      table.row("kpartition", int{k}, c.n, int{protocol.num_states()},
+                row.mean_interactions, row.mean_spread, row.max_spread);
+      if (csv) {
+        csv->row("kpartition", int{k}, c.n, int{protocol.num_states()},
+                 row.mean_interactions, row.mean_spread, row.max_spread,
+                 row.finished, trials);
+      }
+    }
+    {
+      const ppk::core::RecursiveBipartitionProtocol protocol(c.h);
+      // Not silent when agents strand (they flip forever): fixed budget,
+      // long enough that all commits happen first.
+      const Row row = run_protocol(
+          protocol,
+          [&](const ppk::pp::TransitionTable& t) {
+            return std::make_unique<ppk::pp::SilenceOracle>(t);
+          },
+          c.n, trials, seed, static_cast<std::uint64_t>(c.n) * 20'000);
+      table.row("recursive-bipartition", int{k}, c.n,
+                int{protocol.num_states()}, row.mean_interactions,
+                row.mean_spread, row.max_spread);
+      if (csv) {
+        csv->row("recursive-bipartition", int{k}, c.n,
+                 int{protocol.num_states()}, row.mean_interactions,
+                 row.mean_spread, row.max_spread, row.finished, trials);
+      }
+    }
+    {
+      const ppk::core::ApproxPartitionProtocol protocol(k);
+      const Row row = run_protocol(
+          protocol,
+          [&](const ppk::pp::TransitionTable& t) {
+            return std::make_unique<ppk::pp::SilenceOracle>(t);
+          },
+          c.n, trials, seed, 2'000'000'000ULL);
+      table.row("approx-partition", int{k}, c.n, int{protocol.num_states()},
+                row.mean_interactions, row.mean_spread, row.max_spread);
+      if (csv) {
+        csv->row("approx-partition", int{k}, c.n, int{protocol.num_states()},
+                 row.mean_interactions, row.mean_spread, row.max_spread,
+                 row.finished, trials);
+      }
+    }
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nReading: only the paper's protocol keeps the spread <= 1 for every\n"
+      "n.  Recursive bipartition matches it when k | n (and converges in\n"
+      "far fewer interactions) but its strandings push the spread beyond 1\n"
+      "otherwise; the approximate baseline trades uniformity for speed\n"
+      "entirely.  (recursive-bipartition rows report interactions within a\n"
+      "fixed budget -- stragglers keep the configuration live forever.)\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Shared plumbing for the figure-regeneration benches: consistent CLI
+// flags, console table + CSV output, and the sweep loop.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "analysis/experiment.hpp"
+#include "analysis/table.hpp"
+#include "io/csv.hpp"
+#include "util/cli.hpp"
+
+namespace ppk::bench {
+
+/// Flags every figure bench shares.  The paper uses 100 trials per point;
+/// benches default lower so a full `for b in bench/*; do $b; done` sweep
+/// stays interactive, and --paper restores the publication settings.
+struct CommonFlags {
+  std::shared_ptr<int> trials;
+  std::shared_ptr<long long> seed;
+  std::shared_ptr<bool> paper;
+  std::shared_ptr<std::string> csv;
+  std::shared_ptr<int> threads;
+
+  explicit CommonFlags(Cli& cli, int default_trials = 30)
+      : trials(cli.flag<int>("trials", default_trials, "trials per point")),
+        seed(cli.flag<long long>("seed", 0x5EED, "master RNG seed")),
+        paper(cli.flag<bool>("paper", false,
+                             "use the paper's settings (100 trials, full "
+                             "sweeps)")),
+        csv(cli.flag<std::string>("csv", "",
+                                  "also write results to this CSV path")),
+        threads(cli.flag<int>("threads", 1, "worker threads for trials")) {}
+
+  [[nodiscard]] analysis::ExperimentOptions experiment_options() const {
+    analysis::ExperimentOptions options;
+    options.trials = static_cast<std::uint32_t>(*paper ? 100 : *trials);
+    options.master_seed = static_cast<std::uint64_t>(*seed);
+    options.threads = static_cast<std::size_t>(*threads);
+    return options;
+  }
+};
+
+inline void print_header(const char* figure, const char* what) {
+  std::printf("=== %s: %s ===\n", figure, what);
+  std::printf("(protocol: Algorithm 1, uniform-random scheduler; interaction"
+              " counts include null interactions, as in the paper)\n\n");
+}
+
+}  // namespace ppk::bench

@@ -1,0 +1,134 @@
+// Extension experiment: how sensitive is the protocol to the complete-
+// interaction-graph assumption?
+//
+// The paper's reachability lemmas (2-5) let *any* two agents interact.  On
+// restricted graphs that argument breaks: a builder (m state) can be
+// walled in by committed neighbours with no free agent adjacent, and the
+// execution stalls in a non-stable configuration forever.  This bench
+// quantifies the effect: stabilization rate and time on the complete
+// graph, Erdos-Renyi graphs of shrinking density, the star, and the ring.
+
+#include <cmath>
+#include <optional>
+
+#include "bench_common.hpp"
+#include "core/invariants.hpp"
+#include "core/kpartition.hpp"
+#include "pp/graph_simulator.hpp"
+#include "pp/transition_table.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+struct TopologyResult {
+  int stabilized = 0;
+  double mean_interactions_when_stabilized = 0.0;
+  double average_degree = 0.0;
+};
+
+TopologyResult run_topology(
+    const ppk::core::KPartitionProtocol& protocol,
+    const ppk::pp::TransitionTable& table, std::uint32_t n,
+    const std::function<ppk::pp::InteractionGraph(std::uint64_t)>& make_graph,
+    int trials, std::uint64_t master_seed, std::uint64_t budget) {
+  TopologyResult result;
+  double total = 0.0;
+  for (int trial = 0; trial < trials; ++trial) {
+    const std::uint64_t seed =
+        ppk::derive_stream_seed(master_seed, static_cast<std::uint64_t>(trial));
+    auto graph = make_graph(seed);
+    result.average_degree = graph.average_degree();
+    ppk::pp::GraphSimulator sim(
+        table, std::move(graph),
+        ppk::pp::Population(n, protocol.num_states(),
+                            protocol.initial_state()),
+        seed ^ 0xD1CEULL);
+    auto oracle =
+        ppk::core::stable_pattern_oracle(protocol, n);
+    const auto r = sim.run(*oracle, budget);
+    if (r.stabilized) {
+      ++result.stabilized;
+      total += static_cast<double>(r.interactions);
+    }
+  }
+  result.mean_interactions_when_stabilized =
+      result.stabilized > 0 ? total / result.stabilized : 0.0;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ppk::Cli cli("topology_sensitivity",
+               "Stabilization rate and time by interaction-graph topology.");
+  ppk::bench::CommonFlags common(cli, /*default_trials=*/30);
+  auto n_flag = cli.flag<int>("n", 24, "population size");
+  auto budget_flag = cli.flag<long long>("budget", 5'000'000,
+                                         "interaction budget per trial");
+  cli.parse(argc, argv);
+  const auto n = static_cast<std::uint32_t>(*n_flag);
+  const int trials = *common.paper ? 100 : *common.trials;
+  const auto budget = static_cast<std::uint64_t>(*budget_flag);
+  const auto seed = static_cast<std::uint64_t>(*common.seed);
+
+  ppk::bench::print_header(
+      "Topology sensitivity",
+      "the complete-graph assumption, stress-tested (k-partition)");
+
+  std::optional<ppk::io::CsvFile> csv;
+  if (!common.csv->empty()) {
+    csv.emplace(*common.csv, std::vector<std::string>{
+                                 "k", "topology", "avg_degree",
+                                 "stabilized_rate", "mean_interactions",
+                                 "trials"});
+  }
+
+  using Graph = ppk::pp::InteractionGraph;
+  struct Topology {
+    const char* name;
+    std::function<Graph(std::uint64_t)> make;
+  };
+  const double logn_over_n =
+      2.0 * std::log(static_cast<double>(n)) / static_cast<double>(n);
+  const std::vector<Topology> topologies = {
+      {"complete", [&](std::uint64_t) { return Graph::complete(n); }},
+      {"er(p=0.5)",
+       [&](std::uint64_t s) { return Graph::erdos_renyi(n, 0.5, s); }},
+      {"er(p=0.2)",
+       [&](std::uint64_t s) { return Graph::erdos_renyi(n, 0.2, s); }},
+      {"er(p=2ln(n)/n)",
+       [&](std::uint64_t s) { return Graph::erdos_renyi(n, logn_over_n, s); }},
+      {"star", [&](std::uint64_t) { return Graph::star(n); }},
+      {"ring", [&](std::uint64_t) { return Graph::ring(n); }},
+  };
+
+  for (ppk::pp::GroupId k : {ppk::pp::GroupId{3}, ppk::pp::GroupId{4}}) {
+    const ppk::core::KPartitionProtocol protocol(k);
+    const ppk::pp::TransitionTable table(protocol);
+    std::printf("--- k = %d, n = %u ---\n", int{k}, n);
+    ppk::analysis::Table out({"topology", "avg degree", "stabilized rate",
+                              "mean interactions (stabilized runs)"});
+    for (const Topology& topology : topologies) {
+      const TopologyResult r = run_topology(protocol, table, n, topology.make,
+                                            trials, seed, budget);
+      out.row(topology.name, r.average_degree,
+              static_cast<double>(r.stabilized) / trials,
+              r.mean_interactions_when_stabilized);
+      if (csv) {
+        csv->row(int{k}, topology.name, r.average_degree,
+                 static_cast<double>(r.stabilized) / trials,
+                 r.mean_interactions_when_stabilized, trials);
+      }
+    }
+    out.print(std::cout);
+    std::printf("\n");
+  }
+  std::printf(
+      "Reading: the complete graph stabilizes in 100%% of runs (Theorem 1).\n"
+      "Everything sparser wedges in most runs -- builders get walled in by\n"
+      "committed neighbours, which the complete graph makes impossible.  The\n"
+      "paper's complete-interaction-graph assumption is load-bearing, not a\n"
+      "modelling convenience.  (Stabilized-run means are survivorship-biased\n"
+      "low on sparse graphs: only lucky executions finish.)\n");
+  return 0;
+}

@@ -1,0 +1,137 @@
+// ppk_sim: the general-purpose command-line front end to the library --
+// pick a protocol by name, a population, a seed, and run it to
+// stabilization, printing the outcome and (optionally) a trace.
+//
+//   ./ppk_sim --protocol kpartition --k 5 --n 100
+//   ./ppk_sim --protocol leader --n 50
+//   ./ppk_sim --protocol majority --x 30 --y 20
+//   ./ppk_sim --protocol epidemic --n 100
+//   ./ppk_sim --protocol bipartition --n 9 --trace
+//
+// Serves both as a usable tool and as the "kitchen sink" example of the
+// public API: protocol construction, tables, oracles, observers.
+
+#include <cstdio>
+#include <memory>
+
+#include "core/bipartition.hpp"
+#include "core/invariants.hpp"
+#include "core/kpartition.hpp"
+#include "pp/agent_simulator.hpp"
+#include "pp/trace.hpp"
+#include "pp/transition_table.hpp"
+#include "protocols/approximate_majority.hpp"
+#include "protocols/epidemic.hpp"
+#include "protocols/leader_election.hpp"
+#include "protocols/modulo_counter.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+struct Setup {
+  std::unique_ptr<ppk::pp::Protocol> protocol;
+  ppk::pp::Counts initial;
+  // Null oracle factory means "use silence detection".
+  std::function<std::unique_ptr<ppk::pp::StabilityOracle>(
+      const ppk::pp::TransitionTable&)>
+      make_oracle;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ppk::Cli cli("ppk_sim", "Run any bundled protocol to stabilization.");
+  auto name = cli.flag<std::string>(
+      "protocol", "kpartition",
+      "kpartition | bipartition | leader | majority | epidemic | modcount");
+  auto n_flag = cli.flag<int>("n", 60, "population size");
+  auto k_flag = cli.flag<int>("k", 4, "groups (kpartition) / modulus "
+                                      "(modcount)");
+  auto x_flag = cli.flag<int>("x", 0, "majority: agents voting X "
+                                      "(0 = n/2 + 1)");
+  auto y_flag = cli.flag<int>("y", 0, "majority: agents voting Y "
+                                      "(0 = rest)");
+  auto seed = cli.flag<long long>("seed", 1, "RNG seed");
+  auto trace = cli.flag<bool>("trace", false,
+                              "print every effective interaction");
+  auto budget = cli.flag<long long>("budget", 1'000'000'000,
+                                    "max interactions");
+  cli.parse(argc, argv);
+
+  const auto n = static_cast<std::uint32_t>(*n_flag);
+  const auto k = static_cast<ppk::pp::GroupId>(*k_flag);
+
+  Setup setup;
+  if (*name == "kpartition") {
+    auto protocol = std::make_unique<ppk::core::KPartitionProtocol>(k);
+    const auto* raw = protocol.get();
+    setup.make_oracle = [raw, n](const ppk::pp::TransitionTable&) {
+      return ppk::core::stable_pattern_oracle(*raw, n);
+    };
+    setup.protocol = std::move(protocol);
+  } else if (*name == "bipartition") {
+    setup.protocol = std::make_unique<ppk::core::BipartitionProtocol>();
+    setup.make_oracle = [n](const ppk::pp::TransitionTable&) {
+      // Bipartition == kpartition(2); reuse its stable pattern.
+      static const ppk::core::KPartitionProtocol two(2);
+      return ppk::core::stable_pattern_oracle(two, n);
+    };
+  } else if (*name == "leader") {
+    setup.protocol = std::make_unique<ppk::protocols::LeaderElectionProtocol>();
+  } else if (*name == "majority") {
+    setup.protocol =
+        std::make_unique<ppk::protocols::ApproximateMajorityProtocol>();
+    const auto x = *x_flag > 0 ? static_cast<std::uint32_t>(*x_flag)
+                               : n / 2 + 1;
+    const auto y = *y_flag > 0 ? static_cast<std::uint32_t>(*y_flag) : n - x;
+    setup.initial = ppk::pp::Counts{x, y, n - x - y};
+  } else if (*name == "epidemic") {
+    setup.protocol = std::make_unique<ppk::protocols::EpidemicProtocol>();
+    setup.initial = ppk::pp::Counts{1, n - 1};
+  } else if (*name == "modcount") {
+    setup.protocol = std::make_unique<ppk::protocols::ModuloCounterProtocol>(
+        static_cast<std::uint32_t>(*k_flag));
+  } else {
+    std::fprintf(stderr, "unknown protocol '%s'\n%s", name->c_str(),
+                 cli.usage().c_str());
+    return 2;
+  }
+
+  if (setup.initial.empty()) {
+    setup.initial.assign(setup.protocol->num_states(), 0);
+    setup.initial[setup.protocol->initial_state()] = n;
+  }
+
+  const ppk::pp::TransitionTable table(*setup.protocol);
+  std::printf("protocol: %s (%d states, %s)\n",
+              setup.protocol->name().c_str(),
+              int{setup.protocol->num_states()},
+              table.is_symmetric() ? "symmetric" : "asymmetric");
+  std::printf("initial configuration: %s\n",
+              ppk::pp::format_counts(*setup.protocol, setup.initial).c_str());
+
+  ppk::pp::AgentSimulator sim(table, ppk::pp::Population(setup.initial),
+                              static_cast<std::uint64_t>(*seed));
+  ppk::pp::TraceRecorder recorder(*setup.protocol);
+  if (*trace) sim.set_observer(recorder.observer());
+
+  std::unique_ptr<ppk::pp::StabilityOracle> oracle =
+      setup.make_oracle ? setup.make_oracle(table)
+                        : std::make_unique<ppk::pp::SilenceOracle>(table);
+  const auto result =
+      sim.run(*oracle, static_cast<std::uint64_t>(*budget));
+
+  if (*trace) std::fputs(recorder.to_string().c_str(), stdout);
+  std::printf("%s after %llu interactions (%llu effective)\n",
+              result.stabilized ? "stabilized" : "budget exhausted",
+              static_cast<unsigned long long>(result.interactions),
+              static_cast<unsigned long long>(result.effective));
+  std::printf("final configuration: %s\n",
+              ppk::pp::format_counts(*setup.protocol,
+                                     sim.population().counts()).c_str());
+  const auto sizes = sim.population().group_sizes(*setup.protocol);
+  std::printf("group sizes:");
+  for (auto size : sizes) std::printf(" %u", size);
+  std::printf("\n");
+  return result.stabilized ? 0 : 1;
+}

@@ -1,0 +1,106 @@
+// Scenario from the paper's introduction: "reducing the energy consumption
+// of the whole system by switching on some groups and switching off the
+// others."
+//
+// A field of battery-powered sensors must keep ~coverage/k of the nodes
+// awake at any time.  Nodes are anonymous, know neither n nor any identity,
+// and communicate only by chance pairwise radio contact -- exactly the
+// population protocol model.  The k-partition protocol self-organizes the
+// field into k duty-cycle shifts; we then simulate a day of rotating shifts
+// and report the battery savings versus always-on operation.
+//
+//   ./sensor_duty_cycling [--sensors 120] [--shifts 4] [--seed 7]
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/invariants.hpp"
+#include "core/kpartition.hpp"
+#include "pp/agent_simulator.hpp"
+#include "pp/transition_table.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+struct ShiftPlan {
+  std::vector<int> shift_of_sensor;
+  std::vector<std::uint32_t> shift_sizes;
+  std::uint64_t interactions = 0;
+};
+
+ShiftPlan organize_shifts(std::uint32_t sensors, ppk::pp::GroupId shifts,
+                          std::uint64_t seed) {
+  const ppk::core::KPartitionProtocol protocol(shifts);
+  const ppk::pp::TransitionTable table(protocol);
+  ppk::pp::Population population(sensors, protocol.num_states(),
+                                 protocol.initial_state());
+  ppk::pp::AgentSimulator sim(table, std::move(population), seed);
+  auto oracle = ppk::core::stable_pattern_oracle(protocol, sensors);
+  const auto result = sim.run(*oracle);
+
+  ShiftPlan plan;
+  plan.interactions = result.interactions;
+  plan.shift_sizes = sim.population().group_sizes(protocol);
+  plan.shift_of_sensor.reserve(sensors);
+  for (std::uint32_t s = 0; s < sensors; ++s) {
+    plan.shift_of_sensor.push_back(
+        protocol.group(sim.population().state_of(s)));
+  }
+  return plan;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ppk::Cli cli("sensor_duty_cycling",
+               "Self-organizing duty-cycle shifts for a sensor field.");
+  auto sensors_flag = cli.flag<int>("sensors", 120, "number of sensors");
+  auto shifts_flag = cli.flag<int>("shifts", 4, "number of duty shifts (k)");
+  auto seed = cli.flag<long long>("seed", 7, "RNG seed");
+  cli.parse(argc, argv);
+  const auto sensors = static_cast<std::uint32_t>(*sensors_flag);
+  const auto shifts = static_cast<ppk::pp::GroupId>(*shifts_flag);
+
+  std::printf("organizing %u sensors into %d shifts...\n", sensors,
+              int{shifts});
+  const ShiftPlan plan =
+      organize_shifts(sensors, shifts, static_cast<std::uint64_t>(*seed));
+  std::printf("converged after %llu pairwise radio contacts\n",
+              static_cast<unsigned long long>(plan.interactions));
+
+  for (std::size_t g = 0; g < plan.shift_sizes.size(); ++g) {
+    std::printf("  shift %zu: %u sensors\n", g + 1, plan.shift_sizes[g]);
+  }
+
+  // Simulate 24 hours of rotating shifts: shift g is awake during hours
+  // where hour mod k == g.  Awake costs 12 mW, asleep 0.4 mW.
+  constexpr double kAwakeMilliwatts = 12.0;
+  constexpr double kAsleepMilliwatts = 0.4;
+  double duty_energy = 0.0;   // mWh across the field
+  double always_energy = 0.0;
+  for (int hour = 0; hour < 24; ++hour) {
+    const int awake_shift = hour % shifts;
+    for (std::uint32_t s = 0; s < sensors; ++s) {
+      duty_energy += plan.shift_of_sensor[s] == awake_shift
+                         ? kAwakeMilliwatts
+                         : kAsleepMilliwatts;
+      always_energy += kAwakeMilliwatts;
+    }
+  }
+  std::printf("24h energy, always-on : %.1f mWh\n", always_energy);
+  std::printf("24h energy, duty-cycle: %.1f mWh (%.1fx lifetime)\n",
+              duty_energy, always_energy / duty_energy);
+
+  // Coverage check: the awake fraction is within one sensor of n/k at all
+  // times, by the uniformity guarantee.
+  std::uint32_t min_awake = sensors;
+  std::uint32_t max_awake = 0;
+  for (auto size : plan.shift_sizes) {
+    min_awake = std::min(min_awake, size);
+    max_awake = std::max(max_awake, size);
+  }
+  std::printf("awake sensors per hour: %u..%u (target %u)\n", min_awake,
+              max_awake, sensors / shifts);
+  return 0;
+}

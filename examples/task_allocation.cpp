@@ -1,0 +1,60 @@
+// Scenario from the paper's introduction: "we can assign different tasks
+// to different groups and make agents execute multiple tasks at the same
+// time" -- extended with the R-generalized partition of [24] so tasks can
+// have different weights.
+//
+// A swarm of molecular robots must split its workforce across three tasks
+// whose workloads stand in ratio 3 : 2 : 1.  The RatioPartitionProtocol
+// (uniform 6-partition + slot merging) assigns each robot a task with no
+// identities, no counting and no coordinator.
+//
+//   ./task_allocation [--robots 90] [--seed 11]
+
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "core/invariants.hpp"
+#include "core/ratio_partition.hpp"
+#include "pp/agent_simulator.hpp"
+#include "pp/transition_table.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  ppk::Cli cli("task_allocation",
+               "Weighted task assignment via R-generalized partition.");
+  auto robots_flag = cli.flag<int>("robots", 90, "swarm size");
+  auto seed = cli.flag<long long>("seed", 11, "RNG seed");
+  cli.parse(argc, argv);
+  const auto robots = static_cast<std::uint32_t>(*robots_flag);
+
+  const std::vector<std::uint32_t> ratio{3, 2, 1};
+  const char* task_names[] = {"patrol", "transport", "repair"};
+
+  const ppk::core::RatioPartitionProtocol protocol(ratio);
+  const ppk::pp::TransitionTable table(protocol);
+  std::printf("%s, %d states per agent\n", protocol.name().c_str(),
+              int{protocol.num_states()});
+
+  ppk::pp::Population population(robots, protocol.num_states(),
+                                 protocol.initial_state());
+  ppk::pp::AgentSimulator sim(table, std::move(population),
+                              static_cast<std::uint64_t>(*seed));
+  // Stability is inherited from the inner uniform-partition protocol.
+  auto oracle = ppk::core::stable_pattern_oracle(protocol.inner(), robots);
+  const auto result = sim.run(*oracle);
+  std::printf("assignment settled after %llu interactions\n",
+              static_cast<unsigned long long>(result.interactions));
+
+  std::vector<std::uint32_t> sizes(protocol.num_groups(), 0);
+  for (std::uint32_t a = 0; a < robots; ++a) {
+    ++sizes[protocol.group(sim.population().state_of(a))];
+  }
+  const auto total_ratio = std::accumulate(ratio.begin(), ratio.end(), 0u);
+  for (std::size_t t = 0; t < sizes.size(); ++t) {
+    std::printf("  %-9s (weight %u): %2u robots (ideal %.1f)\n",
+                task_names[t], ratio[t], sizes[t],
+                static_cast<double>(robots * ratio[t]) / total_ratio);
+  }
+  return 0;
+}

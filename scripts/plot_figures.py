@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Render the figure benches' CSV output as SVG plots -- stdlib only.
+
+The cluster machines this repo targets have no matplotlib/gnuplot, so this
+is a minimal scatter/line plotter good enough to eyeball the paper's
+shapes (Figures 3-6).
+
+Usage:
+  build/bench/fig3_interactions_vs_n --csv fig3.csv
+  scripts/plot_figures.py fig3 fig3.csv fig3.svg
+  # likewise: fig4, fig5 (log-log), fig6 (semi-log-y)
+"""
+
+import csv
+import math
+import sys
+
+WIDTH, HEIGHT = 720, 480
+MARGIN = 70
+COLORS = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"]
+
+
+def read_series(path, x_col, y_col, group_col):
+    """Returns {group: [(x, y), ...]} sorted by x."""
+    series = {}
+    with open(path, newline="") as handle:
+        for row in csv.DictReader(handle):
+            try:
+                x = float(row[x_col])
+                y = float(row[y_col])
+            except (KeyError, ValueError):
+                continue
+            series.setdefault(row.get(group_col, ""), []).append((x, y))
+    for points in series.values():
+        points.sort()
+    return series
+
+
+def nice_ticks(lo, hi, count=6):
+    if hi <= lo:
+        hi = lo + 1
+    raw = (hi - lo) / count
+    magnitude = 10 ** math.floor(math.log10(raw))
+    for step in (1, 2, 2.5, 5, 10):
+        if raw <= step * magnitude:
+            break
+    step *= magnitude
+    start = math.floor(lo / step) * step
+    ticks = []
+    value = start
+    while value <= hi + step * 0.5:
+        if value >= lo - step * 0.5:
+            ticks.append(value)
+        value += step
+    return ticks
+
+
+class Plot:
+    def __init__(self, title, x_label, y_label, log_x=False, log_y=False):
+        self.title, self.x_label, self.y_label = title, x_label, y_label
+        self.log_x, self.log_y = log_x, log_y
+        self.parts = []
+
+    def _transform(self, value, log):
+        return math.log10(value) if log else value
+
+    def render(self, series, out_path):
+        xs = [self._transform(x, self.log_x)
+              for pts in series.values() for x, _ in pts]
+        ys = [self._transform(y, self.log_y)
+              for pts in series.values() for _, y in pts]
+        x_lo, x_hi = min(xs), max(xs)
+        y_lo, y_hi = min(ys), max(ys)
+        if x_hi == x_lo:
+            x_hi += 1
+        if y_hi == y_lo:
+            y_hi += 1
+
+        def sx(x):
+            return MARGIN + (x - x_lo) / (x_hi - x_lo) * (WIDTH - 2 * MARGIN)
+
+        def sy(y):
+            return HEIGHT - MARGIN - (y - y_lo) / (y_hi - y_lo) * (
+                HEIGHT - 2 * MARGIN)
+
+        add = self.parts.append
+        add(f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" '
+            f'height="{HEIGHT}" font-family="sans-serif" font-size="12">')
+        add(f'<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>')
+        add(f'<text x="{WIDTH / 2}" y="24" text-anchor="middle" '
+            f'font-size="16">{self.title}</text>')
+
+        # Axes and ticks.
+        add(f'<line x1="{MARGIN}" y1="{HEIGHT - MARGIN}" x2="{WIDTH - MARGIN}"'
+            f' y2="{HEIGHT - MARGIN}" stroke="black"/>')
+        add(f'<line x1="{MARGIN}" y1="{MARGIN}" x2="{MARGIN}" '
+            f'y2="{HEIGHT - MARGIN}" stroke="black"/>')
+        for tick in nice_ticks(x_lo, x_hi):
+            px = sx(tick)
+            label = f"1e{tick:g}" if self.log_x else f"{tick:g}"
+            add(f'<line x1="{px}" y1="{HEIGHT - MARGIN}" x2="{px}" '
+                f'y2="{HEIGHT - MARGIN + 5}" stroke="black"/>')
+            add(f'<text x="{px}" y="{HEIGHT - MARGIN + 20}" '
+                f'text-anchor="middle">{label}</text>')
+        for tick in nice_ticks(y_lo, y_hi):
+            py = sy(tick)
+            label = f"1e{tick:g}" if self.log_y else f"{tick:g}"
+            add(f'<line x1="{MARGIN - 5}" y1="{py}" x2="{MARGIN}" y2="{py}" '
+                f'stroke="black"/>')
+            add(f'<text x="{MARGIN - 8}" y="{py + 4}" '
+                f'text-anchor="end">{label}</text>')
+        add(f'<text x="{WIDTH / 2}" y="{HEIGHT - 12}" '
+            f'text-anchor="middle">{self.x_label}</text>')
+        add(f'<text x="18" y="{HEIGHT / 2}" text-anchor="middle" '
+            f'transform="rotate(-90 18 {HEIGHT / 2})">{self.y_label}</text>')
+
+        # Series.
+        for index, (name, points) in enumerate(sorted(series.items())):
+            color = COLORS[index % len(COLORS)]
+            path = " ".join(
+                f"{'M' if i == 0 else 'L'}"
+                f"{sx(self._transform(x, self.log_x)):.1f},"
+                f"{sy(self._transform(y, self.log_y)):.1f}"
+                for i, (x, y) in enumerate(points))
+            add(f'<path d="{path}" fill="none" stroke="{color}" '
+                f'stroke-width="1.5"/>')
+            for x, y in points:
+                add(f'<circle cx="{sx(self._transform(x, self.log_x)):.1f}" '
+                    f'cy="{sy(self._transform(y, self.log_y)):.1f}" r="2.5" '
+                    f'fill="{color}"/>')
+            ly = MARGIN + 16 * index
+            add(f'<rect x="{WIDTH - MARGIN - 110}" y="{ly - 9}" width="12" '
+                f'height="12" fill="{color}"/>')
+            add(f'<text x="{WIDTH - MARGIN - 92}" y="{ly + 2}">'
+                f'{self.x_label.split()[0]}-group {name}</text>')
+        add("</svg>")
+        with open(out_path, "w") as handle:
+            handle.write("\n".join(self.parts))
+        print(f"wrote {out_path}")
+
+
+FIGURES = {
+    # name: (x_col, y_col, group_col, title, x, y, log_x, log_y)
+    "fig3": ("n", "mean_interactions", "k",
+             "Figure 3: interactions vs n", "n", "interactions",
+             False, False),
+    "fig4": ("n", "mean_increment", "grouping_index",
+             "Figure 4: per-grouping increments", "n", "NI'_i",
+             False, False),
+    "fig5": ("n", "mean_interactions", "k",
+             "Figure 5: interactions vs n (n mod k = 0)", "n",
+             "interactions", True, True),
+    "fig6": ("k", "mean_interactions", "n",
+             "Figure 6: interactions vs k at n = 960", "k",
+             "interactions", False, True),
+}
+
+
+def main():
+    if len(sys.argv) != 4 or sys.argv[1] not in FIGURES:
+        names = ", ".join(FIGURES)
+        sys.exit(f"usage: plot_figures.py <{names}> <in.csv> <out.svg>")
+    figure, csv_path, svg_path = sys.argv[1:]
+    x_col, y_col, group_col, title, xl, yl, log_x, log_y = FIGURES[figure]
+    series = read_series(csv_path, x_col, y_col, group_col)
+    if not series:
+        sys.exit(f"no data rows with columns {x_col}/{y_col} in {csv_path}")
+    Plot(title, xl, yl, log_x, log_y).render(series, svg_path)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#include "analysis/experiment.hpp"
+
+#include "core/invariants.hpp"
+#include "pp/transition_table.hpp"
+#include "util/stopwatch.hpp"
+
+namespace ppk::analysis {
+
+ExperimentResult measure_kpartition(pp::GroupId k, std::uint32_t n,
+                                    const ExperimentOptions& options) {
+  PPK_EXPECTS(n >= 3);  // the paper's standing assumption
+  const core::KPartitionProtocol protocol(k);
+  const pp::TransitionTable table(protocol);
+
+  pp::MonteCarloOptions mc;
+  mc.trials = options.trials;
+  mc.master_seed = options.master_seed;
+  mc.max_interactions = options.max_interactions;
+  mc.engine = options.engine;
+  mc.threads = options.threads;
+  if (options.track_groupings) mc.watch_state = protocol.g(k);
+
+  Stopwatch timer;
+  const pp::MonteCarloResult result = pp::run_monte_carlo(
+      protocol, table, n,
+      [&] { return core::stable_pattern_oracle(protocol, n); }, mc);
+
+  ExperimentResult out;
+  out.k = k;
+  out.n = n;
+  out.trials = options.trials;
+  out.stabilized = result.stabilized_count();
+  out.wall_seconds = timer.seconds();
+
+  std::vector<double> interactions;
+  std::vector<double> effective;
+  interactions.reserve(result.trials.size());
+  effective.reserve(result.trials.size());
+  for (const auto& trial : result.trials) {
+    interactions.push_back(static_cast<double>(trial.interactions));
+    effective.push_back(static_cast<double>(trial.effective));
+  }
+  out.interactions = summarize(interactions);
+  out.effective = summarize(effective);
+
+  if (options.track_groupings) {
+    out.breakdown = grouping_breakdown(result);
+  }
+  return out;
+}
+
+}  // namespace ppk::analysis

@@ -1,0 +1,42 @@
+// The repeated experiment of the paper's Section 5, packaged: run the
+// uniform k-partition protocol on n agents for a number of trials and
+// report interaction statistics.  All figure benches are thin sweeps over
+// this function.
+
+#pragma once
+
+#include <cstdint>
+
+#include "analysis/grouping_tracker.hpp"
+#include "analysis/stats.hpp"
+#include "core/kpartition.hpp"
+#include "pp/monte_carlo.hpp"
+
+namespace ppk::analysis {
+
+struct ExperimentOptions {
+  std::uint32_t trials = 100;  // the paper's setting
+  std::uint64_t master_seed = 0x5EEDULL;
+  std::uint64_t max_interactions = UINT64_MAX;
+  pp::Engine engine = pp::Engine::kAgentArray;
+  std::size_t threads = 1;
+  bool track_groupings = false;  // record g_k entries for Figure 4
+};
+
+struct ExperimentResult {
+  pp::GroupId k = 0;
+  std::uint32_t n = 0;
+  Summary interactions;   // over trials, total interactions to stability
+  Summary effective;      // over trials, effective interactions
+  std::uint32_t trials = 0;
+  std::uint32_t stabilized = 0;  // trials that reached the stable pattern
+  double wall_seconds = 0.0;
+  /// Populated iff track_groupings (Figure 4's NI'_i means and tail).
+  GroupingBreakdown breakdown;
+};
+
+/// Runs the paper's experiment for one (n, k) point.
+ExperimentResult measure_kpartition(pp::GroupId k, std::uint32_t n,
+                                    const ExperimentOptions& options);
+
+}  // namespace ppk::analysis

@@ -1,0 +1,112 @@
+// Least-squares fits used to turn the paper's qualitative shape claims
+// into numbers:
+//
+//  - power-law fit  y = a * x^b      (linear LS on log x, log y):
+//    Figure 5's "more than linearly but less than exponentially" becomes
+//    a fitted exponent b in (1, ~2.5) with high R^2 on log-log axes.
+//
+//  - exponential fit  y = a * r^x    (linear LS on x, log y):
+//    Figure 6's "exponentially with k" becomes a fitted ratio r > 1 with
+//    high R^2 on semi-log axes.
+
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace ppk::analysis {
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+
+/// Ordinary least squares of y against x.  Needs >= 2 points with
+/// non-constant x.
+inline LinearFit fit_linear(const std::vector<double>& x,
+                            const std::vector<double>& y) {
+  PPK_EXPECTS(x.size() == y.size());
+  PPK_EXPECTS(x.size() >= 2);
+  const double n = static_cast<double>(x.size());
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  const double denominator = n * sxx - sx * sx;
+  PPK_EXPECTS(denominator != 0.0);  // x must not be constant
+  LinearFit fit;
+  fit.slope = (n * sxy - sx * sy) / denominator;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_total = syy - sy * sy / n;
+  double ss_residual = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double predicted = fit.slope * x[i] + fit.intercept;
+    ss_residual += (y[i] - predicted) * (y[i] - predicted);
+  }
+  fit.r_squared = ss_total > 0.0 ? 1.0 - ss_residual / ss_total : 1.0;
+  return fit;
+}
+
+struct PowerLawFit {
+  double exponent = 0.0;     // b in y = a * x^b
+  double coefficient = 0.0;  // a
+  double r_squared = 0.0;    // of the log-log regression
+};
+
+/// Fits y = a * x^b; all samples must be strictly positive.
+inline PowerLawFit fit_power_law(const std::vector<double>& x,
+                                 const std::vector<double>& y) {
+  PPK_EXPECTS(x.size() == y.size());
+  std::vector<double> log_x;
+  std::vector<double> log_y;
+  log_x.reserve(x.size());
+  log_y.reserve(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    PPK_EXPECTS(x[i] > 0.0 && y[i] > 0.0);
+    log_x.push_back(std::log(x[i]));
+    log_y.push_back(std::log(y[i]));
+  }
+  const LinearFit linear = fit_linear(log_x, log_y);
+  PowerLawFit fit;
+  fit.exponent = linear.slope;
+  fit.coefficient = std::exp(linear.intercept);
+  fit.r_squared = linear.r_squared;
+  return fit;
+}
+
+struct ExponentialFit {
+  double ratio = 0.0;        // r in y = a * r^x
+  double coefficient = 0.0;  // a
+  double r_squared = 0.0;    // of the semi-log regression
+};
+
+/// Fits y = a * r^x; y must be strictly positive.
+inline ExponentialFit fit_exponential(const std::vector<double>& x,
+                                      const std::vector<double>& y) {
+  PPK_EXPECTS(x.size() == y.size());
+  std::vector<double> log_y;
+  log_y.reserve(y.size());
+  for (double v : y) {
+    PPK_EXPECTS(v > 0.0);
+    log_y.push_back(std::log(v));
+  }
+  const LinearFit linear = fit_linear(x, log_y);
+  ExponentialFit fit;
+  fit.ratio = std::exp(linear.slope);
+  fit.coefficient = std::exp(linear.intercept);
+  fit.r_squared = linear.r_squared;
+  return fit;
+}
+
+}  // namespace ppk::analysis

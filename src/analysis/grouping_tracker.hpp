@@ -1,0 +1,63 @@
+// Per-grouping interaction accounting (Section 5.1 / Figure 4 of the
+// paper).
+//
+// The paper defines NI_i as the number of interactions until the i-th
+// "grouping" -- the i-th time an agent enters state g_k, after which one
+// full set {g1..gk} is permanently locked in -- and studies the increments
+// NI'_i = NI_i - NI_(i-1).  The Monte-Carlo runner records the interaction
+// index of every g_k entry (watch_marks); this helper turns those marks
+// into per-grouping increments and averages them across trials.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/stats.hpp"
+#include "pp/monte_carlo.hpp"
+#include "util/assert.hpp"
+
+namespace ppk::analysis {
+
+struct GroupingBreakdown {
+  /// mean_increment[i] = average of NI'_(i+1) over all trials.
+  std::vector<double> mean_increment;
+  /// Mean interactions spent after the last grouping until stabilization
+  /// (the "last part": settling the remaining n mod k agents).
+  double mean_tail = 0.0;
+  /// Number of groupings = floor(n / k), identical across trials.
+  std::size_t groupings = 0;
+};
+
+/// Computes the Figure-4 breakdown from a Monte-Carlo result whose trials
+/// were run with watch_state = g_k.  Every trial of a correct run has
+/// exactly floor(n/k) marks (one per locked-in group set).
+inline GroupingBreakdown grouping_breakdown(
+    const pp::MonteCarloResult& result) {
+  GroupingBreakdown breakdown;
+  if (result.trials.empty()) return breakdown;
+  breakdown.groupings = result.trials.front().watch_marks.size();
+
+  std::vector<OnlineStats> increments(breakdown.groupings);
+  OnlineStats tail;
+  for (const auto& trial : result.trials) {
+    PPK_EXPECTS(trial.watch_marks.size() == breakdown.groupings);
+    std::uint64_t previous = 0;  // NI_0 = 0 by the paper's definition
+    for (std::size_t i = 0; i < trial.watch_marks.size(); ++i) {
+      const std::uint64_t mark = trial.watch_marks[i];
+      PPK_ASSERT(mark >= previous);
+      increments[i].add(static_cast<double>(mark - previous));
+      previous = mark;
+    }
+    tail.add(static_cast<double>(trial.interactions - previous));
+  }
+
+  breakdown.mean_increment.reserve(increments.size());
+  for (const auto& stats : increments) {
+    breakdown.mean_increment.push_back(stats.mean());
+  }
+  breakdown.mean_tail = tail.mean();
+  return breakdown;
+}
+
+}  // namespace ppk::analysis

@@ -1,0 +1,95 @@
+// Fixed-width histogram for stabilization-time distributions.  The paper
+// reports only means; the distribution bench uses this to show the heavy
+// right tail behind them (a few unlucky executions dominate the average).
+
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace ppk::analysis {
+
+class Histogram {
+ public:
+  /// Buckets [lo, hi) split evenly `buckets` ways; values outside the
+  /// range land in saturated edge buckets.
+  Histogram(double lo, double hi, std::size_t buckets)
+      : lo_(lo), hi_(hi), counts_(buckets, 0) {
+    PPK_EXPECTS(hi > lo);
+    PPK_EXPECTS(buckets >= 1);
+  }
+
+  /// Convenience: bounds from data, with `buckets` bins.
+  static Histogram from_samples(const std::vector<double>& samples,
+                                std::size_t buckets) {
+    PPK_EXPECTS(!samples.empty());
+    double lo = samples[0];
+    double hi = samples[0];
+    for (double x : samples) {
+      lo = std::min(lo, x);
+      hi = std::max(hi, x);
+    }
+    if (hi == lo) hi = lo + 1.0;
+    Histogram histogram(lo, hi * (1.0 + 1e-9), buckets);
+    for (double x : samples) histogram.add(x);
+    return histogram;
+  }
+
+  void add(double x) {
+    const double clamped = std::min(std::max(x, lo_), hi_);
+    auto bucket = static_cast<std::size_t>(
+        (clamped - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size()));
+    bucket = std::min(bucket, counts_.size() - 1);
+    ++counts_[bucket];
+    ++total_;
+  }
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const noexcept {
+    return counts_;
+  }
+
+  [[nodiscard]] double bucket_lo(std::size_t bucket) const {
+    return lo_ + (hi_ - lo_) * static_cast<double>(bucket) /
+                     static_cast<double>(counts_.size());
+  }
+
+  [[nodiscard]] double bucket_hi(std::size_t bucket) const {
+    return bucket_lo(bucket + 1);
+  }
+
+  /// ASCII rendering: one row per bucket, bar length proportional to the
+  /// count, `width` characters for the largest bucket.
+  void print(std::ostream& out, std::size_t width = 50) const {
+    std::uint64_t peak = 1;
+    for (auto c : counts_) peak = std::max(peak, c);
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+      const auto bar = static_cast<std::size_t>(
+          static_cast<double>(counts_[b]) / static_cast<double>(peak) *
+          static_cast<double>(width));
+      out << format_bound(bucket_lo(b)) << " .. " << format_bound(bucket_hi(b))
+          << "  " << std::string(bar, '#') << ' ' << counts_[b] << '\n';
+    }
+  }
+
+ private:
+  static std::string format_bound(double value) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%12.0f", value);
+    return buffer;
+  }
+
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ppk::analysis

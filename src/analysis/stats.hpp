@@ -1,0 +1,105 @@
+// Descriptive statistics for trial aggregation: streaming mean/variance
+// (Welford's algorithm, numerically stable for the huge interaction counts
+// the k-sweep produces) and order statistics over collected samples.
+
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace ppk::analysis {
+
+/// Streaming mean / variance / extrema accumulator.
+class OnlineStats {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = count_ == 1 ? x : std::min(min_, x);
+    max_ = count_ == 1 ? x : std::max(max_, x);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Unbiased sample variance (0 for fewer than two samples).
+  [[nodiscard]] double variance() const noexcept {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+
+  [[nodiscard]] double stddev() const noexcept {
+    return std::sqrt(variance());
+  }
+
+  /// Standard error of the mean.
+  [[nodiscard]] double sem() const noexcept {
+    return count_ == 0 ? 0.0
+                       : stddev() / std::sqrt(static_cast<double>(count_));
+  }
+
+  /// Half-width of the normal-approximation 95% confidence interval for the
+  /// mean (the paper averages 100 trials, well into CLT territory).
+  [[nodiscard]] double ci95_halfwidth() const noexcept {
+    return 1.959963984540054 * sem();
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Quantile of a sample set by linear interpolation (type-7, the
+/// numpy/R default).  `q` in [0, 1].  Sorts a copy.
+inline double quantile(std::vector<double> samples, double q) {
+  PPK_EXPECTS(!samples.empty());
+  PPK_EXPECTS(q >= 0.0 && q <= 1.0);
+  std::sort(samples.begin(), samples.end());
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples[lo] + frac * (samples[hi] - samples[lo]);
+}
+
+inline double median(std::vector<double> samples) {
+  return quantile(std::move(samples), 0.5);
+}
+
+/// Summary of a finished sample set.
+struct Summary {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double ci95 = 0.0;
+  double min = 0.0;
+  double median = 0.0;
+  double max = 0.0;
+};
+
+inline Summary summarize(const std::vector<double>& samples) {
+  Summary s;
+  if (samples.empty()) return s;
+  OnlineStats stats;
+  for (double x : samples) stats.add(x);
+  s.count = stats.count();
+  s.mean = stats.mean();
+  s.stddev = stats.stddev();
+  s.ci95 = stats.ci95_halfwidth();
+  s.min = stats.min();
+  s.median = median(samples);
+  s.max = stats.max();
+  return s;
+}
+
+}  // namespace ppk::analysis

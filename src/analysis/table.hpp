@@ -1,0 +1,78 @@
+// Aligned console tables: the benches print the same rows they write to
+// CSV, so a terminal run of a figure binary is self-contained.
+
+#pragma once
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace ppk::analysis {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {
+    PPK_EXPECTS(!header_.empty());
+  }
+
+  template <typename... Fields>
+  void row(const Fields&... fields) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(fields));
+    (cells.push_back(to_cell(fields)), ...);
+    PPK_EXPECTS(cells.size() == header_.size());
+    rows_.push_back(std::move(cells));
+  }
+
+  void print(std::ostream& out) const {
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      widths[c] = header_[c].size();
+      for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+    }
+    print_row(out, header_, widths);
+    std::size_t total = 0;
+    for (auto w : widths) total += w + 2;
+    out << std::string(total, '-') << '\n';
+    for (const auto& row : rows_) print_row(out, row, widths);
+  }
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& value) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(value);
+    } else if constexpr (std::is_floating_point_v<T>) {
+      // Small magnitudes (rates, ratios) keep three decimals; large ones
+      // (interaction counts) keep one.
+      std::ostringstream cell;
+      const double magnitude = value < 0 ? -value : value;
+      cell << std::fixed << std::setprecision(magnitude < 10.0 ? 3 : 1)
+           << value;
+      return cell.str();
+    } else {
+      std::ostringstream cell;
+      cell << value;
+      return cell.str();
+    }
+  }
+
+  static void print_row(std::ostream& out, const std::vector<std::string>& row,
+                        const std::vector<std::size_t>& widths) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << std::setw(static_cast<int>(widths[c])) << row[c] << "  ";
+    }
+    out << '\n';
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ppk::analysis

@@ -1,0 +1,97 @@
+// Trajectory recording: state counts sampled along an execution, for
+// convergence-profile plots and for examples that show the population
+// reorganizing after a disturbance.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "io/csv.hpp"
+#include "pp/population.hpp"
+#include "pp/protocol.hpp"
+#include "util/assert.hpp"
+
+namespace ppk::analysis {
+
+class TimeSeries {
+ public:
+  /// Samples every `stride` interactions (plus whenever sample() is called
+  /// explicitly with force = true).
+  TimeSeries(const pp::Protocol& protocol, std::uint64_t stride)
+      : protocol_(&protocol), stride_(stride) {
+    PPK_EXPECTS(stride >= 1);
+  }
+
+  /// Records group sizes at `interaction` if it falls on the stride grid.
+  void sample(std::uint64_t interaction, const pp::Population& population,
+              bool force = false) {
+    if (!force && interaction % stride_ != 0) return;
+    Row row;
+    row.interaction = interaction;
+    row.group_sizes = population.group_sizes(*protocol_);
+    rows_.push_back(std::move(row));
+  }
+
+  struct Row {
+    std::uint64_t interaction = 0;
+    std::vector<std::uint32_t> group_sizes;
+  };
+
+  [[nodiscard]] const std::vector<Row>& rows() const noexcept { return rows_; }
+
+  /// Writes "interaction,group1,group2,..." rows.
+  void write_csv(std::ostream& out) const {
+    std::vector<std::string> header{"interaction"};
+    for (pp::GroupId g = 0; g < protocol_->num_groups(); ++g) {
+      header.push_back("group" + std::to_string(g + 1));
+    }
+    io::CsvWriter csv(out, header);
+    for (const Row& row : rows_) {
+      std::vector<std::string> cells{std::to_string(row.interaction)};
+      for (auto size : row.group_sizes) cells.push_back(std::to_string(size));
+      write_row(csv, cells);
+    }
+  }
+
+  /// Largest group-size spread (max - min) seen over the whole trajectory
+  /// from `from_interaction` on -- used to assert "never became non-uniform
+  /// again after stabilizing".
+  [[nodiscard]] std::uint32_t max_spread_since(
+      std::uint64_t from_interaction) const {
+    std::uint32_t worst = 0;
+    for (const Row& row : rows_) {
+      if (row.interaction < from_interaction) continue;
+      std::uint32_t lo = UINT32_MAX;
+      std::uint32_t hi = 0;
+      for (auto size : row.group_sizes) {
+        lo = size < lo ? size : lo;
+        hi = size > hi ? size : hi;
+      }
+      if (!row.group_sizes.empty()) worst = std::max(worst, hi - lo);
+    }
+    return worst;
+  }
+
+ private:
+  static void write_row(io::CsvWriter& csv,
+                        const std::vector<std::string>& cells) {
+    // CsvWriter::row is variadic (compile-time width); trajectories have a
+    // run-time column count, so join the escape-free numeric cells by hand.
+    std::string joined;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) joined += ',';
+      joined += cells[i];
+    }
+    csv.raw_row(joined, cells.size());
+  }
+
+  const pp::Protocol* protocol_;
+  std::uint64_t stride_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace ppk::analysis

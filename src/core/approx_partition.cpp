@@ -1,0 +1,59 @@
+#include "core/approx_partition.hpp"
+
+#include "util/assert.hpp"
+
+namespace ppk::core {
+
+namespace {
+
+unsigned ceil_log2(unsigned v) {
+  unsigned bits = 0;
+  while ((1u << bits) < v) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+ApproxPartitionProtocol::ApproxPartitionProtocol(pp::GroupId k)
+    : k_(k), split_levels_(ceil_log2(k)), levels_(split_levels_ + 1) {
+  PPK_EXPECTS(k >= 2 && k <= 256);
+}
+
+std::string ApproxPartitionProtocol::name() const {
+  return "approx-partition(k=" + std::to_string(k_) + ")";
+}
+
+pp::StateId ApproxPartitionProtocol::num_states() const {
+  return static_cast<pp::StateId>(static_cast<unsigned>(k_) * levels_);
+}
+
+pp::StateId ApproxPartitionProtocol::state(pp::GroupId group,
+                                           unsigned level) const {
+  PPK_EXPECTS(group < k_);
+  PPK_EXPECTS(level >= 1 && level <= levels_);
+  return static_cast<pp::StateId>((level - 1) * k_ + group);
+}
+
+pp::Transition ApproxPartitionProtocol::delta(pp::StateId p,
+                                              pp::StateId q) const {
+  PPK_EXPECTS(p < num_states() && q < num_states());
+  if (p != q) return {p, q};
+  const unsigned level = p / k_ + 1;
+  if (level > split_levels_) return {p, q};  // final level: no more splits
+  const auto g = static_cast<pp::GroupId>(p % k_);
+  const std::uint32_t sibling = g + (1u << (level - 1));
+  const pp::GroupId g_new =
+      sibling < k_ ? static_cast<pp::GroupId>(sibling) : g;
+  return {state(g, level + 1), state(g_new, level + 1)};
+}
+
+pp::GroupId ApproxPartitionProtocol::group(pp::StateId s) const {
+  return static_cast<pp::GroupId>(s % k_);
+}
+
+std::string ApproxPartitionProtocol::state_name(pp::StateId s) const {
+  return "(g" + std::to_string(s % k_ + 1) + ",l" +
+         std::to_string(s / k_ + 1) + ")";
+}
+
+}  // namespace ppk::core

@@ -1,0 +1,52 @@
+// Approximate k-partition baseline (a *reconstruction* in the spirit of
+// Delporte-Gallet et al. [14], whose transition rules the paper does not
+// reproduce -- see DESIGN.md, "Substitutions").
+//
+// Mechanism: binary token splitting.  An agent's state is (group g, level
+// l).  All agents start at (0, 1).  When two agents in the *same* state
+// (g, l) with l <= L meet, both advance a level and one of them moves to
+// group g + 2^(l-1) (if that is still < k).  After L = ceil(log2 k) levels
+// every group index in [0, k) has been reachable; level L+1 states are
+// final.  Terminal configurations have at most one agent per non-final
+// state, so each group ends with roughly n / 2^(splits) members --
+// >= n/(2k) up to the <= L stranded agents per group chain, which is the
+// guarantee [14] is quoted for in the paper's related-work section.
+//
+// The splitting rule (g,l),(g,l) -> ((g,l+1),(g+2^(l-1),l+1)) maps equal
+// states to distinct states, so this protocol is deliberately *asymmetric*
+// (it uses the initiator/responder distinction); it serves as a baseline
+// only and makes the contrast with the paper's symmetric protocol visible
+// in benches.
+
+#pragma once
+
+#include "pp/protocol.hpp"
+
+namespace ppk::core {
+
+class ApproxPartitionProtocol final : public pp::Protocol {
+ public:
+  /// Requires 2 <= k <= 256.
+  explicit ApproxPartitionProtocol(pp::GroupId k);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] pp::StateId num_states() const override;
+  [[nodiscard]] pp::StateId initial_state() const override { return 0; }
+  [[nodiscard]] pp::Transition delta(pp::StateId p,
+                                     pp::StateId q) const override;
+  [[nodiscard]] pp::GroupId group(pp::StateId s) const override;
+  [[nodiscard]] pp::GroupId num_groups() const override { return k_; }
+  [[nodiscard]] std::string state_name(pp::StateId s) const override;
+
+  [[nodiscard]] unsigned num_levels() const noexcept { return levels_; }
+
+  /// State id for (group, level), level in 1..num_levels().
+  [[nodiscard]] pp::StateId state(pp::GroupId group, unsigned level) const;
+
+ private:
+  pp::GroupId k_;
+  unsigned split_levels_;  // L = ceil(log2 k); splits happen at 1..L
+  unsigned levels_;        // L + 1 (the final, non-splitting level)
+};
+
+}  // namespace ppk::core

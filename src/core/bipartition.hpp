@@ -1,0 +1,64 @@
+// The symmetric 4-state uniform bipartition protocol with designated
+// initial states under global fairness (Yasumi et al. [25]) -- the k = 2
+// base case of the paper's protocol, implemented standalone so the test
+// suite can check state-for-state agreement with KPartitionProtocol(2).
+//
+// States: initial, initial', g1, g2.  Rules:
+//   (initial,  initial)  -> (initial', initial')
+//   (initial', initial') -> (initial,  initial)
+//   (initial,  initial') -> (g1, g2)       -- the pairing rule: partners
+//                                              join opposite groups
+//   (g,        ini)      -> (g, flip(ini)) -- keeps mixed free pairs
+//                                              reachable (global fairness)
+
+#pragma once
+
+#include "pp/protocol.hpp"
+
+namespace ppk::core {
+
+class BipartitionProtocol final : public pp::Protocol {
+ public:
+  static constexpr pp::StateId kInitial = 0;
+  static constexpr pp::StateId kInitialPrime = 1;
+  static constexpr pp::StateId kG1 = 2;
+  static constexpr pp::StateId kG2 = 3;
+
+  [[nodiscard]] std::string name() const override { return "bipartition"; }
+  [[nodiscard]] pp::StateId num_states() const override { return 4; }
+  [[nodiscard]] pp::StateId initial_state() const override { return kInitial; }
+
+  [[nodiscard]] pp::Transition delta(pp::StateId p,
+                                     pp::StateId q) const override {
+    const bool p_free = p <= kInitialPrime;
+    const bool q_free = q <= kInitialPrime;
+    if (p_free && q_free) {
+      if (p == q) {
+        const pp::StateId next = p == kInitial ? kInitialPrime : kInitial;
+        return {next, next};
+      }
+      return p == kInitial ? pp::Transition{kG1, kG2}
+                           : pp::Transition{kG2, kG1};
+    }
+    if (q_free) return {p, q == kInitial ? kInitialPrime : kInitial};
+    if (p_free) return {p == kInitial ? kInitialPrime : kInitial, q};
+    return {p, q};
+  }
+
+  [[nodiscard]] pp::GroupId group(pp::StateId s) const override {
+    return s == kG2 ? pp::GroupId{1} : pp::GroupId{0};  // f(ini) = 1
+  }
+
+  [[nodiscard]] pp::GroupId num_groups() const override { return 2; }
+
+  [[nodiscard]] std::string state_name(pp::StateId s) const override {
+    switch (s) {
+      case kInitial: return "initial";
+      case kInitialPrime: return "initial'";
+      case kG1: return "g1";
+      default: return "g2";
+    }
+  }
+};
+
+}  // namespace ppk::core

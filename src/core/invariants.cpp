@@ -1,0 +1,80 @@
+#include "core/invariants.hpp"
+
+#include "util/assert.hpp"
+
+namespace ppk::core {
+
+bool lemma1_holds(const KPartitionProtocol& protocol,
+                  const pp::Counts& counts) {
+  const pp::GroupId k = protocol.k();
+  PPK_EXPECTS(counts.size() == protocol.num_states());
+
+  const std::uint64_t gk = counts[protocol.g(k)];
+  for (pp::GroupId x = 1; x <= k; ++x) {
+    std::uint64_t rhs = gk;
+    for (pp::GroupId p = static_cast<pp::GroupId>(x + 1); p <= k - 1; ++p) {
+      if (p >= 2) rhs += counts[protocol.m(p)];
+    }
+    for (pp::GroupId q = x; q <= k - 2; ++q) {
+      rhs += counts[protocol.d(q)];
+    }
+    if (counts[protocol.g(x)] != rhs) return false;
+  }
+  return true;
+}
+
+pp::Counts stable_counts(const KPartitionProtocol& protocol, std::uint32_t n) {
+  const pp::GroupId k = protocol.k();
+  PPK_EXPECTS(n >= 3);
+  const std::uint32_t floor_nk = n / k;
+  const std::uint32_t r = n % k;
+
+  pp::Counts target(protocol.num_states(), 0);
+  for (pp::GroupId x = 1; x <= k; ++x) {
+    target[protocol.g(x)] = floor_nk + (r >= 2 && x <= r - 1 ? 1 : 0);
+  }
+  if (r == 1) {
+    target[KPartitionProtocol::kInitial] = 1;  // one free agent remains
+  } else if (r >= 2) {
+    target[protocol.m(static_cast<pp::GroupId>(r))] = 1;
+  }
+  return target;
+}
+
+bool matches_stable_pattern(const KPartitionProtocol& protocol,
+                            std::uint32_t n, const pp::Counts& counts) {
+  PPK_EXPECTS(counts.size() == protocol.num_states());
+  const pp::Counts target = stable_counts(protocol, n);
+  // The two free states form one equivalence class (the leftover agent may
+  // be initial or initial'); all other states must match exactly.
+  const std::uint32_t free_now = counts[0] + counts[1];
+  const std::uint32_t free_target = target[0] + target[1];
+  if (free_now != free_target) return false;
+  for (pp::StateId s = 2; s < counts.size(); ++s) {
+    if (counts[s] != target[s]) return false;
+  }
+  return true;
+}
+
+std::unique_ptr<pp::StabilityOracle> stable_pattern_oracle(
+    const KPartitionProtocol& protocol, std::uint32_t n) {
+  const pp::StateId num_states = protocol.num_states();
+  const pp::Counts target_by_state = stable_counts(protocol, n);
+
+  // Merge {initial, initial'} into class 0; state s >= 2 gets class s - 1.
+  std::vector<std::uint16_t> state_class(num_states);
+  state_class[0] = 0;
+  state_class[1] = 0;
+  for (pp::StateId s = 2; s < num_states; ++s) {
+    state_class[s] = static_cast<std::uint16_t>(s - 1);
+  }
+  std::vector<std::uint32_t> target(num_states - 1u, 0);
+  target[0] = target_by_state[0] + target_by_state[1];
+  for (pp::StateId s = 2; s < num_states; ++s) {
+    target[static_cast<std::size_t>(s) - 1] = target_by_state[s];
+  }
+  return std::make_unique<pp::CountPatternOracle>(std::move(state_class),
+                                                  std::move(target));
+}
+
+}  // namespace ppk::core

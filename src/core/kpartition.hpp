@@ -1,0 +1,99 @@
+// Algorithm 1 of the paper: the symmetric uniform k-partition protocol with
+// designated initial states and 3k-2 states per agent.
+//
+// State set (Section 3):  Q = I u G u M u D with
+//   I = {initial, initial'}            -- "free" agents, f = 1
+//   G = {g1..gk}                       -- committed group members, f(gi) = i
+//   M = {m2..m(k-1)}                   -- builders, f(mi) = i
+//   D = {d1..d(k-2)}                   -- demolishers, f(di) = 1
+//
+// Transition rules 1-10 are implemented verbatim; rules are written in the
+// paper's orientation and mirrored automatically, so the realized ordered
+// transition function is swap-consistent and (machine-checked) symmetric.
+//
+// Degenerate case k = 2: M and D are empty (|Q| = 4) and rule 5 becomes
+// (initial, initial') -> (g1, g2); the paper notes the protocol then equals
+// the uniform bipartition protocol of Yasumi et al. [25].
+
+#pragma once
+
+#include <optional>
+
+#include "pp/protocol.hpp"
+
+namespace ppk::core {
+
+class KPartitionProtocol final : public pp::Protocol {
+ public:
+  /// Requires k >= 2.  (The paper additionally assumes n >= 3 at run time;
+  /// that is a property of the population, not of the protocol.)
+  explicit KPartitionProtocol(pp::GroupId k);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] pp::StateId num_states() const override;
+  [[nodiscard]] pp::StateId initial_state() const override { return kInitial; }
+  [[nodiscard]] pp::Transition delta(pp::StateId p,
+                                     pp::StateId q) const override;
+  [[nodiscard]] pp::GroupId group(pp::StateId s) const override;
+  [[nodiscard]] pp::GroupId num_groups() const override { return k_; }
+  [[nodiscard]] std::string state_name(pp::StateId s) const override;
+
+  [[nodiscard]] pp::GroupId k() const noexcept { return k_; }
+
+  // --- State encoding (public so tests and analysis can name states) ---
+  static constexpr pp::StateId kInitial = 0;       // "initial"
+  static constexpr pp::StateId kInitialPrime = 1;  // "initial'"
+
+  /// g_x for x in 1..k.
+  [[nodiscard]] pp::StateId g(pp::GroupId x) const;
+  /// m_p for p in 2..k-1 (k >= 3).
+  [[nodiscard]] pp::StateId m(pp::GroupId p) const;
+  /// d_q for q in 1..k-2 (k >= 3).
+  [[nodiscard]] pp::StateId d(pp::GroupId q) const;
+
+  [[nodiscard]] bool is_free(pp::StateId s) const noexcept { return s <= 1; }
+  [[nodiscard]] bool is_g(pp::StateId s) const noexcept;
+  [[nodiscard]] bool is_m(pp::StateId s) const noexcept;
+  [[nodiscard]] bool is_d(pp::StateId s) const noexcept;
+  /// Inverse of g()/m()/d(): the index x/p/q of a non-free state.
+  [[nodiscard]] pp::GroupId index_of(pp::StateId s) const;
+
+ private:
+  /// The rule set in the paper's written orientation; nullopt = no rule.
+  [[nodiscard]] std::optional<pp::Transition> rule(pp::StateId p,
+                                                   pp::StateId q) const;
+
+  pp::GroupId k_;
+};
+
+/// Ablation protocol for Section 3.2: the "basic strategy" with transitions
+/// 1-7 only (no D states, 2k states total).  The paper shows it is
+/// *incorrect*: for example with n = 12, k = 4 agents can reach the silent
+/// configuration {g1:4, g2:4, m3:4}, whose partition (4,4,4,0) is not
+/// uniform.  Exposed so the repo's verifier and benches can demonstrate
+/// exactly why the D states are needed.  Requires k >= 3 (for k = 2 the
+/// basic strategy and the full protocol coincide).
+class BasicStrategyProtocol final : public pp::Protocol {
+ public:
+  explicit BasicStrategyProtocol(pp::GroupId k);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] pp::StateId num_states() const override;
+  [[nodiscard]] pp::StateId initial_state() const override { return 0; }
+  [[nodiscard]] pp::Transition delta(pp::StateId p,
+                                     pp::StateId q) const override;
+  [[nodiscard]] pp::GroupId group(pp::StateId s) const override;
+  [[nodiscard]] pp::GroupId num_groups() const override { return k_; }
+  [[nodiscard]] std::string state_name(pp::StateId s) const override;
+
+  [[nodiscard]] pp::StateId g(pp::GroupId x) const;
+  [[nodiscard]] pp::StateId m(pp::GroupId p) const;
+
+ private:
+  [[nodiscard]] std::optional<pp::Transition> rule(pp::StateId p,
+                                                   pp::StateId q) const;
+
+  pp::GroupId k_;
+};
+
+}  // namespace ppk::core

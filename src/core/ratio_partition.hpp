@@ -1,0 +1,88 @@
+// R-generalized partition (the extension the paper mentions was published
+// after its conference version, Umino et al. [24]): divide the population
+// into k groups whose sizes follow a given ratio vector R = (r1..rk).
+//
+// Construction: run the paper's uniform K-partition protocol for
+// K = r1 + ... + rk "slots" and output-map slot x to the group j whose
+// ratio interval contains x.  Each slot stabilizes to floor(n/K) or
+// floor(n/K)+1 agents, so group j ends with between rj*floor(n/K) and
+// rj*(floor(n/K)+1) agents -- sizes follow R with at most rj agents of
+// slack, the natural generalization of "within one" to ratios.  The state
+// count is 3K - 2 and the protocol stays symmetric with designated initial
+// states under global fairness; correctness is inherited verbatim from
+// Theorem 1.
+
+#pragma once
+
+#include <numeric>
+#include <vector>
+
+#include "core/kpartition.hpp"
+#include "pp/protocol.hpp"
+#include "util/assert.hpp"
+
+namespace ppk::core {
+
+class RatioPartitionProtocol final : public pp::Protocol {
+ public:
+  /// `ratio` must be non-empty with every entry >= 1 and sum >= 2.
+  explicit RatioPartitionProtocol(std::vector<std::uint32_t> ratio)
+      : ratio_(std::move(ratio)),
+        total_(std::accumulate(ratio_.begin(), ratio_.end(), 0u)),
+        inner_(static_cast<pp::GroupId>(total_)) {
+    PPK_EXPECTS(!ratio_.empty());
+    for (auto r : ratio_) PPK_EXPECTS(r >= 1);
+    PPK_EXPECTS(total_ >= 2 && total_ <= 1000);
+    slot_to_group_.reserve(total_);
+    for (pp::GroupId j = 0; j < ratio_.size(); ++j) {
+      for (std::uint32_t rep = 0; rep < ratio_[j]; ++rep) {
+        slot_to_group_.push_back(j);
+      }
+    }
+  }
+
+  [[nodiscard]] std::string name() const override {
+    std::string out = "ratio-partition(R=";
+    for (std::size_t j = 0; j < ratio_.size(); ++j) {
+      if (j > 0) out += ':';
+      out += std::to_string(ratio_[j]);
+    }
+    return out + ")";
+  }
+
+  [[nodiscard]] pp::StateId num_states() const override {
+    return inner_.num_states();
+  }
+  [[nodiscard]] pp::StateId initial_state() const override {
+    return inner_.initial_state();
+  }
+  [[nodiscard]] pp::Transition delta(pp::StateId p,
+                                     pp::StateId q) const override {
+    return inner_.delta(p, q);
+  }
+  [[nodiscard]] pp::GroupId group(pp::StateId s) const override {
+    return slot_to_group_[inner_.group(s)];
+  }
+  [[nodiscard]] pp::GroupId num_groups() const override {
+    return static_cast<pp::GroupId>(ratio_.size());
+  }
+  [[nodiscard]] std::string state_name(pp::StateId s) const override {
+    return inner_.state_name(s);
+  }
+
+  [[nodiscard]] const std::vector<std::uint32_t>& ratio() const noexcept {
+    return ratio_;
+  }
+  /// The underlying uniform K-partition protocol (K = sum of the ratio).
+  [[nodiscard]] const KPartitionProtocol& inner() const noexcept {
+    return inner_;
+  }
+
+ private:
+  std::vector<std::uint32_t> ratio_;
+  std::uint32_t total_;
+  KPartitionProtocol inner_;
+  std::vector<pp::GroupId> slot_to_group_;
+};
+
+}  // namespace ppk::core

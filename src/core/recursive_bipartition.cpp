@@ -1,0 +1,106 @@
+#include "core/recursive_bipartition.hpp"
+
+#include "util/assert.hpp"
+
+namespace ppk::core {
+
+RecursiveBipartitionProtocol::RecursiveBipartitionProtocol(unsigned h)
+    : h_(h), leaf_offset_((1u << (h + 1)) - 2) {
+  PPK_EXPECTS(h >= 1 && h <= 8);
+}
+
+std::string RecursiveBipartitionProtocol::name() const {
+  return "recursive-bipartition(k=" + std::to_string(1u << h_) + ")";
+}
+
+pp::StateId RecursiveBipartitionProtocol::num_states() const {
+  return static_cast<pp::StateId>(leaf_offset_ + (1u << h_));  // 3k - 2
+}
+
+pp::GroupId RecursiveBipartitionProtocol::num_groups() const {
+  return static_cast<pp::GroupId>(1u << h_);
+}
+
+pp::StateId RecursiveBipartitionProtocol::free_state(unsigned layer,
+                                                     std::uint32_t prefix,
+                                                     unsigned parity) const {
+  PPK_EXPECTS(layer >= 1 && layer <= h_);
+  PPK_EXPECTS(prefix < (1u << (layer - 1)));
+  PPK_EXPECTS(parity <= 1);
+  // Layer l starts at sum_{l' < l} 2^l' = 2^l - 2.
+  const std::uint32_t offset = (1u << layer) - 2;
+  return static_cast<pp::StateId>(offset + prefix * 2 + parity);
+}
+
+pp::StateId RecursiveBipartitionProtocol::leaf_state(
+    std::uint32_t label) const {
+  PPK_EXPECTS(label < (1u << h_));
+  return static_cast<pp::StateId>(leaf_offset_ + label);
+}
+
+RecursiveBipartitionProtocol::Decoded RecursiveBipartitionProtocol::decode(
+    pp::StateId s) const {
+  PPK_EXPECTS(s < num_states());
+  if (s >= leaf_offset_) {
+    return Decoded{true, 0, static_cast<std::uint32_t>(s - leaf_offset_), 0};
+  }
+  // Invert: layer l occupies [2^l - 2, 2^(l+1) - 2).
+  unsigned layer = 1;
+  while (static_cast<std::uint32_t>(s) >= (1u << (layer + 1)) - 2) ++layer;
+  const std::uint32_t within = s - ((1u << layer) - 2);
+  return Decoded{false, layer, within / 2, within % 2};
+}
+
+pp::StateId RecursiveBipartitionProtocol::flip(pp::StateId s) const {
+  const Decoded d = decode(s);
+  PPK_EXPECTS(!d.is_leaf);
+  return free_state(d.layer, d.prefix, d.parity ^ 1u);
+}
+
+pp::Transition RecursiveBipartitionProtocol::delta(pp::StateId p,
+                                                   pp::StateId q) const {
+  const Decoded dp = decode(p);
+  const Decoded dq = decode(q);
+
+  // Commit: a mixed free pair at the same tree node splits; parity 0 takes
+  // bit 0, parity 1 takes bit 1 (the analogue of (ini, ini') -> (g1, g2)).
+  if (!dp.is_leaf && !dq.is_leaf && dp.layer == dq.layer &&
+      dp.prefix == dq.prefix && dp.parity != dq.parity) {
+    auto descend = [&](const Decoded& d) -> pp::StateId {
+      const std::uint32_t child = d.prefix * 2 + d.parity;
+      return d.layer == h_ ? leaf_state(child)
+                           : free_state(d.layer + 1, child, 0);
+    };
+    return {descend(dp), descend(dq)};
+  }
+
+  // Otherwise every free participant flips parity; leaves never change.
+  pp::StateId p_next = dp.is_leaf ? p : flip(p);
+  pp::StateId q_next = dq.is_leaf ? q : flip(q);
+  if (dp.is_leaf && dq.is_leaf) return {p, q};  // null interaction
+  return {p_next, q_next};
+}
+
+pp::GroupId RecursiveBipartitionProtocol::group(pp::StateId s) const {
+  const Decoded d = decode(s);
+  if (d.is_leaf) return static_cast<pp::GroupId>(d.prefix);
+  // A free agent at layer l belongs (provisionally, and permanently if it
+  // strands) to the leftmost leaf of its subtree.
+  return static_cast<pp::GroupId>(d.prefix << (h_ - d.layer + 1));
+}
+
+std::string RecursiveBipartitionProtocol::state_name(pp::StateId s) const {
+  const Decoded d = decode(s);
+  auto bits = [&](std::uint32_t value, unsigned width) {
+    std::string out;
+    for (unsigned b = width; b > 0; --b) {
+      out += ((value >> (b - 1)) & 1u) ? '1' : '0';
+    }
+    return out.empty() ? std::string("e") : out;  // "e" = empty prefix
+  };
+  if (d.is_leaf) return "leaf[" + bits(d.prefix, h_) + "]";
+  return "free[" + bits(d.prefix, d.layer - 1) +
+         (d.parity == 0 ? "]" : "']");
+}
+
+}  // namespace ppk::core

@@ -1,0 +1,72 @@
+// Baseline from the paper's introduction: "by repeating the uniform
+// bipartition protocol h times, we can construct a uniform k-partition
+// protocol for k = 2^h".
+//
+// Realization: each agent walks down a binary tree of depth h.  At tree
+// node P (a committed prefix of layer-1..l-1 bits) it runs the 4-state
+// bipartition protocol against partners at the same node: parity states
+// play initial/initial', and a mixed pair commits -- the `initial` agent
+// takes bit 0, the `initial'` agent bit 1 -- descending one layer (or
+// becoming a leaf at layer h).  In every other interaction a non-committed
+// agent flips parity, which keeps mixed pairs reachable under global
+// fairness even when a tree node holds only two agents (the flip partner
+// can be anyone in the population; n >= 3 guarantees one exists).
+//
+// State count: sum_l 2^l + 2^h = 3k - 2, coincidentally equal to the
+// paper's protocol.
+//
+// Known limitation (and the reason the paper needs a new protocol): an odd
+// node of s agents commits floor(s/2) pairs and strands one agent, which
+// stays at the node forever and is output-mapped to the leftmost leaf of
+// its subtree.  Strandings compound across layers, so uniformity (sizes
+// within 1) is guaranteed only when k | n; for general n the deviation can
+// reach h + 1.  The baseline-comparison bench measures exactly this.
+
+#pragma once
+
+#include <cstdint>
+
+#include "pp/protocol.hpp"
+
+namespace ppk::core {
+
+class RecursiveBipartitionProtocol final : public pp::Protocol {
+ public:
+  /// Partitions into k = 2^h groups; requires 1 <= h <= 8.
+  explicit RecursiveBipartitionProtocol(unsigned h);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] pp::StateId num_states() const override;
+  [[nodiscard]] pp::StateId initial_state() const override { return 0; }
+  [[nodiscard]] pp::Transition delta(pp::StateId p,
+                                     pp::StateId q) const override;
+  [[nodiscard]] pp::GroupId group(pp::StateId s) const override;
+  [[nodiscard]] pp::GroupId num_groups() const override;
+  [[nodiscard]] std::string state_name(pp::StateId s) const override;
+
+  [[nodiscard]] unsigned depth() const noexcept { return h_; }
+
+  /// State id of a non-committed agent at layer `layer` (1-based) with
+  /// committed prefix `prefix` and parity `parity`.
+  [[nodiscard]] pp::StateId free_state(unsigned layer, std::uint32_t prefix,
+                                       unsigned parity) const;
+
+  /// State id of the leaf with label `label` in [0, 2^h).
+  [[nodiscard]] pp::StateId leaf_state(std::uint32_t label) const;
+
+ private:
+  struct Decoded {
+    bool is_leaf;
+    unsigned layer;         // 1..h (free agents only)
+    std::uint32_t prefix;   // committed bits (free) / full label (leaf)
+    unsigned parity;        // 0 = "initial", 1 = "initial'" (free only)
+  };
+
+  [[nodiscard]] Decoded decode(pp::StateId s) const;
+  [[nodiscard]] pp::StateId flip(pp::StateId s) const;
+
+  unsigned h_;
+  std::uint32_t leaf_offset_;  // = 2^(h+1) - 2
+};
+
+}  // namespace ppk::core

@@ -1,0 +1,104 @@
+// Minimal RFC-4180-ish CSV writer: the benches emit one CSV per figure so
+// the paper's plots can be regenerated with any plotting tool.
+
+#pragma once
+
+#include <fstream>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace ppk::io {
+
+class CsvWriter {
+ public:
+  /// Writes to an externally owned stream.
+  explicit CsvWriter(std::ostream& out, std::vector<std::string> header)
+      : out_(&out), columns_(header.size()) {
+    PPK_EXPECTS(!header.empty());
+    write_row_of_strings(header);
+  }
+
+  /// Appends one row; field count must match the header.
+  template <typename... Fields>
+  void row(const Fields&... fields) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(fields));
+    (cells.push_back(to_cell(fields)), ...);
+    PPK_EXPECTS(cells.size() == columns_);
+    write_row_of_strings(cells);
+  }
+
+  /// Appends an already-joined row of `columns` cells.  The caller
+  /// guarantees the cells need no quoting (numeric data); used by writers
+  /// whose column count is only known at run time.
+  void raw_row(const std::string& joined, std::size_t columns) {
+    PPK_EXPECTS(columns == columns_);
+    *out_ << joined << '\n';
+    ++rows_;
+  }
+
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& value) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(value);
+    } else {
+      std::ostringstream cell;
+      cell << value;
+      return cell.str();
+    }
+  }
+
+  static std::string escape(const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string quoted = "\"";
+    for (char c : cell) {
+      if (c == '"') quoted += '"';
+      quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+  }
+
+  void write_row_of_strings(const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) *out_ << ',';
+      *out_ << escape(cells[i]);
+    }
+    *out_ << '\n';
+    ++rows_;
+  }
+
+  std::ostream* out_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+/// CSV writer that owns its file; creates/truncates `path`.
+class CsvFile {
+ public:
+  CsvFile(const std::string& path, std::vector<std::string> header)
+      : file_(path) {
+    PPK_EXPECTS(file_.is_open());
+    writer_.emplace(file_, std::move(header));
+  }
+
+  template <typename... Fields>
+  void row(const Fields&... fields) {
+    writer_->row(fields...);
+  }
+
+ private:
+  std::ofstream file_;
+  std::optional<CsvWriter> writer_;
+};
+
+}  // namespace ppk::io

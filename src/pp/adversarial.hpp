@@ -1,0 +1,112 @@
+// A fairness stress-test scheduler.
+//
+// Global fairness promises only that reachable configurations keep
+// occurring -- it says nothing about how long an adversary can stall
+// progress.  AdversarialSimulator implements an epsilon-fair adversary:
+// with probability 1 - epsilon it tries to pick an interaction that makes
+// *no group-output progress* (a null interaction or a pure free-agent
+// flip), sampling up to `kProbes` candidate pairs and taking the first
+// non-progressing one; with probability epsilon (or when all probes would
+// progress) it falls back to a uniform pair.
+//
+// Because every ordered pair retains at least epsilon / (n(n-1))
+// probability in every configuration, an infinite execution of this
+// scheduler is globally fair with probability 1 -- so by Theorem 1 the
+// protocol still stabilizes, just slower.  The fairness-stress bench
+// measures the slowdown as epsilon shrinks.
+
+#pragma once
+
+#include <cstdint>
+
+#include "pp/population.hpp"
+#include "pp/protocol.hpp"
+#include "pp/sim_result.hpp"
+#include "pp/stability.hpp"
+#include "pp/transition_table.hpp"
+#include "util/rng.hpp"
+
+namespace ppk::pp {
+
+class AdversarialSimulator {
+ public:
+  /// `protocol` is needed for the group map (what counts as "progress").
+  AdversarialSimulator(const Protocol& protocol, const TransitionTable& table,
+                       Population population, double epsilon,
+                       std::uint64_t seed)
+      : protocol_(&protocol),
+        table_(&table),
+        population_(std::move(population)),
+        epsilon_(epsilon),
+        rng_(seed) {
+    PPK_EXPECTS(epsilon > 0.0 && epsilon <= 1.0);
+    PPK_EXPECTS(population_.size() >= 2);
+  }
+
+  bool step(StabilityOracle& oracle) {
+    const std::uint32_t n = population_.size();
+    auto draw_pair = [&](std::uint32_t* i, std::uint32_t* j) {
+      *i = static_cast<std::uint32_t>(rng_.below(n));
+      *j = static_cast<std::uint32_t>(rng_.below(n - 1));
+      if (*j >= *i) ++*j;
+    };
+
+    std::uint32_t i = 0;
+    std::uint32_t j = 0;
+    draw_pair(&i, &j);
+    if (rng_.uniform01() >= epsilon_) {
+      // Adversary turn: probe for a non-progressing pair.
+      for (int probe = 0; probe < kProbes; ++probe) {
+        const StateId p = population_.state_of(i);
+        const StateId q = population_.state_of(j);
+        const Transition& t = table_->apply(p, q);
+        const bool progresses = protocol_->group(p) != protocol_->group(t.initiator) ||
+                                protocol_->group(q) != protocol_->group(t.responder);
+        if (!progresses) break;
+        draw_pair(&i, &j);
+      }
+    }
+
+    ++interactions_;
+    const StateId p = population_.state_of(i);
+    const StateId q = population_.state_of(j);
+    if (!table_->effective(p, q)) return false;
+    const Transition& t = table_->apply(p, q);
+    population_.apply(i, j, t);
+    ++effective_;
+    oracle.on_transition(p, q, t.initiator, t.responder);
+    return true;
+  }
+
+  SimResult run(StabilityOracle& oracle,
+                std::uint64_t max_interactions = UINT64_MAX) {
+    oracle.reset(population_.counts());
+    SimResult result;
+    const std::uint64_t start = interactions_;
+    const std::uint64_t start_effective = effective_;
+    while (!oracle.stable() && interactions_ - start < max_interactions) {
+      step(oracle);
+    }
+    result.interactions = interactions_ - start;
+    result.effective = effective_ - start_effective;
+    result.stabilized = oracle.stable();
+    return result;
+  }
+
+  [[nodiscard]] const Population& population() const noexcept {
+    return population_;
+  }
+
+ private:
+  static constexpr int kProbes = 16;
+
+  const Protocol* protocol_;
+  const TransitionTable* table_;
+  Population population_;
+  double epsilon_;
+  Xoshiro256 rng_;
+  std::uint64_t interactions_ = 0;
+  std::uint64_t effective_ = 0;
+};
+
+}  // namespace ppk::pp

@@ -1,0 +1,64 @@
+#include "pp/agent_simulator.hpp"
+
+namespace ppk::pp {
+
+void AgentSimulator::apply_pair(std::uint32_t i, std::uint32_t j,
+                                StabilityOracle* oracle, bool* effective) {
+  const StateId p = population_.state_of(i);
+  const StateId q = population_.state_of(j);
+  ++interactions_;
+  if (!table_->effective(p, q)) {
+    *effective = false;
+    return;
+  }
+  const Transition& t = table_->apply(p, q);
+  population_.apply(i, j, t);
+  ++effective_;
+  *effective = true;
+  if (oracle != nullptr) {
+    oracle->on_transition(p, q, t.initiator, t.responder);
+  }
+  if (observer_) {
+    observer_(SimEvent{interactions_, i, j, p, q, t.initiator, t.responder});
+  }
+}
+
+bool AgentSimulator::step(StabilityOracle& oracle) {
+  const std::uint32_t n = population_.size();
+  const auto i = static_cast<std::uint32_t>(rng_.below(n));
+  auto j = static_cast<std::uint32_t>(rng_.below(n - 1));
+  if (j >= i) ++j;  // uniform over ordered pairs of distinct agents
+  bool effective = false;
+  apply_pair(i, j, &oracle, &effective);
+  return effective;
+}
+
+SimResult AgentSimulator::run(StabilityOracle& oracle,
+                              std::uint64_t max_interactions) {
+  oracle.reset(population_.counts());
+  SimResult result;
+  const std::uint64_t start = interactions_;
+  const std::uint64_t start_effective = effective_;
+  while (!oracle.stable() && interactions_ - start < max_interactions) {
+    step(oracle);
+  }
+  result.interactions = interactions_ - start;
+  result.effective = effective_ - start_effective;
+  result.stabilized = oracle.stable();
+  return result;
+}
+
+std::uint64_t AgentSimulator::replay(
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& schedule) {
+  std::uint64_t effective_count = 0;
+  for (const auto& [i, j] : schedule) {
+    PPK_EXPECTS(i != j);
+    PPK_EXPECTS(i < population_.size() && j < population_.size());
+    bool effective = false;
+    apply_pair(i, j, nullptr, &effective);
+    if (effective) ++effective_count;
+  }
+  return effective_count;
+}
+
+}  // namespace ppk::pp

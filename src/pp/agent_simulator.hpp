@@ -1,0 +1,71 @@
+// The reference simulation engine: the literal model of Section 5 of the
+// paper.  Each step draws an ordered pair of distinct agents uniformly at
+// random and applies delta.  Every draw -- including null interactions,
+// where the rule leaves both agents unchanged -- counts as one interaction,
+// matching the paper's measurement "total number of interactions until a
+// population reaches a stable configuration".
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "pp/population.hpp"
+#include "pp/sim_result.hpp"
+#include "pp/stability.hpp"
+#include "pp/transition_table.hpp"
+#include "util/rng.hpp"
+
+namespace ppk::pp {
+
+class AgentSimulator {
+ public:
+  AgentSimulator(const TransitionTable& table, Population population,
+                 std::uint64_t seed)
+      : table_(&table), population_(std::move(population)), rng_(seed) {
+    PPK_EXPECTS(population_.size() >= 2);
+  }
+
+  /// Observer invoked after every *effective* interaction.  Null
+  /// interactions are invisible to observers (they change nothing).
+  void set_observer(std::function<void(const SimEvent&)> observer) {
+    observer_ = std::move(observer);
+  }
+
+  /// Draws one pair and applies the rule.  Returns true iff effective.
+  bool step(StabilityOracle& oracle);
+
+  /// Runs until the oracle reports stability or `max_interactions` pairs
+  /// have been drawn.  The oracle is reset from the current configuration.
+  SimResult run(StabilityOracle& oracle,
+                std::uint64_t max_interactions = UINT64_MAX);
+
+  /// Applies an explicit interaction schedule (pairs of agent indices);
+  /// used for trace replay and engine cross-validation.  Returns the number
+  /// of effective interactions.
+  std::uint64_t replay(
+      const std::vector<std::pair<std::uint32_t, std::uint32_t>>& schedule);
+
+  [[nodiscard]] const Population& population() const noexcept {
+    return population_;
+  }
+
+  [[nodiscard]] std::uint64_t interactions() const noexcept {
+    return interactions_;
+  }
+
+ private:
+  void apply_pair(std::uint32_t i, std::uint32_t j, StabilityOracle* oracle,
+                  bool* effective);
+
+  const TransitionTable* table_;
+  Population population_;
+  Xoshiro256 rng_;
+  std::function<void(const SimEvent&)> observer_;
+  std::uint64_t interactions_ = 0;
+  std::uint64_t effective_ = 0;
+};
+
+}  // namespace ppk::pp

@@ -1,0 +1,115 @@
+// Parallel composition of population protocols: both component protocols
+// run on the same interaction sequence, each updating its own component of
+// the product state.
+//
+// This is the standard product construction -- and it is exactly the
+// operation the paper's introduction discusses when it explains why
+// "repeating the uniform bipartition protocol" does not generalize: the
+// *parallel* product of a uniform 2-partition and a uniform 3-partition
+// stabilizes both components, but the joint (pair) output is not a uniform
+// 6-partition -- the components' group choices are not coordinated.  The
+// test suite demonstrates that failure with the exhaustive verifier, which
+// is the formal version of the paper's motivating argument.
+//
+// Output selection: the composite's group map can project to the first
+// component, the second, or the pair (first * |groups(second)| + second).
+
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "pp/protocol.hpp"
+#include "util/assert.hpp"
+
+namespace ppk::pp {
+
+enum class ProductOutput { kFirst, kSecond, kPair };
+
+class ProductProtocol final : public Protocol {
+ public:
+  /// Both protocols must stay small enough that |Qa| * |Qb| fits StateId.
+  ProductProtocol(const Protocol& a, const Protocol& b, ProductOutput output)
+      : a_(&a), b_(&b), output_(output) {
+    const std::uint32_t product = static_cast<std::uint32_t>(a.num_states()) *
+                                  static_cast<std::uint32_t>(b.num_states());
+    PPK_EXPECTS(product <= UINT16_MAX);
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return a_->name() + " x " + b_->name();
+  }
+
+  [[nodiscard]] StateId num_states() const override {
+    return static_cast<StateId>(a_->num_states() * b_->num_states());
+  }
+
+  [[nodiscard]] StateId initial_state() const override {
+    return encode(a_->initial_state(), b_->initial_state());
+  }
+
+  [[nodiscard]] Transition delta(StateId p, StateId q) const override {
+    const auto [pa, pb] = decode(p);
+    const auto [qa, qb] = decode(q);
+    const Transition ta = a_->delta(pa, qa);
+    const Transition tb = b_->delta(pb, qb);
+    return {encode(ta.initiator, tb.initiator),
+            encode(ta.responder, tb.responder)};
+  }
+
+  [[nodiscard]] GroupId group(StateId s) const override {
+    const auto [sa, sb] = decode(s);
+    switch (output_) {
+      case ProductOutput::kFirst:
+        return a_->group(sa);
+      case ProductOutput::kSecond:
+        return b_->group(sb);
+      case ProductOutput::kPair:
+        return static_cast<GroupId>(a_->group(sa) * b_->num_groups() +
+                                    b_->group(sb));
+    }
+    PPK_ASSERT(false);
+    return 0;
+  }
+
+  [[nodiscard]] GroupId num_groups() const override {
+    switch (output_) {
+      case ProductOutput::kFirst:
+        return a_->num_groups();
+      case ProductOutput::kSecond:
+        return b_->num_groups();
+      case ProductOutput::kPair:
+        return static_cast<GroupId>(a_->num_groups() * b_->num_groups());
+    }
+    PPK_ASSERT(false);
+    return 0;
+  }
+
+  [[nodiscard]] std::string state_name(StateId s) const override {
+    const auto [sa, sb] = decode(s);
+    return "<" + a_->state_name(sa) + "," + b_->state_name(sb) + ">";
+  }
+
+  /// Composes a product state id from component ids.
+  [[nodiscard]] StateId encode(StateId sa, StateId sb) const {
+    PPK_EXPECTS(sa < a_->num_states() && sb < b_->num_states());
+    return static_cast<StateId>(sa * b_->num_states() + sb);
+  }
+
+  /// Splits a product state id into component ids.
+  [[nodiscard]] std::pair<StateId, StateId> decode(StateId s) const {
+    PPK_EXPECTS(s < num_states());
+    return {static_cast<StateId>(s / b_->num_states()),
+            static_cast<StateId>(s % b_->num_states())};
+  }
+
+  [[nodiscard]] const Protocol& first() const noexcept { return *a_; }
+  [[nodiscard]] const Protocol& second() const noexcept { return *b_; }
+
+ private:
+  const Protocol* a_;
+  const Protocol* b_;
+  ProductOutput output_;
+};
+
+}  // namespace ppk::pp

@@ -1,0 +1,48 @@
+#include "pp/count_simulator.hpp"
+
+namespace ppk::pp {
+
+StateId CountSimulator::sample_state(std::uint64_t total,
+                                     StateId exclude_one_of) {
+  std::uint64_t u = rng_.below(total);
+  for (StateId s = 0; s < counts_.size(); ++s) {
+    std::uint64_t c = counts_[s];
+    if (s == exclude_one_of) --c;  // one agent already chosen from s
+    if (u < c) return s;
+    u -= c;
+  }
+  PPK_ASSERT(false);  // unreachable: weights sum to `total`
+  return 0;
+}
+
+bool CountSimulator::step(StabilityOracle& oracle) {
+  ++interactions_;
+  const StateId p = sample_state(n_, table_->num_states());
+  const StateId q = sample_state(n_ - 1, p);
+  if (!table_->effective(p, q)) return false;
+  const Transition& t = table_->apply(p, q);
+  --counts_[p];
+  --counts_[q];
+  ++counts_[t.initiator];
+  ++counts_[t.responder];
+  ++effective_;
+  oracle.on_transition(p, q, t.initiator, t.responder);
+  return true;
+}
+
+SimResult CountSimulator::run(StabilityOracle& oracle,
+                              std::uint64_t max_interactions) {
+  oracle.reset(counts_);
+  SimResult result;
+  const std::uint64_t start = interactions_;
+  const std::uint64_t start_effective = effective_;
+  while (!oracle.stable() && interactions_ - start < max_interactions) {
+    step(oracle);
+  }
+  result.interactions = interactions_ - start;
+  result.effective = effective_ - start_effective;
+  result.stabilized = oracle.stable();
+  return result;
+}
+
+}  // namespace ppk::pp

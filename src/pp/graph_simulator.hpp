@@ -1,0 +1,83 @@
+// Simulation on a restricted interaction graph: each step draws an edge
+// uniformly at random and then a uniform orientation (initiator /
+// responder).  On the complete graph this is exactly the AgentSimulator
+// distribution; on sparse graphs it models spatially constrained
+// populations (sensors that only meet their neighbours).
+
+#pragma once
+
+#include <cstdint>
+
+#include "pp/interaction_graph.hpp"
+#include "pp/population.hpp"
+#include "pp/sim_result.hpp"
+#include "pp/stability.hpp"
+#include "pp/transition_table.hpp"
+#include "util/rng.hpp"
+
+namespace ppk::pp {
+
+class GraphSimulator {
+ public:
+  GraphSimulator(const TransitionTable& table, InteractionGraph graph,
+                 Population population, std::uint64_t seed)
+      : table_(&table),
+        graph_(std::move(graph)),
+        population_(std::move(population)),
+        rng_(seed) {
+    PPK_EXPECTS(graph_.num_agents() == population_.size());
+    PPK_EXPECTS(!graph_.edges().empty());
+  }
+
+  /// Draws one edge + orientation and applies the rule.  Returns true iff
+  /// the interaction was effective.
+  bool step(StabilityOracle& oracle) {
+    const auto& edges = graph_.edges();
+    const auto& [a, b] = edges[rng_.below(edges.size())];
+    const bool forward = (rng_() & 1u) == 0;
+    const std::uint32_t i = forward ? a : b;
+    const std::uint32_t j = forward ? b : a;
+    ++interactions_;
+    const StateId p = population_.state_of(i);
+    const StateId q = population_.state_of(j);
+    if (!table_->effective(p, q)) return false;
+    const Transition& t = table_->apply(p, q);
+    population_.apply(i, j, t);
+    ++effective_;
+    oracle.on_transition(p, q, t.initiator, t.responder);
+    return true;
+  }
+
+  SimResult run(StabilityOracle& oracle,
+                std::uint64_t max_interactions = UINT64_MAX) {
+    oracle.reset(population_.counts());
+    SimResult result;
+    const std::uint64_t start = interactions_;
+    const std::uint64_t start_effective = effective_;
+    while (!oracle.stable() && interactions_ - start < max_interactions) {
+      step(oracle);
+    }
+    result.interactions = interactions_ - start;
+    result.effective = effective_ - start_effective;
+    result.stabilized = oracle.stable();
+    return result;
+  }
+
+  [[nodiscard]] const Population& population() const noexcept {
+    return population_;
+  }
+
+  [[nodiscard]] const InteractionGraph& graph() const noexcept {
+    return graph_;
+  }
+
+ private:
+  const TransitionTable* table_;
+  InteractionGraph graph_;
+  Population population_;
+  Xoshiro256 rng_;
+  std::uint64_t interactions_ = 0;
+  std::uint64_t effective_ = 0;
+};
+
+}  // namespace ppk::pp

@@ -1,0 +1,82 @@
+#include "pp/interaction_graph.hpp"
+
+namespace ppk::pp {
+
+InteractionGraph InteractionGraph::complete(std::uint32_t n) {
+  PPK_EXPECTS(n >= 2);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  for (std::uint32_t a = 0; a < n; ++a) {
+    for (std::uint32_t b = a + 1; b < n; ++b) edges.emplace_back(a, b);
+  }
+  return InteractionGraph(n, std::move(edges));
+}
+
+InteractionGraph InteractionGraph::ring(std::uint32_t n) {
+  PPK_EXPECTS(n >= 3);
+  std::vector<Edge> edges;
+  edges.reserve(n);
+  for (std::uint32_t a = 0; a < n; ++a) edges.emplace_back(a, (a + 1) % n);
+  return InteractionGraph(n, std::move(edges));
+}
+
+InteractionGraph InteractionGraph::star(std::uint32_t n) {
+  PPK_EXPECTS(n >= 2);
+  std::vector<Edge> edges;
+  edges.reserve(n - 1);
+  for (std::uint32_t b = 1; b < n; ++b) edges.emplace_back(0u, b);
+  return InteractionGraph(n, std::move(edges));
+}
+
+InteractionGraph InteractionGraph::path(std::uint32_t n) {
+  PPK_EXPECTS(n >= 2);
+  std::vector<Edge> edges;
+  edges.reserve(n - 1);
+  for (std::uint32_t a = 0; a + 1 < n; ++a) edges.emplace_back(a, a + 1);
+  return InteractionGraph(n, std::move(edges));
+}
+
+InteractionGraph InteractionGraph::erdos_renyi(std::uint32_t n, double p,
+                                               std::uint64_t seed) {
+  PPK_EXPECTS(n >= 2);
+  PPK_EXPECTS(p > 0.0 && p <= 1.0);
+  Xoshiro256 rng(seed);
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    std::vector<Edge> edges;
+    for (std::uint32_t a = 0; a < n; ++a) {
+      for (std::uint32_t b = a + 1; b < n; ++b) {
+        if (rng.uniform01() < p) edges.emplace_back(a, b);
+      }
+    }
+    InteractionGraph graph(n, std::move(edges));
+    if (graph.is_connected()) return graph;
+  }
+  PPK_ASSERT(false);  // p far below the connectivity threshold
+  return complete(n);
+}
+
+bool InteractionGraph::is_connected() const {
+  std::vector<std::vector<std::uint32_t>> adjacency(n_);
+  for (const auto& [a, b] : edges_) {
+    adjacency[a].push_back(b);
+    adjacency[b].push_back(a);
+  }
+  std::vector<char> seen(n_, 0);
+  std::vector<std::uint32_t> stack{0};
+  seen[0] = 1;
+  std::uint32_t visited = 1;
+  while (!stack.empty()) {
+    const std::uint32_t u = stack.back();
+    stack.pop_back();
+    for (std::uint32_t v : adjacency[u]) {
+      if (!seen[v]) {
+        seen[v] = 1;
+        ++visited;
+        stack.push_back(v);
+      }
+    }
+  }
+  return visited == n_;
+}
+
+}  // namespace ppk::pp

@@ -1,0 +1,68 @@
+// Interaction graphs: which agent pairs are allowed to meet.
+//
+// The paper (like most population protocol work) assumes the complete
+// interaction graph.  This module provides the standard topologies used to
+// probe that assumption -- the protocol's reachability lemmas (Lemmas 2-5)
+// genuinely rely on completeness, and the topology bench shows it wedging
+// on sparse graphs while the complete graph always stabilizes.
+
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace ppk::pp {
+
+class InteractionGraph {
+ public:
+  using Edge = std::pair<std::uint32_t, std::uint32_t>;
+
+  /// Every pair of distinct agents is connected: n(n-1)/2 edges.
+  static InteractionGraph complete(std::uint32_t n);
+
+  /// Cycle 0-1-...-(n-1)-0.  Requires n >= 3.
+  static InteractionGraph ring(std::uint32_t n);
+
+  /// Agent 0 is the hub; all others only talk to it.
+  static InteractionGraph star(std::uint32_t n);
+
+  /// Path 0-1-...-(n-1): the sparsest connected topology.
+  static InteractionGraph path(std::uint32_t n);
+
+  /// Erdos-Renyi G(n, p), resampled until connected (expected O(1)
+  /// resamples for p above the connectivity threshold ln(n)/n).
+  static InteractionGraph erdos_renyi(std::uint32_t n, double p,
+                                      std::uint64_t seed);
+
+  [[nodiscard]] std::uint32_t num_agents() const noexcept { return n_; }
+
+  [[nodiscard]] const std::vector<Edge>& edges() const noexcept {
+    return edges_;
+  }
+
+  [[nodiscard]] bool is_connected() const;
+
+  /// Average degree = 2|E| / n.
+  [[nodiscard]] double average_degree() const noexcept {
+    return 2.0 * static_cast<double>(edges_.size()) /
+           static_cast<double>(n_);
+  }
+
+ private:
+  InteractionGraph(std::uint32_t n, std::vector<Edge> edges)
+      : n_(n), edges_(std::move(edges)) {
+    PPK_EXPECTS(n_ >= 2);
+    for (const auto& [a, b] : edges_) {
+      PPK_EXPECTS(a < n_ && b < n_ && a != b);
+    }
+  }
+
+  std::uint32_t n_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace ppk::pp

@@ -1,0 +1,133 @@
+#include "pp/jump_simulator.hpp"
+
+#include <cmath>
+
+namespace ppk::pp {
+
+JumpSimulator::JumpSimulator(const TransitionTable& table, Counts initial,
+                             std::uint64_t seed)
+    : table_(&table), counts_(std::move(initial)), rng_(seed) {
+  PPK_EXPECTS(counts_.size() == table.num_states());
+  n_ = 0;
+  for (auto c : counts_) n_ += c;
+  PPK_EXPECTS(n_ >= 2);
+
+  const StateId num_states = table.num_states();
+  rows_of_column_.resize(num_states);
+  columns_of_row_.resize(num_states);
+  for (StateId p = 0; p < num_states; ++p) {
+    for (StateId q = 0; q < num_states; ++q) {
+      if (!table.effective(p, q)) continue;
+      columns_of_row_[p].push_back(q);
+      rows_of_column_[q].push_back(p);
+    }
+  }
+  rebuild_weights();
+}
+
+void JumpSimulator::rebuild_weights() {
+  const StateId num_states = table_->num_states();
+  row_sum_.assign(num_states, 0);
+  row_weight_.assign(num_states, 0);
+  total_weight_ = 0;
+  for (StateId p = 0; p < num_states; ++p) {
+    // Signed sum: the diagonal term c_p - 1 is -1 when c_p == 0; the
+    // incremental updates in apply_count_change() track exactly this
+    // signed quantity, and the row weight clamps it via the c_p factor.
+    std::int64_t signed_sum = 0;
+    for (StateId q : columns_of_row_[p]) {
+      signed_sum += static_cast<std::int64_t>(counts_[q]) - (p == q ? 1 : 0);
+    }
+    row_sum_[p] = signed_sum;
+    row_weight_[p] =
+        counts_[p] == 0
+            ? 0
+            : counts_[p] * static_cast<std::uint64_t>(row_sum_[p]);
+    total_weight_ += row_weight_[p];
+  }
+}
+
+void JumpSimulator::apply_count_change(StateId state, std::int64_t delta) {
+  counts_[state] =
+      static_cast<std::uint32_t>(static_cast<std::int64_t>(counts_[state]) +
+                                 delta);
+  // Column `state` contributes to every row p with eff(p, state); keep
+  // row_weight_ and the total in sync as the sums move.
+  for (StateId p : rows_of_column_[state]) {
+    row_sum_[p] += delta;
+    const std::uint64_t old_weight = row_weight_[p];
+    row_weight_[p] =
+        counts_[p] == 0
+            ? 0
+            : counts_[p] * static_cast<std::uint64_t>(row_sum_[p]);
+    total_weight_ += row_weight_[p] - old_weight;
+  }
+  // The c_p factor of row `state` itself changed as well.
+  const std::uint64_t old_weight = row_weight_[state];
+  row_weight_[state] =
+      counts_[state] == 0
+          ? 0
+          : counts_[state] * static_cast<std::uint64_t>(row_sum_[state]);
+  total_weight_ += row_weight_[state] - old_weight;
+}
+
+bool JumpSimulator::step(StabilityOracle& oracle) {
+  if (total_weight_ == 0) return false;  // silent configuration
+
+  // Skip the geometric run of null interactions.
+  const double p_eff = static_cast<double>(total_weight_) /
+                       (static_cast<double>(n_) * static_cast<double>(n_ - 1));
+  std::uint64_t nulls = 0;
+  if (p_eff < 1.0) {
+    const double u = 1.0 - rng_.uniform01();  // in (0, 1]
+    nulls = static_cast<std::uint64_t>(std::log(u) / std::log1p(-p_eff));
+  }
+  interactions_ += nulls + 1;
+  ++effective_;
+
+  // Sample the effective ordered pair with exact integer weights.
+  std::uint64_t u = rng_.below(total_weight_);
+  StateId p = 0;
+  for (;; ++p) {
+    if (u < row_weight_[p]) break;
+    u -= row_weight_[p];
+  }
+  // u is uniform on [0, c_p * row_sum_p); reduce to a uniform responder
+  // draw (row_weight is an exact multiple of row_sum, so % is unbiased).
+  std::uint64_t v = u % static_cast<std::uint64_t>(row_sum_[p]);
+  StateId q = 0;
+  for (StateId candidate : columns_of_row_[p]) {
+    const std::uint64_t w = column_weight(p, candidate);
+    if (v < w) {
+      q = candidate;
+      break;
+    }
+    v -= w;
+  }
+
+  const Transition& t = table_->apply(p, q);
+  apply_count_change(p, -1);
+  apply_count_change(q, -1);
+  apply_count_change(t.initiator, +1);
+  apply_count_change(t.responder, +1);
+
+  oracle.on_transition(p, q, t.initiator, t.responder);
+  return true;
+}
+
+SimResult JumpSimulator::run(StabilityOracle& oracle,
+                             std::uint64_t max_interactions) {
+  oracle.reset(counts_);
+  SimResult result;
+  const std::uint64_t start = interactions_;
+  const std::uint64_t start_effective = effective_;
+  while (!oracle.stable() && interactions_ - start < max_interactions) {
+    if (!step(oracle)) break;  // silent but oracle unsatisfied
+  }
+  result.interactions = interactions_ - start;
+  result.effective = effective_ - start_effective;
+  result.stabilized = oracle.stable();
+  return result;
+}
+
+}  // namespace ppk::pp

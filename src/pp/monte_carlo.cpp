@@ -1,0 +1,118 @@
+#include "pp/monte_carlo.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ppk::pp {
+
+double MonteCarloResult::mean_interactions() const {
+  if (trials.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& t : trials) sum += static_cast<double>(t.interactions);
+  return sum / static_cast<double>(trials.size());
+}
+
+double MonteCarloResult::stddev_interactions() const {
+  if (trials.size() < 2) return 0.0;
+  const double mean = mean_interactions();
+  double ss = 0.0;
+  for (const auto& t : trials) {
+    const double d = static_cast<double>(t.interactions) - mean;
+    ss += d * d;
+  }
+  return std::sqrt(ss / static_cast<double>(trials.size() - 1));
+}
+
+std::uint32_t MonteCarloResult::stabilized_count() const {
+  std::uint32_t count = 0;
+  for (const auto& t : trials) count += t.stabilized ? 1u : 0u;
+  return count;
+}
+
+namespace {
+
+TrialResult run_one_trial(const TransitionTable& table, const Counts& initial,
+                          const OracleFactory& make_oracle,
+                          const MonteCarloOptions& options,
+                          std::uint64_t seed) {
+  TrialResult result;
+  auto oracle = make_oracle();
+  PPK_ASSERT(oracle != nullptr);
+
+  if (options.engine == Engine::kCountVector && !options.watch_state) {
+    CountSimulator sim(table, initial, seed);
+    const SimResult r = sim.run(*oracle, options.max_interactions);
+    result.interactions = r.interactions;
+    result.effective = r.effective;
+    result.stabilized = r.stabilized;
+    return result;
+  }
+  if (options.engine == Engine::kJump && !options.watch_state) {
+    JumpSimulator sim(table, initial, seed);
+    const SimResult r = sim.run(*oracle, options.max_interactions);
+    result.interactions = r.interactions;
+    result.effective = r.effective;
+    result.stabilized = r.stabilized;
+    return result;
+  }
+
+  AgentSimulator sim(table, Population(initial), seed);
+  if (options.watch_state) {
+    const StateId watched = *options.watch_state;
+    sim.set_observer([&result, watched](const SimEvent& event) {
+      // The watched state's count increases iff an agent enters it while
+      // its partner does not simultaneously leave it (and vice versa).
+      const int delta = (event.p_next == watched ? 1 : 0) +
+                        (event.q_next == watched ? 1 : 0) -
+                        (event.p == watched ? 1 : 0) -
+                        (event.q == watched ? 1 : 0);
+      for (int i = 0; i < delta; ++i) {
+        result.watch_marks.push_back(event.interaction);
+      }
+    });
+  }
+  const SimResult r = sim.run(*oracle, options.max_interactions);
+  result.interactions = r.interactions;
+  result.effective = r.effective;
+  result.stabilized = r.stabilized;
+  return result;
+}
+
+}  // namespace
+
+MonteCarloResult run_monte_carlo(const TransitionTable& table,
+                                 const Counts& initial,
+                                 const OracleFactory& make_oracle,
+                                 const MonteCarloOptions& options) {
+  PPK_EXPECTS(options.trials > 0);
+  MonteCarloResult result;
+  result.trials.resize(options.trials);
+
+  auto body = [&](std::size_t trial) {
+    const std::uint64_t seed = derive_stream_seed(options.master_seed, trial);
+    result.trials[trial] =
+        run_one_trial(table, initial, make_oracle, options, seed);
+  };
+
+  if (options.threads == 1 || options.trials == 1) {
+    for (std::size_t t = 0; t < options.trials; ++t) body(t);
+  } else {
+    ThreadPool pool(options.threads);
+    pool.parallel_for_index(options.trials, body);
+  }
+  return result;
+}
+
+MonteCarloResult run_monte_carlo(const Protocol& protocol,
+                                 const TransitionTable& table, std::uint32_t n,
+                                 const OracleFactory& make_oracle,
+                                 const MonteCarloOptions& options) {
+  Counts initial(protocol.num_states(), 0);
+  initial[protocol.initial_state()] = n;
+  return run_monte_carlo(table, initial, make_oracle, options);
+}
+
+}  // namespace ppk::pp

@@ -1,0 +1,77 @@
+// Repeated-trial driver: runs T independent simulations of a protocol and
+// aggregates stabilization statistics, exactly as the paper's Section 5
+// does ("we conduct a simulation 100 times and show the average values").
+//
+// Trials are deterministic functions of (master_seed, trial_index) -- stream
+// seeds come from SplitMix64 -- so results are bit-reproducible regardless
+// of how trials are spread over threads.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "pp/agent_simulator.hpp"
+#include "pp/count_simulator.hpp"
+#include "pp/jump_simulator.hpp"
+#include "pp/population.hpp"
+#include "pp/protocol.hpp"
+#include "pp/stability.hpp"
+#include "pp/transition_table.hpp"
+
+namespace ppk::pp {
+
+/// Which engine executes the trials.
+enum class Engine { kAgentArray, kCountVector, kJump };
+
+struct MonteCarloOptions {
+  std::uint32_t trials = 100;
+  std::uint64_t master_seed = 0x9E3779B97F4A7C15ULL;
+  std::uint64_t max_interactions = UINT64_MAX;
+  Engine engine = Engine::kAgentArray;
+  /// 0 = one thread per hardware core.
+  std::size_t threads = 1;
+  /// If set, every time the count of this state increases, the current
+  /// interaction index is recorded (the paper's NI_i grouping marks; only
+  /// supported by the agent engine's observer hook).
+  std::optional<StateId> watch_state;
+};
+
+struct TrialResult {
+  std::uint64_t interactions = 0;
+  std::uint64_t effective = 0;
+  bool stabilized = false;
+  /// Interaction indices at which `watch_state`'s count increased.
+  std::vector<std::uint64_t> watch_marks;
+};
+
+struct MonteCarloResult {
+  std::vector<TrialResult> trials;
+
+  [[nodiscard]] double mean_interactions() const;
+  [[nodiscard]] double stddev_interactions() const;
+  [[nodiscard]] std::uint32_t stabilized_count() const;
+};
+
+/// Factory producing a fresh stability oracle per trial (oracles are
+/// stateful and trials may run concurrently).
+using OracleFactory = std::function<std::unique_ptr<StabilityOracle>()>;
+
+/// Runs `options.trials` independent simulations of `table` starting from
+/// `initial` counts.
+MonteCarloResult run_monte_carlo(const TransitionTable& table,
+                                 const Counts& initial,
+                                 const OracleFactory& make_oracle,
+                                 const MonteCarloOptions& options);
+
+/// Convenience overload: n agents, all in the protocol's designated initial
+/// state.
+MonteCarloResult run_monte_carlo(const Protocol& protocol,
+                                 const TransitionTable& table, std::uint32_t n,
+                                 const OracleFactory& make_oracle,
+                                 const MonteCarloOptions& options);
+
+}  // namespace ppk::pp

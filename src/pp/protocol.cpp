@@ -1,0 +1,11 @@
+#include "pp/protocol.hpp"
+
+namespace ppk::pp {
+
+std::string Protocol::state_name(StateId s) const {
+  std::string name = "s";
+  name += std::to_string(s);
+  return name;
+}
+
+}  // namespace ppk::pp

@@ -1,0 +1,64 @@
+// Core abstractions of the population protocol model (Angluin et al. 2006).
+//
+// A protocol is P = (Q, delta) plus an output map.  We model delta on
+// *ordered* pairs (initiator, responder): the general population protocol
+// model distinguishes the two roles, and symmetric protocols -- the subclass
+// the paper works in -- are exactly those whose delta commutes with swapping
+// the pair.  Symmetry and determinism are checkable properties of a protocol
+// (see transition_table.hpp), not assumptions baked into the interface.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ppk::pp {
+
+/// Index of a local state in Q.  Every protocol in this repository has at
+/// most a few thousand states, so 16 bits keep configurations compact.
+using StateId = std::uint16_t;
+
+/// Index of an output group (the value of the output map f).
+using GroupId = std::uint16_t;
+
+/// Result of one pairwise interaction: the successor states of the
+/// initiator and the responder.
+struct Transition {
+  StateId initiator;
+  StateId responder;
+
+  friend bool operator==(const Transition&, const Transition&) = default;
+};
+
+/// Abstract interface of a deterministic population protocol with an output
+/// map onto groups.  Implementations must be pure: delta() and group() may
+/// not depend on anything but their arguments.
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  /// Human-readable identifier used in logs, CSV output and test names.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// |Q|.  State ids are 0 .. num_states()-1.
+  [[nodiscard]] virtual StateId num_states() const = 0;
+
+  /// The designated initial state s0 (protocols started from a non-uniform
+  /// initial configuration, e.g. majority, still define a default).
+  [[nodiscard]] virtual StateId initial_state() const = 0;
+
+  /// delta applied to the ordered pair (initiator p, responder q).
+  /// Pairs without an explicit rule must return {p, q} (the null transition).
+  [[nodiscard]] virtual Transition delta(StateId p, StateId q) const = 0;
+
+  /// The output map f: Q -> groups.
+  [[nodiscard]] virtual GroupId group(StateId s) const = 0;
+
+  /// Number of output groups (k for partition protocols).
+  [[nodiscard]] virtual GroupId num_groups() const = 0;
+
+  /// Debug name of a state; the default is "s<i>".
+  [[nodiscard]] virtual std::string state_name(StateId s) const;
+};
+
+}  // namespace ppk::pp

@@ -1,0 +1,27 @@
+// Result types shared by both simulation engines.
+
+#pragma once
+
+#include <cstdint>
+
+#include "pp/protocol.hpp"
+
+namespace ppk::pp {
+
+/// One effective interaction, as reported to observers.
+struct SimEvent {
+  std::uint64_t interaction;  // 1-based index of the drawn pair
+  std::uint32_t initiator;
+  std::uint32_t responder;
+  StateId p, q;            // states before
+  StateId p_next, q_next;  // states after
+};
+
+/// Outcome of a run.
+struct SimResult {
+  std::uint64_t interactions = 0;  // total pairs drawn, incl. null
+  std::uint64_t effective = 0;     // pairs whose rule changed a state
+  bool stabilized = false;
+};
+
+}  // namespace ppk::pp

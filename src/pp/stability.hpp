@@ -1,0 +1,232 @@
+// Stopping criteria for simulations.
+//
+// The paper measures "the total number of interactions until a population
+// reaches a stable configuration".  Deciding stability in general requires
+// reasoning about all reachable futures, but in practice a protocol's stable
+// configurations fall into one of two easily checkable shapes:
+//
+//  - CountPatternOracle: the stable configurations are exactly those whose
+//    state counts match a known target pattern, possibly up to merging some
+//    states into equivalence classes (e.g. the paper's protocol is stable
+//    exactly at the Lemma 6 pattern, with initial and initial' equivalent).
+//    O(1) per interaction via an incrementally maintained L1 distance.
+//
+//  - SilenceOracle: the protocol is eventually *silent* (no effective
+//    transition enabled) and silent configurations are the stable ones
+//    (leader election, majority, ...).  O(#present states) per change.
+//
+// Oracles are notified of every effective transition; null interactions
+// cannot change stability, so the simulator skips notifying on them.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "pp/population.hpp"
+#include "pp/protocol.hpp"
+#include "pp/transition_table.hpp"
+#include "util/assert.hpp"
+
+namespace ppk::pp {
+
+/// Interface for incremental stability detection.
+class StabilityOracle {
+ public:
+  virtual ~StabilityOracle() = default;
+
+  /// (Re)initializes from a full count vector.
+  virtual void reset(const Counts& counts) = 0;
+
+  /// Called after every effective interaction with the applied rule.
+  virtual void on_transition(StateId p, StateId q, StateId p_next,
+                             StateId q_next) = 0;
+
+  /// True iff the current configuration is stable.
+  [[nodiscard]] virtual bool stable() const = 0;
+};
+
+/// Stability = counts match a fixed target pattern over state equivalence
+/// classes.  The pattern must characterize stability exactly (both necessary
+/// and sufficient); protocol-specific factories (see core/invariants.hpp)
+/// construct it from theory.
+class CountPatternOracle final : public StabilityOracle {
+ public:
+  /// `state_class[s]` maps state s to its equivalence class;
+  /// `target[c]` is the required number of agents across class c.
+  CountPatternOracle(std::vector<std::uint16_t> state_class,
+                     std::vector<std::uint32_t> target)
+      : state_class_(std::move(state_class)), target_(std::move(target)) {
+    for (auto c : state_class_) PPK_EXPECTS(c < target_.size());
+    current_.assign(target_.size(), 0);
+  }
+
+  void reset(const Counts& counts) override {
+    PPK_EXPECTS(counts.size() == state_class_.size());
+    current_.assign(target_.size(), 0);
+    for (StateId s = 0; s < counts.size(); ++s) {
+      current_[state_class_[s]] += counts[s];
+    }
+    mismatch_ = 0;
+    for (std::size_t c = 0; c < target_.size(); ++c) {
+      if (current_[c] != target_[c]) ++mismatch_;
+    }
+  }
+
+  void on_transition(StateId p, StateId q, StateId p_next,
+                     StateId q_next) override {
+    bump(state_class_[p], -1);
+    bump(state_class_[q], -1);
+    bump(state_class_[p_next], +1);
+    bump(state_class_[q_next], +1);
+  }
+
+  [[nodiscard]] bool stable() const override { return mismatch_ == 0; }
+
+ private:
+  void bump(std::uint16_t cls, int delta) {
+    const bool was_ok = current_[cls] == target_[cls];
+    current_[cls] = static_cast<std::uint32_t>(
+        static_cast<std::int64_t>(current_[cls]) + delta);
+    const bool now_ok = current_[cls] == target_[cls];
+    if (was_ok && !now_ok) ++mismatch_;
+    if (!was_ok && now_ok) --mismatch_;
+  }
+
+  std::vector<std::uint16_t> state_class_;
+  std::vector<std::uint32_t> target_;
+  std::vector<std::uint32_t> current_;
+  std::uint32_t mismatch_ = 0;
+};
+
+/// Stability = silence: no ordered pair of *present* states has an effective
+/// transition.  Recomputed lazily after count changes; cost is
+/// O(present^2) per effective interaction, fine for the small state spaces
+/// here (|Q| <= a few dozen for every silent protocol in the repo).
+class SilenceOracle final : public StabilityOracle {
+ public:
+  explicit SilenceOracle(const TransitionTable& table) : table_(&table) {}
+
+  void reset(const Counts& counts) override {
+    counts_ = counts;
+    recompute();
+  }
+
+  void on_transition(StateId p, StateId q, StateId p_next,
+                     StateId q_next) override {
+    --counts_[p];
+    --counts_[q];
+    ++counts_[p_next];
+    ++counts_[q_next];
+    recompute();
+  }
+
+  [[nodiscard]] bool stable() const override { return silent_; }
+
+ private:
+  void recompute() {
+    present_.clear();
+    for (StateId s = 0; s < counts_.size(); ++s) {
+      if (counts_[s] > 0) present_.push_back(s);
+    }
+    silent_ = true;
+    for (StateId p : present_) {
+      for (StateId q : present_) {
+        if (p == q && counts_[p] < 2) continue;
+        if (table_->effective(p, q)) {
+          silent_ = false;
+          return;
+        }
+      }
+    }
+  }
+
+  const TransitionTable* table_;
+  Counts counts_;
+  std::vector<StateId> present_;
+  bool silent_ = false;
+};
+
+/// Never stops: used to run for a fixed interaction budget.
+class NeverStableOracle final : public StabilityOracle {
+ public:
+  void reset(const Counts&) override {}
+  void on_transition(StateId, StateId, StateId, StateId) override {}
+  [[nodiscard]] bool stable() const override { return false; }
+};
+
+/// Heuristic quiescence detection for protocols with neither a known
+/// stable pattern nor eventual silence: reports "stable" once the output
+/// (group-size vector) has not changed for `window` *effective*
+/// interactions.
+///
+/// This is NOT a sound stability check -- a long lull is not a proof, and
+/// the window trades false positives against detection delay -- but it is
+/// the standard practical stopping rule for exploratory simulation, and
+/// having it in the library (clearly labeled) beats every caller
+/// reinventing it.  Use CountPatternOracle or SilenceOracle whenever the
+/// protocol admits one.
+class QuiescenceOracle final : public StabilityOracle {
+ public:
+  /// `group_of[s]` maps each state to its output group.
+  QuiescenceOracle(std::vector<GroupId> group_of, std::uint64_t window)
+      : group_of_(std::move(group_of)), window_(window) {
+    PPK_EXPECTS(window >= 1);
+  }
+
+  void reset(const Counts& counts) override {
+    PPK_EXPECTS(counts.size() == group_of_.size());
+    GroupId num_groups = 0;
+    for (auto g : group_of_) {
+      num_groups = std::max(num_groups, static_cast<GroupId>(g + 1));
+    }
+    sizes_.assign(num_groups, 0);
+    for (StateId s = 0; s < counts.size(); ++s) {
+      sizes_[group_of_[s]] += counts[s];
+    }
+    unchanged_ = 0;
+  }
+
+  void on_transition(StateId p, StateId q, StateId p_next,
+                     StateId q_next) override {
+    const bool moved = group_of_[p] != group_of_[p_next] ||
+                       group_of_[q] != group_of_[q_next];
+    if (!moved) {
+      ++unchanged_;
+      return;
+    }
+    --sizes_[group_of_[p]];
+    --sizes_[group_of_[q]];
+    ++sizes_[group_of_[p_next]];
+    ++sizes_[group_of_[q_next]];
+    unchanged_ = 0;
+  }
+
+  [[nodiscard]] bool stable() const override {
+    return unchanged_ >= window_;
+  }
+
+  [[nodiscard]] const std::vector<std::uint32_t>& group_sizes()
+      const noexcept {
+    return sizes_;
+  }
+
+ private:
+  std::vector<GroupId> group_of_;
+  std::uint64_t window_;
+  std::vector<std::uint32_t> sizes_;
+  std::uint64_t unchanged_ = 0;
+};
+
+/// Builds a QuiescenceOracle from a protocol's output map.
+inline QuiescenceOracle make_quiescence_oracle(const Protocol& protocol,
+                                               std::uint64_t window) {
+  std::vector<GroupId> group_of(protocol.num_states());
+  for (StateId s = 0; s < protocol.num_states(); ++s) {
+    group_of[s] = protocol.group(s);
+  }
+  return QuiescenceOracle(std::move(group_of), window);
+}
+
+}  // namespace ppk::pp

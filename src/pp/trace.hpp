@@ -1,0 +1,76 @@
+// Human-readable execution traces, used by the paper-figure replay example
+// and by failing-test diagnostics.
+
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "pp/agent_simulator.hpp"
+#include "pp/population.hpp"
+#include "pp/protocol.hpp"
+
+namespace ppk::pp {
+
+/// "a1:initial a2:m2 ..." -- the per-agent view (paper Figs. 1-2 style).
+inline std::string format_agents(const Protocol& protocol,
+                                 const Population& population) {
+  std::ostringstream out;
+  for (std::uint32_t a = 0; a < population.size(); ++a) {
+    if (a > 0) out << ' ';
+    out << 'a' << (a + 1) << ':'
+        << protocol.state_name(population.state_of(a));
+  }
+  return out.str();
+}
+
+/// "{initial:4, g1:1, m2:1}" -- the count-vector view.
+inline std::string format_counts(const Protocol& protocol,
+                                 const Counts& counts) {
+  std::ostringstream out;
+  out << '{';
+  bool first = true;
+  for (StateId s = 0; s < counts.size(); ++s) {
+    if (counts[s] == 0) continue;
+    if (!first) out << ", ";
+    first = false;
+    out << protocol.state_name(s) << ':' << counts[s];
+  }
+  out << '}';
+  return out.str();
+}
+
+/// Collects effective-interaction events; attach via
+/// simulator.set_observer(recorder.observer()).
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(const Protocol& protocol) : protocol_(&protocol) {}
+
+  [[nodiscard]] std::function<void(const SimEvent&)> observer() {
+    return [this](const SimEvent& event) { events_.push_back(event); };
+  }
+
+  [[nodiscard]] const std::vector<SimEvent>& events() const noexcept {
+    return events_;
+  }
+
+  /// One line per event: "#12 (a1,a6): initial' x initial -> m2 x g1".
+  [[nodiscard]] std::string to_string() const {
+    std::ostringstream out;
+    for (const auto& e : events_) {
+      out << '#' << e.interaction << " (a" << (e.initiator + 1) << ",a"
+          << (e.responder + 1) << "): " << protocol_->state_name(e.p) << " x "
+          << protocol_->state_name(e.q) << " -> "
+          << protocol_->state_name(e.p_next) << " x "
+          << protocol_->state_name(e.q_next) << '\n';
+    }
+    return out.str();
+  }
+
+ private:
+  const Protocol* protocol_;
+  std::vector<SimEvent> events_;
+};
+
+}  // namespace ppk::pp

@@ -1,0 +1,40 @@
+#include "pp/transition_table.hpp"
+
+#include "util/assert.hpp"
+
+namespace ppk::pp {
+
+TransitionTable::TransitionTable(const Protocol& protocol)
+    : num_states_(protocol.num_states()), swap_consistent_(true) {
+  PPK_EXPECTS(num_states_ > 0);
+  const std::size_t n = num_states_;
+  table_.resize(n * n);
+  effective_.resize(n * n);
+
+  for (StateId p = 0; p < num_states_; ++p) {
+    for (StateId q = 0; q < num_states_; ++q) {
+      const Transition t = protocol.delta(p, q);
+      PPK_ASSERT(t.initiator < num_states_ && t.responder < num_states_);
+      table_[index(p, q)] = t;
+      effective_[index(p, q)] =
+          static_cast<char>(t.initiator != p || t.responder != q);
+    }
+  }
+
+  for (StateId p = 0; p < num_states_; ++p) {
+    const Transition diag = table_[index(p, p)];
+    if (diag.initiator != diag.responder) {
+      asymmetric_diagonal_.push_back(p);
+    }
+    for (StateId q = 0; q < num_states_; ++q) {
+      const Transition forward = table_[index(p, q)];
+      const Transition backward = table_[index(q, p)];
+      if (backward.initiator != forward.responder ||
+          backward.responder != forward.initiator) {
+        swap_consistent_ = false;
+      }
+    }
+  }
+}
+
+}  // namespace ppk::pp

@@ -1,0 +1,53 @@
+// The 3-state approximate majority protocol (Angluin, Aspnes, Eisenstat
+// 2008): opinions X and Y with a blank intermediate B.
+//
+//   (X, Y) -> (X, B)    an opinion converts a disagreeing partner to blank
+//   (X, B) -> (X, X)    blanks adopt the opinion they meet
+//   (Y, B) -> (Y, Y)
+//
+// (each rule also in the mirrored orientation).  Converges to consensus on
+// the initial majority w.h.p. when the margin is large; under global
+// fairness it always reaches *some* silent consensus configuration, which
+// is what the verifier checks.
+
+#pragma once
+
+#include "pp/protocol.hpp"
+
+namespace ppk::protocols {
+
+class ApproximateMajorityProtocol final : public pp::Protocol {
+ public:
+  static constexpr pp::StateId kX = 0;
+  static constexpr pp::StateId kY = 1;
+  static constexpr pp::StateId kBlank = 2;
+
+  [[nodiscard]] std::string name() const override {
+    return "approximate-majority";
+  }
+  [[nodiscard]] pp::StateId num_states() const override { return 3; }
+  [[nodiscard]] pp::StateId initial_state() const override { return kBlank; }
+
+  [[nodiscard]] pp::Transition delta(pp::StateId p,
+                                     pp::StateId q) const override {
+    if (p == kX && q == kY) return {kX, kBlank};
+    if (p == kY && q == kX) return {kY, kBlank};
+    if (p == kBlank && q != kBlank) return {q, q};
+    if (q == kBlank && p != kBlank) return {p, p};
+    return {p, q};
+  }
+
+  /// Groups: 0 = leaning X, 1 = leaning Y, 2 = undecided.
+  [[nodiscard]] pp::GroupId group(pp::StateId s) const override { return s; }
+  [[nodiscard]] pp::GroupId num_groups() const override { return 3; }
+
+  [[nodiscard]] std::string state_name(pp::StateId s) const override {
+    switch (s) {
+      case kX: return "x";
+      case kY: return "y";
+      default: return "b";
+    }
+  }
+};
+
+}  // namespace ppk::protocols

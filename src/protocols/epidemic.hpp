@@ -1,0 +1,61 @@
+// One-way epidemic (broadcast): an informed agent infects any susceptible
+// partner.
+//
+//   (I, S) -> (I, I)     (and mirrored)
+//
+// The classic calibration protocol: starting from one informed agent, the
+// expected number of uniform ordered-pair interactions until everyone is
+// informed has the closed form
+//
+//   E = sum_{i=1..n-1} n(n-1) / (2 i (n-i))
+//     = n(n-1)/2 * (2/n) * H_{n-1} ... = (n-1) * H_{n-1}   (exactly),
+//
+// because with i informed the probability a drawn ordered pair is a
+// mixed (I,S)/(S,I) pair is 2 i (n-i) / (n(n-1)).  The test suite uses
+// this to validate both the simulator and the Markov module against
+// textbook theory that is independent of this repository.
+
+#pragma once
+
+#include "pp/protocol.hpp"
+
+namespace ppk::protocols {
+
+class EpidemicProtocol final : public pp::Protocol {
+ public:
+  static constexpr pp::StateId kInformed = 0;
+  static constexpr pp::StateId kSusceptible = 1;
+
+  [[nodiscard]] std::string name() const override { return "epidemic"; }
+  [[nodiscard]] pp::StateId num_states() const override { return 2; }
+  [[nodiscard]] pp::StateId initial_state() const override {
+    return kSusceptible;
+  }
+
+  [[nodiscard]] pp::Transition delta(pp::StateId p,
+                                     pp::StateId q) const override {
+    if (p == kInformed || q == kInformed) return {kInformed, kInformed};
+    return {p, q};
+  }
+
+  /// Groups: 0 = informed, 1 = susceptible.
+  [[nodiscard]] pp::GroupId group(pp::StateId s) const override { return s; }
+  [[nodiscard]] pp::GroupId num_groups() const override { return 2; }
+
+  [[nodiscard]] std::string state_name(pp::StateId s) const override {
+    return s == kInformed ? "I" : "S";
+  }
+
+  /// The closed-form expected interactions to full infection from one
+  /// informed agent among n.
+  [[nodiscard]] static double expected_interactions(std::uint32_t n) {
+    double total = 0.0;
+    for (std::uint32_t i = 1; i < n; ++i) {
+      total += static_cast<double>(n) * static_cast<double>(n - 1) /
+               (2.0 * static_cast<double>(i) * static_cast<double>(n - i));
+    }
+    return total;
+  }
+};
+
+}  // namespace ppk::protocols

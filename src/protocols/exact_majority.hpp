@@ -1,0 +1,62 @@
+// The 4-state exact majority protocol (Draief & Vojnovic / Mertzios et
+// al.): strong opinions A, B and weak opinions a, b.
+//
+//   (A, B) -> (a, b)    strong opposites cancel to weak
+//   (A, b) -> (A, a)    strong opinions convert weak opposites
+//   (B, a) -> (B, b)
+//
+// (plus mirrors).  With a strict initial majority the protocol stabilizes
+// (silently) so that every agent's output matches the majority opinion; on
+// a tie all agents end weak and the output is meaningless -- exactly the
+// protocol's published behaviour, which the tests pin down.
+
+#pragma once
+
+#include <optional>
+
+#include "pp/protocol.hpp"
+
+namespace ppk::protocols {
+
+class ExactMajorityProtocol final : public pp::Protocol {
+ public:
+  static constexpr pp::StateId kStrongA = 0;
+  static constexpr pp::StateId kStrongB = 1;
+  static constexpr pp::StateId kWeakA = 2;
+  static constexpr pp::StateId kWeakB = 3;
+
+  [[nodiscard]] std::string name() const override { return "exact-majority"; }
+  [[nodiscard]] pp::StateId num_states() const override { return 4; }
+  [[nodiscard]] pp::StateId initial_state() const override { return kStrongA; }
+
+  [[nodiscard]] pp::Transition delta(pp::StateId p,
+                                     pp::StateId q) const override {
+    auto rule = [](pp::StateId x, pp::StateId y)
+        -> std::optional<pp::Transition> {
+      if (x == kStrongA && y == kStrongB) return pp::Transition{kWeakA, kWeakB};
+      if (x == kStrongA && y == kWeakB) return pp::Transition{kStrongA, kWeakA};
+      if (x == kStrongB && y == kWeakA) return pp::Transition{kStrongB, kWeakB};
+      return std::nullopt;
+    };
+    if (auto t = rule(p, q)) return *t;
+    if (auto t = rule(q, p)) return {t->responder, t->initiator};
+    return {p, q};
+  }
+
+  /// Groups: 0 = outputs "A wins", 1 = outputs "B wins".
+  [[nodiscard]] pp::GroupId group(pp::StateId s) const override {
+    return (s == kStrongA || s == kWeakA) ? pp::GroupId{0} : pp::GroupId{1};
+  }
+  [[nodiscard]] pp::GroupId num_groups() const override { return 2; }
+
+  [[nodiscard]] std::string state_name(pp::StateId s) const override {
+    switch (s) {
+      case kStrongA: return "A";
+      case kStrongB: return "B";
+      case kWeakA: return "a";
+      default: return "b";
+    }
+  }
+};
+
+}  // namespace ppk::protocols

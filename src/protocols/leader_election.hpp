@@ -1,0 +1,40 @@
+// The folklore 2-state leader election protocol: all agents start as
+// leaders and pairs of leaders demote one of them.
+//
+//   (L, L) -> (L, F)
+//
+// Stabilizes (silently) to exactly one leader under any fairness notion.
+// Deliberately asymmetric -- it is the standard example of a protocol that
+// *requires* the initiator/responder distinction, and the test suite uses
+// it to validate the symmetry checker and the verifier.
+
+#pragma once
+
+#include "pp/protocol.hpp"
+
+namespace ppk::protocols {
+
+class LeaderElectionProtocol final : public pp::Protocol {
+ public:
+  static constexpr pp::StateId kLeader = 0;
+  static constexpr pp::StateId kFollower = 1;
+
+  [[nodiscard]] std::string name() const override { return "leader-election"; }
+  [[nodiscard]] pp::StateId num_states() const override { return 2; }
+  [[nodiscard]] pp::StateId initial_state() const override { return kLeader; }
+
+  [[nodiscard]] pp::Transition delta(pp::StateId p,
+                                     pp::StateId q) const override {
+    if (p == kLeader && q == kLeader) return {kLeader, kFollower};
+    return {p, q};
+  }
+
+  [[nodiscard]] pp::GroupId group(pp::StateId s) const override { return s; }
+  [[nodiscard]] pp::GroupId num_groups() const override { return 2; }
+
+  [[nodiscard]] std::string state_name(pp::StateId s) const override {
+    return s == kLeader ? "L" : "F";
+  }
+};
+
+}  // namespace ppk::protocols

@@ -1,0 +1,63 @@
+// Counting modulo m (the classic remainder predicate aggregation): every
+// agent starts holding the value 1; meeting value-holders merge their
+// values mod m, with the responder collapsing to a value-less sink.
+//
+//   (u, v)    -> ((u + v) mod m, sink)     for value states u, v
+//   (u, sink) -> (u, sink)                  null
+//
+// Under global fairness all mass merges into a single holder whose value is
+// n mod m; the configuration is then silent.  Asymmetric (merging two equal
+// values keeps one holder).  Used to exercise the substrate on a protocol
+// whose state count is a parameter unrelated to its group count.
+
+#pragma once
+
+#include "pp/protocol.hpp"
+#include "util/assert.hpp"
+
+namespace ppk::protocols {
+
+class ModuloCounterProtocol final : public pp::Protocol {
+ public:
+  /// Requires 2 <= m <= 1024.  States: value v in [0, m) = state v;
+  /// sink = state m.
+  explicit ModuloCounterProtocol(std::uint32_t m) : m_(m) {
+    PPK_EXPECTS(m >= 2 && m <= 1024);
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return "mod-counter(m=" + std::to_string(m_) + ")";
+  }
+  [[nodiscard]] pp::StateId num_states() const override {
+    return static_cast<pp::StateId>(m_ + 1);
+  }
+  /// Every agent contributes 1.
+  [[nodiscard]] pp::StateId initial_state() const override {
+    return static_cast<pp::StateId>(1 % m_);
+  }
+
+  [[nodiscard]] pp::StateId sink() const {
+    return static_cast<pp::StateId>(m_);
+  }
+
+  [[nodiscard]] pp::Transition delta(pp::StateId p,
+                                     pp::StateId q) const override {
+    if (p == sink() || q == sink()) return {p, q};
+    return {static_cast<pp::StateId>((p + q) % m_), sink()};
+  }
+
+  /// Groups: holders output their value; sinks form group m.
+  [[nodiscard]] pp::GroupId group(pp::StateId s) const override { return s; }
+  [[nodiscard]] pp::GroupId num_groups() const override {
+    return static_cast<pp::GroupId>(m_ + 1);
+  }
+
+  [[nodiscard]] std::string state_name(pp::StateId s) const override {
+    return s == sink() ? "sink" : "v" + std::to_string(s);
+  }
+
+ private:
+  std::uint32_t m_;
+};
+
+}  // namespace ppk::protocols

@@ -1,0 +1,89 @@
+// Threshold predicate protocol (Angluin, Aspnes, Diamadi, Fischer, Peralta
+// 2006, simplified to one input variable): decide whether the number of
+// agents that started with input 1 is at least a constant threshold T.
+//
+// Each agent holds a saturating counter value in [0, T] plus an output
+// bit.  When two agents meet, the initiator absorbs the responder's value
+// (saturating at T) and the responder drops to 0; both agents then set
+// their output to [max of the two post-values' saturation] -- concretely,
+// output 1 iff the absorbing agent reached T.  Once any agent reaches T
+// the value T spreads its output by epidemic, and T is never destroyed,
+// so under global fairness all outputs stabilize to the correct verdict.
+//
+// States: (value v in [0, T], output bit).  2(T+1) states.
+
+#pragma once
+
+#include "pp/protocol.hpp"
+#include "util/assert.hpp"
+
+namespace ppk::protocols {
+
+class ThresholdProtocol final : public pp::Protocol {
+ public:
+  /// Decides "#(input 1 agents) >= threshold"; 1 <= threshold <= 500.
+  explicit ThresholdProtocol(std::uint32_t threshold) : threshold_(threshold) {
+    PPK_EXPECTS(threshold >= 1 && threshold <= 500);
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return "threshold(T=" + std::to_string(threshold_) + ")";
+  }
+
+  [[nodiscard]] pp::StateId num_states() const override {
+    return static_cast<pp::StateId>(2 * (threshold_ + 1));
+  }
+
+  /// Agents with input 0; agents with input 1 start in state(1, false)
+  /// (or state(T, true) when T == 1).
+  [[nodiscard]] pp::StateId initial_state() const override {
+    return state(0, false);
+  }
+
+  /// The designated start state for an input-1 agent.
+  [[nodiscard]] pp::StateId one_state() const {
+    return threshold_ == 1 ? state(1, true) : state(1, false);
+  }
+
+  /// Encodes (value, output).
+  [[nodiscard]] pp::StateId state(std::uint32_t value, bool output) const {
+    PPK_EXPECTS(value <= threshold_);
+    return static_cast<pp::StateId>(value * 2 + (output ? 1 : 0));
+  }
+
+  [[nodiscard]] std::uint32_t value_of(pp::StateId s) const { return s / 2; }
+  [[nodiscard]] bool output_of(pp::StateId s) const { return (s & 1) != 0; }
+
+  [[nodiscard]] pp::Transition delta(pp::StateId p,
+                                     pp::StateId q) const override {
+    const std::uint32_t vp = value_of(p);
+    const std::uint32_t vq = value_of(q);
+    const std::uint32_t sum = vp + vq;
+    const std::uint32_t merged = sum > threshold_ ? threshold_ : sum;
+    const bool reached = merged >= threshold_;
+    // Output propagates: true once anyone has seen the threshold.
+    const bool out = reached || output_of(p) || output_of(q);
+    const pp::StateId p_next = state(merged, out);
+    const pp::StateId q_next = state(0, out);
+    if (p_next == p && q_next == q) return {p, q};
+    return {p_next, q_next};
+  }
+
+  /// Groups: 0 = outputs "below threshold", 1 = outputs "reached".
+  [[nodiscard]] pp::GroupId group(pp::StateId s) const override {
+    return output_of(s) ? pp::GroupId{1} : pp::GroupId{0};
+  }
+  [[nodiscard]] pp::GroupId num_groups() const override { return 2; }
+
+  [[nodiscard]] std::string state_name(pp::StateId s) const override {
+    return "(" + std::to_string(value_of(s)) + (output_of(s) ? ",+" : ",-") +
+           ")";
+  }
+
+  [[nodiscard]] std::uint32_t threshold() const noexcept { return threshold_; }
+
+ private:
+  std::uint32_t threshold_;
+};
+
+}  // namespace ppk::protocols

@@ -1,0 +1,38 @@
+// Contract-checking macros in the spirit of the C++ Core Guidelines' GSL
+// Expects/Ensures.  Violations are programming errors, not recoverable
+// conditions, so they abort with a source location instead of throwing.
+//
+// PPK_EXPECTS(cond)  -- precondition on entry to a function
+// PPK_ENSURES(cond)  -- postcondition before returning
+// PPK_ASSERT(cond)   -- internal invariant
+//
+// All three stay enabled in release builds: the checks in this library are
+// O(1) and guard against silent state-machine corruption, which would
+// invalidate every measurement downstream.
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ppk::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "ppk: %s violated: (%s) at %s:%d\n", kind, expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace ppk::detail
+
+#define PPK_CONTRACT_CHECK(kind, cond)                                     \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::ppk::detail::contract_failure(kind, #cond, __FILE__, __LINE__);    \
+    }                                                                      \
+  } while (false)
+
+#define PPK_EXPECTS(cond) PPK_CONTRACT_CHECK("precondition", cond)
+#define PPK_ENSURES(cond) PPK_CONTRACT_CHECK("postcondition", cond)
+#define PPK_ASSERT(cond) PPK_CONTRACT_CHECK("invariant", cond)

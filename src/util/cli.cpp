@@ -1,0 +1,198 @@
+#include "util/cli.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <sstream>
+#include <utility>
+#include <variant>
+
+namespace ppk {
+
+namespace {
+
+using FlagValue =
+    std::variant<std::shared_ptr<bool>, std::shared_ptr<int>,
+                 std::shared_ptr<long long>, std::shared_ptr<double>,
+                 std::shared_ptr<std::string>>;
+
+std::optional<std::string> assign(const std::shared_ptr<bool>& out,
+                                  std::string_view text) {
+  if (text == "true" || text == "1" || text == "yes") {
+    *out = true;
+  } else if (text == "false" || text == "0" || text == "no") {
+    *out = false;
+  } else {
+    return "expected a boolean, got '" + std::string(text) + "'";
+  }
+  return std::nullopt;
+}
+
+template <typename T>
+std::optional<std::string> assign_number(const std::shared_ptr<T>& out,
+                                         std::string_view text) {
+  T value{};
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last) {
+    return "expected a number, got '" + std::string(text) + "'";
+  }
+  *out = value;
+  return std::nullopt;
+}
+
+std::optional<std::string> assign(const std::shared_ptr<int>& out,
+                                  std::string_view text) {
+  return assign_number(out, text);
+}
+std::optional<std::string> assign(const std::shared_ptr<long long>& out,
+                                  std::string_view text) {
+  return assign_number(out, text);
+}
+std::optional<std::string> assign(const std::shared_ptr<double>& out,
+                                  std::string_view text) {
+  return assign_number(out, text);
+}
+std::optional<std::string> assign(const std::shared_ptr<std::string>& out,
+                                  std::string_view text) {
+  *out = std::string(text);
+  return std::nullopt;
+}
+
+}  // namespace
+
+struct Cli::Impl {
+  struct Flag {
+    std::string name;
+    std::string help;
+    std::string default_text;
+    FlagValue value;
+
+    [[nodiscard]] bool is_bool() const {
+      return std::holds_alternative<std::shared_ptr<bool>>(value);
+    }
+
+    std::optional<std::string> set(std::string_view text) {
+      return std::visit(
+          [&](const auto& out) -> std::optional<std::string> {
+            return assign(out, text);
+          },
+          value);
+    }
+  };
+
+  std::string program;
+  std::string description;
+  std::vector<Flag> flags;
+
+  Flag* find(std::string_view name) {
+    for (auto& flag : flags) {
+      if (flag.name == name) return &flag;
+    }
+    return nullptr;
+  }
+};
+
+Cli::Cli(std::string program, std::string description)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->program = std::move(program);
+  impl_->description = std::move(description);
+}
+
+Cli::~Cli() = default;
+
+template <typename T>
+std::shared_ptr<T> Cli::flag(std::string_view name, T default_value,
+                             std::string_view help) {
+  auto value = std::make_shared<T>(std::move(default_value));
+  std::ostringstream default_text;
+  if constexpr (std::is_same_v<T, bool>) {
+    default_text << (*value ? "true" : "false");
+  } else {
+    default_text << *value;
+  }
+  impl_->flags.push_back(Impl::Flag{std::string(name), std::string(help),
+                                    default_text.str(), value});
+  return value;
+}
+
+template std::shared_ptr<bool> Cli::flag<bool>(std::string_view, bool,
+                                               std::string_view);
+template std::shared_ptr<int> Cli::flag<int>(std::string_view, int,
+                                             std::string_view);
+template std::shared_ptr<long long> Cli::flag<long long>(std::string_view,
+                                                         long long,
+                                                         std::string_view);
+template std::shared_ptr<double> Cli::flag<double>(std::string_view, double,
+                                                   std::string_view);
+template std::shared_ptr<std::string> Cli::flag<std::string>(std::string_view,
+                                                             std::string,
+                                                             std::string_view);
+
+std::string Cli::usage() const {
+  std::ostringstream out;
+  out << impl_->program << " -- " << impl_->description << "\n\nFlags:\n";
+  for (const auto& flag : impl_->flags) {
+    out << "  --" << flag.name << "  " << flag.help
+        << " (default: " << flag.default_text << ")\n";
+  }
+  out << "  --help  show this message\n";
+  return out.str();
+}
+
+std::optional<std::string> Cli::try_parse(
+    const std::vector<std::string>& args) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    std::string_view arg = args[i];
+    if (arg == "--help") return "help";
+    if (arg.size() < 3 || arg.substr(0, 2) != "--") {
+      return "unexpected argument '" + std::string(arg) + "'";
+    }
+    arg.remove_prefix(2);
+
+    std::string_view name = arg;
+    std::optional<std::string_view> inline_value;
+    if (auto eq = arg.find('='); eq != std::string_view::npos) {
+      name = arg.substr(0, eq);
+      inline_value = arg.substr(eq + 1);
+    }
+
+    Impl::Flag* flag = impl_->find(name);
+    if (flag == nullptr) {
+      return "unknown flag '--" + std::string(name) + "'";
+    }
+
+    std::string_view text;
+    if (inline_value) {
+      text = *inline_value;
+    } else if (flag->is_bool()) {
+      text = "true";
+    } else if (i + 1 < args.size()) {
+      text = args[++i];
+    } else {
+      return "flag '--" + std::string(name) + "' needs a value";
+    }
+
+    if (auto error = flag->set(text)) {
+      return "flag '--" + std::string(name) + "': " + *error;
+    }
+  }
+  return std::nullopt;
+}
+
+void Cli::parse(int argc, const char* const* argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  auto error = try_parse(args);
+  if (!error) return;
+  if (*error == "help") {
+    std::fputs(usage().c_str(), stdout);
+    std::exit(0);
+  }
+  std::fprintf(stderr, "%s: %s\n\n%s", impl_->program.c_str(), error->c_str(),
+               usage().c_str());
+  std::exit(2);
+}
+
+}  // namespace ppk

@@ -1,0 +1,55 @@
+// Tiny declarative command-line flag parser for the benches and examples.
+//
+// Usage:
+//   ppk::Cli cli("fig5_scaling_n", "Regenerates Figure 5 of the paper.");
+//   auto trials = cli.flag<int>("trials", 100, "trials per data point");
+//   auto fast   = cli.flag<bool>("fast", false, "clip the sweep");
+//   cli.parse(argc, argv);            // exits with usage on error / --help
+//   run(*trials, *fast);
+//
+// Flags are spelled `--name value` or `--name=value`; bool flags may omit the
+// value (`--fast` == `--fast=true`).  Unknown flags are an error so typos in
+// experiment scripts fail loudly instead of silently running the default.
+
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ppk {
+
+class Cli {
+ public:
+  Cli(std::string program, std::string description);
+  ~Cli();
+
+  Cli(const Cli&) = delete;
+  Cli& operator=(const Cli&) = delete;
+
+  /// Registers a flag and returns a stable pointer to its value, which is
+  /// filled in by parse().  T in {bool, int, long long, double, std::string}.
+  template <typename T>
+  std::shared_ptr<T> flag(std::string_view name, T default_value,
+                          std::string_view help);
+
+  /// Parses argv.  On `--help` prints usage and exits 0; on malformed input
+  /// prints a diagnostic plus usage and exits 2.
+  void parse(int argc, const char* const* argv);
+
+  /// Renders the usage text (exposed for tests).
+  [[nodiscard]] std::string usage() const;
+
+  /// Non-exiting parse used by unit tests: returns an error message instead
+  /// of exiting, or std::nullopt on success.
+  [[nodiscard]] std::optional<std::string> try_parse(
+      const std::vector<std::string>& args);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace ppk

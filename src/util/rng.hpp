@@ -1,0 +1,107 @@
+// Deterministic, splittable pseudo-random number generation.
+//
+// Simulation results must be reproducible from a single master seed even when
+// trials run on different threads, so we use SplitMix64 to derive independent
+// stream seeds and xoshiro256** as the per-stream generator (Blackman &
+// Vigna).  Both are tiny, allocation-free and an order of magnitude faster
+// than std::mt19937_64, which matters when a single trial draws 10^8 pairs.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace ppk {
+
+/// SplitMix64: used to expand a 64-bit seed into independent sub-seeds.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: the workhorse generator.  Satisfies
+/// std::uniform_random_bit_generator so it can drive <random> distributions.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a 64-bit seed via SplitMix64, as the
+  /// reference implementation recommends.
+  explicit Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    SplitMix64 mix(seed);
+    for (auto& word : state_) word = mix.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform draw from [0, bound) using Lemire's multiply-shift rejection
+  /// method (unbiased, usually a single multiplication).
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    PPK_EXPECTS(bound > 0);
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform draw from [0, 1).
+  double uniform01() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int s) noexcept {
+    return (x << s) | (x >> (64 - s));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Derives the seed of the `stream`-th independent generator from a master
+/// seed.  Distinct streams come from distinct SplitMix64 outputs, so trials
+/// scheduled on different threads reproduce bit-for-bit regardless of the
+/// execution order.
+inline std::uint64_t derive_stream_seed(std::uint64_t master_seed,
+                                        std::uint64_t stream) noexcept {
+  SplitMix64 mix(master_seed ^ (0x5851f42d4c957f2dULL * (stream + 1)));
+  mix.next();
+  return mix.next();
+}
+
+}  // namespace ppk

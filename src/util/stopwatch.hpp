@@ -1,0 +1,30 @@
+// Minimal monotonic stopwatch for wall-clock measurements in benches and the
+// experiment driver.
+
+#pragma once
+
+#include <chrono>
+
+namespace ppk {
+
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const noexcept {
+    return seconds() * 1e3;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ppk

@@ -1,0 +1,65 @@
+// Fixed-size thread pool used by the Monte-Carlo runner.
+//
+// Design notes:
+//  - Work items are type-erased std::function<void()>; trials are coarse
+//    (milliseconds to minutes each), so the indirection cost is irrelevant.
+//  - `parallel_for_index` hands out indices via an atomic counter rather than
+//    pre-chunking, which keeps long-tailed trials (stabilisation time varies
+//    by orders of magnitude across seeds) load-balanced.
+//  - Exceptions thrown by a work item are captured and rethrown on the
+//    caller's thread after all items finish, so failures are not lost.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ppk {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task for asynchronous execution.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has completed.  Rethrows the first
+  /// exception captured from a task, if any.
+  void wait_idle();
+
+  /// Runs body(i) for i in [0, count), load-balanced across the pool.  The
+  /// calling thread participates too, so a 1-thread pool degrades gracefully
+  /// to serial execution.  Blocks until all indices are processed.
+  void parallel_for_index(std::size_t count,
+                          const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+  void run_one(const std::function<void()>& task);
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace ppk

@@ -1,0 +1,93 @@
+// Exhaustive exploration of the reachable configuration space.
+//
+// A configuration of n anonymous agents is fully described by its state
+// count vector, so the reachable space is explored over count vectors (a
+// massive reduction versus per-agent states: configurations are multisets).
+// The graph's edges carry the ordered state pair whose rule produced them,
+// which the global-fairness verifier needs to decide output preservation.
+//
+// Intended for small (n, k): the space is at most C(n+|Q|-1, |Q|-1) but the
+// *reachable* subset is far smaller; exploration aborts cleanly at
+// max_configs rather than exhausting memory.
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "pp/population.hpp"
+#include "pp/transition_table.hpp"
+
+namespace ppk::verify {
+
+struct Edge {
+  std::uint32_t target;  // index of the successor configuration
+  pp::StateId p, q;      // the ordered state pair whose rule was applied
+};
+
+/// Exploration limits.
+struct ExploreOptions {
+  std::size_t max_configs = 5'000'000;
+};
+
+class ConfigGraph {
+ public:
+  using Options = ExploreOptions;
+
+  /// Explores everything reachable from `initial` under `table`.
+  ConfigGraph(const pp::TransitionTable& table, const pp::Counts& initial,
+              Options options = {});
+
+  /// False iff exploration hit max_configs (results are then partial and
+  /// must not be used for verification).
+  [[nodiscard]] bool complete() const noexcept { return complete_; }
+
+  [[nodiscard]] std::size_t num_configs() const noexcept {
+    return configs_.size();
+  }
+
+  [[nodiscard]] const pp::Counts& config(std::size_t index) const {
+    return configs_[index];
+  }
+
+  /// Outgoing effective-transition edges of a configuration.
+  [[nodiscard]] const std::vector<Edge>& edges(std::size_t index) const {
+    return edges_[index];
+  }
+
+  /// Strongly connected components in *reverse topological order* (Tarjan:
+  /// component 0 has no successors outside itself... more precisely, every
+  /// edge goes from a higher-or-equal component id to a lower-or-equal one).
+  /// scc_of()[c] is the component id of configuration c.
+  [[nodiscard]] const std::vector<std::uint32_t>& scc_of() const noexcept {
+    return scc_of_;
+  }
+
+  [[nodiscard]] std::uint32_t num_sccs() const noexcept { return num_sccs_; }
+
+  /// True iff no edge leaves the component (a "bottom" / terminal SCC --
+  /// exactly the sets in which globally fair executions are eventually
+  /// trapped).
+  [[nodiscard]] bool is_bottom_scc(std::uint32_t scc) const {
+    return bottom_[scc];
+  }
+
+  /// Configuration indices belonging to a component.
+  [[nodiscard]] std::vector<std::uint32_t> members_of_scc(
+      std::uint32_t scc) const;
+
+ private:
+  void explore(const pp::TransitionTable& table, const pp::Counts& initial,
+               const Options& options);
+  void compute_sccs();
+
+  std::vector<pp::Counts> configs_;
+  std::vector<std::vector<Edge>> edges_;
+  std::vector<std::uint32_t> scc_of_;
+  std::vector<char> bottom_;
+  std::uint32_t num_sccs_ = 0;
+  bool complete_ = true;
+};
+
+}  // namespace ppk::verify

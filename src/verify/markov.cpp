@@ -1,0 +1,193 @@
+#include "verify/markov.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace ppk::verify {
+
+namespace {
+
+// Largest linear system we are willing to eliminate densely.  O(size^3)
+// work: 3000 unknowns ~ a few seconds, which matches the small-(n, k)
+// regime this module is documented for.
+constexpr std::size_t kMaxDenseSystem = 3000;
+
+/// Solves A x = b in place by Gaussian elimination with partial pivoting.
+std::vector<double> solve_dense(std::vector<std::vector<double>>& a,
+                                std::vector<double>& b) {
+  const std::size_t m = b.size();
+  for (std::size_t col = 0; col < m; ++col) {
+    // Pivot.
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < m; ++row) {
+      if (std::abs(a[row][col]) > std::abs(a[pivot][col])) pivot = row;
+    }
+    PPK_ASSERT(std::abs(a[pivot][col]) > 1e-12);
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    // Eliminate below.
+    for (std::size_t row = col + 1; row < m; ++row) {
+      const double factor = a[row][col] / a[col][col];
+      if (factor == 0.0) continue;
+      for (std::size_t j = col; j < m; ++j) a[row][j] -= factor * a[col][j];
+      b[row] -= factor * b[col];
+    }
+  }
+  // Back-substitute.
+  std::vector<double> x(m, 0.0);
+  for (std::size_t row = m; row-- > 0;) {
+    double acc = b[row];
+    for (std::size_t j = row + 1; j < m; ++j) acc -= a[row][j] * x[j];
+    x[row] = acc / a[row][row];
+  }
+  return x;
+}
+
+}  // namespace
+
+MarkovAnalysis::MarkovAnalysis(const pp::TransitionTable& table,
+                               const pp::Counts& initial,
+                               ExploreOptions options)
+    : graph_(table, initial, options), n_(0) {
+  PPK_EXPECTS(graph_.complete());
+  for (auto c : initial) n_ += c;
+  PPK_EXPECTS(n_ >= 2);
+}
+
+double MarkovAnalysis::pair_probability(const pp::Counts& config,
+                                        pp::StateId p, pp::StateId q) const {
+  const double cp = static_cast<double>(config[p]);
+  const double cq = static_cast<double>(config[q]) - (p == q ? 1.0 : 0.0);
+  return cp * cq /
+         (static_cast<double>(n_) * static_cast<double>(n_ - 1));
+}
+
+std::optional<double> MarkovAnalysis::expected_hitting_time(
+    const ConfigPredicate& target) const {
+  const std::size_t num_configs = graph_.num_configs();
+
+  std::vector<char> is_target(num_configs, 0);
+  for (std::size_t c = 0; c < num_configs; ++c) {
+    is_target[c] = target(graph_.config(c)) ? 1 : 0;
+  }
+  if (is_target[0]) return 0.0;  // config 0 is the initial configuration
+
+  // The target is hit with probability 1 iff every bottom SCC contains a
+  // target configuration (fair executions are absorbed into bottom SCCs
+  // and then visit all of their configurations).
+  std::vector<char> scc_has_target(graph_.num_sccs(), 0);
+  for (std::size_t c = 0; c < num_configs; ++c) {
+    if (is_target[c]) scc_has_target[graph_.scc_of()[c]] = 1;
+  }
+  for (std::uint32_t scc = 0; scc < graph_.num_sccs(); ++scc) {
+    if (graph_.is_bottom_scc(scc) && !scc_has_target[scc]) {
+      return std::nullopt;  // positive probability of never hitting
+    }
+  }
+
+  // Unknowns: non-target configurations.
+  std::vector<std::uint32_t> unknown_index(num_configs, UINT32_MAX);
+  std::vector<std::uint32_t> unknown_configs;
+  for (std::uint32_t c = 0; c < num_configs; ++c) {
+    if (!is_target[c]) {
+      unknown_index[c] = static_cast<std::uint32_t>(unknown_configs.size());
+      unknown_configs.push_back(c);
+    }
+  }
+  const std::size_t m = unknown_configs.size();
+  PPK_EXPECTS(m <= kMaxDenseSystem);
+  if (m == 0) return 0.0;
+
+  // (I - Q) E = 1, where Q is the sub-stochastic transition matrix
+  // restricted to non-target configurations.  Null interactions and
+  // effective transitions that reproduce the same configuration both land
+  // on the diagonal.
+  std::vector<std::vector<double>> a(m, std::vector<double>(m, 0.0));
+  std::vector<double> b(m, 1.0);
+  for (std::size_t row = 0; row < m; ++row) {
+    const std::uint32_t c = unknown_configs[row];
+    const pp::Counts& config = graph_.config(c);
+    a[row][row] = 1.0;
+    double effective_prob = 0.0;
+    for (const Edge& e : graph_.edges(c)) {
+      const double prob = pair_probability(config, e.p, e.q);
+      effective_prob += prob;
+      if (is_target[e.target]) continue;  // E = 0 there
+      a[row][unknown_index[e.target]] -= prob;
+    }
+    // Self-loop mass from null interactions.
+    const double self_prob = 1.0 - effective_prob;
+    PPK_ASSERT(self_prob > -1e-9);
+    a[row][row] -= std::max(0.0, self_prob);
+  }
+  const std::vector<double> expectation = solve_dense(a, b);
+  return expectation[unknown_index[0]];
+}
+
+std::vector<MarkovAnalysis::Absorption>
+MarkovAnalysis::absorption_probabilities() const {
+  const std::size_t num_configs = graph_.num_configs();
+
+  // Transient = not in a bottom SCC.
+  std::vector<std::uint32_t> unknown_index(num_configs, UINT32_MAX);
+  std::vector<std::uint32_t> unknown_configs;
+  for (std::uint32_t c = 0; c < num_configs; ++c) {
+    if (!graph_.is_bottom_scc(graph_.scc_of()[c])) {
+      unknown_index[c] = static_cast<std::uint32_t>(unknown_configs.size());
+      unknown_configs.push_back(c);
+    }
+  }
+  const std::size_t m = unknown_configs.size();
+  PPK_EXPECTS(m <= kMaxDenseSystem);
+
+  // Representative config per bottom SCC.
+  std::vector<std::uint32_t> representative(graph_.num_sccs(), UINT32_MAX);
+  std::vector<std::uint32_t> bottoms;
+  for (std::uint32_t c = 0; c < num_configs; ++c) {
+    const std::uint32_t scc = graph_.scc_of()[c];
+    if (graph_.is_bottom_scc(scc) && representative[scc] == UINT32_MAX) {
+      representative[scc] = c;
+      bottoms.push_back(scc);
+    }
+  }
+
+  std::vector<Absorption> result;
+  const std::uint32_t initial_scc = graph_.scc_of()[0];
+  for (std::uint32_t scc : bottoms) {
+    if (m == 0 || graph_.is_bottom_scc(initial_scc)) {
+      // Initial configuration already absorbed.
+      result.push_back(Absorption{scc, representative[scc],
+                                  scc == initial_scc ? 1.0 : 0.0});
+      continue;
+    }
+    // Solve (I - Q) x = r, where r[c] = P(one step from c into this SCC).
+    std::vector<std::vector<double>> a(m, std::vector<double>(m, 0.0));
+    std::vector<double> b(m, 0.0);
+    for (std::size_t row = 0; row < m; ++row) {
+      const std::uint32_t c = unknown_configs[row];
+      const pp::Counts& config = graph_.config(c);
+      a[row][row] = 1.0;
+      double effective_prob = 0.0;
+      for (const Edge& e : graph_.edges(c)) {
+        const double prob = pair_probability(config, e.p, e.q);
+        effective_prob += prob;
+        if (unknown_index[e.target] != UINT32_MAX) {
+          a[row][unknown_index[e.target]] -= prob;
+        } else if (graph_.scc_of()[e.target] == scc) {
+          b[row] += prob;
+        }
+      }
+      const double self_prob = 1.0 - effective_prob;
+      PPK_ASSERT(self_prob > -1e-9);
+      a[row][row] -= std::max(0.0, self_prob);
+    }
+    const std::vector<double> x = solve_dense(a, b);
+    result.push_back(Absorption{scc, representative[scc],
+                                x[unknown_index[0]]});
+  }
+  return result;
+}
+
+}  // namespace ppk::verify

@@ -1,0 +1,153 @@
+#include "verify/protocol_search.hpp"
+
+#include <sstream>
+
+#include "pp/transition_table.hpp"
+#include "util/assert.hpp"
+#include "verify/global_fairness.hpp"
+
+namespace ppk::verify {
+
+namespace {
+
+/// A candidate protocol materialized from enumeration indices.
+class CandidateProtocol final : public pp::Protocol {
+ public:
+  CandidateProtocol(pp::StateId num_states, std::vector<pp::Transition> table,
+                    pp::StateId initial, std::vector<pp::GroupId> output)
+      : num_states_(num_states),
+        table_(std::move(table)),
+        initial_(initial),
+        output_(std::move(output)) {}
+
+  [[nodiscard]] std::string name() const override { return "candidate"; }
+  [[nodiscard]] pp::StateId num_states() const override { return num_states_; }
+  [[nodiscard]] pp::StateId initial_state() const override { return initial_; }
+  [[nodiscard]] pp::Transition delta(pp::StateId p,
+                                     pp::StateId q) const override {
+    return table_[static_cast<std::size_t>(p) * num_states_ + q];
+  }
+  [[nodiscard]] pp::GroupId group(pp::StateId s) const override {
+    return output_[s];
+  }
+  [[nodiscard]] pp::GroupId num_groups() const override { return 2; }
+
+ private:
+  pp::StateId num_states_;
+  std::vector<pp::Transition> table_;
+  pp::StateId initial_;
+  std::vector<pp::GroupId> output_;
+};
+
+std::string describe(const CandidateProtocol& protocol) {
+  std::ostringstream out;
+  out << "s0=" << protocol.initial_state() << " f=";
+  for (pp::StateId s = 0; s < protocol.num_states(); ++s) {
+    out << int{protocol.group(s)} + 1;
+  }
+  out << " delta:";
+  for (pp::StateId p = 0; p < protocol.num_states(); ++p) {
+    for (pp::StateId q = p; q < protocol.num_states(); ++q) {
+      const pp::Transition t = protocol.delta(p, q);
+      if (t.initiator == p && t.responder == q) continue;  // null
+      out << " (" << int{p} << ',' << int{q} << ")->(" << int{t.initiator}
+          << ',' << int{t.responder} << ')';
+    }
+  }
+  return out.str();
+}
+
+/// Builds the ordered transition table from the enumeration index:
+/// diagonal digits in base S (successor state of (p,p)), off-diagonal
+/// digits in base S^2 (ordered outcome of the unordered pair {p, q}),
+/// mirrored swap-consistently.
+std::vector<pp::Transition> decode_delta(pp::StateId num_states,
+                                         std::uint64_t index) {
+  const auto s = static_cast<std::uint64_t>(num_states);
+  std::vector<pp::Transition> table(s * s);
+  for (pp::StateId p = 0; p < num_states; ++p) {
+    const auto successor = static_cast<pp::StateId>(index % s);
+    index /= s;
+    table[static_cast<std::size_t>(p) * num_states + p] =
+        pp::Transition{successor, successor};
+  }
+  for (pp::StateId p = 0; p < num_states; ++p) {
+    for (pp::StateId q = static_cast<pp::StateId>(p + 1); q < num_states;
+         ++q) {
+      const std::uint64_t outcome = index % (s * s);
+      index /= s * s;
+      const auto a = static_cast<pp::StateId>(outcome / s);
+      const auto b = static_cast<pp::StateId>(outcome % s);
+      table[static_cast<std::size_t>(p) * num_states + q] =
+          pp::Transition{a, b};
+      table[static_cast<std::size_t>(q) * num_states + p] =
+          pp::Transition{b, a};
+    }
+  }
+  return table;
+}
+
+}  // namespace
+
+SearchResult search_symmetric_bipartition(pp::StateId num_states,
+                                          const SearchOptions& options) {
+  PPK_EXPECTS(num_states >= 2 && num_states <= 3);
+  PPK_EXPECTS(!options.population_sizes.empty());
+
+  const auto s = static_cast<std::uint64_t>(num_states);
+  std::uint64_t num_deltas = 1;
+  for (pp::StateId p = 0; p < num_states; ++p) num_deltas *= s;  // diagonal
+  for (std::uint64_t pair = 0; pair < s * (s - 1) / 2; ++pair) {
+    num_deltas *= s * s;  // off-diagonal ordered outcomes
+  }
+
+  SearchResult result;
+  result.killed_by_size.assign(options.population_sizes.size(), 0);
+
+  ExploreOptions explore;
+  explore.max_configs = options.max_configs_per_candidate;
+
+  for (std::uint64_t delta_index = 0; delta_index < num_deltas;
+       ++delta_index) {
+    const std::vector<pp::Transition> delta =
+        decode_delta(num_states, delta_index);
+    for (pp::StateId initial = 0; initial < num_states; ++initial) {
+      // Non-constant output maps onto {0, 1}: skip all-0 and all-1.
+      for (std::uint32_t output_bits = 1;
+           output_bits + 1 < (1u << num_states); ++output_bits) {
+        std::vector<pp::GroupId> output(num_states);
+        for (pp::StateId st = 0; st < num_states; ++st) {
+          output[st] =
+              static_cast<pp::GroupId>((output_bits >> st) & 1u);
+        }
+        const CandidateProtocol candidate(num_states, delta, initial,
+                                          std::move(output));
+        ++result.candidates;
+
+        const pp::TransitionTable table(candidate);
+        bool solves_all = true;
+        for (std::size_t i = 0; i < options.population_sizes.size(); ++i) {
+          pp::Counts start(num_states, 0);
+          start[initial] = options.population_sizes[i];
+          const Verdict verdict = verify_uniform_partition_from(
+              candidate, table, start, explore);
+          PPK_ASSERT(verdict.exploration_complete);
+          if (!verdict.solves) {
+            ++result.killed_by_size[i];
+            solves_all = false;
+            break;
+          }
+        }
+        if (solves_all) {
+          ++result.survivors;
+          if (result.survivor_descriptions.size() < 16) {
+            result.survivor_descriptions.push_back(describe(candidate));
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ppk::verify

@@ -1,0 +1,55 @@
+// Exhaustive search over ALL symmetric deterministic protocols with a
+// given number of states, testing each against the uniform bipartition
+// problem with designated initial states under global fairness.
+//
+// Why this exists: the paper's space-optimality argument leans on the
+// lower bound of Yasumi et al. [25] -- four states are *necessary* for a
+// symmetric protocol to solve uniform bipartition in this setting.  The
+// protocol space for 3 states is finite (19,683 symmetric transition
+// functions x 3 initial states x 6 non-constant output maps = 354,294
+// candidates), so the lower bound can be confirmed by machine: every
+// candidate provably fails on some small population, decided exactly by
+// the bottom-SCC verifier.  A candidate that failed only on large n would
+// survive; none does -- the search reports the concrete n that kills each.
+//
+// Enumeration respects the paper's symmetry definition: diagonal rules
+// map (p, p) to (q, q); off-diagonal unordered pairs {p, q} get an
+// arbitrary ordered outcome, realized swap-consistently.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pp/protocol.hpp"
+
+namespace ppk::verify {
+
+struct SearchOptions {
+  /// Population sizes each candidate must solve (a failure on any one
+  /// disqualifies it).  Checked in order, so put the cheapest first.
+  std::vector<std::uint32_t> population_sizes{3, 4, 5, 6, 7, 8};
+  /// Abort knob for the per-candidate exploration (3-state graphs are
+  /// tiny; this is a safety net).
+  std::size_t max_configs_per_candidate = 100'000;
+};
+
+struct SearchResult {
+  std::uint64_t candidates = 0;  // total (delta, s0, f) combinations tested
+  std::uint64_t survivors = 0;   // candidates passing every tested n
+  /// Human-readable description of each survivor (empty when the
+  /// impossibility holds).  Capped at 16 entries.
+  std::vector<std::string> survivor_descriptions;
+  /// candidates_killed_by_n[i] = candidates whose first failure was at
+  /// population_sizes[i].
+  std::vector<std::uint64_t> killed_by_size;
+};
+
+/// Searches every `num_states`-state symmetric protocol for a uniform
+/// bipartition solution.  Practical for num_states <= 3 (the 3-state space
+/// takes seconds); rejects num_states > 3.
+SearchResult search_symmetric_bipartition(pp::StateId num_states,
+                                          const SearchOptions& options = {});
+
+}  // namespace ppk::verify

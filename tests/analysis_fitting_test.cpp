@@ -1,0 +1,98 @@
+#include "analysis/fitting.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/experiment.hpp"
+
+namespace ppk::analysis {
+namespace {
+
+TEST(LinearFit, RecoversExactLine) {
+  const auto fit = fit_linear({1, 2, 3, 4}, {3, 5, 7, 9});  // y = 2x + 1
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(LinearFit, NoisyDataHasLowerRSquared) {
+  const auto fit = fit_linear({1, 2, 3, 4, 5}, {2, 5, 3, 9, 6});
+  EXPECT_GT(fit.r_squared, 0.0);
+  EXPECT_LT(fit.r_squared, 1.0);
+}
+
+TEST(PowerLawFit, RecoversExactPowerLaw) {
+  // y = 3 x^2
+  std::vector<double> x{1, 2, 4, 8, 16};
+  std::vector<double> y;
+  for (double v : x) y.push_back(3.0 * v * v);
+  const auto fit = fit_power_law(x, y);
+  EXPECT_NEAR(fit.exponent, 2.0, 1e-10);
+  EXPECT_NEAR(fit.coefficient, 3.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(ExponentialFit, RecoversExactExponential) {
+  // y = 5 * 1.5^x
+  std::vector<double> x{0, 1, 2, 3, 4, 5};
+  std::vector<double> y;
+  for (double v : x) y.push_back(5.0 * std::pow(1.5, v));
+  const auto fit = fit_exponential(x, y);
+  EXPECT_NEAR(fit.ratio, 1.5, 1e-10);
+  EXPECT_NEAR(fit.coefficient, 5.0, 1e-9);
+}
+
+TEST(PowerLawFit, DistinguishesPowerFromExponential) {
+  // Exponential data fits the exponential model perfectly and the power
+  // model imperfectly; vice versa for power-law data.
+  std::vector<double> x{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<double> exponential_y;
+  std::vector<double> power_y;
+  for (double v : x) {
+    exponential_y.push_back(2.0 * std::pow(2.0, v));
+    power_y.push_back(2.0 * std::pow(v, 2.0));
+  }
+  EXPECT_GT(fit_exponential(x, exponential_y).r_squared,
+            fit_power_law(x, exponential_y).r_squared);
+  EXPECT_GT(fit_power_law(x, power_y).r_squared,
+            fit_exponential(x, power_y).r_squared);
+}
+
+TEST(Fitting, KPartitionNScalingIsSuperlinearSubexponential) {
+  // The paper's Fig. 5 claim, quantified on real (small-scale) data: the
+  // fitted power-law exponent in n lies strictly between 1 and 3, and the
+  // power-law model beats the exponential model on log-log axes.
+  ExperimentOptions options;
+  options.trials = 30;
+  std::vector<double> x;
+  std::vector<double> y;
+  for (std::uint32_t n : {24u, 48u, 96u, 192u}) {
+    const auto r = measure_kpartition(3, n, options);
+    x.push_back(n);
+    y.push_back(r.interactions.mean);
+  }
+  const auto power = fit_power_law(x, y);
+  EXPECT_GT(power.exponent, 1.0);
+  EXPECT_LT(power.exponent, 3.0);
+  EXPECT_GT(power.r_squared, 0.9);
+  EXPECT_GT(power.r_squared, fit_exponential(x, y).r_squared);
+}
+
+TEST(Fitting, KPartitionKScalingIsExponential) {
+  // The paper's Fig. 6 claim, quantified: at fixed n, the exponential
+  // model fits the k-sweep better than the power law.
+  ExperimentOptions options;
+  options.trials = 20;
+  std::vector<double> x;
+  std::vector<double> y;
+  for (ppk::pp::GroupId k : {ppk::pp::GroupId{3}, ppk::pp::GroupId{4}, ppk::pp::GroupId{6}, ppk::pp::GroupId{8}, ppk::pp::GroupId{12}}) {
+    const auto r = measure_kpartition(k, 120, options);
+    x.push_back(k);
+    y.push_back(r.interactions.mean);
+  }
+  const auto exponential = fit_exponential(x, y);
+  EXPECT_GT(exponential.ratio, 1.2);
+  EXPECT_GT(exponential.r_squared, 0.85);
+}
+
+}  // namespace
+}  // namespace ppk::analysis

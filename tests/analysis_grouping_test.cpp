@@ -1,0 +1,79 @@
+#include "analysis/grouping_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/experiment.hpp"
+
+namespace ppk::analysis {
+namespace {
+
+TEST(GroupingBreakdown, ComputesIncrementsFromMarks) {
+  pp::MonteCarloResult result;
+  // Two synthetic trials with NI = (10, 30, 70) and (20, 40, 60).
+  pp::TrialResult a;
+  a.interactions = 100;
+  a.watch_marks = {10, 30, 70};
+  pp::TrialResult b;
+  b.interactions = 80;
+  b.watch_marks = {20, 40, 60};
+  result.trials = {a, b};
+
+  const auto breakdown = grouping_breakdown(result);
+  ASSERT_EQ(breakdown.groupings, 3u);
+  // NI'_1: (10 + 20) / 2; NI'_2: (20 + 20) / 2; NI'_3: (40 + 20) / 2.
+  EXPECT_DOUBLE_EQ(breakdown.mean_increment[0], 15.0);
+  EXPECT_DOUBLE_EQ(breakdown.mean_increment[1], 20.0);
+  EXPECT_DOUBLE_EQ(breakdown.mean_increment[2], 30.0);
+  // Tails: (100 - 70) and (80 - 60) -> mean 25.
+  EXPECT_DOUBLE_EQ(breakdown.mean_tail, 25.0);
+}
+
+TEST(GroupingBreakdown, EmptyResultIsEmpty) {
+  const auto breakdown = grouping_breakdown(pp::MonteCarloResult{});
+  EXPECT_EQ(breakdown.groupings, 0u);
+  EXPECT_TRUE(breakdown.mean_increment.empty());
+}
+
+TEST(GroupingBreakdown, NoMarksMeansOnlyTail) {
+  pp::MonteCarloResult result;
+  pp::TrialResult t;
+  t.interactions = 42;
+  result.trials = {t};
+  const auto breakdown = grouping_breakdown(result);
+  EXPECT_EQ(breakdown.groupings, 0u);
+  EXPECT_DOUBLE_EQ(breakdown.mean_tail, 42.0);
+}
+
+TEST(GroupingBreakdown, IntegratesWithRealExperiment) {
+  // End to end on a real run: increments must be positive and sum (with
+  // the tail) to the mean total interaction count.
+  ExperimentOptions options;
+  options.trials = 20;
+  options.track_groupings = true;
+  const auto result = measure_kpartition(3, 10, options);
+  ASSERT_EQ(result.stabilized, 20u);
+  ASSERT_EQ(result.breakdown.groupings, 3u);  // floor(10/3)
+
+  double sum = result.breakdown.mean_tail;
+  for (double inc : result.breakdown.mean_increment) {
+    EXPECT_GT(inc, 0.0);
+    sum += inc;
+  }
+  EXPECT_NEAR(sum, result.interactions.mean, 1e-6);
+}
+
+TEST(GroupingBreakdown, LaterGroupingsCostMoreOnAverage) {
+  // The paper's observation NI'_1 < NI'_2 < ... (fewer uncommitted agents
+  // make each successive grouping slower).  Checked on a configuration
+  // with enough trials for the ordering to be statistically solid.
+  ExperimentOptions options;
+  options.trials = 60;
+  options.track_groupings = true;
+  const auto result = measure_kpartition(4, 24, options);
+  ASSERT_EQ(result.breakdown.groupings, 6u);
+  EXPECT_LT(result.breakdown.mean_increment.front(),
+            result.breakdown.mean_increment.back());
+}
+
+}  // namespace
+}  // namespace ppk::analysis

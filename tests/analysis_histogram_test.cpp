@@ -1,0 +1,64 @@
+#include "analysis/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <sstream>
+
+namespace ppk::analysis {
+namespace {
+
+TEST(Histogram, CountsFallIntoCorrectBuckets) {
+  Histogram histogram(0.0, 10.0, 5);  // buckets [0,2) [2,4) ... [8,10)
+  histogram.add(0.0);
+  histogram.add(1.9);
+  histogram.add(2.0);
+  histogram.add(9.9);
+  EXPECT_EQ(histogram.counts(), (std::vector<std::uint64_t>{2, 1, 0, 0, 1}));
+  EXPECT_EQ(histogram.total(), 4u);
+}
+
+TEST(Histogram, OutOfRangeValuesSaturate) {
+  Histogram histogram(0.0, 10.0, 2);
+  histogram.add(-5.0);
+  histogram.add(50.0);
+  EXPECT_EQ(histogram.counts(), (std::vector<std::uint64_t>{1, 1}));
+}
+
+TEST(Histogram, BucketBoundsPartitionTheRange) {
+  Histogram histogram(0.0, 12.0, 4);
+  EXPECT_DOUBLE_EQ(histogram.bucket_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.bucket_hi(0), 3.0);
+  EXPECT_DOUBLE_EQ(histogram.bucket_lo(3), 9.0);
+  EXPECT_DOUBLE_EQ(histogram.bucket_hi(3), 12.0);
+}
+
+TEST(Histogram, FromSamplesCoversAllData) {
+  const std::vector<double> samples{3.0, 7.0, 7.5, 12.0, 100.0};
+  const auto histogram = Histogram::from_samples(samples, 10);
+  EXPECT_EQ(histogram.total(), samples.size());
+  const auto& counts = histogram.counts();
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), 0ull),
+            samples.size());
+}
+
+TEST(Histogram, FromSamplesHandlesConstantData) {
+  const auto histogram = Histogram::from_samples({5.0, 5.0, 5.0}, 4);
+  EXPECT_EQ(histogram.total(), 3u);
+}
+
+TEST(Histogram, PrintRendersBars) {
+  Histogram histogram(0.0, 2.0, 2);
+  histogram.add(0.5);
+  histogram.add(0.6);
+  histogram.add(1.5);
+  std::ostringstream out;
+  histogram.print(out, 10);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("##########"), std::string::npos);  // peak bucket
+  EXPECT_NE(text.find(" 2"), std::string::npos);
+  EXPECT_NE(text.find(" 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppk::analysis

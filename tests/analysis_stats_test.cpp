@@ -1,0 +1,85 @@
+#include "analysis/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ppk::analysis {
+namespace {
+
+TEST(OnlineStats, MatchesClosedFormsOnSmallSample) {
+  OnlineStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(x);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(OnlineStats, SingleSampleHasZeroVariance) {
+  OnlineStats stats;
+  stats.add(3.5);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.stddev(), 0.0);
+}
+
+TEST(OnlineStats, EmptyIsAllZero) {
+  OnlineStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.sem(), 0.0);
+}
+
+TEST(OnlineStats, IsNumericallyStableForLargeOffsets) {
+  // Welford vs naive sum-of-squares: large mean, small spread.
+  OnlineStats stats;
+  const double base = 1e12;
+  for (int i = 0; i < 1000; ++i) stats.add(base + (i % 2 == 0 ? 1.0 : -1.0));
+  EXPECT_NEAR(stats.mean(), base, 1e-2);
+  EXPECT_NEAR(stats.variance(), 1.001001, 1e-3);
+}
+
+TEST(OnlineStats, Ci95ShrinksWithSamples) {
+  OnlineStats small;
+  OnlineStats large;
+  for (int i = 0; i < 10; ++i) small.add(i % 5);
+  for (int i = 0; i < 1000; ++i) large.add(i % 5);
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+}
+
+TEST(Quantile, InterpolatesLikeNumpy) {
+  const std::vector<double> samples{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(quantile(samples, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(samples, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(samples, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(samples, 0.25), 1.75);
+}
+
+TEST(Quantile, HandlesUnsortedInput) {
+  EXPECT_DOUBLE_EQ(quantile({9, 1, 5}, 0.5), 5.0);
+}
+
+TEST(Median, OddAndEven) {
+  EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4, 1, 3, 2}), 2.5);
+}
+
+TEST(Summarize, FillsEveryField) {
+  const auto s = summarize({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+  EXPECT_GT(s.ci95, 0.0);
+}
+
+TEST(Summarize, EmptySampleIsZeroed) {
+  const auto s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+}  // namespace
+}  // namespace ppk::analysis

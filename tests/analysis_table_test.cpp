@@ -1,0 +1,69 @@
+#include "analysis/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ppk::analysis {
+namespace {
+
+TEST(Table, AlignsColumnsToWidestCell) {
+  Table table({"name", "value"});
+  table.row("a", 1);
+  table.row("longer", 123456);
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  // Header line, separator, two data rows.
+  EXPECT_NE(text.find("  name"), std::string::npos);
+  EXPECT_NE(text.find("longer"), std::string::npos);
+  EXPECT_NE(text.find("123456"), std::string::npos);
+  EXPECT_NE(text.find("------"), std::string::npos);
+  // Every line has the same length (alignment).
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width) << "line: '" << line << "'";
+  }
+}
+
+TEST(Table, SmallFloatsKeepThreeDecimals) {
+  Table table({"rate"});
+  table.row(0.523);
+  std::ostringstream out;
+  table.print(out);
+  EXPECT_NE(out.str().find("0.523"), std::string::npos);
+}
+
+TEST(Table, LargeFloatsKeepOneDecimal) {
+  Table table({"mean"});
+  table.row(162588949.5);
+  std::ostringstream out;
+  table.print(out);
+  EXPECT_NE(out.str().find("162588949.5"), std::string::npos);
+}
+
+TEST(Table, NegativeValuesFormat) {
+  Table table({"delta"});
+  table.row(-3.25);
+  table.row(-12345.6);
+  std::ostringstream out;
+  table.print(out);
+  EXPECT_NE(out.str().find("-3.250"), std::string::npos);
+  EXPECT_NE(out.str().find("-12345.6"), std::string::npos);
+}
+
+TEST(Table, MixedCellTypesInOneRow) {
+  Table table({"k", "name", "mean", "ok"});
+  table.row(4, std::string("kpartition"), 123.45, "yes");
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("kpartition"), std::string::npos);
+  EXPECT_NE(text.find("123.5"), std::string::npos);  // one decimal, rounded
+}
+
+}  // namespace
+}  // namespace ppk::analysis

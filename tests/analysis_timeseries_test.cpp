@@ -1,0 +1,87 @@
+#include "analysis/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/invariants.hpp"
+#include "core/kpartition.hpp"
+#include "pp/agent_simulator.hpp"
+#include "pp/transition_table.hpp"
+
+namespace ppk::analysis {
+namespace {
+
+TEST(TimeSeries, SamplesOnStrideGrid) {
+  const core::KPartitionProtocol protocol(3);
+  pp::Population population(6, protocol.num_states(),
+                            protocol.initial_state());
+  TimeSeries series(protocol, 10);
+  series.sample(5, population);   // off-grid: ignored
+  series.sample(10, population);  // on-grid
+  series.sample(20, population);
+  series.sample(23, population, /*force=*/true);
+  ASSERT_EQ(series.rows().size(), 3u);
+  EXPECT_EQ(series.rows()[0].interaction, 10u);
+  EXPECT_EQ(series.rows()[2].interaction, 23u);
+}
+
+TEST(TimeSeries, RecordsGroupSizes) {
+  const core::KPartitionProtocol protocol(3);
+  pp::Population population(6, protocol.num_states(),
+                            protocol.initial_state());
+  population.set_state(0, protocol.g(2));
+  TimeSeries series(protocol, 1);
+  series.sample(1, population);
+  ASSERT_EQ(series.rows().size(), 1u);
+  EXPECT_EQ(series.rows()[0].group_sizes,
+            (std::vector<std::uint32_t>{5, 1, 0}));
+}
+
+TEST(TimeSeries, WritesCsvWithPerGroupColumns) {
+  const core::KPartitionProtocol protocol(2);
+  pp::Population population(4, protocol.num_states(),
+                            protocol.initial_state());
+  TimeSeries series(protocol, 1);
+  series.sample(1, population);
+  std::ostringstream out;
+  series.write_csv(out);
+  EXPECT_EQ(out.str(), "interaction,group1,group2\n1,4,0\n");
+}
+
+TEST(TimeSeries, MaxSpreadSinceTracksDisturbances) {
+  const core::KPartitionProtocol protocol(2);
+  pp::Population population(4, protocol.num_states(),
+                            protocol.initial_state());
+  TimeSeries series(protocol, 1);
+  series.sample(1, population);  // sizes (4, 0): spread 4
+  population.set_state(0, protocol.g(2));
+  population.set_state(1, protocol.g(2));
+  series.sample(2, population);  // sizes (2, 2): spread 0
+  EXPECT_EQ(series.max_spread_since(0), 4u);
+  EXPECT_EQ(series.max_spread_since(2), 0u);
+}
+
+TEST(TimeSeries, IntegratesWithSimulatorObserver) {
+  const core::KPartitionProtocol protocol(4);
+  const pp::TransitionTable table(protocol);
+  pp::Population population(16, protocol.num_states(),
+                            protocol.initial_state());
+  pp::AgentSimulator sim(table, std::move(population), 3);
+  TimeSeries series(protocol, 50);
+  sim.set_observer([&](const pp::SimEvent& event) {
+    series.sample(event.interaction, sim.population());
+  });
+  auto oracle = core::stable_pattern_oracle(protocol, 16);
+  ASSERT_TRUE(sim.run(*oracle, 10'000'000ULL).stabilized);
+  EXPECT_GT(series.rows().size(), 0u);
+  // The trajectory ends uniform and never exceeds spread n after start.
+  const auto& last = series.rows().back();
+  std::uint32_t total = 0;
+  for (auto s : last.group_sizes) total += s;
+  EXPECT_LE(total, 16u);  // m/f states map into groups too, sum == n
+  EXPECT_EQ(total, 16u);
+}
+
+}  // namespace
+}  // namespace ppk::analysis

@@ -1,0 +1,95 @@
+// Contract (precondition) tests: misuse of the public API must fail fast
+// and loudly rather than corrupt a simulation.  PPK_EXPECTS aborts, so
+// these are gtest death tests.
+
+#include <gtest/gtest.h>
+
+#include "core/kpartition.hpp"
+#include "core/ratio_partition.hpp"
+#include "pp/interaction_graph.hpp"
+#include "pp/population.hpp"
+#include "pp/transition_table.hpp"
+#include "protocols/modulo_counter.hpp"
+#include "protocols/threshold.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+namespace ppk {
+namespace {
+
+TEST(ContractsDeathTest, KPartitionRequiresKAtLeast2) {
+  EXPECT_DEATH(core::KPartitionProtocol{1}, "precondition");
+}
+
+TEST(ContractsDeathTest, BasicStrategyRequiresKAtLeast3) {
+  EXPECT_DEATH(core::BasicStrategyProtocol{2}, "precondition");
+}
+
+TEST(ContractsDeathTest, StateAccessorsRejectOutOfRangeIndices) {
+  const core::KPartitionProtocol protocol(4);
+  EXPECT_DEATH((void)protocol.g(0), "precondition");
+  EXPECT_DEATH((void)protocol.g(5), "precondition");
+  EXPECT_DEATH((void)protocol.m(1), "precondition");   // m starts at 2
+  EXPECT_DEATH((void)protocol.d(3), "precondition");   // d ends at k-2
+}
+
+TEST(ContractsDeathTest, K2HasNoMOrDStates) {
+  const core::KPartitionProtocol protocol(2);
+  EXPECT_DEATH((void)protocol.m(2), "precondition");
+  EXPECT_DEATH((void)protocol.d(1), "precondition");
+}
+
+TEST(ContractsDeathTest, PopulationRequiresAtLeastTwoAgents) {
+  EXPECT_DEATH(pp::Population(1, 4, 0), "precondition");
+}
+
+TEST(ContractsDeathTest, PopulationRejectsBadInitialState) {
+  EXPECT_DEATH(pp::Population(5, 4, 4), "precondition");
+}
+
+TEST(ContractsDeathTest, SetStateValidatesArguments) {
+  pp::Population population(4, 3, 0);
+  EXPECT_DEATH(population.set_state(4, 0), "precondition");
+  EXPECT_DEATH(population.set_state(0, 3), "precondition");
+}
+
+TEST(ContractsDeathTest, RatioPartitionRejectsZeroEntries) {
+  EXPECT_DEATH(core::RatioPartitionProtocol({2, 0, 1}), "precondition");
+}
+
+TEST(ContractsDeathTest, RingNeedsThreeAgents) {
+  EXPECT_DEATH(pp::InteractionGraph::ring(2), "precondition");
+}
+
+TEST(ContractsDeathTest, ErdosRenyiRejectsNonPositiveP) {
+  EXPECT_DEATH(pp::InteractionGraph::erdos_renyi(5, 0.0, 1), "precondition");
+}
+
+TEST(ContractsDeathTest, ModuloCounterRejectsDegenerateModulus) {
+  EXPECT_DEATH(protocols::ModuloCounterProtocol{1}, "precondition");
+}
+
+TEST(ContractsDeathTest, ThresholdRejectsZero) {
+  EXPECT_DEATH(protocols::ThresholdProtocol{0}, "precondition");
+}
+
+TEST(ContractsDeathTest, RngBelowRejectsZeroBound) {
+  Xoshiro256 rng(1);
+  EXPECT_DEATH((void)rng.below(0), "precondition");
+}
+
+TEST(Contracts, ValidUsesDoNotDie) {
+  // The companion positive cases: boundary values that must be accepted.
+  const core::KPartitionProtocol protocol(3);
+  EXPECT_EQ(protocol.m(2), protocol.m(2));  // k-1 == 2: valid
+  EXPECT_EQ(protocol.d(1), protocol.d(1));  // k-2 == 1: valid
+  pp::Population population(2, 4, 3);
+  EXPECT_EQ(population.size(), 2u);
+  const core::RatioPartitionProtocol ratio({1, 1});
+  EXPECT_EQ(ratio.num_groups(), 2);
+  Xoshiro256 rng(1);
+  EXPECT_EQ(rng.below(1), 0u);
+}
+
+}  // namespace
+}  // namespace ppk

@@ -1,0 +1,236 @@
+// Tests for the comparison baselines: the recursive-bipartition
+// construction (exact when k | n, documented deviation otherwise) and the
+// approximate-partition reconstruction.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/approx_partition.hpp"
+#include "core/recursive_bipartition.hpp"
+#include "pp/agent_simulator.hpp"
+#include "pp/stability.hpp"
+#include "pp/transition_table.hpp"
+#include "verify/global_fairness.hpp"
+
+namespace ppk::core {
+namespace {
+
+std::vector<std::uint32_t> group_sizes(const pp::Protocol& protocol,
+                                       const pp::Counts& counts) {
+  std::vector<std::uint32_t> sizes(protocol.num_groups(), 0);
+  for (pp::StateId s = 0; s < counts.size(); ++s) {
+    sizes[protocol.group(s)] += counts[s];
+  }
+  return sizes;
+}
+
+TEST(RecursiveBipartition, StateCountIs3kMinus2) {
+  for (unsigned h = 1; h <= 5; ++h) {
+    const RecursiveBipartitionProtocol protocol(h);
+    const unsigned k = 1u << h;
+    EXPECT_EQ(protocol.num_states(), 3 * k - 2) << "h=" << h;
+    EXPECT_EQ(protocol.num_groups(), k);
+  }
+}
+
+TEST(RecursiveBipartition, IsSymmetricAndSwapConsistent) {
+  for (unsigned h = 1; h <= 4; ++h) {
+    const RecursiveBipartitionProtocol protocol(h);
+    const pp::TransitionTable table(protocol);
+    EXPECT_TRUE(table.is_symmetric()) << "h=" << h;
+    EXPECT_TRUE(table.is_swap_consistent()) << "h=" << h;
+  }
+}
+
+TEST(RecursiveBipartition, StateEncodingRoundTrips) {
+  const RecursiveBipartitionProtocol protocol(3);
+  // Layer 1 has one node (empty prefix), two parities.
+  EXPECT_EQ(protocol.free_state(1, 0, 0), 0);
+  EXPECT_EQ(protocol.free_state(1, 0, 1), 1);
+  EXPECT_EQ(protocol.initial_state(), protocol.free_state(1, 0, 0));
+  // Leaves occupy the tail of the id space.
+  for (std::uint32_t label = 0; label < 8; ++label) {
+    const pp::StateId leaf = protocol.leaf_state(label);
+    EXPECT_EQ(protocol.group(leaf), label);
+  }
+}
+
+TEST(RecursiveBipartition, MixedPairAtSameNodeCommits) {
+  const RecursiveBipartitionProtocol protocol(2);
+  const pp::StateId ini = protocol.free_state(1, 0, 0);
+  const pp::StateId ini_prime = protocol.free_state(1, 0, 1);
+  const pp::Transition t = protocol.delta(ini, ini_prime);
+  // Parity 0 takes bit 0, parity 1 takes bit 1; both descend to layer 2.
+  EXPECT_EQ(t.initiator, protocol.free_state(2, 0, 0));
+  EXPECT_EQ(t.responder, protocol.free_state(2, 1, 0));
+}
+
+TEST(RecursiveBipartition, FinalLayerCommitProducesLeaves) {
+  const RecursiveBipartitionProtocol protocol(1);
+  const pp::Transition t =
+      protocol.delta(protocol.free_state(1, 0, 0), protocol.free_state(1, 0, 1));
+  EXPECT_EQ(t.initiator, protocol.leaf_state(0));
+  EXPECT_EQ(t.responder, protocol.leaf_state(1));
+}
+
+TEST(RecursiveBipartition, SamePairFlipsParity) {
+  const RecursiveBipartitionProtocol protocol(2);
+  const pp::StateId ini = protocol.free_state(1, 0, 0);
+  const pp::Transition t = protocol.delta(ini, ini);
+  EXPECT_EQ(t.initiator, protocol.free_state(1, 0, 1));
+  EXPECT_EQ(t.responder, protocol.free_state(1, 0, 1));
+}
+
+TEST(RecursiveBipartition, FreeAgentFlipsAgainstCommittedPartner) {
+  const RecursiveBipartitionProtocol protocol(2);
+  const pp::StateId ini = protocol.free_state(1, 0, 0);
+  const pp::StateId leaf = protocol.leaf_state(2);
+  const pp::Transition t = protocol.delta(ini, leaf);
+  EXPECT_EQ(t.initiator, protocol.free_state(1, 0, 1));
+  EXPECT_EQ(t.responder, leaf);
+}
+
+TEST(RecursiveBipartition, LeafPairsAreNull) {
+  const RecursiveBipartitionProtocol protocol(2);
+  const pp::StateId a = protocol.leaf_state(0);
+  const pp::StateId b = protocol.leaf_state(3);
+  EXPECT_EQ(protocol.delta(a, b), (pp::Transition{a, b}));
+}
+
+TEST(RecursiveBipartition, ExactlyUniformWhenKDividesN) {
+  for (unsigned h : {1u, 2u, 3u}) {
+    const RecursiveBipartitionProtocol protocol(h);
+    const pp::TransitionTable table(protocol);
+    const std::uint32_t k = 1u << h;
+    const std::uint32_t n = k * 5;
+    pp::Population population(n, protocol.num_states(),
+                              protocol.initial_state());
+    pp::AgentSimulator sim(table, std::move(population), 21);
+    pp::SilenceOracle oracle(table);  // all-leaves is silent
+    const pp::SimResult result = sim.run(oracle, 200'000'000ULL);
+    ASSERT_TRUE(result.stabilized) << "h=" << h;
+    const auto sizes = group_sizes(protocol, sim.population().counts());
+    for (auto size : sizes) EXPECT_EQ(size, 5u) << "h=" << h;
+  }
+}
+
+TEST(RecursiveBipartition, DeviatesForNNotDivisibleByK) {
+  // The documented limitation: strandings compound, so for some n the
+  // spread exceeds 1 (here k = 4, n = 7 as worked out in the header).
+  // Deviation depends on which nodes strand, so check over several seeds
+  // that at least one run exceeds a spread of 1 -- under a correct uniform
+  // partitioner *no* run may exceed 1.
+  const RecursiveBipartitionProtocol protocol(2);
+  const pp::TransitionTable table(protocol);
+  bool saw_violation = false;
+  for (std::uint64_t seed = 0; seed < 10 && !saw_violation; ++seed) {
+    pp::Population population(7, protocol.num_states(),
+                              protocol.initial_state());
+    pp::AgentSimulator sim(table, std::move(population), seed);
+    // Stragglers keep flipping forever, so run a fixed budget and inspect.
+    pp::NeverStableOracle oracle;
+    sim.run(oracle, 200'000);
+    const auto sizes = group_sizes(protocol, sim.population().counts());
+    std::uint32_t lo = *std::min_element(sizes.begin(), sizes.end());
+    std::uint32_t hi = *std::max_element(sizes.begin(), sizes.end());
+    if (hi - lo > 1) saw_violation = true;
+  }
+  EXPECT_TRUE(saw_violation);
+}
+
+TEST(RecursiveBipartition, ExhaustivelyVerifiedWhenKDividesN) {
+  // Model-checked, not sampled: every globally fair execution on n = 8,
+  // k = 4 stabilizes to a uniform partition (all splits are even).
+  const RecursiveBipartitionProtocol protocol(2);
+  const pp::TransitionTable table(protocol);
+  const auto verdict = verify::verify_uniform_partition(protocol, table, 8);
+  ASSERT_TRUE(verdict.exploration_complete);
+  EXPECT_TRUE(verdict.solves) << verdict.failure;
+}
+
+TEST(RecursiveBipartition, ExhaustivelyRefutedWhenKDoesNotDivideN) {
+  // ...and for n = 7 some fair execution strands agents across layers and
+  // stabilizes with a spread of 2 -- the intro's reason the paper's
+  // protocol exists, as a formal counterexample rather than a sample.
+  const RecursiveBipartitionProtocol protocol(2);
+  const pp::TransitionTable table(protocol);
+  const auto verdict = verify::verify_uniform_partition(protocol, table, 7);
+  ASSERT_TRUE(verdict.exploration_complete);
+  EXPECT_FALSE(verdict.solves);
+}
+
+TEST(ApproxPartition, StateCountMatchesFormula) {
+  for (pp::GroupId k : {pp::GroupId{2}, pp::GroupId{3}, pp::GroupId{4},
+                        pp::GroupId{6}, pp::GroupId{8}, pp::GroupId{16}}) {
+    const ApproxPartitionProtocol protocol(k);
+    unsigned levels = 1;
+    while ((1u << (levels - 1)) < static_cast<unsigned>(k)) ++levels;
+    EXPECT_EQ(protocol.num_states(), k * levels) << "k=" << int{k};
+  }
+}
+
+TEST(ApproxPartition, SplitRuleMovesHalfToSibling) {
+  const ApproxPartitionProtocol protocol(4);  // L = 2
+  const pp::StateId s = protocol.state(0, 1);
+  const pp::Transition t = protocol.delta(s, s);
+  EXPECT_EQ(t.initiator, protocol.state(0, 2));
+  EXPECT_EQ(t.responder, protocol.state(1, 2));
+}
+
+TEST(ApproxPartition, OverflowSplitsKeepGroup) {
+  const ApproxPartitionProtocol protocol(3);  // L = 2; group 2 + 2 > k-1
+  const pp::StateId s = protocol.state(2, 2);
+  const pp::Transition t = protocol.delta(s, s);
+  EXPECT_EQ(t.initiator, protocol.state(2, 3));
+  EXPECT_EQ(t.responder, protocol.state(2, 3));
+}
+
+TEST(ApproxPartition, IsDeliberatelyAsymmetric) {
+  const ApproxPartitionProtocol protocol(4);
+  const pp::TransitionTable table(protocol);
+  EXPECT_FALSE(table.is_symmetric());
+}
+
+TEST(ApproxPartition, AllGroupsGetAtLeastNOver2kAgents) {
+  // The quoted [14] guarantee, checked empirically on a comfortable n.
+  for (pp::GroupId k : {pp::GroupId{3}, pp::GroupId{4}, pp::GroupId{6},
+                        pp::GroupId{8}}) {
+    const ApproxPartitionProtocol protocol(k);
+    const pp::TransitionTable table(protocol);
+    const std::uint32_t n = 64u * k;
+    pp::Population population(n, protocol.num_states(),
+                              protocol.initial_state());
+    pp::AgentSimulator sim(table, std::move(population), 5);
+    pp::SilenceOracle oracle(table);
+    const pp::SimResult result = sim.run(oracle, 200'000'000ULL);
+    ASSERT_TRUE(result.stabilized) << "k=" << int{k};
+    const auto sizes = group_sizes(protocol, sim.population().counts());
+    for (pp::GroupId g = 0; g < k; ++g) {
+      EXPECT_GE(sizes[g], n / (2u * k)) << "k=" << int{k} << " group "
+                                        << int{g};
+    }
+    EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), 0u), n);
+  }
+}
+
+TEST(ApproxPartition, TerminalConfigurationHasNoSplittablePairs) {
+  const ApproxPartitionProtocol protocol(4);
+  const pp::TransitionTable table(protocol);
+  pp::Population population(40, protocol.num_states(),
+                            protocol.initial_state());
+  pp::AgentSimulator sim(table, std::move(population), 9);
+  pp::SilenceOracle oracle(table);
+  ASSERT_TRUE(sim.run(oracle, 100'000'000ULL).stabilized);
+  const auto& counts = sim.population().counts();
+  // At most one agent per splittable (non-final-level) state.
+  for (pp::GroupId g = 0; g < 4; ++g) {
+    for (unsigned level = 1; level < protocol.num_levels(); ++level) {
+      EXPECT_LE(counts[protocol.state(g, level)], 1u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ppk::core

@@ -1,0 +1,192 @@
+// Pin tests for Algorithm 1: every transition rule of the paper, its
+// mirror, the state encoding, and the output map.
+
+#include "core/kpartition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/bipartition.hpp"
+#include "pp/transition_table.hpp"
+
+namespace ppk::core {
+namespace {
+
+using pp::StateId;
+using pp::Transition;
+
+constexpr StateId kIni = KPartitionProtocol::kInitial;
+constexpr StateId kIniP = KPartitionProtocol::kInitialPrime;
+
+class KPartitionRules : public ::testing::Test {
+ protected:
+  KPartitionRules() : p_(5) {}  // k = 5: all rule families non-empty
+  KPartitionProtocol p_;
+};
+
+TEST_F(KPartitionRules, StateCountIs3kMinus2) {
+  for (pp::GroupId k = 2; k <= 20; ++k) {
+    EXPECT_EQ(KPartitionProtocol(k).num_states(), 3 * k - 2) << "k=" << k;
+  }
+}
+
+TEST_F(KPartitionRules, StateEncodingRoundTrips) {
+  EXPECT_TRUE(p_.is_free(kIni));
+  EXPECT_TRUE(p_.is_free(kIniP));
+  for (pp::GroupId x = 1; x <= 5; ++x) {
+    EXPECT_TRUE(p_.is_g(p_.g(x)));
+    EXPECT_EQ(p_.index_of(p_.g(x)), x);
+  }
+  for (pp::GroupId i = 2; i <= 4; ++i) {
+    EXPECT_TRUE(p_.is_m(p_.m(i)));
+    EXPECT_EQ(p_.index_of(p_.m(i)), i);
+  }
+  for (pp::GroupId q = 1; q <= 3; ++q) {
+    EXPECT_TRUE(p_.is_d(p_.d(q)));
+    EXPECT_EQ(p_.index_of(p_.d(q)), q);
+  }
+}
+
+TEST_F(KPartitionRules, OutputMapMatchesPaper) {
+  // f(ini) = 1, f(gi) = i, f(mi) = i, f(di) = 1 (groups are 0-based here).
+  EXPECT_EQ(p_.group(kIni), 0);
+  EXPECT_EQ(p_.group(kIniP), 0);
+  for (pp::GroupId x = 1; x <= 5; ++x) EXPECT_EQ(p_.group(p_.g(x)), x - 1);
+  for (pp::GroupId i = 2; i <= 4; ++i) EXPECT_EQ(p_.group(p_.m(i)), i - 1);
+  for (pp::GroupId q = 1; q <= 3; ++q) EXPECT_EQ(p_.group(p_.d(q)), 0);
+}
+
+TEST_F(KPartitionRules, Rule1InitialPairFlipsToPrime) {
+  EXPECT_EQ(p_.delta(kIni, kIni), (Transition{kIniP, kIniP}));
+}
+
+TEST_F(KPartitionRules, Rule2PrimePairFlipsToInitial) {
+  EXPECT_EQ(p_.delta(kIniP, kIniP), (Transition{kIni, kIni}));
+}
+
+TEST_F(KPartitionRules, Rule3DStateFlipsFreePartner) {
+  for (pp::GroupId q = 1; q <= 3; ++q) {
+    EXPECT_EQ(p_.delta(p_.d(q), kIni), (Transition{p_.d(q), kIniP}));
+    EXPECT_EQ(p_.delta(p_.d(q), kIniP), (Transition{p_.d(q), kIni}));
+    // Mirror orientation.
+    EXPECT_EQ(p_.delta(kIni, p_.d(q)), (Transition{kIniP, p_.d(q)}));
+  }
+}
+
+TEST_F(KPartitionRules, Rule4GStateFlipsFreePartner) {
+  for (pp::GroupId x = 1; x <= 5; ++x) {
+    EXPECT_EQ(p_.delta(p_.g(x), kIni), (Transition{p_.g(x), kIniP}));
+    EXPECT_EQ(p_.delta(p_.g(x), kIniP), (Transition{p_.g(x), kIni}));
+    EXPECT_EQ(p_.delta(kIniP, p_.g(x)), (Transition{kIni, p_.g(x)}));
+  }
+}
+
+TEST_F(KPartitionRules, Rule5MixedFreePairStartsABuild) {
+  EXPECT_EQ(p_.delta(kIni, kIniP), (Transition{p_.g(1), p_.m(2)}));
+  EXPECT_EQ(p_.delta(kIniP, kIni), (Transition{p_.m(2), p_.g(1)}));
+}
+
+TEST_F(KPartitionRules, Rule5ForK2CompletesImmediately) {
+  const KPartitionProtocol two(2);
+  EXPECT_EQ(two.delta(kIni, kIniP), (Transition{two.g(1), two.g(2)}));
+  EXPECT_EQ(two.delta(kIniP, kIni), (Transition{two.g(2), two.g(1)}));
+}
+
+TEST_F(KPartitionRules, Rule6BuilderRecruitsFreeAgents) {
+  for (pp::GroupId i = 2; i <= 3; ++i) {  // 2 <= i <= k-2
+    const auto next = static_cast<pp::GroupId>(i + 1);
+    EXPECT_EQ(p_.delta(kIni, p_.m(i)), (Transition{p_.g(i), p_.m(next)}));
+    EXPECT_EQ(p_.delta(kIniP, p_.m(i)), (Transition{p_.g(i), p_.m(next)}));
+    EXPECT_EQ(p_.delta(p_.m(i), kIni), (Transition{p_.m(next), p_.g(i)}));
+  }
+}
+
+TEST_F(KPartitionRules, Rule7LastBuilderCompletesTheSet) {
+  EXPECT_EQ(p_.delta(kIni, p_.m(4)), (Transition{p_.g(4), p_.g(5)}));
+  EXPECT_EQ(p_.delta(p_.m(4), kIniP), (Transition{p_.g(5), p_.g(4)}));
+}
+
+TEST_F(KPartitionRules, Rule8BuildersCancelIntoDemolishers) {
+  for (pp::GroupId i = 2; i <= 4; ++i) {
+    for (pp::GroupId j = 2; j <= 4; ++j) {
+      EXPECT_EQ(p_.delta(p_.m(i), p_.m(j)),
+                (Transition{p_.d(static_cast<pp::GroupId>(i - 1)),
+                            p_.d(static_cast<pp::GroupId>(j - 1))}));
+    }
+  }
+}
+
+TEST_F(KPartitionRules, Rule9DemolisherReleasesMatchingGroupMember) {
+  for (pp::GroupId i = 2; i <= 3; ++i) {  // 2 <= i <= k-2
+    EXPECT_EQ(p_.delta(p_.d(i), p_.g(i)),
+              (Transition{p_.d(static_cast<pp::GroupId>(i - 1)), kIni}));
+    EXPECT_EQ(p_.delta(p_.g(i), p_.d(i)),
+              (Transition{kIni, p_.d(static_cast<pp::GroupId>(i - 1))}));
+  }
+}
+
+TEST_F(KPartitionRules, Rule10LastDemolisherReleasesBoth) {
+  EXPECT_EQ(p_.delta(p_.d(1), p_.g(1)), (Transition{kIni, kIni}));
+  EXPECT_EQ(p_.delta(p_.g(1), p_.d(1)), (Transition{kIni, kIni}));
+}
+
+TEST_F(KPartitionRules, DemolisherIgnoresMismatchedGroupMembers) {
+  // Rule 9/10 require matching indices; (d2, g3) etc. are null.
+  EXPECT_EQ(p_.delta(p_.d(2), p_.g(3)), (Transition{p_.d(2), p_.g(3)}));
+  EXPECT_EQ(p_.delta(p_.d(1), p_.g(4)), (Transition{p_.d(1), p_.g(4)}));
+}
+
+TEST_F(KPartitionRules, CommittedAndIntermediatePairsAreNull) {
+  EXPECT_EQ(p_.delta(p_.g(2), p_.g(3)), (Transition{p_.g(2), p_.g(3)}));
+  EXPECT_EQ(p_.delta(p_.g(1), p_.g(1)), (Transition{p_.g(1), p_.g(1)}));
+  EXPECT_EQ(p_.delta(p_.m(2), p_.g(4)), (Transition{p_.m(2), p_.g(4)}));
+  EXPECT_EQ(p_.delta(p_.d(1), p_.d(2)), (Transition{p_.d(1), p_.d(2)}));
+  EXPECT_EQ(p_.delta(p_.d(2), p_.m(3)), (Transition{p_.d(2), p_.m(3)}));
+}
+
+TEST_F(KPartitionRules, StateNamesMatchPaperNotation) {
+  EXPECT_EQ(p_.state_name(kIni), "initial");
+  EXPECT_EQ(p_.state_name(kIniP), "initial'");
+  EXPECT_EQ(p_.state_name(p_.g(3)), "g3");
+  EXPECT_EQ(p_.state_name(p_.m(2)), "m2");
+  EXPECT_EQ(p_.state_name(p_.d(1)), "d1");
+}
+
+TEST_F(KPartitionRules, K2EqualsBipartitionProtocolTableForTable) {
+  // Section 4: "If k = 2, the protocol is exactly the same as a uniform
+  // bipartition protocol in [25]."
+  const KPartitionProtocol two(2);
+  const BipartitionProtocol bipartition;
+  ASSERT_EQ(two.num_states(), bipartition.num_states());
+  for (StateId p = 0; p < two.num_states(); ++p) {
+    EXPECT_EQ(two.group(p), bipartition.group(p)) << "state " << int{p};
+    for (StateId q = 0; q < two.num_states(); ++q) {
+      EXPECT_EQ(two.delta(p, q), bipartition.delta(p, q))
+          << "pair (" << int{p} << "," << int{q} << ")";
+    }
+  }
+}
+
+TEST_F(KPartitionRules, EveryRuleFamilyPresentInTransitionTable) {
+  // Integration with the dense table: symmetric + swap consistent for a
+  // larger k, and rule lookups go through the cache.
+  const KPartitionProtocol protocol(8);
+  const pp::TransitionTable table(protocol);
+  EXPECT_TRUE(table.is_symmetric());
+  EXPECT_TRUE(table.is_swap_consistent());
+  EXPECT_TRUE(table.effective(kIni, kIni));
+  EXPECT_FALSE(table.effective(protocol.g(5), protocol.g(6)));
+}
+
+TEST_F(KPartitionRules, GroupCountMatchesK) {
+  for (pp::GroupId k = 2; k <= 10; ++k) {
+    const KPartitionProtocol protocol(k);
+    EXPECT_EQ(protocol.num_groups(), k);
+    // Every group in [0, k) is hit by some g state.
+    std::vector<bool> hit(k, false);
+    for (pp::GroupId x = 1; x <= k; ++x) hit[protocol.group(protocol.g(x))] = true;
+    for (pp::GroupId g = 0; g < k; ++g) EXPECT_TRUE(hit[g]) << "group " << g;
+  }
+}
+
+}  // namespace
+}  // namespace ppk::core

@@ -1,0 +1,106 @@
+// Tests for the R-generalized partition extension (the [24] follow-up
+// realized on top of the paper's protocol).
+
+#include "core/ratio_partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/invariants.hpp"
+#include "pp/agent_simulator.hpp"
+#include "pp/transition_table.hpp"
+#include "verify/global_fairness.hpp"
+
+namespace ppk::core {
+namespace {
+
+std::vector<std::uint32_t> group_sizes(const pp::Protocol& protocol,
+                                       const pp::Counts& counts) {
+  std::vector<std::uint32_t> sizes(protocol.num_groups(), 0);
+  for (pp::StateId s = 0; s < counts.size(); ++s) {
+    sizes[protocol.group(s)] += counts[s];
+  }
+  return sizes;
+}
+
+TEST(RatioPartition, InheritsInnerProtocolStructure) {
+  const RatioPartitionProtocol protocol({2, 1});
+  EXPECT_EQ(protocol.num_groups(), 2);
+  EXPECT_EQ(protocol.inner().k(), 3);          // K = 2 + 1 slots
+  EXPECT_EQ(protocol.num_states(), 3 * 3 - 2);  // 3K - 2
+  EXPECT_EQ(protocol.initial_state(), protocol.inner().initial_state());
+}
+
+TEST(RatioPartition, SlotToGroupMapFollowsRatio) {
+  const RatioPartitionProtocol protocol({1, 2, 3});
+  const auto& inner = protocol.inner();
+  // Slots (inner groups) 0 -> group 0; 1, 2 -> group 1; 3, 4, 5 -> group 2.
+  EXPECT_EQ(protocol.group(inner.g(1)), 0);
+  EXPECT_EQ(protocol.group(inner.g(2)), 1);
+  EXPECT_EQ(protocol.group(inner.g(3)), 1);
+  EXPECT_EQ(protocol.group(inner.g(4)), 2);
+  EXPECT_EQ(protocol.group(inner.g(5)), 2);
+  EXPECT_EQ(protocol.group(inner.g(6)), 2);
+}
+
+TEST(RatioPartition, RemainsSymmetric) {
+  const RatioPartitionProtocol protocol({3, 2});
+  const pp::TransitionTable table(protocol);
+  EXPECT_TRUE(table.is_symmetric());
+  EXPECT_TRUE(table.is_swap_consistent());
+}
+
+TEST(RatioPartition, ConvergedSizesFollowTheRatioWithinSlotSlack) {
+  const std::vector<std::uint32_t> ratio{2, 1, 1};
+  const RatioPartitionProtocol protocol(ratio);
+  const pp::TransitionTable table(protocol);
+  const std::uint32_t n = 42;  // K = 4 slots; 42 = 10*4 + 2
+  pp::Population population(n, protocol.num_states(),
+                            protocol.initial_state());
+  pp::AgentSimulator sim(table, std::move(population), 77);
+  auto oracle = stable_pattern_oracle(protocol.inner(), n);
+  ASSERT_TRUE(sim.run(*oracle, 200'000'000ULL).stabilized);
+
+  const auto sizes = group_sizes(protocol, sim.population().counts());
+  const std::uint32_t total =
+      std::accumulate(ratio.begin(), ratio.end(), 0u);
+  const std::uint32_t per_slot = n / total;
+  for (std::size_t j = 0; j < ratio.size(); ++j) {
+    EXPECT_GE(sizes[j], ratio[j] * per_slot) << "group " << j;
+    EXPECT_LE(sizes[j], ratio[j] * (per_slot + 1)) << "group " << j;
+  }
+  EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), 0u), n);
+}
+
+TEST(RatioPartition, ExactWhenSumDividesN) {
+  const RatioPartitionProtocol protocol({3, 1});
+  const pp::TransitionTable table(protocol);
+  const std::uint32_t n = 24;  // K = 4, n/K = 6: expect sizes (18, 6)
+  pp::Population population(n, protocol.num_states(),
+                            protocol.initial_state());
+  pp::AgentSimulator sim(table, std::move(population), 99);
+  auto oracle = stable_pattern_oracle(protocol.inner(), n);
+  ASSERT_TRUE(sim.run(*oracle, 200'000'000ULL).stabilized);
+  const auto sizes = group_sizes(protocol, sim.population().counts());
+  EXPECT_EQ(sizes, (std::vector<std::uint32_t>{18, 6}));
+}
+
+TEST(RatioPartition, VerifiedUnderGlobalFairnessForSmallPopulation) {
+  // Exhaustively: every globally fair execution on n = 6 stabilizes with
+  // sizes following R = (2, 1) exactly (n divisible by K = 3).
+  const RatioPartitionProtocol protocol({2, 1});
+  const pp::TransitionTable table(protocol);
+  pp::Counts initial(protocol.num_states(), 0);
+  initial[protocol.initial_state()] = 6;
+  const auto verdict = verify::verify_stabilization(
+      protocol, table, initial,
+      [](const pp::Counts&, const std::vector<std::uint32_t>& sizes) {
+        return sizes == std::vector<std::uint32_t>{4, 2};
+      });
+  EXPECT_TRUE(verdict.solves) << verdict.failure;
+  EXPECT_GT(verdict.reachable_configs, 0u);
+}
+
+}  // namespace
+}  // namespace ppk::core

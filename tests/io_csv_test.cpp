@@ -1,0 +1,64 @@
+#include "io/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace ppk::io {
+namespace {
+
+TEST(CsvWriter, WritesHeaderImmediately) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"a", "b"});
+  EXPECT_EQ(out.str(), "a,b\n");
+}
+
+TEST(CsvWriter, WritesMixedTypedRow) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"k", "n", "mean"});
+  csv.row(4, 120u, 2.5);
+  EXPECT_EQ(out.str(), "k,n,mean\n4,120,2.5\n");
+}
+
+TEST(CsvWriter, EscapesCommasAndQuotes) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"name"});
+  csv.row(std::string("a,b"));
+  csv.row(std::string("say \"hi\""));
+  EXPECT_EQ(out.str(), "name\n\"a,b\"\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvWriter, EscapesEmbeddedNewline) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"name"});
+  csv.row(std::string("two\nlines"));
+  EXPECT_EQ(out.str(), "name\n\"two\nlines\"\n");
+}
+
+TEST(CsvWriter, CountsRows) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"x"});
+  EXPECT_EQ(csv.rows_written(), 1u);  // header
+  csv.row(1);
+  csv.row(2);
+  EXPECT_EQ(csv.rows_written(), 3u);
+}
+
+TEST(CsvFile, RoundTripsThroughDisk) {
+  const std::string path = ::testing::TempDir() + "ppk_csv_test.csv";
+  {
+    CsvFile csv(path, {"k", "n"});
+    csv.row(3, 120);
+    csv.row(4, 240);
+  }
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), "k,n\n3,120\n4,240\n");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ppk::io

@@ -1,0 +1,87 @@
+#include "pp/adversarial.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/invariants.hpp"
+#include "core/kpartition.hpp"
+#include "pp/agent_simulator.hpp"
+#include "pp/transition_table.hpp"
+
+namespace ppk::pp {
+namespace {
+
+double mean_interactions_adversarial(pp::GroupId k, std::uint32_t n,
+                                     double epsilon, int trials,
+                                     std::uint64_t master_seed,
+                                     int* stabilized = nullptr) {
+  const core::KPartitionProtocol protocol(k);
+  const TransitionTable table(protocol);
+  double total = 0.0;
+  int ok = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    AdversarialSimulator sim(
+        protocol, table,
+        Population(n, protocol.num_states(), protocol.initial_state()),
+        epsilon,
+        derive_stream_seed(master_seed, static_cast<std::uint64_t>(trial)));
+    auto oracle = core::stable_pattern_oracle(protocol, n);
+    const SimResult result = sim.run(*oracle, 500'000'000ULL);
+    if (result.stabilized) ++ok;
+    total += static_cast<double>(result.interactions);
+  }
+  if (stabilized != nullptr) *stabilized = ok;
+  return total / trials;
+}
+
+TEST(AdversarialSimulator, StillStabilizesBecauseItIsFair) {
+  int stabilized = 0;
+  mean_interactions_adversarial(3, 9, 0.1, 20, 1, &stabilized);
+  EXPECT_EQ(stabilized, 20);
+}
+
+TEST(AdversarialSimulator, ReachesTheCorrectStablePattern) {
+  const core::KPartitionProtocol protocol(4);
+  const TransitionTable table(protocol);
+  AdversarialSimulator sim(
+      protocol, table,
+      Population(13, protocol.num_states(), protocol.initial_state()), 0.05,
+      99);
+  auto oracle = core::stable_pattern_oracle(protocol, 13);
+  ASSERT_TRUE(sim.run(*oracle, 500'000'000ULL).stabilized);
+  EXPECT_TRUE(core::matches_stable_pattern(protocol, 13,
+                                           sim.population().counts()));
+  EXPECT_TRUE(is_uniform_partition(sim.population().group_sizes(protocol)));
+}
+
+TEST(AdversarialSimulator, SmallerEpsilonMeansSlowerStabilization) {
+  const double friendly = mean_interactions_adversarial(3, 12, 1.0, 30, 7);
+  const double hostile = mean_interactions_adversarial(3, 12, 0.05, 30, 7);
+  EXPECT_GT(hostile, friendly * 1.5)
+      << "friendly=" << friendly << " hostile=" << hostile;
+}
+
+TEST(AdversarialSimulator, EpsilonOneMatchesUniformScheduler) {
+  // With epsilon = 1 the adversary never acts: statistics must match the
+  // plain AgentSimulator.
+  const core::KPartitionProtocol protocol(3);
+  const TransitionTable table(protocol);
+  constexpr int kTrials = 40;
+  const std::uint32_t n = 12;
+
+  const double adversarial = mean_interactions_adversarial(3, n, 1.0, kTrials, 3);
+  double uniform = 0.0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    AgentSimulator sim(table,
+                       Population(n, protocol.num_states(),
+                                  protocol.initial_state()),
+                       derive_stream_seed(4, static_cast<std::uint64_t>(trial)));
+    auto oracle = core::stable_pattern_oracle(protocol, n);
+    uniform += static_cast<double>(sim.run(*oracle).interactions);
+  }
+  uniform /= kTrials;
+  EXPECT_LT(std::abs(adversarial - uniform) / uniform, 0.4)
+      << "adversarial=" << adversarial << " uniform=" << uniform;
+}
+
+}  // namespace
+}  // namespace ppk::pp

@@ -1,0 +1,157 @@
+// Validation of the skip-ahead engine against the exact engines: identical
+// stabilization statistics, exact final patterns, and the promised speedup
+// regime (effective interactions decoupled from total interactions).
+
+#include "pp/jump_simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/invariants.hpp"
+#include "core/kpartition.hpp"
+#include "pp/agent_simulator.hpp"
+#include "pp/transition_table.hpp"
+#include "protocols/leader_election.hpp"
+#include "verify/markov.hpp"
+
+namespace ppk::pp {
+namespace {
+
+Counts all_initial(const Protocol& protocol, std::uint32_t n) {
+  Counts counts(protocol.num_states(), 0);
+  counts[protocol.initial_state()] = n;
+  return counts;
+}
+
+TEST(JumpSimulator, ReachesTheExactStablePattern) {
+  const core::KPartitionProtocol protocol(4);
+  const TransitionTable table(protocol);
+  for (std::uint32_t n : {9u, 13u, 16u, 40u}) {
+    JumpSimulator sim(table, all_initial(protocol, n), n);
+    auto oracle = core::stable_pattern_oracle(protocol, n);
+    const SimResult result = sim.run(*oracle);
+    ASSERT_TRUE(result.stabilized) << "n=" << n;
+    EXPECT_TRUE(core::matches_stable_pattern(protocol, n, sim.counts()));
+  }
+}
+
+TEST(JumpSimulator, StopsCleanlyOnSilentConfigurations) {
+  // One leader: no effective pair exists; step() must return false and a
+  // run with an unsatisfiable oracle must terminate rather than spin.
+  const protocols::LeaderElectionProtocol protocol;
+  const TransitionTable table(protocol);
+  JumpSimulator sim(table, Counts{1, 5}, 3);
+  NeverStableOracle oracle;
+  const SimResult result = sim.run(oracle, 1'000'000);
+  EXPECT_FALSE(result.stabilized);
+  EXPECT_EQ(result.effective, 0u);
+  EXPECT_EQ(sim.effective_weight(), 0u);
+}
+
+TEST(JumpSimulator, EffectiveInteractionsMatchAgentEngineExactly) {
+  // Leader election performs exactly n - 1 effective interactions in any
+  // execution; the jump engine must agree.
+  const protocols::LeaderElectionProtocol protocol;
+  const TransitionTable table(protocol);
+  JumpSimulator sim(table, all_initial(protocol, 30), 7);
+  SilenceOracle oracle(table);
+  const SimResult result = sim.run(oracle);
+  EXPECT_TRUE(result.stabilized);
+  EXPECT_EQ(result.effective, 29u);
+  EXPECT_EQ(sim.counts()[protocols::LeaderElectionProtocol::kLeader], 1u);
+}
+
+TEST(JumpSimulator, MeanInteractionsMatchTheExactExpectation) {
+  // The interaction counter includes the geometrically skipped nulls, so
+  // its mean must match the exact Markov expectation like the other
+  // engines' do.  Leader election has the closed form (n-1)^2.
+  const protocols::LeaderElectionProtocol protocol;
+  const TransitionTable table(protocol);
+  const std::uint32_t n = 10;
+  constexpr int kTrials = 3000;
+  double total = 0.0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    JumpSimulator sim(table, all_initial(protocol, n),
+                      derive_stream_seed(5, static_cast<std::uint64_t>(trial)));
+    SilenceOracle oracle(table);
+    total += static_cast<double>(sim.run(oracle).interactions);
+  }
+  const double mean = total / kTrials;
+  const double exact = (n - 1.0) * (n - 1.0);  // 81
+  // stddev of a single run is ~60 here; 3000 trials -> sem ~1.1.
+  EXPECT_NEAR(mean, exact, 4.0);
+}
+
+TEST(JumpSimulator, AgreesWithAgentEngineOnKPartition) {
+  const core::KPartitionProtocol protocol(3);
+  const TransitionTable table(protocol);
+  const std::uint32_t n = 15;
+  constexpr int kTrials = 80;
+
+  double jump_mean = 0.0;
+  double agent_mean = 0.0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    {
+      JumpSimulator sim(table, all_initial(protocol, n),
+                        derive_stream_seed(1, static_cast<std::uint64_t>(trial)));
+      auto oracle = core::stable_pattern_oracle(protocol, n);
+      jump_mean += static_cast<double>(sim.run(*oracle).interactions);
+    }
+    {
+      AgentSimulator sim(table,
+                         Population(n, protocol.num_states(),
+                                    protocol.initial_state()),
+                         derive_stream_seed(2, static_cast<std::uint64_t>(trial)));
+      auto oracle = core::stable_pattern_oracle(protocol, n);
+      agent_mean += static_cast<double>(sim.run(*oracle).interactions);
+    }
+  }
+  jump_mean /= kTrials;
+  agent_mean /= kTrials;
+  EXPECT_LT(std::abs(jump_mean - agent_mean) / agent_mean, 0.30)
+      << "jump=" << jump_mean << " agent=" << agent_mean;
+}
+
+TEST(JumpSimulator, EffectiveWeightTracksConfiguration) {
+  // From all-initial, every ordered pair is effective (rule 1), so the
+  // weight starts at n(n-1); it must stay consistent with a from-scratch
+  // rebuild after arbitrary steps.
+  const core::KPartitionProtocol protocol(5);
+  const TransitionTable table(protocol);
+  const std::uint32_t n = 12;
+  JumpSimulator sim(table, all_initial(protocol, n), 9);
+  EXPECT_EQ(sim.effective_weight(), static_cast<std::uint64_t>(n) * (n - 1));
+
+  NeverStableOracle oracle;
+  for (int i = 0; i < 200; ++i) {
+    if (!sim.step(oracle)) break;
+    // Recompute the weight from the counts and compare.
+    std::uint64_t expected = 0;
+    const auto& counts = sim.counts();
+    for (StateId p = 0; p < protocol.num_states(); ++p) {
+      for (StateId q = 0; q < protocol.num_states(); ++q) {
+        if (!table.effective(p, q) || counts[p] == 0) continue;
+        const std::uint64_t cq = counts[q] - (p == q ? 1u : 0u);
+        if (counts[q] == 0 || (p == q && counts[q] == 1)) continue;
+        expected += static_cast<std::uint64_t>(counts[p]) * cq;
+      }
+    }
+    ASSERT_EQ(sim.effective_weight(), expected) << "after step " << i;
+  }
+}
+
+TEST(JumpSimulator, InteractionCounterIsMonotoneAndSkipsAreCounted) {
+  const core::KPartitionProtocol protocol(6);
+  const TransitionTable table(protocol);
+  JumpSimulator sim(table, all_initial(protocol, 60), 4);
+  auto oracle = core::stable_pattern_oracle(protocol, 60);
+  const SimResult result = sim.run(*oracle);
+  ASSERT_TRUE(result.stabilized);
+  // Total interactions must exceed effective ones: nulls were skipped but
+  // still counted.
+  EXPECT_GT(result.interactions, result.effective);
+}
+
+}  // namespace
+}  // namespace ppk::pp

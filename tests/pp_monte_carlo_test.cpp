@@ -1,0 +1,128 @@
+#include "pp/monte_carlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/invariants.hpp"
+#include "core/kpartition.hpp"
+#include "pp/transition_table.hpp"
+
+namespace ppk::pp {
+namespace {
+
+class MonteCarloTest : public ::testing::Test {
+ protected:
+  MonteCarloTest() : protocol_(4), table_(protocol_) {}
+
+  OracleFactory oracle_factory(std::uint32_t n) const {
+    return [this, n] { return core::stable_pattern_oracle(protocol_, n); };
+  }
+
+  core::KPartitionProtocol protocol_;
+  TransitionTable table_;
+};
+
+TEST_F(MonteCarloTest, RunsRequestedTrials) {
+  MonteCarloOptions options;
+  options.trials = 17;
+  const auto result =
+      run_monte_carlo(protocol_, table_, 12, oracle_factory(12), options);
+  EXPECT_EQ(result.trials.size(), 17u);
+  EXPECT_EQ(result.stabilized_count(), 17u);
+  for (const auto& trial : result.trials) {
+    EXPECT_GT(trial.interactions, 0u);
+    EXPECT_LE(trial.effective, trial.interactions);
+  }
+}
+
+TEST_F(MonteCarloTest, SameMasterSeedReproducesBitForBit) {
+  MonteCarloOptions options;
+  options.trials = 10;
+  options.master_seed = 123;
+  const auto a =
+      run_monte_carlo(protocol_, table_, 13, oracle_factory(13), options);
+  const auto b =
+      run_monte_carlo(protocol_, table_, 13, oracle_factory(13), options);
+  ASSERT_EQ(a.trials.size(), b.trials.size());
+  for (std::size_t t = 0; t < a.trials.size(); ++t) {
+    EXPECT_EQ(a.trials[t].interactions, b.trials[t].interactions);
+    EXPECT_EQ(a.trials[t].effective, b.trials[t].effective);
+  }
+}
+
+TEST_F(MonteCarloTest, ThreadCountDoesNotChangeResults) {
+  MonteCarloOptions serial;
+  serial.trials = 12;
+  serial.master_seed = 99;
+  serial.threads = 1;
+  MonteCarloOptions parallel = serial;
+  parallel.threads = 4;
+  const auto a =
+      run_monte_carlo(protocol_, table_, 12, oracle_factory(12), serial);
+  const auto b =
+      run_monte_carlo(protocol_, table_, 12, oracle_factory(12), parallel);
+  for (std::size_t t = 0; t < a.trials.size(); ++t) {
+    EXPECT_EQ(a.trials[t].interactions, b.trials[t].interactions);
+  }
+}
+
+TEST_F(MonteCarloTest, EnginesAgreeOnStabilization) {
+  MonteCarloOptions options;
+  options.trials = 8;
+  options.engine = Engine::kCountVector;
+  const auto result =
+      run_monte_carlo(protocol_, table_, 16, oracle_factory(16), options);
+  EXPECT_EQ(result.stabilized_count(), 8u);
+}
+
+TEST_F(MonteCarloTest, WatchMarksCountGkEntries) {
+  // Every stabilized trial locks in exactly floor(n/k) group sets, each
+  // marked by one agent entering g_k.
+  MonteCarloOptions options;
+  options.trials = 10;
+  options.watch_state = protocol_.g(4);
+  const std::uint32_t n = 14;  // floor(14/4) = 3 groupings
+  const auto result =
+      run_monte_carlo(protocol_, table_, n, oracle_factory(n), options);
+  for (const auto& trial : result.trials) {
+    ASSERT_TRUE(trial.stabilized);
+    EXPECT_EQ(trial.watch_marks.size(), 3u);
+    // Marks are the paper's NI_i: strictly increasing interaction indices.
+    for (std::size_t i = 1; i < trial.watch_marks.size(); ++i) {
+      EXPECT_GT(trial.watch_marks[i], trial.watch_marks[i - 1]);
+    }
+    EXPECT_LE(trial.watch_marks.back(), trial.interactions);
+  }
+}
+
+TEST_F(MonteCarloTest, MaxInteractionsBoundsUnstableRuns) {
+  MonteCarloOptions options;
+  options.trials = 3;
+  options.max_interactions = 50;
+  // An oracle that never fires forces the budget to bind.
+  const auto result = run_monte_carlo(
+      protocol_, table_, 12,
+      [] { return std::make_unique<NeverStableOracle>(); }, options);
+  for (const auto& trial : result.trials) {
+    EXPECT_EQ(trial.interactions, 50u);
+    EXPECT_FALSE(trial.stabilized);
+  }
+}
+
+TEST_F(MonteCarloTest, SummaryStatisticsAreConsistent) {
+  MonteCarloOptions options;
+  options.trials = 20;
+  const auto result =
+      run_monte_carlo(protocol_, table_, 12, oracle_factory(12), options);
+  const double mean = result.mean_interactions();
+  EXPECT_GT(mean, 0.0);
+  double manual = 0.0;
+  for (const auto& trial : result.trials) {
+    manual += static_cast<double>(trial.interactions);
+  }
+  manual /= static_cast<double>(result.trials.size());
+  EXPECT_DOUBLE_EQ(mean, manual);
+  EXPECT_GE(result.stddev_interactions(), 0.0);
+}
+
+}  // namespace
+}  // namespace ppk::pp

@@ -1,0 +1,92 @@
+#include "pp/population.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/kpartition.hpp"
+
+namespace ppk::pp {
+namespace {
+
+Counts counts_from_states(const Population& population, StateId num_states) {
+  Counts counts(num_states, 0);
+  for (std::uint32_t a = 0; a < population.size(); ++a) {
+    ++counts[population.state_of(a)];
+  }
+  return counts;
+}
+
+TEST(Population, UniformInitialConfiguration) {
+  Population population(10, 5, 2);
+  EXPECT_EQ(population.size(), 10u);
+  for (std::uint32_t a = 0; a < 10; ++a) {
+    EXPECT_EQ(population.state_of(a), 2);
+  }
+  EXPECT_EQ(population.counts(), (Counts{0, 0, 10, 0, 0}));
+}
+
+TEST(Population, ExplicitInitialCounts) {
+  Population population(Counts{3, 0, 2});
+  EXPECT_EQ(population.size(), 5u);
+  EXPECT_EQ(population.counts(), (Counts{3, 0, 2}));
+  EXPECT_EQ(counts_from_states(population, 3), population.counts());
+}
+
+TEST(Population, ApplyKeepsCountsConsistent) {
+  Population population(6, 4, 0);
+  population.apply(0, 1, Transition{1, 2});
+  EXPECT_EQ(population.state_of(0), 1);
+  EXPECT_EQ(population.state_of(1), 2);
+  EXPECT_EQ(population.counts(), (Counts{4, 1, 1, 0}));
+  EXPECT_EQ(counts_from_states(population, 4), population.counts());
+}
+
+TEST(Population, ApplySelfTransitionIsIdempotentOnCounts) {
+  Population population(4, 3, 1);
+  population.apply(2, 3, Transition{1, 1});  // null in effect
+  EXPECT_EQ(population.counts(), (Counts{0, 4, 0}));
+}
+
+TEST(Population, SetStateAdjustsCounts) {
+  Population population(5, 3, 0);
+  population.set_state(4, 2);
+  EXPECT_EQ(population.counts(), (Counts{4, 0, 1}));
+  EXPECT_EQ(population.state_of(4), 2);
+}
+
+TEST(Population, GroupSizesUseOutputMap) {
+  const core::KPartitionProtocol protocol(3);  // 7 states
+  Population population(7, protocol.num_states(), protocol.initial_state());
+  // Move one agent to g2 and one to d1 (d maps to group 1).
+  population.set_state(0, protocol.g(2));
+  population.set_state(1, protocol.d(1));
+  const auto sizes = population.group_sizes(protocol);
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[0], 6u);  // 5 free + 1 d1
+  EXPECT_EQ(sizes[1], 1u);  // the g2 agent
+  EXPECT_EQ(sizes[2], 0u);
+}
+
+TEST(Population, CountsSumToPopulationSize) {
+  Population population(Counts{1, 2, 3, 4});
+  const auto& counts = population.counts();
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), 0u),
+            population.size());
+}
+
+TEST(IsUniformPartition, AcceptsDifferencesUpToOne) {
+  EXPECT_TRUE(is_uniform_partition({3, 3, 3}));
+  EXPECT_TRUE(is_uniform_partition({4, 3, 4}));
+  EXPECT_TRUE(is_uniform_partition({1}));
+  EXPECT_TRUE(is_uniform_partition({}));
+}
+
+TEST(IsUniformPartition, RejectsLargerSpread) {
+  EXPECT_FALSE(is_uniform_partition({5, 3, 4}));
+  EXPECT_FALSE(is_uniform_partition({0, 2}));
+  EXPECT_FALSE(is_uniform_partition({4, 4, 4, 0}));
+}
+
+}  // namespace
+}  // namespace ppk::pp

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/invariants.hpp"
+#include "core/kpartition.hpp"
+#include "pp/agent_simulator.hpp"
+#include "pp/count_simulator.hpp"
+#include "pp/trace.hpp"
+#include "pp/transition_table.hpp"
+#include "protocols/leader_election.hpp"
+
+namespace ppk::pp {
+namespace {
+
+TEST(AgentSimulator, CountsEveryDrawnPairIncludingNull) {
+  // A population of only followers never reacts: every step is a null
+  // interaction, and the paper's measure counts them all.
+  const protocols::LeaderElectionProtocol protocol;
+  const TransitionTable table(protocol);
+  Population population(Counts{0, 5});  // five followers
+  AgentSimulator sim(table, std::move(population), 1);
+  NeverStableOracle oracle;
+  const SimResult result = sim.run(oracle, 1000);
+  EXPECT_EQ(result.interactions, 1000u);
+  EXPECT_EQ(result.effective, 0u);
+  EXPECT_FALSE(result.stabilized);
+}
+
+TEST(AgentSimulator, LeaderElectionStabilizesToOneLeader) {
+  const protocols::LeaderElectionProtocol protocol;
+  const TransitionTable table(protocol);
+  Population population(50, 2, protocols::LeaderElectionProtocol::kLeader);
+  AgentSimulator sim(table, std::move(population), 7);
+  SilenceOracle oracle(table);
+  const SimResult result = sim.run(oracle);
+  EXPECT_TRUE(result.stabilized);
+  EXPECT_EQ(result.effective, 49u);  // exactly n - 1 demotions
+  EXPECT_EQ(sim.population().counts()[0], 1u);
+  EXPECT_EQ(sim.population().counts()[1], 49u);
+}
+
+TEST(AgentSimulator, SameSeedSameExecution) {
+  const core::KPartitionProtocol protocol(3);
+  const TransitionTable table(protocol);
+  auto run_once = [&] {
+    Population population(9, protocol.num_states(), protocol.initial_state());
+    AgentSimulator sim(table, std::move(population), 42);
+    auto oracle = core::stable_pattern_oracle(protocol, 9);
+    return sim.run(*oracle).interactions;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(AgentSimulator, DifferentSeedsUsuallyDiffer) {
+  const core::KPartitionProtocol protocol(3);
+  const TransitionTable table(protocol);
+  auto run_once = [&](std::uint64_t seed) {
+    Population population(9, protocol.num_states(), protocol.initial_state());
+    AgentSimulator sim(table, std::move(population), seed);
+    auto oracle = core::stable_pattern_oracle(protocol, 9);
+    return sim.run(*oracle).interactions;
+  };
+  int distinct = 0;
+  const auto base = run_once(0);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    if (run_once(seed) != base) ++distinct;
+  }
+  EXPECT_GT(distinct, 0);
+}
+
+TEST(AgentSimulator, ObserverSeesEveryEffectiveInteraction) {
+  const core::KPartitionProtocol protocol(4);
+  const TransitionTable table(protocol);
+  Population population(12, protocol.num_states(), protocol.initial_state());
+  AgentSimulator sim(table, std::move(population), 3);
+  std::uint64_t observed = 0;
+  sim.set_observer([&](const SimEvent& event) {
+    ++observed;
+    EXPECT_NE(event.initiator, event.responder);
+    // Events must describe a real rule of the protocol.
+    const Transition t = protocol.delta(event.p, event.q);
+    EXPECT_EQ(t.initiator, event.p_next);
+    EXPECT_EQ(t.responder, event.q_next);
+  });
+  auto oracle = core::stable_pattern_oracle(protocol, 12);
+  const SimResult result = sim.run(*oracle);
+  EXPECT_EQ(observed, result.effective);
+}
+
+TEST(AgentSimulator, ReplayAppliesScheduleDeterministically) {
+  // Replays the first grouping of the paper's Fig. 1 narrative on n = 6,
+  // k = 6: all agents pair into initial', then a chain builds g1..g6.
+  const core::KPartitionProtocol protocol(6);
+  const TransitionTable table(protocol);
+  Population population(6, protocol.num_states(), protocol.initial_state());
+  AgentSimulator sim(table, std::move(population), 0);
+
+  const std::vector<std::pair<std::uint32_t, std::uint32_t>> schedule = {
+      {0, 1}, {2, 3}, {4, 5},  // everyone -> initial'
+      {4, 5},                  // both back to initial
+      {0, 5},                  // initial' x initial -> m2 x g1
+      {5, 1}, {5, 2}, {5, 3},  // wrong order: m-agent is the initiator
+  };
+  sim.replay({{0, 1}, {2, 3}, {4, 5}});
+  for (std::uint32_t a = 0; a < 6; ++a) {
+    EXPECT_EQ(sim.population().state_of(a),
+              core::KPartitionProtocol::kInitialPrime);
+  }
+  sim.replay({{4, 5}});
+  EXPECT_EQ(sim.population().state_of(4), core::KPartitionProtocol::kInitial);
+  EXPECT_EQ(sim.population().state_of(5), core::KPartitionProtocol::kInitial);
+
+  // (a1 in initial', a6 in initial): rule 5 mirrored -> a1 = m2? No:
+  // (initial', initial) -> (m2, g1): initiator a1 was initial'.
+  sim.replay({{0, 5}});
+  EXPECT_EQ(sim.population().state_of(0), protocol.m(2));
+  EXPECT_EQ(sim.population().state_of(5), protocol.g(1));
+
+  // The m2 agent converts the remaining free agents one by one.
+  sim.replay({{0, 1}, {0, 2}, {0, 3}});
+  EXPECT_EQ(sim.population().state_of(1), protocol.g(2));
+  EXPECT_EQ(sim.population().state_of(2), protocol.g(3));
+  EXPECT_EQ(sim.population().state_of(3), protocol.g(4));
+  EXPECT_EQ(sim.population().state_of(0), protocol.m(5));
+
+  // Last free agent: rule 7 completes the set.
+  sim.replay({{0, 4}});
+  EXPECT_EQ(sim.population().state_of(0), protocol.g(6));
+  EXPECT_EQ(sim.population().state_of(4), protocol.g(5));
+  EXPECT_TRUE(core::matches_stable_pattern(protocol, 6,
+                                           sim.population().counts()));
+}
+
+TEST(CountSimulator, PreservesPopulationSize) {
+  const core::KPartitionProtocol protocol(5);
+  const TransitionTable table(protocol);
+  Counts initial(protocol.num_states(), 0);
+  initial[protocol.initial_state()] = 20;
+  CountSimulator sim(table, initial, 11);
+  NeverStableOracle oracle;
+  sim.run(oracle, 5000);
+  const auto& counts = sim.counts();
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), 0u), 20u);
+}
+
+TEST(CountSimulator, ConvergesToStablePattern) {
+  const core::KPartitionProtocol protocol(4);
+  const TransitionTable table(protocol);
+  Counts initial(protocol.num_states(), 0);
+  initial[protocol.initial_state()] = 17;
+  CountSimulator sim(table, initial, 5);
+  auto oracle = core::stable_pattern_oracle(protocol, 17);
+  const SimResult result = sim.run(*oracle);
+  EXPECT_TRUE(result.stabilized);
+  EXPECT_TRUE(core::matches_stable_pattern(protocol, 17, sim.counts()));
+}
+
+TEST(EngineAgreement, MeanInteractionsMatchAcrossEngines) {
+  // Both engines sample the same pair distribution, so their mean
+  // stabilization times must agree statistically.
+  const core::KPartitionProtocol protocol(3);
+  const TransitionTable table(protocol);
+  const std::uint32_t n = 15;
+  constexpr int kTrials = 60;
+
+  double agent_mean = 0.0;
+  double count_mean = 0.0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    {
+      Population population(n, protocol.num_states(), protocol.initial_state());
+      AgentSimulator sim(table, std::move(population),
+                         derive_stream_seed(1, static_cast<std::uint64_t>(trial)));
+      auto oracle = core::stable_pattern_oracle(protocol, n);
+      agent_mean += static_cast<double>(sim.run(*oracle).interactions);
+    }
+    {
+      Counts initial(protocol.num_states(), 0);
+      initial[protocol.initial_state()] = n;
+      CountSimulator sim(table, initial,
+                         derive_stream_seed(2, static_cast<std::uint64_t>(trial)));
+      auto oracle = core::stable_pattern_oracle(protocol, n);
+      count_mean += static_cast<double>(sim.run(*oracle).interactions);
+    }
+  }
+  agent_mean /= kTrials;
+  count_mean /= kTrials;
+  // Means are a few hundred; allow a generous 35% relative gap to keep the
+  // test deterministic-flake-free while still catching distribution bugs.
+  EXPECT_LT(std::abs(agent_mean - count_mean) / agent_mean, 0.35)
+      << "agent=" << agent_mean << " count=" << count_mean;
+}
+
+TEST(TraceRecorder, RecordsHumanReadableEvents) {
+  const core::KPartitionProtocol protocol(3);
+  const TransitionTable table(protocol);
+  Population population(3, protocol.num_states(), protocol.initial_state());
+  AgentSimulator sim(table, std::move(population), 0);
+  TraceRecorder recorder(protocol);
+  sim.set_observer(recorder.observer());
+  sim.replay({{0, 1}});  // (initial, initial) -> (initial', initial')
+  ASSERT_EQ(recorder.events().size(), 1u);
+  const std::string text = recorder.to_string();
+  EXPECT_NE(text.find("(a1,a2)"), std::string::npos);
+  EXPECT_NE(text.find("initial"), std::string::npos);
+}
+
+TEST(TraceFormatting, FormatsAgentsAndCounts) {
+  const core::KPartitionProtocol protocol(3);
+  Population population(3, protocol.num_states(), protocol.initial_state());
+  population.set_state(1, protocol.g(2));
+  EXPECT_EQ(format_agents(protocol, population), "a1:initial a2:g2 a3:initial");
+  EXPECT_EQ(format_counts(protocol, population.counts()),
+            "{initial:2, g2:1}");
+}
+
+}  // namespace
+}  // namespace ppk::pp

@@ -1,0 +1,174 @@
+#include "pp/stability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/invariants.hpp"
+#include "pp/agent_simulator.hpp"
+#include "core/kpartition.hpp"
+#include "pp/transition_table.hpp"
+#include "protocols/leader_election.hpp"
+#include "util/rng.hpp"
+
+namespace ppk::pp {
+namespace {
+
+TEST(CountPatternOracle, DetectsExactMatchAfterReset) {
+  // Two classes: states {0,1} -> class 0, state 2 -> class 1.
+  CountPatternOracle oracle({0, 0, 1}, {3, 2});
+  oracle.reset({1, 2, 2});
+  EXPECT_TRUE(oracle.stable());
+  oracle.reset({3, 0, 2});
+  EXPECT_TRUE(oracle.stable());
+  oracle.reset({2, 2, 1});
+  EXPECT_FALSE(oracle.stable());
+}
+
+TEST(CountPatternOracle, IncrementalUpdatesTrackResets) {
+  CountPatternOracle oracle({0, 1, 2}, {1, 1, 1});
+  oracle.reset({3, 0, 0});
+  EXPECT_FALSE(oracle.stable());
+  // (0,0) -> (1,2): moves one agent to state 1 and one to state 2.
+  oracle.on_transition(0, 0, 1, 2);
+  EXPECT_TRUE(oracle.stable());
+  // (1,2) -> (0,0): undo.
+  oracle.on_transition(1, 2, 0, 0);
+  EXPECT_FALSE(oracle.stable());
+}
+
+TEST(CountPatternOracle, AgreesWithFreshResetUnderRandomTransitions) {
+  // Fuzz: apply random "transitions" and verify incremental state matches a
+  // recomputed oracle at every step.
+  const core::KPartitionProtocol protocol(4);
+  const std::uint32_t n = 13;
+  auto incremental = core::stable_pattern_oracle(protocol, n);
+
+  Counts counts(protocol.num_states(), 0);
+  counts[protocol.initial_state()] = n;
+  incremental->reset(counts);
+
+  Xoshiro256 rng(2024);
+  const auto num_states = protocol.num_states();
+  for (int step = 0; step < 2000; ++step) {
+    // Pick two occupied states and two arbitrary successors.
+    StateId p;
+    StateId q;
+    do {
+      p = static_cast<StateId>(rng.below(num_states));
+    } while (counts[p] == 0);
+    --counts[p];
+    do {
+      q = static_cast<StateId>(rng.below(num_states));
+    } while (counts[q] == 0);
+    ++counts[p];
+    const auto pn = static_cast<StateId>(rng.below(num_states));
+    const auto qn = static_cast<StateId>(rng.below(num_states));
+    --counts[p];
+    --counts[q];
+    ++counts[pn];
+    ++counts[qn];
+    incremental->on_transition(p, q, pn, qn);
+
+    auto fresh = core::stable_pattern_oracle(protocol, n);
+    fresh->reset(counts);
+    ASSERT_EQ(incremental->stable(), fresh->stable()) << "step " << step;
+    ASSERT_EQ(incremental->stable(),
+              core::matches_stable_pattern(protocol, n, counts));
+  }
+}
+
+TEST(SilenceOracle, LeaderElectionSilentIffAtMostOneLeader) {
+  const protocols::LeaderElectionProtocol protocol;
+  const TransitionTable table(protocol);
+  SilenceOracle oracle(table);
+
+  oracle.reset({2, 3});  // two leaders: (L,L) enabled
+  EXPECT_FALSE(oracle.stable());
+  oracle.reset({1, 4});  // one leader: silent
+  EXPECT_TRUE(oracle.stable());
+  oracle.reset({0, 5});  // zero leaders (unreachable, still silent)
+  EXPECT_TRUE(oracle.stable());
+}
+
+TEST(SilenceOracle, TracksTransitions) {
+  const protocols::LeaderElectionProtocol protocol;
+  const TransitionTable table(protocol);
+  SilenceOracle oracle(table);
+  oracle.reset({2, 0});
+  EXPECT_FALSE(oracle.stable());
+  oracle.on_transition(0, 0, 0, 1);  // (L,L) -> (L,F)
+  EXPECT_TRUE(oracle.stable());
+}
+
+TEST(SilenceOracle, DiagonalNeedsTwoAgents) {
+  const protocols::LeaderElectionProtocol protocol;
+  const TransitionTable table(protocol);
+  SilenceOracle oracle(table);
+  // One leader: the (L,L) rule needs two agents in L, so config is silent.
+  oracle.reset({1, 1});
+  EXPECT_TRUE(oracle.stable());
+}
+
+
+TEST(QuiescenceOracle, FiresAfterWindowOfUnmovedOutputs) {
+  const core::KPartitionProtocol protocol(3);
+  auto oracle = make_quiescence_oracle(protocol, 3);
+  Counts counts(protocol.num_states(), 0);
+  counts[protocol.initial_state()] = 5;
+  oracle.reset(counts);
+  EXPECT_FALSE(oracle.stable());
+
+  // Flips keep outputs constant: three of them satisfy the window.
+  oracle.on_transition(0, 0, 1, 1);
+  oracle.on_transition(1, 1, 0, 0);
+  EXPECT_FALSE(oracle.stable());
+  oracle.on_transition(0, 0, 1, 1);
+  EXPECT_TRUE(oracle.stable());
+}
+
+TEST(QuiescenceOracle, OutputChangeResetsTheWindow) {
+  const core::KPartitionProtocol protocol(3);
+  auto oracle = make_quiescence_oracle(protocol, 2);
+  Counts counts(protocol.num_states(), 0);
+  counts[protocol.initial_state()] = 4;
+  oracle.reset(counts);
+  oracle.on_transition(0, 0, 1, 1);
+  EXPECT_FALSE(oracle.stable());
+  // Rule 5: (initial, initial') -> (g1, m2): m2 is in group 2 -> moved.
+  oracle.on_transition(0, 1, protocol.g(1), protocol.m(2));
+  EXPECT_FALSE(oracle.stable());
+  oracle.on_transition(0, 0, 1, 1);
+  oracle.on_transition(1, 1, 0, 0);
+  EXPECT_TRUE(oracle.stable());
+  // Sizes were tracked through the move: f(g1) = 1, f(m2) = 2, so the
+  // pair left one agent in group 1 and moved one to group 2 (0-based
+  // indices 0 and 1).
+  EXPECT_EQ(oracle.group_sizes(), (std::vector<std::uint32_t>{3, 1, 0}));
+}
+
+TEST(QuiescenceOracle, IsAHeuristicNotAProof) {
+  // Demonstrate the documented false positive: a small window declares a
+  // transient lull "stable" even though the protocol later progresses.
+  // (This is exactly why the pattern/silence oracles exist.)
+  const core::KPartitionProtocol protocol(4);
+  const TransitionTable table(protocol);
+  Population population(12, protocol.num_states(), protocol.initial_state());
+  AgentSimulator sim(table, std::move(population), 7);
+  auto oracle = make_quiescence_oracle(protocol, 2);  // absurdly small
+  const SimResult result = sim.run(oracle, 10'000'000ULL);
+  ASSERT_TRUE(result.stabilized);  // the heuristic fired...
+  // ...but the true stable pattern is typically not yet reached.
+  // (Not asserted: with some seeds it could be; the point is it fired
+  // after only 2 unmoved effective interactions.)
+  EXPECT_LT(result.interactions, 10'000'000ULL);
+}
+
+TEST(NeverStableOracle, NeverStable) {
+  NeverStableOracle oracle;
+  oracle.reset({5});
+  EXPECT_FALSE(oracle.stable());
+  oracle.on_transition(0, 0, 0, 0);
+  EXPECT_FALSE(oracle.stable());
+}
+
+}  // namespace
+}  // namespace ppk::pp

@@ -1,0 +1,154 @@
+// Tests for the epidemic and threshold protocols, including the textbook
+// closed-form calibration of the whole simulation pipeline.
+
+#include <gtest/gtest.h>
+
+#include "pp/agent_simulator.hpp"
+#include "pp/transition_table.hpp"
+#include "protocols/epidemic.hpp"
+#include "protocols/threshold.hpp"
+#include "verify/global_fairness.hpp"
+#include "verify/markov.hpp"
+
+namespace ppk::protocols {
+namespace {
+
+TEST(Epidemic, ClosedFormMatchesMarkovModule) {
+  // Two independent derivations of the same quantity: the hand-derived sum
+  // and the Markov chain solver.
+  const EpidemicProtocol protocol;
+  const pp::TransitionTable table(protocol);
+  for (std::uint32_t n : {3u, 5u, 10u, 20u}) {
+    pp::Counts initial{1, n - 1};
+    const verify::MarkovAnalysis markov(table, initial);
+    const auto analytic = markov.expected_hitting_time(
+        [n](const pp::Counts& config) { return config[0] == n; });
+    ASSERT_TRUE(analytic.has_value());
+    EXPECT_NEAR(*analytic, EpidemicProtocol::expected_interactions(n), 1e-9)
+        << "n=" << n;
+  }
+}
+
+TEST(Epidemic, SimulatorMatchesClosedForm) {
+  // Calibration of the simulator against theory external to this repo:
+  // the empirical mean over 2000 trials must be within a few percent of
+  // (the exact) sum_{i} n(n-1)/(2i(n-i)).
+  const EpidemicProtocol protocol;
+  const pp::TransitionTable table(protocol);
+  const std::uint32_t n = 50;
+  constexpr int kTrials = 2000;
+  double total = 0.0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    pp::Population population(pp::Counts{1, n - 1});
+    pp::AgentSimulator sim(table, std::move(population),
+                           derive_stream_seed(11, static_cast<std::uint64_t>(trial)));
+    pp::SilenceOracle oracle(table);
+    const auto result = sim.run(oracle, 10'000'000ULL);
+    ASSERT_TRUE(result.stabilized);
+    total += static_cast<double>(result.interactions);
+  }
+  const double empirical = total / kTrials;
+  const double analytic = EpidemicProtocol::expected_interactions(n);
+  EXPECT_NEAR(empirical / analytic, 1.0, 0.05)
+      << "empirical=" << empirical << " analytic=" << analytic;
+}
+
+TEST(Epidemic, InformedCountIsMonotone) {
+  const EpidemicProtocol protocol;
+  const pp::TransitionTable table(protocol);
+  pp::Population population(pp::Counts{1, 29});
+  pp::AgentSimulator sim(table, std::move(population), 8);
+  std::uint32_t last = 1;
+  bool decreased = false;
+  sim.set_observer([&](const pp::SimEvent&) {
+    const std::uint32_t now =
+        sim.population().counts()[EpidemicProtocol::kInformed];
+    if (now < last) decreased = true;
+    last = now;
+  });
+  pp::SilenceOracle oracle(table);
+  ASSERT_TRUE(sim.run(oracle, 10'000'000ULL).stabilized);
+  EXPECT_FALSE(decreased);
+  EXPECT_EQ(last, 30u);
+}
+
+TEST(Threshold, StateCountIsTwoTimesTPlus1) {
+  for (std::uint32_t t : {1u, 3u, 10u}) {
+    EXPECT_EQ(ThresholdProtocol(t).num_states(), 2 * (t + 1));
+  }
+}
+
+TEST(Threshold, MergeSaturatesAndPropagatesOutput) {
+  const ThresholdProtocol protocol(3);
+  // (2,-) meets (2,-): merged value 3 reaches T: both output +.
+  const auto t = protocol.delta(protocol.state(2, false),
+                                protocol.state(2, false));
+  EXPECT_EQ(t.initiator, protocol.state(3, true));
+  EXPECT_EQ(t.responder, protocol.state(0, true));
+  // Output spreads even through zero-value meetings.
+  const auto s = protocol.delta(protocol.state(0, true),
+                                protocol.state(0, false));
+  EXPECT_EQ(s.responder, protocol.state(0, true));
+}
+
+TEST(Threshold, VerifiedCorrectForAllSmallInputs) {
+  // Exhaustive: for T = 3 and n = 6, every split of ones/zeros stabilizes
+  // to the correct verdict under global fairness.
+  const ThresholdProtocol protocol(3);
+  const pp::TransitionTable table(protocol);
+  const std::uint32_t n = 6;
+  for (std::uint32_t ones = 0; ones <= n; ++ones) {
+    pp::Counts initial(protocol.num_states(), 0);
+    initial[protocol.initial_state()] = n - ones;
+    initial[protocol.one_state()] += ones;
+    const bool expected = ones >= protocol.threshold();
+    const auto verdict = verify::verify_stabilization(
+        protocol, table, initial,
+        [&](const pp::Counts&, const std::vector<std::uint32_t>& sizes) {
+          // All agents must output the same, correct verdict.
+          return expected ? sizes[0] == 0 : sizes[1] == 0;
+        });
+    EXPECT_TRUE(verdict.solves) << "ones=" << ones << ": " << verdict.failure;
+  }
+}
+
+TEST(Threshold, StableButNotSilentBelowThreshold) {
+  // Below the threshold the leftover value keeps hopping between agents:
+  // outputs are stable, the configuration never goes silent.  This is the
+  // library's canonical example of why stability != silence.
+  const ThresholdProtocol protocol(4);
+  const pp::TransitionTable table(protocol);
+  pp::Counts initial(protocol.num_states(), 0);
+  initial[protocol.initial_state()] = 6;
+  initial[protocol.one_state()] += 2;  // 2 < 4: verdict false
+
+  pp::Population population(initial);
+  pp::AgentSimulator sim(table, std::move(population), 5);
+  pp::SilenceOracle oracle(table);
+  const auto result = sim.run(oracle, 100'000);
+  EXPECT_FALSE(result.stabilized);  // never silent
+  // But the outputs have long stabilized to "below threshold".
+  const auto sizes = sim.population().group_sizes(protocol);
+  EXPECT_EQ(sizes[1], 0u);
+}
+
+TEST(Threshold, SimulationDecidesLargerPopulations) {
+  const ThresholdProtocol protocol(10);
+  const pp::TransitionTable table(protocol);
+  for (std::uint32_t ones : {5u, 10u, 60u}) {
+    pp::Counts initial(protocol.num_states(), 0);
+    initial[protocol.initial_state()] = 100 - ones;
+    initial[protocol.one_state()] += ones;
+    pp::Population population(initial);
+    pp::AgentSimulator sim(table, std::move(population), ones);
+    // Run a fixed budget, then check the (stabilized) outputs.
+    pp::NeverStableOracle oracle;
+    sim.run(oracle, 2'000'000);
+    const auto sizes = sim.population().group_sizes(protocol);
+    const bool expected = ones >= 10;
+    EXPECT_EQ(sizes[expected ? 0 : 1], 0u) << "ones=" << ones;
+  }
+}
+
+}  // namespace
+}  // namespace ppk::protocols

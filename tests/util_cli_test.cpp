@@ -1,0 +1,109 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ppk {
+namespace {
+
+TEST(Cli, DefaultsAreUsedWithoutArguments) {
+  Cli cli("prog", "test");
+  auto trials = cli.flag<int>("trials", 100, "trial count");
+  auto fast = cli.flag<bool>("fast", false, "fast mode");
+  EXPECT_EQ(cli.try_parse({}), std::nullopt);
+  EXPECT_EQ(*trials, 100);
+  EXPECT_FALSE(*fast);
+}
+
+TEST(Cli, ParsesSpaceSeparatedValue) {
+  Cli cli("prog", "test");
+  auto trials = cli.flag<int>("trials", 100, "trial count");
+  EXPECT_EQ(cli.try_parse({"--trials", "7"}), std::nullopt);
+  EXPECT_EQ(*trials, 7);
+}
+
+TEST(Cli, ParsesEqualsSeparatedValue) {
+  Cli cli("prog", "test");
+  auto seed = cli.flag<long long>("seed", 1, "rng seed");
+  EXPECT_EQ(cli.try_parse({"--seed=987654321012"}), std::nullopt);
+  EXPECT_EQ(*seed, 987654321012LL);
+}
+
+TEST(Cli, BoolFlagWithoutValueMeansTrue) {
+  Cli cli("prog", "test");
+  auto fast = cli.flag<bool>("fast", false, "fast mode");
+  EXPECT_EQ(cli.try_parse({"--fast"}), std::nullopt);
+  EXPECT_TRUE(*fast);
+}
+
+TEST(Cli, BoolFlagAcceptsExplicitValues) {
+  Cli cli("prog", "test");
+  auto fast = cli.flag<bool>("fast", true, "fast mode");
+  EXPECT_EQ(cli.try_parse({"--fast=false"}), std::nullopt);
+  EXPECT_FALSE(*fast);
+  EXPECT_EQ(cli.try_parse({"--fast=yes"}), std::nullopt);
+  EXPECT_TRUE(*fast);
+}
+
+TEST(Cli, ParsesDoubleAndString) {
+  Cli cli("prog", "test");
+  auto scale = cli.flag<double>("scale", 1.0, "scale factor");
+  auto out = cli.flag<std::string>("out", "a.csv", "output path");
+  EXPECT_EQ(cli.try_parse({"--scale", "2.5", "--out", "b.csv"}), std::nullopt);
+  EXPECT_DOUBLE_EQ(*scale, 2.5);
+  EXPECT_EQ(*out, "b.csv");
+}
+
+TEST(Cli, UnknownFlagIsAnError) {
+  Cli cli("prog", "test");
+  auto error = cli.try_parse({"--nope"});
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("unknown flag"), std::string::npos);
+}
+
+TEST(Cli, MalformedNumberIsAnError) {
+  Cli cli("prog", "test");
+  cli.flag<int>("trials", 100, "trial count");
+  auto error = cli.try_parse({"--trials", "abc"});
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("number"), std::string::npos);
+}
+
+TEST(Cli, MissingValueIsAnError) {
+  Cli cli("prog", "test");
+  cli.flag<int>("trials", 100, "trial count");
+  auto error = cli.try_parse({"--trials"});
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("needs a value"), std::string::npos);
+}
+
+TEST(Cli, PositionalArgumentIsAnError) {
+  Cli cli("prog", "test");
+  auto error = cli.try_parse({"stray"});
+  ASSERT_TRUE(error.has_value());
+}
+
+TEST(Cli, HelpIsReported) {
+  Cli cli("prog", "test");
+  auto error = cli.try_parse({"--help"});
+  ASSERT_TRUE(error.has_value());
+  EXPECT_EQ(*error, "help");
+}
+
+TEST(Cli, UsageListsFlagsAndDefaults) {
+  Cli cli("fig3", "Regenerates Figure 3.");
+  cli.flag<int>("trials", 100, "trials per point");
+  const std::string usage = cli.usage();
+  EXPECT_NE(usage.find("fig3"), std::string::npos);
+  EXPECT_NE(usage.find("--trials"), std::string::npos);
+  EXPECT_NE(usage.find("default: 100"), std::string::npos);
+}
+
+TEST(Cli, LaterOccurrenceWins) {
+  Cli cli("prog", "test");
+  auto trials = cli.flag<int>("trials", 1, "trial count");
+  EXPECT_EQ(cli.try_parse({"--trials", "2", "--trials", "3"}), std::nullopt);
+  EXPECT_EQ(*trials, 3);
+}
+
+}  // namespace
+}  // namespace ppk

@@ -1,0 +1,106 @@
+// Unit tests for the RNG stack: determinism, bounds, rough uniformity and
+// stream independence.
+
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+#include <vector>
+
+namespace ppk {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(SplitMix64, MatchesReferenceVector) {
+  // Reference outputs for seed 1234567 from the canonical splitmix64.c.
+  SplitMix64 gen(1234567);
+  EXPECT_EQ(gen.next(), 6457827717110365317ULL);
+  EXPECT_EQ(gen.next(), 3203168211198807973ULL);
+  EXPECT_EQ(gen.next(), 9817491932198370423ULL);
+}
+
+TEST(Xoshiro256, IsDeterministic) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, BelowStaysInRange) {
+  Xoshiro256 gen(123);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(gen.below(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro256, BelowOneIsAlwaysZero) {
+  Xoshiro256 gen(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(gen.below(1), 0u);
+}
+
+TEST(Xoshiro256, BelowIsRoughlyUniform) {
+  Xoshiro256 gen(99);
+  constexpr std::uint64_t kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::array<int, kBuckets> histogram{};
+  for (int i = 0; i < kDraws; ++i) ++histogram[gen.below(kBuckets)];
+  // Expected 10000 per bucket; allow +-5% (many sigma for a binomial).
+  for (int count : histogram) {
+    EXPECT_GT(count, 9500);
+    EXPECT_LT(count, 10500);
+  }
+}
+
+TEST(Xoshiro256, Uniform01InHalfOpenInterval) {
+  Xoshiro256 gen(321);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double x = gen.uniform01();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Xoshiro256>);
+  SUCCEED();
+}
+
+TEST(DeriveStreamSeed, StreamsAreDistinct) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t stream = 0; stream < 1000; ++stream) {
+    seeds.insert(derive_stream_seed(42, stream));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(DeriveStreamSeed, DependsOnMasterSeed) {
+  EXPECT_NE(derive_stream_seed(1, 0), derive_stream_seed(2, 0));
+}
+
+TEST(DeriveStreamSeed, IsDeterministic) {
+  EXPECT_EQ(derive_stream_seed(77, 5), derive_stream_seed(77, 5));
+}
+
+}  // namespace
+}  // namespace ppk

@@ -1,0 +1,185 @@
+// Tests for the exact Markov-chain analysis, including closed-form cases
+// worked out by hand and the flagship cross-validation: the analytic
+// expected stabilization time matches the Monte-Carlo estimate.
+
+#include "verify/markov.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/invariants.hpp"
+#include "core/kpartition.hpp"
+#include "pp/agent_simulator.hpp"
+#include "pp/monte_carlo.hpp"
+#include "pp/transition_table.hpp"
+#include "protocols/leader_election.hpp"
+
+namespace ppk::verify {
+namespace {
+
+pp::Counts initial_counts(const pp::Protocol& protocol, std::uint32_t n) {
+  pp::Counts counts(protocol.num_states(), 0);
+  counts[protocol.initial_state()] = n;
+  return counts;
+}
+
+// Closed form for leader election from n leaders: with j leaders alive the
+// probability that a drawn ordered pair is (L, L) is j(j-1)/(n(n-1)), so
+// the expected interactions are sum_{j=2..n} n(n-1) / (j(j-1))
+//                              = n(n-1) * (1 - 1/n) = (n-1)^2.
+TEST(MarkovAnalysis, LeaderElectionHittingTimeMatchesClosedForm) {
+  const protocols::LeaderElectionProtocol protocol;
+  const pp::TransitionTable table(protocol);
+  for (std::uint32_t n : {2u, 3u, 5u, 8u, 12u}) {
+    const MarkovAnalysis markov(table, initial_counts(protocol, n));
+    const auto expected = markov.expected_hitting_time(
+        [](const pp::Counts& config) { return config[0] == 1; });
+    ASSERT_TRUE(expected.has_value()) << "n=" << n;
+    EXPECT_NEAR(*expected, static_cast<double>((n - 1) * (n - 1)), 1e-6)
+        << "n=" << n;
+  }
+}
+
+TEST(MarkovAnalysis, HittingTimeIsZeroWhenAlreadyInTarget) {
+  const protocols::LeaderElectionProtocol protocol;
+  const pp::TransitionTable table(protocol);
+  pp::Counts start(protocol.num_states(), 0);
+  start[protocols::LeaderElectionProtocol::kLeader] = 1;
+  start[protocols::LeaderElectionProtocol::kFollower] = 4;
+  const MarkovAnalysis markov(table, start);
+  const auto expected = markov.expected_hitting_time(
+      [](const pp::Counts& config) { return config[0] == 1; });
+  ASSERT_TRUE(expected.has_value());
+  EXPECT_DOUBLE_EQ(*expected, 0.0);
+}
+
+TEST(MarkovAnalysis, UnreachableTargetYieldsNullopt) {
+  const protocols::LeaderElectionProtocol protocol;
+  const pp::TransitionTable table(protocol);
+  const MarkovAnalysis markov(table, initial_counts(protocol, 4));
+  // Zero leaders is unreachable, so the absorbing bottom SCC (1 leader)
+  // contains no target configuration.
+  const auto expected = markov.expected_hitting_time(
+      [](const pp::Counts& config) { return config[0] == 0; });
+  EXPECT_FALSE(expected.has_value());
+}
+
+TEST(MarkovAnalysis, KPartitionAnalyticMatchesMonteCarlo) {
+  // The flagship cross-check: exact expectation vs 4000 sampled trials.
+  // With stddev/mean around 0.6 for these sizes, 4000 trials give a
+  // standard error under 1%, so a 5% tolerance is comfortable yet tight
+  // enough to catch real modeling bugs (e.g. mishandled null-interaction
+  // self-loops would shift the mean by >20%).
+  struct Case {
+    pp::GroupId k;
+    std::uint32_t n;
+  };
+  for (const Case& c : {Case{3, 6}, Case{3, 7}, Case{4, 8}}) {
+    const core::KPartitionProtocol protocol(c.k);
+    const pp::TransitionTable table(protocol);
+    const MarkovAnalysis markov(table, initial_counts(protocol, c.n));
+    const auto analytic = markov.expected_hitting_time(
+        [&](const pp::Counts& config) {
+          return core::matches_stable_pattern(protocol, c.n, config);
+        });
+    ASSERT_TRUE(analytic.has_value());
+
+    pp::MonteCarloOptions options;
+    options.trials = 4000;
+    options.master_seed = 424242;
+    const auto empirical = pp::run_monte_carlo(
+        protocol, table, c.n,
+        [&] { return core::stable_pattern_oracle(protocol, c.n); }, options);
+    const double mean = empirical.mean_interactions();
+    EXPECT_NEAR(mean / *analytic, 1.0, 0.05)
+        << "k=" << int{c.k} << " n=" << c.n << " analytic=" << *analytic
+        << " empirical=" << mean;
+  }
+}
+
+TEST(MarkovAnalysis, KPartitionAbsorbsInStablePatternWithProbabilityOne) {
+  const core::KPartitionProtocol protocol(3);
+  const pp::TransitionTable table(protocol);
+  const MarkovAnalysis markov(table, initial_counts(protocol, 7));
+  const auto absorption = markov.absorption_probabilities();
+  double total = 0.0;
+  for (const auto& a : absorption) {
+    total += a.probability;
+    // Every bottom SCC of the correct protocol is the stable pattern.
+    EXPECT_TRUE(core::matches_stable_pattern(
+        protocol, 7, markov.graph().config(a.representative_config)));
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(MarkovAnalysis, BasicStrategyWedgeProbabilityMatchesSimulation) {
+  // Exact wedge probability for the basic strategy at k = 3, n = 6, then
+  // a Monte-Carlo estimate against it.
+  const core::BasicStrategyProtocol protocol(3);
+  const pp::TransitionTable table(protocol);
+  const MarkovAnalysis markov(table, initial_counts(protocol, 6));
+
+  double wedge_probability = 0.0;
+  for (const auto& a : markov.absorption_probabilities()) {
+    const auto& rep = markov.graph().config(a.representative_config);
+    std::vector<std::uint32_t> sizes(protocol.num_groups(), 0);
+    for (pp::StateId s = 0; s < rep.size(); ++s) {
+      sizes[protocol.group(s)] += rep[s];
+    }
+    if (!pp::is_uniform_partition(sizes)) wedge_probability += a.probability;
+  }
+  EXPECT_GT(wedge_probability, 0.0);
+  EXPECT_LT(wedge_probability, 0.5);
+
+  // Empirical estimate over 4000 trials, inspecting each final partition.
+  constexpr int kTrials = 4000;
+  int wedged = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    pp::Population population(6, protocol.num_states(),
+                              protocol.initial_state());
+    pp::AgentSimulator sim(table, std::move(population),
+                           derive_stream_seed(777, static_cast<std::uint64_t>(trial)));
+    pp::SilenceOracle oracle(table);
+    ASSERT_TRUE(sim.run(oracle, 10'000'000ULL).stabilized);
+    if (!pp::is_uniform_partition(sim.population().group_sizes(protocol))) {
+      ++wedged;
+    }
+  }
+  const double empirical = static_cast<double>(wedged) / kTrials;
+  // Binomial standard error at p ~ 0.1 over 4000 trials is ~0.005; allow
+  // five sigma.
+  EXPECT_NEAR(empirical, wedge_probability, 0.025);
+}
+
+TEST(MarkovAnalysis, AbsorptionSumsToOneForBipartitionStyleChains) {
+  const core::KPartitionProtocol protocol(2);
+  const pp::TransitionTable table(protocol);
+  for (std::uint32_t n : {4u, 5u, 7u}) {
+    const MarkovAnalysis markov(table, initial_counts(protocol, n));
+    double total = 0.0;
+    for (const auto& a : markov.absorption_probabilities()) {
+      total += a.probability;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9) << "n=" << n;
+  }
+}
+
+TEST(MarkovAnalysis, HittingTimeGrowsWithN) {
+  const core::KPartitionProtocol protocol(3);
+  const pp::TransitionTable table(protocol);
+  double previous = 0.0;
+  for (std::uint32_t n : {4u, 6u, 8u}) {
+    const MarkovAnalysis markov(table, initial_counts(protocol, n));
+    const auto expected = markov.expected_hitting_time(
+        [&](const pp::Counts& config) {
+          return core::matches_stable_pattern(protocol, n, config);
+        });
+    ASSERT_TRUE(expected.has_value());
+    EXPECT_GT(*expected, previous);
+    previous = *expected;
+  }
+}
+
+}  // namespace
+}  // namespace ppk::verify

@@ -1,0 +1,142 @@
+// The generic global-fairness verifier exercised on the classic protocols
+// with known stabilization behaviour.
+
+#include <gtest/gtest.h>
+
+#include "pp/agent_simulator.hpp"
+#include "pp/transition_table.hpp"
+#include "protocols/approximate_majority.hpp"
+#include "protocols/exact_majority.hpp"
+#include "protocols/leader_election.hpp"
+#include "protocols/modulo_counter.hpp"
+#include "verify/global_fairness.hpp"
+
+namespace ppk::protocols {
+namespace {
+
+TEST(LeaderElection, StabilizesToExactlyOneLeader) {
+  const LeaderElectionProtocol protocol;
+  const pp::TransitionTable table(protocol);
+  for (std::uint32_t n : {2u, 3u, 5u, 10u, 25u}) {
+    pp::Counts initial(protocol.num_states(), 0);
+    initial[LeaderElectionProtocol::kLeader] = n;
+    const auto verdict = verify::verify_stabilization(
+        protocol, table, initial,
+        [](const pp::Counts& config, const std::vector<std::uint32_t>&) {
+          return config[LeaderElectionProtocol::kLeader] == 1;
+        });
+    EXPECT_TRUE(verdict.solves) << "n=" << n << ": " << verdict.failure;
+  }
+}
+
+TEST(ApproximateMajority, AlwaysReachesConsensusUnderGlobalFairness) {
+  const ApproximateMajorityProtocol protocol;
+  const pp::TransitionTable table(protocol);
+  // From any mixed start the bottom SCCs must be all-X or all-Y.
+  for (const auto& [x, y, b] :
+       {std::tuple{3u, 2u, 0u}, {2u, 2u, 1u}, {4u, 1u, 3u}}) {
+    pp::Counts initial{x, y, b};
+    const auto verdict = verify::verify_stabilization(
+        protocol, table, initial,
+        [&](const pp::Counts& config, const std::vector<std::uint32_t>&) {
+          const std::uint32_t n = x + y + b;
+          return config[ApproximateMajorityProtocol::kX] == n ||
+                 config[ApproximateMajorityProtocol::kY] == n;
+        });
+    EXPECT_TRUE(verdict.solves)
+        << "x=" << x << " y=" << y << " b=" << b << ": " << verdict.failure;
+  }
+}
+
+TEST(ExactMajority, MajorityOpinionWinsInEveryFairExecution) {
+  const ExactMajorityProtocol protocol;
+  const pp::TransitionTable table(protocol);
+  // 4 strong A vs 3 strong B: group 0 ("A wins") must absorb everyone.
+  pp::Counts initial{4, 3, 0, 0};
+  const auto verdict = verify::verify_stabilization(
+      protocol, table, initial,
+      [](const pp::Counts&, const std::vector<std::uint32_t>& sizes) {
+        return sizes[0] == 7 && sizes[1] == 0;
+      });
+  EXPECT_TRUE(verdict.solves) << verdict.failure;
+}
+
+TEST(ExactMajority, MinorityNeverWinsEvenWhenItStartsLoud) {
+  const ExactMajorityProtocol protocol;
+  const pp::TransitionTable table(protocol);
+  pp::Counts initial{2, 5, 0, 0};  // B has the majority
+  const auto verdict = verify::verify_stabilization(
+      protocol, table, initial,
+      [](const pp::Counts&, const std::vector<std::uint32_t>& sizes) {
+        return sizes[1] == 7;
+      });
+  EXPECT_TRUE(verdict.solves) << verdict.failure;
+}
+
+TEST(ExactMajority, TieLeavesAllAgentsWeak) {
+  const ExactMajorityProtocol protocol;
+  const pp::TransitionTable table(protocol);
+  pp::Counts initial{3, 3, 0, 0};
+  const auto verdict = verify::verify_stabilization(
+      protocol, table, initial,
+      [](const pp::Counts& config, const std::vector<std::uint32_t>&) {
+        return config[ExactMajorityProtocol::kStrongA] == 0 &&
+               config[ExactMajorityProtocol::kStrongB] == 0;
+      });
+  EXPECT_TRUE(verdict.solves) << verdict.failure;
+}
+
+TEST(ModuloCounter, SingleHolderEndsWithNModM) {
+  for (std::uint32_t m : {2u, 3u, 5u}) {
+    const ModuloCounterProtocol protocol(m);
+    const pp::TransitionTable table(protocol);
+    for (std::uint32_t n : {3u, 4u, 7u}) {
+      pp::Counts initial(protocol.num_states(), 0);
+      initial[protocol.initial_state()] = n;
+      const auto verdict = verify::verify_stabilization(
+          protocol, table, initial,
+          [&](const pp::Counts& config, const std::vector<std::uint32_t>&) {
+            // Exactly one non-sink holder carrying n mod m.
+            std::uint32_t holders = 0;
+            for (std::uint32_t v = 0; v < m; ++v) holders += config[v];
+            return holders == 1 && config[n % m] == 1;
+          });
+      EXPECT_TRUE(verdict.solves)
+          << "m=" << m << " n=" << n << ": " << verdict.failure;
+    }
+  }
+}
+
+TEST(ModuloCounter, SimulationAgreesWithTheory) {
+  const ModuloCounterProtocol protocol(4);
+  const pp::TransitionTable table(protocol);
+  const std::uint32_t n = 30;  // 30 mod 4 = 2
+  pp::Population population(n, protocol.num_states(),
+                            protocol.initial_state());
+  pp::AgentSimulator sim(table, std::move(population), 13);
+  pp::SilenceOracle oracle(table);
+  ASSERT_TRUE(sim.run(oracle, 10'000'000ULL).stabilized);
+  EXPECT_EQ(sim.population().counts()[2], 1u);
+  EXPECT_EQ(sim.population().counts()[protocol.sink()], n - 1);
+}
+
+TEST(ApproximateMajority, SimulationConvergesToInitialMajority) {
+  // Statistical: with a 3:1 margin on n = 100, consensus on X should win
+  // in the overwhelming majority of runs.
+  const ApproximateMajorityProtocol protocol;
+  const pp::TransitionTable table(protocol);
+  int x_wins = 0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    pp::Population population(pp::Counts{75, 25, 0});
+    pp::AgentSimulator sim(table, std::move(population), seed);
+    pp::SilenceOracle oracle(table);
+    if (!sim.run(oracle, 10'000'000ULL).stabilized) continue;
+    if (sim.population().counts()[ApproximateMajorityProtocol::kX] == 100) {
+      ++x_wins;
+    }
+  }
+  EXPECT_GE(x_wins, 18);
+}
+
+}  // namespace
+}  // namespace ppk::protocols
