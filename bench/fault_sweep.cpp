@@ -1,0 +1,146 @@
+// Robustness experiment: the k-partition system under churn.  Sweeps a
+// small grid of fault rates (crashes, joins, corruption), each cell run
+// both with the self-healing recovery layer and with the bare paper
+// protocol, and reports recovery metrics: fraction of trials that
+// re-stabilized, time-to-rebalance after the last fault, and the final
+// spread of the committed group sizes.
+//
+// Expected reading: the bare protocol recovers from joins (a late initial
+// agent is absorbed) but not from crashes or corruption -- those trials
+// exhaust their interaction budget with spread > 1 and a broken Lemma 1
+// invariant, which is the honest measurement of the paper's
+// non-self-stabilization.  The recovery layer restores a recovered
+// fraction of 1.0 at the cost of a reset wave.
+
+#include <optional>
+
+#include "analysis/recovery.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+struct RateCell {
+  const char* label;
+  ppk::pp::FaultRates rates;
+};
+
+double mean_over(const std::vector<ppk::analysis::RecoveryTrial>& trials,
+                 double (*pick)(const ppk::analysis::RecoveryTrial&)) {
+  double total = 0.0;
+  for (const auto& t : trials) total += pick(t);
+  return trials.empty() ? 0.0 : total / static_cast<double>(trials.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ppk::Cli cli("fault_sweep",
+               "Recovery metrics under injected faults, with and without "
+               "the self-healing layer.");
+  ppk::bench::CommonFlags common(cli, /*default_trials=*/10);
+  auto n_flag = cli.flag<int>("n", 40, "initial population size");
+  auto k_flag = cli.flag<int>("k", 4, "number of groups");
+  auto budget_flag = cli.flag<long long>(
+      "budget", 2'000'000, "per-trial interaction budget");
+  auto horizon_flag = cli.flag<long long>(
+      "horizon", 100'000, "fault-injection window (interactions)");
+  cli.parse(argc, argv);
+
+  const auto n = static_cast<std::uint32_t>(*n_flag);
+  const auto k = static_cast<ppk::pp::GroupId>(*k_flag);
+  const int trials = *common.paper ? 100 : *common.trials;
+
+  ppk::bench::print_header("Fault sweep",
+                           "churn tolerance of uniform k-partition");
+
+  // The csv flag defaults empty like the other benches; this bench also
+  // honors it, and the CI smoke passes an explicit path.
+  std::optional<ppk::io::CsvFile> csv;
+  if (!common.csv->empty()) {
+    csv.emplace(*common.csv,
+                std::vector<std::string>{
+                    "mode", "faults", "k", "n", "crash_rate", "join_rate",
+                    "corrupt_rate", "trials", "recovered_fraction",
+                    "mean_rebalance_interactions", "mean_final_spread",
+                    "mean_faults_applied", "mean_waves",
+                    "mean_interactions"});
+  }
+
+  std::vector<RateCell> cells;
+  cells.push_back({"none", {}});
+  {
+    ppk::pp::FaultRates r;
+    r.join = 1e-4;
+    cells.push_back({"join", r});
+  }
+  {
+    ppk::pp::FaultRates r;
+    r.crash = 1e-4;
+    cells.push_back({"crash", r});
+  }
+  {
+    ppk::pp::FaultRates r;
+    r.corrupt = 1e-4;
+    cells.push_back({"corrupt", r});
+  }
+  {
+    ppk::pp::FaultRates r;
+    r.crash = 1e-4;
+    r.join = 1e-4;
+    r.corrupt = 5e-5;
+    r.sleep = 5e-5;
+    cells.push_back({"mixed", r});
+  }
+
+  ppk::analysis::Table out({"faults", "mode", "recovered", "mean rebalance",
+                            "mean spread", "mean faults", "mean waves"});
+  for (const RateCell& cell : cells) {
+    for (const bool with_recovery : {false, true}) {
+      ppk::analysis::RecoveryOptions options;
+      options.trials = static_cast<std::uint32_t>(trials);
+      options.master_seed = static_cast<std::uint64_t>(*common.seed);
+      options.max_interactions = static_cast<std::uint64_t>(*budget_flag);
+      options.threads = static_cast<std::size_t>(*common.threads);
+      options.rates = cell.rates;
+      options.fault_horizon = static_cast<std::uint64_t>(*horizon_flag);
+      options.with_recovery = with_recovery;
+
+      const ppk::analysis::RecoveryResult result =
+          ppk::analysis::measure_recovery(k, n, options);
+
+      const double mean_faults = mean_over(
+          result.trials, [](const ppk::analysis::RecoveryTrial& t) {
+            return static_cast<double>(t.faults_applied);
+          });
+      const double mean_waves = mean_over(
+          result.trials, [](const ppk::analysis::RecoveryTrial& t) {
+            return static_cast<double>(t.waves);
+          });
+      const double mean_interactions = mean_over(
+          result.trials, [](const ppk::analysis::RecoveryTrial& t) {
+            return static_cast<double>(t.interactions);
+          });
+      const char* mode = with_recovery ? "self-healing" : "bare";
+
+      out.row(cell.label, mode, result.recovered_fraction,
+              result.rebalance.mean, result.spread.mean, mean_faults,
+              mean_waves);
+      if (csv) {
+        csv->row(mode, cell.label, int{k}, n, cell.rates.crash,
+                 cell.rates.join, cell.rates.corrupt, trials,
+                 result.recovered_fraction, result.rebalance.mean,
+                 result.spread.mean, mean_faults, mean_waves,
+                 mean_interactions);
+      }
+    }
+  }
+  out.print(std::cout);
+  std::printf(
+      "\nReading: joins alone are absorbed by the bare protocol (a late\n"
+      "initial agent fills remaining slots), but any crash or corruption\n"
+      "permanently breaks its Lemma 1 bookkeeping -- those bare runs burn\n"
+      "the whole interaction budget and end with spread > 1.  With the\n"
+      "epoch-reset recovery layer every cell re-stabilizes to the uniform\n"
+      "partition of the surviving population.\n");
+  return 0;
+}

@@ -1,19 +1,25 @@
 // Population dynamics: what happens to the partition when the population
 // changes *after* stabilization?  (The paper's motivation cites
 // fault-tolerance [14]; this example shows precisely how far the protocol
-// gets for free and where it genuinely breaks.)
+// gets for free, where it genuinely breaks, and what the repo's recovery
+// layer adds.)  Built on the fault-injection subsystem (pp/faults.hpp).
 //
-//  * Agents JOINING in the designated initial state are absorbed
+//  * Part 1 -- agents JOINING in the designated initial state are absorbed
 //    gracefully: a locked-in group set is never undone, the newcomers run
 //    fresh builds and the population re-stabilizes to the uniform
-//    partition of the larger n.
-//  * Agents LEAVING (crashes) break the protocol: the departed agents'
-//    group slots are lost, and with them the Lemma 1 bookkeeping -- the
-//    protocol has designated initial states and is not self-stabilizing,
-//    so the remaining population can be stuck in a non-uniform partition
-//    forever.  The example demonstrates the failure honestly.
+//    partition of the larger n.  No recovery machinery needed.
+//  * Part 2 -- agents LEAVING (crashes) break the bare protocol: the
+//    departed agents' group slots are lost, and with them the Lemma 1
+//    bookkeeping -- the protocol has designated initial states and is not
+//    self-stabilizing, so the survivors stay stuck in a non-uniform
+//    partition until the interaction budget runs out.  The example
+//    demonstrates the failure honestly; the budget (not a hang) ends it.
+//  * Part 3 -- the same crash under the self-healing wrapper
+//    (core/recovery.hpp): the RecoveryManager seeds an epoch-reset wave,
+//    every survivor restarts as an initial agent of the new epoch, and the
+//    population re-converges to the uniform partition of the surviving n.
 //
-//   ./fault_recovery [--n 40] [--k 4] [--join 10] [--crash 7] [--seed 2]
+//   ./fault_recovery [--n 40] [--k 4] [--join 10] [--crash 7] [--seed 3]
 
 #include <algorithm>
 #include <cstdio>
@@ -21,11 +27,10 @@
 
 #include "core/invariants.hpp"
 #include "core/kpartition.hpp"
-#include "pp/agent_simulator.hpp"
-#include "pp/trace.hpp"
+#include "core/recovery.hpp"
+#include "pp/faults.hpp"
 #include "pp/transition_table.hpp"
 #include "util/cli.hpp"
-#include "util/rng.hpp"
 
 namespace {
 
@@ -37,95 +42,126 @@ void print_sizes(const char* label,
   std::printf("   (spread %u)\n", *hi - *lo);
 }
 
-ppk::pp::SimResult stabilize(ppk::pp::AgentSimulator& sim,
-                             const ppk::core::KPartitionProtocol& protocol) {
-  auto oracle =
-      ppk::core::stable_pattern_oracle(protocol, sim.population().size());
-  return sim.run(*oracle, 500'000'000ULL);
+/// A schedule that crashes `count` agents at interaction `at` (targets
+/// resolved uniformly by the engine's fault stream).
+std::vector<ppk::pp::FaultEvent> crash_burst(std::uint64_t at,
+                                             std::uint32_t count) {
+  std::vector<ppk::pp::FaultEvent> schedule;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ppk::pp::FaultEvent event;
+    event.at = at;
+    event.kind = ppk::pp::FaultKind::kCrash;
+    schedule.push_back(event);
+  }
+  return schedule;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   ppk::Cli cli("fault_recovery",
-               "Joins are absorbed; crashes break the partition.");
+               "Joins are absorbed; crashes break the bare protocol; the "
+               "self-healing layer repairs them.");
   auto n_flag = cli.flag<int>("n", 40, "initial population size");
   auto k_flag = cli.flag<int>("k", 4, "number of groups");
   auto join_flag = cli.flag<int>("join", 10, "agents joining after "
                                              "stabilization");
-  auto crash_flag = cli.flag<int>("crash", 7, "agents crashing in part 2");
-  auto seed = cli.flag<long long>("seed", 2, "RNG seed");
+  auto crash_flag = cli.flag<int>("crash", 7, "agents crashing in parts 2-3");
+  auto seed_flag = cli.flag<long long>("seed", 3, "RNG seed");
   cli.parse(argc, argv);
   const auto n = static_cast<std::uint32_t>(*n_flag);
   const auto k = static_cast<ppk::pp::GroupId>(*k_flag);
   const auto joiners = static_cast<std::uint32_t>(*join_flag);
   const auto crashers = static_cast<std::uint32_t>(*crash_flag);
+  const auto seed = static_cast<std::uint64_t>(*seed_flag);
 
   const ppk::core::KPartitionProtocol protocol(k);
   const ppk::pp::TransitionTable table(protocol);
+  // Big enough to let faults fire after stabilization, small enough that a
+  // genuinely stuck run ends promptly.
+  constexpr std::uint64_t kBudget = 20'000'000ULL;
+  // All schedules fire here -- comfortably after the ~n log n stabilization.
+  constexpr std::uint64_t kFaultAt = 200'000ULL;
 
   std::printf("=== Part 1: %u agents join after stabilization ===\n", joiners);
   {
-    ppk::pp::AgentSimulator sim(
+    ppk::pp::ChurnSimulator sim(
         table,
         ppk::pp::Population(n, protocol.num_states(),
                             protocol.initial_state()),
-        static_cast<std::uint64_t>(*seed));
-    auto first = stabilize(sim, protocol);
-    std::printf("initial stabilization: %llu interactions\n",
-                static_cast<unsigned long long>(first.interactions));
-    print_sizes("  partition of n:", sim.population().group_sizes(protocol));
-
-    // Rebuild a larger population carrying over every agent's state; the
-    // joiners enter in the designated initial state.
-    ppk::pp::Counts carried = sim.population().counts();
-    carried[protocol.initial_state()] += joiners;
-    ppk::pp::AgentSimulator grown(table, ppk::pp::Population(carried),
-                                  static_cast<std::uint64_t>(*seed) + 1);
-    auto second = stabilize(grown, protocol);
-    std::printf("re-stabilization after join: %llu interactions (%s)\n",
-                static_cast<unsigned long long>(second.interactions),
-                second.stabilized ? "stable" : "NOT stable");
+        seed);
+    std::vector<ppk::pp::FaultEvent> schedule;
+    for (std::uint32_t i = 0; i < joiners; ++i) {
+      ppk::pp::FaultEvent event;
+      event.at = kFaultAt;
+      event.kind = ppk::pp::FaultKind::kJoin;
+      schedule.push_back(event);
+    }
+    sim.set_schedule(std::move(schedule));
+    sim.set_default_join_state(protocol.initial_state());
+    const auto oracle = ppk::core::churn_aware_stable_oracle(protocol);
+    const auto result = sim.run(*oracle, kBudget);
+    std::printf("stabilized twice (before and after the joins): %s, "
+                "%llu interactions total\n",
+                result.stabilized ? "yes" : "NO",
+                static_cast<unsigned long long>(result.interactions));
     print_sizes("  partition of n + join:",
-                grown.population().group_sizes(protocol));
+                sim.population().group_sizes(protocol));
   }
 
-  std::printf("\n=== Part 2: %u agents crash after stabilization ===\n",
-              crashers);
+  std::printf("\n=== Part 2: %u agents crash, bare protocol ===\n", crashers);
   {
-    ppk::pp::AgentSimulator sim(
+    ppk::pp::ChurnSimulator sim(
         table,
         ppk::pp::Population(n, protocol.num_states(),
                             protocol.initial_state()),
-        static_cast<std::uint64_t>(*seed) + 2);
-    stabilize(sim, protocol);
-    print_sizes("  partition before crash:",
-                sim.population().group_sizes(protocol));
-
-    // Remove agents 0..crashers-1 (whatever groups they landed in).
-    ppk::pp::Counts survivors = sim.population().counts();
-    for (std::uint32_t a = 0; a < crashers; ++a) {
-      --survivors[sim.population().state_of(a)];
-    }
-    ppk::pp::AgentSimulator after(table, ppk::pp::Population(survivors),
-                                  static_cast<std::uint64_t>(*seed) + 3);
-    // Give it a generous budget with the survivors' stable pattern as the
-    // goal; the protocol cannot reach it (group members never re-balance).
-    auto oracle = ppk::core::stable_pattern_oracle(
-        protocol, after.population().size());
-    const auto result = after.run(*oracle, 20'000'000ULL);
+        seed + 1);
+    sim.set_schedule(crash_burst(kFaultAt, crashers));
+    const auto oracle = ppk::core::churn_aware_stable_oracle(protocol);
+    const auto result = sim.run(*oracle, kBudget);
     std::printf("recovery attempt: %s after %llu interactions\n",
                 result.stabilized ? "recovered (lucky crash pattern)"
-                                  : "NOT recovered (expected)",
+                                  : "NOT recovered (expected; budget-bound)",
                 static_cast<unsigned long long>(result.interactions));
     print_sizes("  partition after crash:",
-                after.population().group_sizes(protocol));
+                sim.population().group_sizes(protocol));
+    std::printf("  Lemma 1 invariant: %s\n",
+                ppk::core::lemma1_holds(protocol, sim.population().counts())
+                    ? "holds"
+                    : "BROKEN (crash destroyed the bookkeeping)");
     std::printf(
         "\nWhy: committed agents (g states) never change groups, so the\n"
         "survivors cannot re-balance -- the protocol assumes designated\n"
-        "initial states and is not self-stabilizing.  Fault tolerance\n"
-        "requires either re-initializing all agents or a protocol like\n"
-        "Delporte-Gallet et al. [14] that trades exactness for it.\n");
+        "initial states and is not self-stabilizing.\n");
+  }
+
+  std::printf("\n=== Part 3: the same crash, self-healing layer ===\n");
+  {
+    const ppk::core::SelfHealingKPartitionProtocol healing(k);
+    const ppk::pp::TransitionTable healing_table(healing);
+    ppk::pp::ChurnSimulator sim(
+        healing_table,
+        ppk::pp::Population(n, healing.num_states(), healing.initial_state()),
+        seed + 1);  // same pair stream as part 2
+    sim.set_schedule(crash_burst(kFaultAt, crashers));
+    ppk::core::RecoveryManager manager(healing, sim);
+    const auto result = sim.run(manager.oracle(), kBudget);
+    std::printf("recovery: %s after %llu interactions "
+                "(%u reset wave%s)\n",
+                result.stabilized ? "recovered" : "NOT recovered",
+                static_cast<unsigned long long>(result.interactions),
+                manager.waves_started(),
+                manager.waves_started() == 1 ? "" : "s");
+    print_sizes("  partition of the survivors:",
+                sim.population().group_sizes(healing));
+    std::printf(
+        "\nHow: the RecoveryManager noticed the lost group slots and seeded\n"
+        "ONE survivor with the next epoch; the reset spread epidemically\n"
+        "(each interaction converts one more agent into a fresh initial\n"
+        "agent of the new epoch), after which plain Algorithm 1 re-ran on\n"
+        "the surviving population.  Detection is the harness's job --\n"
+        "anonymous agents cannot observe departures -- but the repair\n"
+        "itself is pure population-protocol dynamics.\n");
   }
   return 0;
 }

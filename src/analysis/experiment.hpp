@@ -17,7 +17,7 @@ namespace ppk::analysis {
 struct ExperimentOptions {
   std::uint32_t trials = 100;  // the paper's setting
   std::uint64_t master_seed = 0x5EEDULL;
-  std::uint64_t max_interactions = UINT64_MAX;
+  std::uint64_t max_interactions = pp::kDefaultInteractionBudget;
   pp::Engine engine = pp::Engine::kAgentArray;
   std::size_t threads = 1;
   bool track_groupings = false;  // record g_k entries for Figure 4

@@ -1,0 +1,78 @@
+// Fault-injection campaigns: the repeated experiment of the robustness
+// study.  Each trial runs the k-partition system under a seed-reproducible
+// fault schedule (crashes, joins, corruption, stuck agents) and records
+// whether and how fast the population re-converges to the uniform partition
+// of the *surviving* agents.
+//
+// Two modes, for an honest comparison:
+//  - with_recovery = true: the epoch-stamped self-healing wrapper plus the
+//    RecoveryManager (core/recovery.hpp).
+//  - with_recovery = false: the bare paper protocol with a churn-aware
+//    stable-pattern oracle; crashes break the Lemma 1 bookkeeping and the
+//    trial typically exhausts its interaction budget unstabilized -- that
+//    is the measured result, not a hang (satellite of the same PR).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/stats.hpp"
+#include "pp/faults.hpp"
+#include "pp/protocol.hpp"
+
+namespace ppk::analysis {
+
+struct RecoveryOptions {
+  std::uint32_t trials = 20;
+  std::uint64_t master_seed = 0xFA17ULL;
+  /// Generous but finite: a post-fault population that cannot stabilize
+  /// terminates with stabilized = false instead of spinning.
+  std::uint64_t max_interactions = 50'000'000;
+  std::size_t threads = 1;
+  /// Per-interaction fault probabilities expanded into a deterministic
+  /// per-trial schedule over the first `fault_horizon` interactions.
+  pp::FaultRates rates;
+  std::uint64_t fault_horizon = 1'000'000;
+  bool with_recovery = true;
+};
+
+struct RecoveryTrial {
+  std::uint64_t interactions = 0;
+  std::uint64_t effective = 0;
+  bool stabilized = false;
+  /// Injected faults (reset-wave writes by the recovery layer excluded).
+  std::uint32_t faults_applied = 0;
+  /// Reset waves the RecoveryManager started (0 without recovery).
+  std::uint32_t waves = 0;
+  std::uint32_t final_population = 0;
+  /// Interactions from the last injected fault to stabilization (0 if the
+  /// trial saw no fault or never stabilized).
+  std::uint64_t rebalance_interactions = 0;
+  /// max - min over the final committed group sizes (#g_x); <= 1 iff the
+  /// final partition is uniform.
+  std::uint32_t final_spread = 0;
+  /// Lemma 1 evaluated on the final (epoch-projected) configuration.
+  bool lemma1_ok = false;
+};
+
+struct RecoveryResult {
+  pp::GroupId k = 0;
+  std::uint32_t n = 0;
+  std::vector<RecoveryTrial> trials;
+  /// Fraction of trials that re-stabilized within the budget.
+  double recovered_fraction = 0.0;
+  /// Over recovered trials that saw >= 1 fault: time-to-rebalance.
+  Summary rebalance;
+  /// Over all trials: final spread.
+  Summary spread;
+  double wall_seconds = 0.0;
+};
+
+/// Runs the fault-injection experiment for one (n, k) point.  Trials are
+/// deterministic functions of (master_seed, trial index) regardless of
+/// thread count.
+RecoveryResult measure_recovery(pp::GroupId k, std::uint32_t n,
+                                const RecoveryOptions& options);
+
+}  // namespace ppk::analysis

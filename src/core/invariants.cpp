@@ -1,5 +1,7 @@
 #include "core/invariants.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 
 namespace ppk::core {
@@ -54,6 +56,91 @@ bool matches_stable_pattern(const KPartitionProtocol& protocol,
     if (counts[s] != target[s]) return false;
   }
   return true;
+}
+
+namespace {
+
+/// stable_pattern_oracle's logic, minus the fixed-n assumption: the target
+/// pattern is a function of the live population size and is recomputed on
+/// every reset() / on_external_change().  Kept simple (full recount per
+/// rebuild, O(1) per transition) -- churn events are rare next to
+/// interactions.
+class ChurnAwareStableOracle final : public pp::StabilityOracle {
+ public:
+  explicit ChurnAwareStableOracle(const KPartitionProtocol& protocol)
+      : protocol_(&protocol),
+        current_(protocol.num_states(), 0),
+        target_(protocol.num_states(), 0) {}
+
+  void reset(const pp::Counts& counts) override { rebuild(counts); }
+
+  void on_external_change(const pp::Counts& counts) override {
+    rebuild(counts);
+  }
+
+  void on_transition(pp::StateId p, pp::StateId q, pp::StateId p_next,
+                     pp::StateId q_next) override {
+    bump(p, -1);
+    bump(q, -1);
+    bump(p_next, +1);
+    bump(q_next, +1);
+  }
+
+  [[nodiscard]] bool stable() const override {
+    return n_ >= 3 && mismatch_ == 0;
+  }
+
+ private:
+  /// {initial, initial'} count as one class; other states stand alone.
+  [[nodiscard]] static std::size_t cls(pp::StateId s) noexcept {
+    return s <= 1 ? 0 : static_cast<std::size_t>(s) - 1;
+  }
+
+  void rebuild(const pp::Counts& counts) {
+    PPK_EXPECTS(counts.size() == protocol_->num_states());
+    n_ = 0;
+    for (auto c : counts) n_ += c;
+    std::fill(current_.begin(), current_.end(), 0u);
+    std::fill(target_.begin(), target_.end(), 0u);
+    for (pp::StateId s = 0; s < counts.size(); ++s) {
+      current_[cls(s)] += counts[s];
+    }
+    if (n_ >= 3) {
+      const pp::Counts by_state = stable_counts(*protocol_, n_);
+      for (pp::StateId s = 0; s < by_state.size(); ++s) {
+        target_[cls(s)] += by_state[s];
+      }
+    }
+    mismatch_ = 0;
+    for (std::size_t c = 0; c + 1 < current_.size(); ++c) {
+      if (current_[c] != target_[c]) ++mismatch_;
+    }
+  }
+
+  void bump(pp::StateId s, int delta) {
+    const std::size_t c = cls(s);
+    const bool was_ok = current_[c] == target_[c];
+    current_[c] = static_cast<std::uint32_t>(
+        static_cast<std::int64_t>(current_[c]) + delta);
+    const bool now_ok = current_[c] == target_[c];
+    if (was_ok && !now_ok) ++mismatch_;
+    if (!was_ok && now_ok) --mismatch_;
+  }
+
+  const KPartitionProtocol* protocol_;
+  std::uint32_t n_ = 0;
+  /// Indexed by class; the last slot (class of the top state) is unused
+  /// padding so cls() needs no bound checks.
+  std::vector<std::uint32_t> current_;
+  std::vector<std::uint32_t> target_;
+  std::uint32_t mismatch_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<pp::StabilityOracle> churn_aware_stable_oracle(
+    const KPartitionProtocol& protocol) {
+  return std::make_unique<ChurnAwareStableOracle>(protocol);
 }
 
 std::unique_ptr<pp::StabilityOracle> stable_pattern_oracle(

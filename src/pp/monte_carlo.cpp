@@ -1,9 +1,11 @@
 #include "pp/monte_carlo.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/assert.hpp"
 #include "util/rng.hpp"
+#include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ppk::pp {
@@ -34,6 +36,43 @@ std::uint32_t MonteCarloResult::stabilized_count() const {
 
 namespace {
 
+/// Runs one engine to stability under both limits.  Without a wall-clock
+/// limit this is a single run() call; with one, the budget is granted in
+/// chunks so the clock is consulted without touching the engines' hot
+/// loops.  All three engines resume exactly where the previous chunk
+/// stopped, so chunking does not change the executed interaction sequence.
+template <typename Sim>
+void run_bounded(Sim& sim, StabilityOracle& oracle,
+                 const MonteCarloOptions& options, TrialResult* out) {
+  if (!options.wall_clock_limit_seconds) {
+    const SimResult r = sim.run(oracle, options.max_interactions);
+    out->interactions = r.interactions;
+    out->effective = r.effective;
+    out->stabilized = r.stabilized;
+    return;
+  }
+  const Stopwatch clock;
+  constexpr std::uint64_t kChunk = 1ULL << 22;  // ~4M pairs per clock check
+  std::uint64_t remaining = options.max_interactions;
+  while (true) {
+    const std::uint64_t grant = std::min<std::uint64_t>(kChunk, remaining);
+    const SimResult r = sim.run(oracle, grant);
+    out->interactions += r.interactions;
+    out->effective += r.effective;
+    if (r.stabilized) {
+      out->stabilized = true;
+      return;
+    }
+    remaining -= r.interactions;
+    if (remaining == 0) return;               // interaction budget exhausted
+    if (r.interactions < grant) return;       // engine stalled (silent)
+    if (clock.seconds() >= *options.wall_clock_limit_seconds) {
+      out->timed_out = true;
+      return;
+    }
+  }
+}
+
 TrialResult run_one_trial(const TransitionTable& table, const Counts& initial,
                           const OracleFactory& make_oracle,
                           const MonteCarloOptions& options,
@@ -44,18 +83,12 @@ TrialResult run_one_trial(const TransitionTable& table, const Counts& initial,
 
   if (options.engine == Engine::kCountVector && !options.watch_state) {
     CountSimulator sim(table, initial, seed);
-    const SimResult r = sim.run(*oracle, options.max_interactions);
-    result.interactions = r.interactions;
-    result.effective = r.effective;
-    result.stabilized = r.stabilized;
+    run_bounded(sim, *oracle, options, &result);
     return result;
   }
   if (options.engine == Engine::kJump && !options.watch_state) {
     JumpSimulator sim(table, initial, seed);
-    const SimResult r = sim.run(*oracle, options.max_interactions);
-    result.interactions = r.interactions;
-    result.effective = r.effective;
-    result.stabilized = r.stabilized;
+    run_bounded(sim, *oracle, options, &result);
     return result;
   }
 
@@ -74,10 +107,7 @@ TrialResult run_one_trial(const TransitionTable& table, const Counts& initial,
       }
     });
   }
-  const SimResult r = sim.run(*oracle, options.max_interactions);
-  result.interactions = r.interactions;
-  result.effective = r.effective;
-  result.stabilized = r.stabilized;
+  run_bounded(sim, *oracle, options, &result);
   return result;
 }
 

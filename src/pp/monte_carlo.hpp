@@ -27,10 +27,19 @@ namespace ppk::pp {
 /// Which engine executes the trials.
 enum class Engine { kAgentArray, kCountVector, kJump };
 
+/// Default per-trial interaction budget.  The most expensive configuration
+/// in the paper's evaluation (n = 960, k = 8) stabilizes in ~7e8
+/// interactions, so legitimate runs never come near this, yet a
+/// non-stabilizing trial (e.g. a post-crash population whose stable pattern
+/// is unreachable) terminates with stabilized = false instead of spinning
+/// forever.  Pass UINT64_MAX explicitly to disable the budget.
+inline constexpr std::uint64_t kDefaultInteractionBudget =
+    10'000'000'000ULL;
+
 struct MonteCarloOptions {
   std::uint32_t trials = 100;
   std::uint64_t master_seed = 0x9E3779B97F4A7C15ULL;
-  std::uint64_t max_interactions = UINT64_MAX;
+  std::uint64_t max_interactions = kDefaultInteractionBudget;
   Engine engine = Engine::kAgentArray;
   /// 0 = one thread per hardware core.
   std::size_t threads = 1;
@@ -38,12 +47,19 @@ struct MonteCarloOptions {
   /// interaction index is recorded (the paper's NI_i grouping marks; only
   /// supported by the agent engine's observer hook).
   std::optional<StateId> watch_state;
+  /// If set, a per-trial wall-clock cap: a trial that exceeds it stops at
+  /// the next check (every ~4M interactions) and reports stabilized =
+  /// false, timed_out = true.  Complements the interaction budget for
+  /// configurations whose per-interaction cost is hard to predict.
+  std::optional<double> wall_clock_limit_seconds;
 };
 
 struct TrialResult {
   std::uint64_t interactions = 0;
   std::uint64_t effective = 0;
   bool stabilized = false;
+  /// True iff wall_clock_limit_seconds stopped this trial.
+  bool timed_out = false;
   /// Interaction indices at which `watch_state`'s count increased.
   std::vector<std::uint64_t> watch_marks;
 };

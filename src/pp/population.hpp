@@ -68,6 +68,29 @@ class Population {
     ++counts_[t.responder];
   }
 
+  /// Adds one agent in state `s` (churn: join).  Returns the new agent's
+  /// index, which is always the current highest.
+  std::uint32_t add_agent(StateId s) {
+    PPK_EXPECTS(s < counts_.size());
+    states_.push_back(s);
+    ++counts_[s];
+    return static_cast<std::uint32_t>(states_.size() - 1);
+  }
+
+  /// Removes an agent (churn: crash) by swapping the last agent into its
+  /// slot, and returns the departed agent's state.  Callers tracking
+  /// per-agent metadata must mirror the swap.  Pair sampling needs at least
+  /// two agents, so the population may not shrink below that.
+  StateId remove_agent(std::uint32_t agent) {
+    PPK_EXPECTS(states_.size() > 2);
+    PPK_EXPECTS(agent < states_.size());
+    const StateId s = states_[agent];
+    states_[agent] = states_.back();
+    states_.pop_back();
+    --counts_[s];
+    return s;
+  }
+
   /// Overwrites a single agent's state (used by examples that seed custom
   /// configurations).
   void set_state(std::uint32_t agent, StateId s) {

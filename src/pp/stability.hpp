@@ -45,6 +45,30 @@ class StabilityOracle {
 
   /// True iff the current configuration is stable.
   [[nodiscard]] virtual bool stable() const = 0;
+
+  /// Called by churn-capable engines (see pp/faults.hpp) when the
+  /// configuration changes by something *other* than a protocol transition:
+  /// an agent crashed, joined, or had its state corrupted.  `counts` is the
+  /// complete new count vector; the population size may have changed.
+  /// Oracles constructed for a fixed population must override this to
+  /// rebuild their targets; the default marks the oracle stale, and a stale
+  /// oracle fails loudly on the next stable() query instead of silently
+  /// measuring against an outdated pattern.
+  virtual void on_external_change(const Counts& counts) {
+    (void)counts;
+    stale_ = true;
+  }
+
+  /// True once an external change has invalidated this oracle.
+  [[nodiscard]] bool is_stale() const noexcept { return stale_; }
+
+ protected:
+  /// Subclasses whose targets depend on the population call this from
+  /// stable(): using a stale oracle is a programming error, not a
+  /// recoverable condition.
+  void assert_fresh() const { PPK_ASSERT(!stale_); }
+
+  bool stale_ = false;
 };
 
 /// Stability = counts match a fixed target pattern over state equivalence
@@ -60,10 +84,18 @@ class CountPatternOracle final : public StabilityOracle {
       : state_class_(std::move(state_class)), target_(std::move(target)) {
     for (auto c : state_class_) PPK_EXPECTS(c < target_.size());
     current_.assign(target_.size(), 0);
+    target_total_ = 0;
+    for (auto t : target_) target_total_ += t;
   }
 
   void reset(const Counts& counts) override {
     PPK_EXPECTS(counts.size() == state_class_.size());
+    // The target pattern is built for one fixed population size; resetting
+    // from a configuration of a different size means the caller holds a
+    // stale oracle (e.g. after churn) and would never observe stability.
+    std::uint64_t total = 0;
+    for (auto c : counts) total += c;
+    PPK_EXPECTS(total == target_total_);
     current_.assign(target_.size(), 0);
     for (StateId s = 0; s < counts.size(); ++s) {
       current_[state_class_[s]] += counts[s];
@@ -72,6 +104,7 @@ class CountPatternOracle final : public StabilityOracle {
     for (std::size_t c = 0; c < target_.size(); ++c) {
       if (current_[c] != target_[c]) ++mismatch_;
     }
+    stale_ = false;
   }
 
   void on_transition(StateId p, StateId q, StateId p_next,
@@ -82,7 +115,10 @@ class CountPatternOracle final : public StabilityOracle {
     bump(state_class_[q_next], +1);
   }
 
-  [[nodiscard]] bool stable() const override { return mismatch_ == 0; }
+  [[nodiscard]] bool stable() const override {
+    assert_fresh();  // churn invalidates the fixed target pattern
+    return mismatch_ == 0;
+  }
 
  private:
   void bump(std::uint16_t cls, int delta) {
@@ -97,6 +133,7 @@ class CountPatternOracle final : public StabilityOracle {
   std::vector<std::uint16_t> state_class_;
   std::vector<std::uint32_t> target_;
   std::vector<std::uint32_t> current_;
+  std::uint64_t target_total_ = 0;
   std::uint32_t mismatch_ = 0;
 };
 
@@ -110,6 +147,7 @@ class SilenceOracle final : public StabilityOracle {
 
   void reset(const Counts& counts) override {
     counts_ = counts;
+    stale_ = false;
     recompute();
   }
 
@@ -121,6 +159,10 @@ class SilenceOracle final : public StabilityOracle {
     ++counts_[q_next];
     recompute();
   }
+
+  /// Silence is a property of the current counts alone, so churn does not
+  /// invalidate this oracle: rebuild from the new configuration.
+  void on_external_change(const Counts& counts) override { reset(counts); }
 
   [[nodiscard]] bool stable() const override { return silent_; }
 
@@ -153,6 +195,7 @@ class NeverStableOracle final : public StabilityOracle {
  public:
   void reset(const Counts&) override {}
   void on_transition(StateId, StateId, StateId, StateId) override {}
+  void on_external_change(const Counts&) override {}  // population-independent
   [[nodiscard]] bool stable() const override { return false; }
 };
 
@@ -186,7 +229,12 @@ class QuiescenceOracle final : public StabilityOracle {
       sizes_[group_of_[s]] += counts[s];
     }
     unchanged_ = 0;
+    stale_ = false;
   }
+
+  /// Churn restarts the quiescence window: the output vector just changed
+  /// by fiat, so the lull observed so far is no longer evidence.
+  void on_external_change(const Counts& counts) override { reset(counts); }
 
   void on_transition(StateId p, StateId q, StateId p_next,
                      StateId q_next) override {

@@ -1,0 +1,426 @@
+// Fault-injection subsystem (pp/faults.hpp) and the self-healing recovery
+// layer (core/recovery.hpp): deterministic schedules, engine consistency
+// under churn, loud failure of stale oracles, and the PR's acceptance
+// scenario -- crash 7 of 40 agents, k = 4, and watch the 33 survivors
+// re-converge to a uniform 4-partition.
+
+#include "pp/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "analysis/recovery.hpp"
+#include "core/invariants.hpp"
+#include "core/kpartition.hpp"
+#include "core/recovery.hpp"
+#include "pp/transition_table.hpp"
+#include "util/rng.hpp"
+
+namespace ppk::pp {
+namespace {
+
+// --- Schedules -------------------------------------------------------------
+
+TEST(FaultScheduleTest, SameSeedReproducesBitForBit) {
+  FaultRates rates;
+  rates.crash = 1e-3;
+  rates.join = 5e-4;
+  rates.corrupt = 2e-4;
+  rates.sleep = 1e-4;
+  const auto a = make_fault_schedule(rates, 100'000, 42);
+  const auto b = make_fault_schedule(rates, 100'000, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at, b[i].at);
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].duration, b[i].duration);
+  }
+  const auto c = make_fault_schedule(rates, 100'000, 43);
+  EXPECT_NE(a.size(), 0u);
+  // A different seed yields a different schedule (equality would require a
+  // astronomically unlikely collision of every gap draw).
+  bool differs = a.size() != c.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = a[i].at != c[i].at || a[i].kind != c[i].kind;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultScheduleTest, EventCountTracksRateAndStaysSorted) {
+  FaultRates low;
+  low.crash = 1e-4;
+  FaultRates high;
+  high.crash = 1e-2;
+  const std::uint64_t horizon = 200'000;
+  const auto few = make_fault_schedule(low, horizon, 7);
+  const auto many = make_fault_schedule(high, horizon, 7);
+  // Expectations are rate * horizon = 20 and 2000; a 5x band on either
+  // side is dozens of sigma.
+  EXPECT_GT(few.size(), 4u);
+  EXPECT_LT(few.size(), 100u);
+  EXPECT_GT(many.size(), 400u);
+  EXPECT_LT(many.size(), 10'000u);
+  for (const auto& schedule : {few, many}) {
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+      EXPECT_LT(schedule[i].at, horizon);
+      if (i > 0) EXPECT_GE(schedule[i].at, schedule[i - 1].at);
+    }
+  }
+}
+
+TEST(FaultScheduleTest, ZeroRatesYieldNoEvents) {
+  EXPECT_TRUE(make_fault_schedule(FaultRates{}, 1'000'000, 1).empty());
+}
+
+// --- ChurnSimulator --------------------------------------------------------
+
+TEST(ChurnSimulatorTest, AgentArrayAndCountsStayConsistentUnderChurn) {
+  const core::KPartitionProtocol protocol(3);
+  const TransitionTable table(protocol);
+  ChurnSimulator sim(
+      table, Population(20, protocol.num_states(), protocol.initial_state()),
+      11);
+  FaultRates rates;
+  rates.crash = 2e-3;
+  rates.join = 2e-3;
+  rates.corrupt = 1e-3;
+  rates.sleep = 1e-3;
+  rates.sleep_duration = 500;
+  sim.set_schedule(make_fault_schedule(rates, 50'000, 99));
+  NeverStableOracle oracle;
+  sim.run(oracle, 50'000);
+
+  EXPECT_GT(sim.trace().size(), 0u);
+  const auto& counts = sim.population().counts();
+  Counts recount(protocol.num_states(), 0);
+  for (std::uint32_t a = 0; a < sim.population().size(); ++a) {
+    ++recount[sim.population().state_of(a)];
+  }
+  EXPECT_EQ(recount, counts);
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), 0u),
+            sim.population().size());
+}
+
+TEST(ChurnSimulatorTest, SameSeedAndScheduleReproduceBitForBit) {
+  const core::KPartitionProtocol protocol(4);
+  const TransitionTable table(protocol);
+  FaultRates rates;
+  rates.crash = 1e-3;
+  rates.join = 1e-3;
+  const auto schedule = make_fault_schedule(rates, 30'000, 5);
+
+  auto run = [&] {
+    ChurnSimulator sim(
+        table, Population(25, protocol.num_states(), protocol.initial_state()),
+        77);
+    sim.set_schedule(schedule);
+    NeverStableOracle oracle;
+    sim.run(oracle, 30'000);
+    return std::make_pair(sim.population().counts(), sim.trace());
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.first, b.first);
+  ASSERT_EQ(a.second.size(), b.second.size());
+  for (std::size_t i = 0; i < a.second.size(); ++i) {
+    EXPECT_EQ(a.second[i].at, b.second[i].at);
+    EXPECT_EQ(a.second[i].agent, b.second[i].agent);
+    EXPECT_EQ(a.second[i].old_state, b.second[i].old_state);
+    EXPECT_EQ(a.second[i].new_state, b.second[i].new_state);
+  }
+}
+
+TEST(ChurnSimulatorTest, CrashAtMinimumPopulationIsDropped) {
+  const core::KPartitionProtocol protocol(2);
+  const TransitionTable table(protocol);
+  ChurnSimulator sim(
+      table, Population(2, protocol.num_states(), protocol.initial_state()),
+      1);
+  NeverStableOracle oracle;
+  EXPECT_EQ(sim.crash(std::nullopt, &oracle), std::nullopt);
+  EXPECT_EQ(sim.population().size(), 2u);
+  EXPECT_TRUE(sim.trace().empty());
+}
+
+TEST(ChurnSimulatorTest, SleepingAgentTakesNoInteractions) {
+  // A protocol in which *every* pair is effective: a sleeping agent's state
+  // can only survive unchanged if pairs hitting it are truly nulled.
+  class AlwaysFlip final : public Protocol {
+   public:
+    [[nodiscard]] std::string name() const override { return "flip"; }
+    [[nodiscard]] StateId num_states() const override { return 4; }
+    [[nodiscard]] StateId initial_state() const override { return 0; }
+    [[nodiscard]] Transition delta(StateId p, StateId q) const override {
+      return {static_cast<StateId>((p + 1) % 4),
+              static_cast<StateId>((q + 1) % 4)};
+    }
+    [[nodiscard]] GroupId group(StateId s) const override { return s; }
+    [[nodiscard]] GroupId num_groups() const override { return 4; }
+  };
+  const AlwaysFlip protocol;
+  const TransitionTable table(protocol);
+  ChurnSimulator sim(table, Population(5, 4, 0), 3);
+  NeverStableOracle oracle;
+  sim.sleep(0u, 2'000, &oracle);
+  const StateId before = sim.population().state_of(0);
+  for (int i = 0; i < 1'000; ++i) sim.step(oracle);
+  EXPECT_EQ(sim.population().state_of(0), before);
+  EXPECT_TRUE(sim.asleep(0));
+}
+
+// --- Stale-oracle hardening (satellite: oracles vs mid-run churn) ----------
+
+using FaultsDeathTest = ::testing::Test;
+
+TEST(FaultsDeathTest, FixedPatternOracleGoesStaleOnChurnAndFailsLoudly) {
+  const core::KPartitionProtocol protocol(3);
+  const TransitionTable table(protocol);
+  ChurnSimulator sim(
+      table, Population(12, protocol.num_states(), protocol.initial_state()),
+      9);
+  auto oracle = core::stable_pattern_oracle(protocol, 12);
+  oracle->reset(sim.population().counts());
+  EXPECT_FALSE(oracle->is_stale());
+  sim.crash(std::nullopt, oracle.get());
+  EXPECT_TRUE(oracle->is_stale());
+  EXPECT_DEATH((void)oracle->stable(), "invariant");
+}
+
+TEST(FaultsDeathTest, FixedPatternOracleRejectsResetWithWrongTotal) {
+  const core::KPartitionProtocol protocol(3);
+  auto oracle = core::stable_pattern_oracle(protocol, 12);
+  Counts wrong(protocol.num_states(), 0);
+  wrong[protocol.initial_state()] = 11;  // oracle was built for n = 12
+  EXPECT_DEATH(oracle->reset(wrong), "precondition");
+}
+
+// --- Self-healing wrapper --------------------------------------------------
+
+TEST(SelfHealingProtocolTest, TableIsWellFormedAndTriplesTheStateSpace) {
+  for (GroupId k : {GroupId{2}, GroupId{3}, GroupId{5}}) {
+    const core::SelfHealingKPartitionProtocol protocol(k);
+    EXPECT_EQ(int{protocol.num_states()}, 3 * (3 * int{k} - 2));
+    EXPECT_EQ(protocol.num_groups(), k);
+    // The TransitionTable constructor machine-checks swap-consistency and
+    // symmetry of the realized rules, cross-epoch resets included.
+    const TransitionTable table(protocol);
+    EXPECT_EQ(table.num_states(), protocol.num_states());
+  }
+}
+
+TEST(SelfHealingProtocolTest, CrossEpochPairsResetTheCyclicallyOlderAgent) {
+  const core::SelfHealingKPartitionProtocol protocol(4);
+  const auto fresh = [&](std::uint32_t e) {
+    return protocol.encode(e, protocol.base().initial_state());
+  };
+  const StateId old_g1 = protocol.encode(0, protocol.base().g(1));
+  const StateId new_g1 = protocol.encode(1, protocol.base().g(1));
+  // epoch 0 meets epoch 1: the epoch-0 agent restarts in epoch 1.
+  const Transition t = protocol.delta(old_g1, new_g1);
+  EXPECT_EQ(t.initiator, fresh(1));
+  EXPECT_EQ(t.responder, new_g1);
+  // Mirrored orientation resets the same agent.
+  const Transition u = protocol.delta(new_g1, old_g1);
+  EXPECT_EQ(u.initiator, new_g1);
+  EXPECT_EQ(u.responder, fresh(1));
+  // The cycle wraps: epoch 2 meets epoch 0 -> the epoch-2 agent restarts.
+  const StateId wrap = protocol.encode(2, protocol.base().g(2));
+  const StateId cur = protocol.encode(0, protocol.base().g(2));
+  const Transition w = protocol.delta(wrap, cur);
+  EXPECT_EQ(w.initiator, fresh(0));
+  EXPECT_EQ(w.responder, cur);
+}
+
+// --- The acceptance scenario: crash 7 of 40, k = 4 -------------------------
+
+struct ScenarioResult {
+  SimResult sim;
+  std::uint32_t waves = 0;
+  std::uint32_t population = 0;
+  Counts base_counts;
+  std::uint32_t spread = 0;
+  bool lemma1 = false;
+};
+
+ScenarioResult run_crash_scenario(std::uint64_t seed, bool with_recovery,
+                                  std::uint64_t budget) {
+  constexpr std::uint32_t kN = 40;
+  constexpr std::uint32_t kCrashers = 7;
+  constexpr GroupId kK = 4;
+  std::vector<FaultEvent> schedule;
+  for (std::uint32_t i = 0; i < kCrashers; ++i) {
+    FaultEvent event;
+    event.at = 5'000;  // comfortably after stabilization of n = 40
+    event.kind = FaultKind::kCrash;
+    schedule.push_back(event);
+  }
+
+  ScenarioResult out;
+  if (with_recovery) {
+    const core::SelfHealingKPartitionProtocol protocol(kK);
+    const TransitionTable table(protocol);
+    ChurnSimulator sim(
+        table, Population(kN, protocol.num_states(), protocol.initial_state()),
+        seed);
+    sim.set_schedule(schedule);
+    core::RecoveryManager manager(protocol, sim);
+    out.sim = sim.run(manager.oracle(), budget);
+    out.waves = manager.waves_started();
+    out.population = sim.population().size();
+    out.base_counts.assign(protocol.base().num_states(), 0);
+    for (StateId s = 0; s < sim.population().counts().size(); ++s) {
+      out.base_counts[protocol.base_of(s)] += sim.population().counts()[s];
+    }
+    out.lemma1 = core::lemma1_holds(protocol.base(), out.base_counts);
+    std::uint32_t lo = kN, hi = 0;
+    for (GroupId x = 1; x <= kK; ++x) {
+      const std::uint32_t size = out.base_counts[protocol.base().g(x)];
+      lo = std::min(lo, size);
+      hi = std::max(hi, size);
+    }
+    out.spread = hi - lo;
+  } else {
+    const core::KPartitionProtocol protocol(kK);
+    const TransitionTable table(protocol);
+    ChurnSimulator sim(
+        table, Population(kN, protocol.num_states(), protocol.initial_state()),
+        seed);
+    sim.set_schedule(schedule);
+    const auto oracle = core::churn_aware_stable_oracle(protocol);
+    out.sim = sim.run(*oracle, budget);
+    out.population = sim.population().size();
+    out.base_counts = sim.population().counts();
+    out.lemma1 = core::lemma1_holds(protocol, out.base_counts);
+    std::uint32_t lo = kN, hi = 0;
+    for (GroupId x = 1; x <= kK; ++x) {
+      const std::uint32_t size = out.base_counts[protocol.g(x)];
+      lo = std::min(lo, size);
+      hi = std::max(hi, size);
+    }
+    out.spread = hi - lo;
+  }
+  return out;
+}
+
+TEST(RecoveryScenarioTest, SurvivorsRebalanceToUniformPartition) {
+  const ScenarioResult r = run_crash_scenario(2026, true, 20'000'000);
+  EXPECT_TRUE(r.sim.stabilized);
+  EXPECT_EQ(r.population, 33u);
+  EXPECT_GE(r.waves, 1u);
+  // 33 = 4*8 + 1: four groups of 8 plus one leftover free agent.
+  EXPECT_LE(r.spread, 1u);
+  EXPECT_TRUE(r.lemma1);
+}
+
+TEST(RecoveryScenarioTest, ScenarioIsReproducibleBySeed) {
+  const ScenarioResult a = run_crash_scenario(99, true, 20'000'000);
+  const ScenarioResult b = run_crash_scenario(99, true, 20'000'000);
+  EXPECT_TRUE(a.sim.stabilized);
+  EXPECT_EQ(a.sim.interactions, b.sim.interactions);
+  EXPECT_EQ(a.sim.effective, b.sim.effective);
+  EXPECT_EQ(a.base_counts, b.base_counts);
+  EXPECT_EQ(a.waves, b.waves);
+}
+
+TEST(RecoveryScenarioTest, WithoutRecoveryTheBudgetEndsTheRunUnstabilized) {
+  // 40 committed agents lose 7: the 33 survivors are all in g states, but
+  // the stable pattern of n = 33 needs a free agent -- unreachable for the
+  // bare protocol no matter which agents crashed.  The run must end by
+  // budget (no hang) with a broken invariant.
+  const ScenarioResult r = run_crash_scenario(2026, false, 2'000'000);
+  EXPECT_FALSE(r.sim.stabilized);
+  EXPECT_EQ(r.sim.interactions, 2'000'000u);
+  EXPECT_EQ(r.population, 33u);
+  EXPECT_FALSE(r.lemma1);
+}
+
+TEST(RecoveryScenarioTest, JoinsAreAbsorbedWithoutAWave) {
+  const core::SelfHealingKPartitionProtocol protocol(4);
+  const TransitionTable table(protocol);
+  ChurnSimulator sim(
+      table, Population(40, protocol.num_states(), protocol.initial_state()),
+      7);
+  std::vector<FaultEvent> schedule;
+  for (int i = 0; i < 10; ++i) {
+    FaultEvent event;
+    event.at = 5'000;
+    event.kind = FaultKind::kJoin;
+    schedule.push_back(event);
+  }
+  sim.set_schedule(schedule);
+  core::RecoveryManager manager(protocol, sim);
+  const SimResult result = sim.run(manager.oracle(), 20'000'000);
+  EXPECT_TRUE(result.stabilized);
+  EXPECT_EQ(manager.waves_started(), 0u);
+  EXPECT_EQ(sim.population().size(), 50u);
+}
+
+TEST(RecoveryScenarioTest, CorruptionTriggersRepair) {
+  const core::SelfHealingKPartitionProtocol protocol(3);
+  const TransitionTable table(protocol);
+  ChurnSimulator sim(
+      table, Population(30, protocol.num_states(), protocol.initial_state()),
+      13);
+  std::vector<FaultEvent> schedule;
+  for (int i = 0; i < 3; ++i) {
+    FaultEvent event;
+    event.at = 5'000;
+    event.kind = FaultKind::kCorrupt;
+    schedule.push_back(event);
+  }
+  sim.set_schedule(schedule);
+  core::RecoveryManager manager(protocol, sim);
+  const SimResult result = sim.run(manager.oracle(), 20'000'000);
+  EXPECT_TRUE(result.stabilized);
+  EXPECT_GE(manager.waves_started(), 1u);
+  EXPECT_EQ(sim.population().size(), 30u);
+}
+
+// --- analysis::measure_recovery -------------------------------------------
+
+TEST(MeasureRecoveryTest, RecoversUnderCrashesAndReportsMetrics) {
+  analysis::RecoveryOptions options;
+  options.trials = 4;
+  options.master_seed = 31;
+  options.max_interactions = 10'000'000;
+  options.rates.crash = 2e-4;
+  options.fault_horizon = 20'000;
+  options.with_recovery = true;
+  const auto result = analysis::measure_recovery(GroupId{3}, 24, options);
+  EXPECT_EQ(result.trials.size(), 4u);
+  EXPECT_DOUBLE_EQ(result.recovered_fraction, 1.0);
+  for (const auto& trial : result.trials) {
+    EXPECT_TRUE(trial.stabilized);
+    EXPECT_LE(trial.final_spread, 1u);
+    EXPECT_TRUE(trial.lemma1_ok);
+    if (trial.faults_applied > 0) {
+      EXPECT_GT(trial.rebalance_interactions, 0u);
+    }
+  }
+}
+
+TEST(MeasureRecoveryTest, BareProtocolFailsToRecoverFromCrashes) {
+  analysis::RecoveryOptions options;
+  options.trials = 4;
+  options.master_seed = 31;
+  options.max_interactions = 500'000;  // budget-bound, not a hang
+  options.rates.crash = 2e-4;
+  options.fault_horizon = 20'000;
+  options.with_recovery = false;
+  const auto result = analysis::measure_recovery(GroupId{3}, 24, options);
+  for (const auto& trial : result.trials) {
+    if (trial.faults_applied == 0) continue;  // crash-free trial recovers
+    EXPECT_LE(trial.interactions, 500'000u);
+  }
+  // Determinism across repeated invocations.
+  const auto again = analysis::measure_recovery(GroupId{3}, 24, options);
+  for (std::size_t t = 0; t < result.trials.size(); ++t) {
+    EXPECT_EQ(result.trials[t].interactions, again.trials[t].interactions);
+    EXPECT_EQ(result.trials[t].stabilized, again.trials[t].stabilized);
+  }
+}
+
+}  // namespace
+}  // namespace ppk::pp

@@ -7,8 +7,12 @@
 #include <map>
 #include <numeric>
 
+#include "core/invariants.hpp"
+#include "core/kpartition.hpp"
+#include "core/recovery.hpp"
 #include "pp/agent_simulator.hpp"
 #include "pp/count_simulator.hpp"
+#include "pp/faults.hpp"
 #include "pp/transition_table.hpp"
 #include "util/rng.hpp"
 
@@ -161,6 +165,71 @@ TEST_P(FuzzedProtocols, ReplayMatchesStepByStepApplication) {
   for (std::uint32_t a = 0; a < n; ++a) {
     EXPECT_EQ(sim.population().state_of(a), reference[a]) << "agent " << a;
   }
+}
+
+TEST_P(FuzzedProtocols, ChurnEngineStaysConsistentUnderRandomFaults) {
+  // Same property as AgentEngineConservesPopulation, but with a randomized
+  // fault schedule mutating the population mid-run: the agent array, the
+  // count vector, and the sleep bookkeeping must stay mutually consistent.
+  const RandomProtocol protocol(6, GetParam(), 0.3);
+  const TransitionTable table(protocol);
+  ChurnSimulator sim(table, Population(25, protocol.num_states(), 0),
+                     GetParam() ^ 0xF00D);
+  FaultRates rates;
+  rates.crash = 3e-3;
+  rates.join = 3e-3;
+  rates.corrupt = 2e-3;
+  rates.sleep = 1e-3;
+  rates.sleep_duration = 1'000;
+  sim.set_schedule(make_fault_schedule(rates, 20'000, GetParam() ^ 0xCAFE));
+  NeverStableOracle oracle;
+  sim.run(oracle, 20'000);
+
+  const auto& counts = sim.population().counts();
+  Counts recount(protocol.num_states(), 0);
+  for (std::uint32_t a = 0; a < sim.population().size(); ++a) {
+    ++recount[sim.population().state_of(a)];
+  }
+  EXPECT_EQ(recount, counts);
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), 0u),
+            sim.population().size());
+}
+
+TEST_P(FuzzedProtocols, RandomFaultsPlusRecoveryRestoreUniformPartition) {
+  // The robustness claim, fuzzed: any mix of crashes, joins, corruption and
+  // stuck agents followed by the recovery layer must leave the survivors in
+  // a uniform partition (spread <= 1) with an intact Lemma 1 invariant.
+  const auto k = static_cast<GroupId>(3 + GetParam() % 3);  // k in 3..5
+  const auto n = static_cast<std::uint32_t>(12 + GetParam() % 19);
+  const core::SelfHealingKPartitionProtocol protocol(k);
+  const TransitionTable table(protocol);
+  ChurnSimulator sim(
+      table, Population(n, protocol.num_states(), protocol.initial_state()),
+      GetParam() ^ 0xFA17);
+  FaultRates rates;
+  rates.crash = 5e-4;
+  rates.join = 5e-4;
+  rates.corrupt = 3e-4;
+  rates.sleep = 3e-4;
+  rates.sleep_duration = 2'000;
+  sim.set_schedule(
+      make_fault_schedule(rates, 20'000, GetParam() ^ 0x5EED));
+  core::RecoveryManager manager(protocol, sim);
+  const SimResult result = sim.run(manager.oracle(), 30'000'000);
+
+  ASSERT_TRUE(result.stabilized) << "k=" << int{k} << " n=" << n;
+  Counts base_counts(protocol.base().num_states(), 0);
+  for (StateId s = 0; s < sim.population().counts().size(); ++s) {
+    base_counts[protocol.base_of(s)] += sim.population().counts()[s];
+  }
+  EXPECT_TRUE(core::lemma1_holds(protocol.base(), base_counts));
+  std::uint32_t lo = sim.population().size(), hi = 0;
+  for (GroupId x = 1; x <= k; ++x) {
+    const std::uint32_t size = base_counts[protocol.base().g(x)];
+    lo = std::min(lo, size);
+    hi = std::max(hi, size);
+  }
+  EXPECT_LE(hi - lo, 1u) << "k=" << int{k} << " n=" << n;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzedProtocols,

@@ -108,6 +108,65 @@ TEST_F(MonteCarloTest, MaxInteractionsBoundsUnstableRuns) {
   }
 }
 
+TEST_F(MonteCarloTest, DefaultBudgetIsFiniteNotUINT64MAX) {
+  // Regression: the default used to be UINT64_MAX, so a run whose stable
+  // pattern was unreachable (e.g. a post-crash population) hung forever.
+  const MonteCarloOptions options;
+  EXPECT_EQ(options.max_interactions, kDefaultInteractionBudget);
+  EXPECT_LT(kDefaultInteractionBudget, UINT64_MAX);
+  // ...while still clearing the paper's most expensive configuration
+  // (n = 960, k = 8 stabilizes in ~7e8 interactions) by a wide margin.
+  EXPECT_GE(kDefaultInteractionBudget, 10'000'000'000ULL);
+}
+
+TEST_F(MonteCarloTest, NonConvergentInputTerminatesViaBudget) {
+  // Deliberately non-convergent input: every agent committed to g1 is
+  // silent under Algorithm 1 (committed agents cannot re-balance), and the
+  // stable pattern for n = 12 is unreachable.  The trial must end at the
+  // budget with stabilized = false -- not hang.
+  Counts stuck(protocol_.num_states(), 0);
+  stuck[protocol_.g(1)] = 12;
+  MonteCarloOptions options;
+  options.trials = 2;
+  options.max_interactions = 100'000;
+  const auto result =
+      run_monte_carlo(table_, stuck, oracle_factory(12), options);
+  for (const auto& trial : result.trials) {
+    EXPECT_FALSE(trial.stabilized);
+    EXPECT_FALSE(trial.timed_out);
+    EXPECT_EQ(trial.interactions, 100'000u);
+    EXPECT_EQ(trial.effective, 0u);  // all-g1 is silent
+  }
+}
+
+TEST_F(MonteCarloTest, WallClockLimitStopsNonConvergentRun) {
+  Counts stuck(protocol_.num_states(), 0);
+  stuck[protocol_.g(1)] = 12;
+  MonteCarloOptions options;
+  options.trials = 1;
+  options.max_interactions = UINT64_MAX;  // only the clock can end this
+  options.wall_clock_limit_seconds = 0.0;  // expires at the first check
+  const auto result =
+      run_monte_carlo(table_, stuck, oracle_factory(12), options);
+  ASSERT_EQ(result.trials.size(), 1u);
+  EXPECT_TRUE(result.trials[0].timed_out);
+  EXPECT_FALSE(result.trials[0].stabilized);
+  // Exactly one ~4M-interaction grant ran before the clock was consulted.
+  EXPECT_EQ(result.trials[0].interactions, 1ULL << 22);
+}
+
+TEST_F(MonteCarloTest, WallClockLimitDoesNotAffectConvergentRuns) {
+  MonteCarloOptions options;
+  options.trials = 5;
+  options.wall_clock_limit_seconds = 3600.0;
+  const auto result =
+      run_monte_carlo(protocol_, table_, 12, oracle_factory(12), options);
+  for (const auto& trial : result.trials) {
+    EXPECT_TRUE(trial.stabilized);
+    EXPECT_FALSE(trial.timed_out);
+  }
+}
+
 TEST_F(MonteCarloTest, SummaryStatisticsAreConsistent) {
   MonteCarloOptions options;
   options.trials = 20;
