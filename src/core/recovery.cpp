@@ -191,6 +191,12 @@ void RecoveryManager::handle_fault(const pp::FaultRecord& record) {
     seed_current_epoch();
     refresh();
   }
+  // A fault can also retire the last old-epoch straggler (it crashed, or
+  // was corrupt-normalized into the current epoch); handle_transition never
+  // sees that, so a wave waiting on the stragglers would be stranded
+  // forever.  Re-evaluating through request_wave releases it -- or clears
+  // it, if the fault luckily left the survivors stable.
+  if (old_remaining_ == 0 && wave_pending_) request_wave(last_disruption_at_);
   if (disruptive) request_wave(record.at);
 }
 

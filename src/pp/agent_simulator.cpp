@@ -36,6 +36,11 @@ bool AgentSimulator::step(StabilityOracle& oracle) {
 SimResult AgentSimulator::run(StabilityOracle& oracle,
                               std::uint64_t max_interactions) {
   oracle.reset(population_.counts());
+  return resume(oracle, max_interactions);
+}
+
+SimResult AgentSimulator::resume(StabilityOracle& oracle,
+                                 std::uint64_t max_interactions) {
   SimResult result;
   const std::uint64_t start = interactions_;
   const std::uint64_t start_effective = effective_;

@@ -42,6 +42,12 @@ class AgentSimulator {
   SimResult run(StabilityOracle& oracle,
                 std::uint64_t max_interactions = UINT64_MAX);
 
+  /// Like run(), but does NOT reset the oracle: continues a run split into
+  /// budget chunks (e.g. for wall-clock checks) without discarding oracle
+  /// progress such as a QuiescenceOracle lull spanning the chunk boundary.
+  SimResult resume(StabilityOracle& oracle,
+                   std::uint64_t max_interactions = UINT64_MAX);
+
   /// Applies an explicit interaction schedule (pairs of agent indices);
   /// used for trace replay and engine cross-validation.  Returns the number
   /// of effective interactions.

@@ -33,6 +33,11 @@ bool CountSimulator::step(StabilityOracle& oracle) {
 SimResult CountSimulator::run(StabilityOracle& oracle,
                               std::uint64_t max_interactions) {
   oracle.reset(counts_);
+  return resume(oracle, max_interactions);
+}
+
+SimResult CountSimulator::resume(StabilityOracle& oracle,
+                                 std::uint64_t max_interactions) {
   SimResult result;
   const std::uint64_t start = interactions_;
   const std::uint64_t start_effective = effective_;

@@ -42,9 +42,16 @@ class CountSimulator {
   /// Returns true iff the interaction was effective.
   bool step(StabilityOracle& oracle);
 
-  /// Runs until stability or the interaction budget is exhausted.
+  /// Runs until stability or the interaction budget is exhausted.  The
+  /// oracle is reset from the current counts.
   SimResult run(StabilityOracle& oracle,
                 std::uint64_t max_interactions = UINT64_MAX);
+
+  /// Like run(), but does NOT reset the oracle: continues a run split into
+  /// budget chunks without discarding oracle progress (e.g. a quiescence
+  /// lull spanning the chunk boundary).
+  SimResult resume(StabilityOracle& oracle,
+                   std::uint64_t max_interactions = UINT64_MAX);
 
   [[nodiscard]] const Counts& counts() const noexcept { return counts_; }
 

@@ -213,11 +213,24 @@ bool ChurnSimulator::step(StabilityOracle& oracle) {
 SimResult ChurnSimulator::run(StabilityOracle& oracle,
                               std::uint64_t max_interactions) {
   oracle.reset(population_.counts());
+  return resume(oracle, max_interactions);
+}
+
+SimResult ChurnSimulator::resume(StabilityOracle& oracle,
+                                 std::uint64_t max_interactions) {
   SimResult result;
   const std::uint64_t start = interactions_;
   const std::uint64_t start_effective = effective_;
   while (interactions_ - start < max_interactions) {
-    if (oracle.stable() && next_event_ >= schedule_.size()) break;
+    if (oracle.stable()) {
+      if (next_event_ >= schedule_.size()) break;
+      // Events fire at the top of a step, so the last one reachable under
+      // this budget has at <= start + max_interactions - 1.  A stable
+      // population whose remaining events all lie beyond that would only
+      // draw null pairs until the budget runs out -- stop now instead.
+      const std::uint64_t next_at = schedule_[next_event_].at;
+      if (next_at >= start && next_at - start >= max_interactions) break;
+    }
     step(oracle);
   }
   result.interactions = interactions_ - start;

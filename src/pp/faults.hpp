@@ -145,8 +145,15 @@ class ChurnSimulator {
   /// remain, or the interaction budget is exhausted.  (A stable population
   /// keeps drawing null pairs until the next scheduled fault fires, so
   /// fault times are honored on the same interaction clock the paper
-  /// measures.)  Events scheduled beyond the budget never fire.
+  /// measures.)  Events scheduled beyond the budget never fire; once the
+  /// oracle is stable and only such events remain, the run ends early
+  /// instead of idling the rest of the budget away on null draws.
   SimResult run(StabilityOracle& oracle, std::uint64_t max_interactions);
+
+  /// Like run(), but does NOT reset the oracle: continues a run split into
+  /// budget chunks without discarding oracle progress (e.g. a quiescence
+  /// lull spanning the chunk boundary).
+  SimResult resume(StabilityOracle& oracle, std::uint64_t max_interactions);
 
   // --- Surgical fault primitives (recovery layers, examples) -------------
   // All of them record a FaultRecord, notify `oracle` (when non-null) via

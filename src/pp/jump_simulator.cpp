@@ -118,6 +118,11 @@ bool JumpSimulator::step(StabilityOracle& oracle) {
 SimResult JumpSimulator::run(StabilityOracle& oracle,
                              std::uint64_t max_interactions) {
   oracle.reset(counts_);
+  return resume(oracle, max_interactions);
+}
+
+SimResult JumpSimulator::resume(StabilityOracle& oracle,
+                                std::uint64_t max_interactions) {
   SimResult result;
   const std::uint64_t start = interactions_;
   const std::uint64_t start_effective = effective_;

@@ -68,6 +68,12 @@ class JumpSimulator {
   SimResult run(StabilityOracle& oracle,
                 std::uint64_t max_interactions = UINT64_MAX);
 
+  /// Like run(), but does NOT reset the oracle: continues a run split into
+  /// budget chunks without discarding oracle progress (e.g. a quiescence
+  /// lull spanning the chunk boundary).
+  SimResult resume(StabilityOracle& oracle,
+                   std::uint64_t max_interactions = UINT64_MAX);
+
   [[nodiscard]] const Counts& counts() const noexcept { return counts_; }
 
   [[nodiscard]] std::uint64_t population_size() const noexcept { return n_; }

@@ -39,8 +39,10 @@ namespace {
 /// Runs one engine to stability under both limits.  Without a wall-clock
 /// limit this is a single run() call; with one, the budget is granted in
 /// chunks so the clock is consulted without touching the engines' hot
-/// loops.  All three engines resume exactly where the previous chunk
-/// stopped, so chunking does not change the executed interaction sequence.
+/// loops.  The first chunk uses run() (which resets the oracle from the
+/// initial configuration); every later chunk uses resume(), so both the
+/// interaction sequence and the oracle's progress -- e.g. a quiescence
+/// lull spanning a chunk boundary -- are exactly those of an unchunked run.
 template <typename Sim>
 void run_bounded(Sim& sim, StabilityOracle& oracle,
                  const MonteCarloOptions& options, TrialResult* out) {
@@ -49,14 +51,20 @@ void run_bounded(Sim& sim, StabilityOracle& oracle,
     out->interactions = r.interactions;
     out->effective = r.effective;
     out->stabilized = r.stabilized;
+    // A run that ended short of the budget without stabilizing went silent
+    // with the oracle unsatisfied (jump engine): a dead configuration.
+    out->stalled = !r.stabilized && r.interactions < options.max_interactions;
     return;
   }
   const Stopwatch clock;
   constexpr std::uint64_t kChunk = 1ULL << 22;  // ~4M pairs per clock check
   std::uint64_t remaining = options.max_interactions;
+  bool first = true;
   while (true) {
     const std::uint64_t grant = std::min<std::uint64_t>(kChunk, remaining);
-    const SimResult r = sim.run(oracle, grant);
+    const SimResult r =
+        first ? sim.run(oracle, grant) : sim.resume(oracle, grant);
+    first = false;
     out->interactions += r.interactions;
     out->effective += r.effective;
     if (r.stabilized) {
@@ -65,7 +73,10 @@ void run_bounded(Sim& sim, StabilityOracle& oracle,
     }
     remaining -= r.interactions;
     if (remaining == 0) return;               // interaction budget exhausted
-    if (r.interactions < grant) return;       // engine stalled (silent)
+    if (r.interactions < grant) {             // engine stalled (silent)
+      out->stalled = true;
+      return;
+    }
     if (clock.seconds() >= *options.wall_clock_limit_seconds) {
       out->timed_out = true;
       return;

@@ -60,6 +60,11 @@ struct TrialResult {
   bool stabilized = false;
   /// True iff wall_clock_limit_seconds stopped this trial.
   bool timed_out = false;
+  /// True iff the engine stopped short of the interaction budget without
+  /// stabilizing or timing out: the configuration went silent with the
+  /// oracle unsatisfied (a dead configuration), distinct from ordinary
+  /// budget exhaustion where interactions == max_interactions.
+  bool stalled = false;
   /// Interaction indices at which `watch_state`'s count increased.
   std::vector<std::uint64_t> watch_marks;
 };

@@ -170,6 +170,28 @@ TEST(ChurnSimulatorTest, SleepingAgentTakesNoInteractions) {
   EXPECT_TRUE(sim.asleep(0));
 }
 
+TEST(ChurnSimulatorTest, StableRunEndsEarlyWhenRemainingEventsLieBeyondBudget) {
+  // Regression: with a stable oracle but a scheduled event far beyond the
+  // interaction budget, run() used to idle away the entire remaining budget
+  // one null draw at a time before returning stabilized = true.
+  const core::KPartitionProtocol protocol(3);
+  const TransitionTable table(protocol);
+  ChurnSimulator sim(
+      table, Population(12, protocol.num_states(), protocol.initial_state()),
+      17);
+  FaultEvent far;
+  far.at = 1'000'000'000'000ULL;  // far beyond any budget used here
+  far.kind = FaultKind::kJoin;
+  sim.set_schedule({far});
+  const auto oracle = core::churn_aware_stable_oracle(protocol);
+  const SimResult r = sim.run(*oracle, 5'000'000);
+  EXPECT_TRUE(r.stabilized);
+  // n = 12, k = 3 stabilizes in a few thousand interactions; the run must
+  // stop there, not burn the rest of the 5M budget waiting for the event.
+  EXPECT_LT(r.interactions, 1'000'000u);
+  EXPECT_EQ(sim.pending_events(), 1u);  // the event itself never fired
+}
+
 // --- Stale-oracle hardening (satellite: oracles vs mid-run churn) ----------
 
 using FaultsDeathTest = ::testing::Test;
@@ -334,6 +356,76 @@ TEST(RecoveryScenarioTest, WithoutRecoveryTheBudgetEndsTheRunUnstabilized) {
   EXPECT_EQ(r.sim.interactions, 2'000'000u);
   EXPECT_EQ(r.population, 33u);
   EXPECT_FALSE(r.lemma1);
+}
+
+TEST(RecoveryScenarioTest, FaultRemovingLastStragglerReleasesPendingWave) {
+  // Regression: a wave requested while a previous wave was still converting
+  // (wave_pending_ set, old_remaining_ > 0) was stranded forever when the
+  // last old-epoch straggler was removed by a *fault* rather than by a
+  // protocol transition -- handle_transition never saw the count reach zero
+  // and the damaged configuration never repaired.
+  const core::SelfHealingKPartitionProtocol protocol(2);
+  const TransitionTable table(protocol);
+  ChurnSimulator sim(
+      table, Population(12, protocol.num_states(), protocol.initial_state()),
+      21);
+  core::RecoveryManager manager(protocol, sim);
+  ASSERT_TRUE(sim.run(manager.oracle(), 20'000'000).stabilized);
+
+  const auto count_epoch = [&](std::uint32_t epoch) {
+    std::uint32_t count = 0;
+    for (std::uint32_t a = 0; a < sim.population().size(); ++a) {
+      if (protocol.epoch_of(sim.population().state_of(a)) == epoch) ++count;
+    }
+    return count;
+  };
+  const auto lowest_in_epoch = [&](std::uint32_t epoch) {
+    for (std::uint32_t a = 0; a < sim.population().size(); ++a) {
+      if (protocol.epoch_of(sim.population().state_of(a)) == epoch) return a;
+    }
+    ADD_FAILURE() << "no agent in epoch " << epoch;
+    return 0u;
+  };
+
+  // Crash one committed agent: the stable population has old_remaining_ ==
+  // 0, so wave 1 starts immediately and epoch 0 becomes the old epoch.
+  sim.crash(0u, &manager.oracle());
+  ASSERT_EQ(manager.epoch(), 1u);
+  ASSERT_EQ(manager.waves_started(), 1u);
+
+  // Let the wave convert all but two stragglers (conversions are monotone:
+  // no transition re-creates epoch 0).
+  std::uint64_t safety = 0;
+  while (count_epoch(0) > 2) {
+    sim.step(manager.oracle());
+    ASSERT_LT(++safety, 10'000'000u) << "wave failed to spread";
+  }
+
+  // A second disruption while the wave is in flight: the new wave must
+  // wait for the two remaining stragglers.
+  sim.crash(lowest_in_epoch(1), &manager.oracle());
+  ASSERT_TRUE(manager.wave_pending());
+
+  // Crash both stragglers: the pending wave loses its trigger unless
+  // handle_fault itself re-evaluates the wave request.
+  sim.crash(lowest_in_epoch(0), &manager.oracle());
+  sim.crash(lowest_in_epoch(0), &manager.oracle());
+  ASSERT_EQ(count_epoch(0), 0u);
+  EXPECT_FALSE(manager.wave_pending());
+
+  // And the survivors re-converge to the uniform partition of n = 8.
+  const SimResult r = sim.run(manager.oracle(), 50'000'000);
+  EXPECT_TRUE(r.stabilized);
+  EXPECT_EQ(sim.population().size(), 8u);
+  Counts base_counts(protocol.base().num_states(), 0);
+  const Counts& counts = sim.population().counts();
+  for (StateId s = 0; s < counts.size(); ++s) {
+    base_counts[protocol.base_of(s)] += counts[s];
+  }
+  EXPECT_TRUE(core::lemma1_holds(protocol.base(), base_counts));
+  const std::uint32_t g1 = base_counts[protocol.base().g(1)];
+  const std::uint32_t g2 = base_counts[protocol.base().g(2)];
+  EXPECT_LE(g1 > g2 ? g1 - g2 : g2 - g1, 1u);
 }
 
 TEST(RecoveryScenarioTest, JoinsAreAbsorbedWithoutAWave) {

@@ -134,9 +134,39 @@ TEST_F(MonteCarloTest, NonConvergentInputTerminatesViaBudget) {
   for (const auto& trial : result.trials) {
     EXPECT_FALSE(trial.stabilized);
     EXPECT_FALSE(trial.timed_out);
+    // The agent engine cannot see silence, so it exhausts the budget drawing
+    // null pairs: ordinary budget exhaustion, not a stall.
+    EXPECT_FALSE(trial.stalled);
     EXPECT_EQ(trial.interactions, 100'000u);
     EXPECT_EQ(trial.effective, 0u);  // all-g1 is silent
   }
+}
+
+TEST_F(MonteCarloTest, SilentDeadConfigurationReportsStalledOnJumpEngine) {
+  // The jump engine detects silence immediately; the trial must be
+  // distinguishable from budget exhaustion (both flags false used to mean
+  // either).
+  Counts stuck(protocol_.num_states(), 0);
+  stuck[protocol_.g(1)] = 12;
+  MonteCarloOptions options;
+  options.trials = 1;
+  options.max_interactions = 100'000;
+  options.engine = Engine::kJump;
+  const auto plain = run_monte_carlo(table_, stuck, oracle_factory(12), options);
+  ASSERT_EQ(plain.trials.size(), 1u);
+  EXPECT_FALSE(plain.trials[0].stabilized);
+  EXPECT_FALSE(plain.trials[0].timed_out);
+  EXPECT_TRUE(plain.trials[0].stalled);
+  EXPECT_LT(plain.trials[0].interactions, 100'000u);
+
+  // Same through the wall-clock chunked path.
+  options.wall_clock_limit_seconds = 3600.0;
+  const auto chunked =
+      run_monte_carlo(table_, stuck, oracle_factory(12), options);
+  ASSERT_EQ(chunked.trials.size(), 1u);
+  EXPECT_FALSE(chunked.trials[0].stabilized);
+  EXPECT_FALSE(chunked.trials[0].timed_out);
+  EXPECT_TRUE(chunked.trials[0].stalled);
 }
 
 TEST_F(MonteCarloTest, WallClockLimitStopsNonConvergentRun) {

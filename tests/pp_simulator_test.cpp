@@ -70,6 +70,59 @@ TEST(AgentSimulator, DifferentSeedsUsuallyDiffer) {
   EXPECT_GT(distinct, 0);
 }
 
+TEST(AgentSimulator, ResumePreservesOracleProgressAcrossChunks) {
+  // Regression: run_bounded used to grant the budget in chunks via run(),
+  // and every run() resets the oracle -- a quiescence lull spanning a chunk
+  // boundary was discarded, so a window longer than the chunk could never
+  // be satisfied.  resume() must continue the oracle where the previous
+  // chunk stopped, making a chunked run identical to an unchunked one.
+  const core::KPartitionProtocol protocol(4);
+  const TransitionTable table(protocol);
+  const std::uint64_t seed = 11;
+  // n = 13, k = 4 leaves one free agent whose flips stay effective after
+  // stabilization, so the quiescence window does fill up.
+  constexpr std::uint32_t kN = 13;
+  constexpr std::uint64_t kWindow = 500;  // effective interactions
+  constexpr std::uint64_t kChunk = 64;    // drawn pairs per grant
+  constexpr std::uint64_t kBudget = 5'000'000;
+
+  Population whole_pop(kN, protocol.num_states(), protocol.initial_state());
+  AgentSimulator whole(table, std::move(whole_pop), seed);
+  auto whole_oracle = make_quiescence_oracle(protocol, kWindow);
+  const SimResult reference = whole.run(whole_oracle, kBudget);
+  ASSERT_TRUE(reference.stabilized);
+
+  Population chunked_pop(kN, protocol.num_states(), protocol.initial_state());
+  AgentSimulator chunked(table, std::move(chunked_pop), seed);
+  auto chunked_oracle = make_quiescence_oracle(protocol, kWindow);
+  std::uint64_t total = 0;
+  bool stabilized = false;
+  bool first = true;
+  while (!stabilized && total < kBudget) {
+    const SimResult r = first ? chunked.run(chunked_oracle, kChunk)
+                              : chunked.resume(chunked_oracle, kChunk);
+    first = false;
+    total += r.interactions;
+    stabilized = r.stabilized;
+  }
+  EXPECT_TRUE(stabilized);
+  EXPECT_EQ(total, reference.interactions);
+
+  // Contrast: the buggy per-chunk run() pattern resets the oracle every 64
+  // draws, so the 500-effective-interaction lull is never observed.
+  Population reset_pop(kN, protocol.num_states(), protocol.initial_state());
+  AgentSimulator resetting(table, std::move(reset_pop), seed);
+  auto reset_oracle = make_quiescence_oracle(protocol, kWindow);
+  total = 0;
+  stabilized = false;
+  while (!stabilized && total < 200'000) {
+    const SimResult r = resetting.run(reset_oracle, kChunk);
+    total += r.interactions;
+    stabilized = r.stabilized;
+  }
+  EXPECT_FALSE(stabilized);
+}
+
 TEST(AgentSimulator, ObserverSeesEveryEffectiveInteraction) {
   const core::KPartitionProtocol protocol(4);
   const TransitionTable table(protocol);
