@@ -8,10 +8,16 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/utsname.h>
+#endif
 
 #include "analysis/experiment.hpp"
 #include "analysis/table.hpp"
 #include "io/csv.hpp"
+#include "io/json.hpp"
 #include "util/cli.hpp"
 
 namespace ppk::bench {
@@ -24,6 +30,7 @@ struct CommonFlags {
   std::shared_ptr<long long> seed;
   std::shared_ptr<bool> paper;
   std::shared_ptr<std::string> csv;
+  std::shared_ptr<std::string> json;
   std::shared_ptr<int> threads;
 
   explicit CommonFlags(Cli& cli, int default_trials = 30)
@@ -34,6 +41,9 @@ struct CommonFlags {
                              "sweeps)")),
         csv(cli.flag<std::string>("csv", "",
                                   "also write results to this CSV path")),
+        json(cli.flag<std::string>("json", "",
+                                   "also write results to this JSON path "
+                                   "(machine-readable report)")),
         threads(cli.flag<int>("threads", 1, "worker threads for trials")) {}
 
   [[nodiscard]] analysis::ExperimentOptions experiment_options() const {
@@ -44,6 +54,32 @@ struct CommonFlags {
     return options;
   }
 };
+
+/// Writes the machine-metadata object benches embed in JSON reports, so a
+/// committed baseline records where its numbers came from.
+inline void write_machine_metadata(io::JsonWriter& json) {
+  json.begin_object();
+  json.member("hardware_threads",
+              static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+#if defined(__VERSION__)
+  json.member("compiler", __VERSION__);
+#else
+  json.member("compiler", "unknown");
+#endif
+#if defined(NDEBUG)
+  json.member("assertions_disabled", true);
+#else
+  json.member("assertions_disabled", false);
+#endif
+#if defined(__unix__) || defined(__APPLE__)
+  utsname names{};
+  if (uname(&names) == 0) {
+    json.member("os", std::string(names.sysname) + " " + names.release);
+    json.member("arch", names.machine);
+  }
+#endif
+  json.end_object();
+}
 
 inline void print_header(const char* figure, const char* what) {
   std::printf("=== %s: %s ===\n", figure, what);

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Benchmark-regression gate for the engine throughput report.
+
+Validates a fresh BENCH_ENGINES.json (schema ppk-bench-engines-v1) and
+compares it against the committed baseline:
+
+ 1. Schema: required top-level keys, well-formed result rows, all four
+    engines present for every (k, n) point.
+ 2. Claim: the batch engine sustains at least MIN_BATCH_SPEEDUP x the
+    count engine's interactions/second at every measured point with
+    k == 3 and n >= 1e5 (the headline o(1)-amortized claim; generous
+    against the ~1000x actually measured).  Larger k is not gated: at
+    k = 8 the |Q|^2 per-batch sampling cost has not amortized yet at
+    n = 1e5 and the engines are merely comparable there.
+ 3. Regression: per (k, n), the batch engine's throughput did not drop
+    more than MAX_REGRESSION below the baseline's batch throughput.
+    Points absent from the baseline (e.g. smoke vs full grids) are
+    skipped -- the gate compares like with like.
+
+Usage:
+  scripts/check_bench_regression.py NEW.json [BASELINE.json]
+
+Baseline defaults to the committed BENCH_ENGINES.json.  Exits non-zero
+with a reason on the first violated check.  Stdlib only.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+SCHEMA = "ppk-bench-engines-v1"
+ENGINES = {"agent", "count", "jump", "batch"}
+REQUIRED_TOP = {"schema", "bench", "git_rev", "smoke", "wall_cap_seconds",
+                "seed", "machine", "results"}
+REQUIRED_ROW = {"engine", "k", "n", "interactions", "effective", "seconds",
+                "stabilized", "interactions_per_second"}
+MIN_BATCH_SPEEDUP = 5.0       # vs count engine, at k == SPEEDUP_K, n >= ...
+SPEEDUP_K = 3
+SPEEDUP_MIN_N = 100_000
+MAX_REGRESSION = 0.20         # fractional drop vs baseline batch throughput
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"{path}: {err}")
+
+
+def validate_schema(doc, path):
+    missing = REQUIRED_TOP - doc.keys()
+    if missing:
+        fail(f"{path}: missing top-level keys {sorted(missing)}")
+    if doc["schema"] != SCHEMA:
+        fail(f"{path}: schema {doc['schema']!r}, expected {SCHEMA!r}")
+    if not isinstance(doc["results"], list) or not doc["results"]:
+        fail(f"{path}: results must be a non-empty array")
+    points = {}
+    for i, row in enumerate(doc["results"]):
+        missing = REQUIRED_ROW - row.keys()
+        if missing:
+            fail(f"{path}: results[{i}] missing {sorted(missing)}")
+        if row["engine"] not in ENGINES:
+            fail(f"{path}: results[{i}] unknown engine {row['engine']!r}")
+        if row["seconds"] <= 0 or row["interactions_per_second"] <= 0:
+            fail(f"{path}: results[{i}] non-positive measurement")
+        points.setdefault((row["k"], row["n"]), {})[row["engine"]] = row
+    for (k, n), rows in points.items():
+        if set(rows) != ENGINES:
+            fail(f"{path}: point (k={k}, n={n}) has engines {sorted(rows)}, "
+                 f"expected all of {sorted(ENGINES)}")
+    return points
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        print(__doc__, file=sys.stderr)
+        return 2
+    new_path = Path(argv[1])
+    base_path = (Path(argv[2]) if len(argv) == 3 else
+                 Path(__file__).resolve().parent.parent / "BENCH_ENGINES.json")
+
+    new_points = validate_schema(load(new_path), new_path)
+    base_points = validate_schema(load(base_path), base_path)
+
+    for (k, n), rows in sorted(new_points.items()):
+        if k != SPEEDUP_K or n < SPEEDUP_MIN_N:
+            continue
+        batch = rows["batch"]["interactions_per_second"]
+        count = rows["count"]["interactions_per_second"]
+        speedup = batch / count
+        if speedup < MIN_BATCH_SPEEDUP:
+            fail(f"(k={k}, n={n}): batch is only {speedup:.2f}x the count "
+                 f"engine ({batch:.3g} vs {count:.3g} int/s); the gate "
+                 f"requires >= {MIN_BATCH_SPEEDUP}x")
+        print(f"ok: (k={k}, n={n}) batch/count speedup {speedup:.1f}x")
+
+    compared = 0
+    for (k, n), rows in sorted(new_points.items()):
+        base = base_points.get((k, n))
+        if base is None:
+            print(f"skip: (k={k}, n={n}) not in baseline grid")
+            continue
+        new_tp = rows["batch"]["interactions_per_second"]
+        base_tp = base["batch"]["interactions_per_second"]
+        drop = 1.0 - new_tp / base_tp
+        if drop > MAX_REGRESSION:
+            fail(f"(k={k}, n={n}): batch throughput dropped "
+                 f"{drop:.0%} vs baseline ({new_tp:.3g} vs {base_tp:.3g} "
+                 f"int/s); the gate allows {MAX_REGRESSION:.0%}")
+        print(f"ok: (k={k}, n={n}) batch throughput {new_tp:.3g} int/s "
+              f"({-drop:+.0%} vs baseline)")
+        compared += 1
+    if compared == 0:
+        fail("no (k, n) point overlapped the baseline -- nothing was gated")
+    print("all benchmark gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

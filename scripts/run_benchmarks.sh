@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Runs the engine-throughput benchmark and writes the machine-readable
+# report BENCH_ENGINES.json at the repo root (schema ppk-bench-engines-v1).
+#
+# Usage:
+#   scripts/run_benchmarks.sh [--smoke] [--build-dir DIR] [--out FILE]
+#
+#   --smoke       small grid + short wall caps (CI-sized, ~seconds)
+#   --build-dir   build tree holding bench/batch_throughput
+#                 (default: ./build, configured+built if missing)
+#   --out         output JSON path (default: BENCH_ENGINES.json)
+#
+# The committed BENCH_ENGINES.json is the regression baseline checked by
+# scripts/check_bench_regression.py; regenerate it with a full (non-smoke)
+# run on a quiet machine.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build"
+out="${repo_root}/BENCH_ENGINES.json"
+smoke=""
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --smoke) smoke="--smoke"; shift ;;
+    --build-dir) build_dir="$2"; shift 2 ;;
+    --out) out="$2"; shift 2 ;;
+    *) echo "unknown flag: $1" >&2; exit 2 ;;
+  esac
+done
+
+bench="${build_dir}/bench/batch_throughput"
+if [[ ! -x "${bench}" ]]; then
+  echo "== batch_throughput not built; configuring ${build_dir} (Release) =="
+  cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "${build_dir}" --target batch_throughput
+fi
+
+git_rev="$(git -C "${repo_root}" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+
+"${bench}" ${smoke} --json "${out}" --git-rev "${git_rev}"
+echo "== wrote ${out} (git ${git_rev}) =="

@@ -1,0 +1,156 @@
+// Minimal streaming JSON writer: enough for the benches to emit
+// machine-readable reports (BENCH_ENGINES.json and --json modes) without
+// pulling in a JSON library the toolchain image does not carry.
+//
+// The writer is a push API mirroring the document structure -- begin/end
+// scopes with automatic comma placement and two-space indentation -- and
+// asserts on misuse (a value without a pending key inside an object, or an
+// unclosed scope at destruction) instead of emitting malformed output.
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace ppk::io {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(&out) {}
+
+  ~JsonWriter() { PPK_ASSERT(stack_.empty()); }
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array() { open('['); }
+  void end_array() { close(']'); }
+
+  /// Starts a member inside the current object; follow with exactly one
+  /// value (scalar or begin_*).
+  void key(std::string_view name) {
+    PPK_EXPECTS(!stack_.empty() && stack_.back().is_object);
+    PPK_EXPECTS(!key_pending_);
+    separate();
+    write_string(name);
+    *out_ << ": ";
+    key_pending_ = true;
+  }
+
+  void value(std::string_view s) {
+    pre_value();
+    write_string(s);
+  }
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(bool b) {
+    pre_value();
+    *out_ << (b ? "true" : "false");
+  }
+  void value(double d) {
+    pre_value();
+    // JSON has no NaN/Inf; benches report them as null (e.g. a rate from a
+    // zero-duration measurement).
+    if (!std::isfinite(d)) {
+      *out_ << "null";
+      return;
+    }
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.17g", d);
+    *out_ << buffer;
+  }
+  void value(std::uint64_t v) {
+    pre_value();
+    *out_ << v;
+  }
+  void value(std::int64_t v) {
+    pre_value();
+    *out_ << v;
+  }
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+
+  template <typename T>
+  void member(std::string_view name, const T& v) {
+    key(name);
+    value(v);
+  }
+
+ private:
+  struct Scope {
+    bool is_object;
+    bool has_items;
+  };
+
+  void open(char bracket) {
+    pre_value();
+    *out_ << bracket;
+    stack_.push_back({bracket == '{', false});
+  }
+
+  void close(char bracket) {
+    PPK_EXPECTS(!stack_.empty());
+    PPK_EXPECTS(!key_pending_);
+    const bool had_items = stack_.back().has_items;
+    stack_.pop_back();
+    if (had_items) newline_indent();
+    *out_ << bracket;
+    if (stack_.empty()) *out_ << '\n';
+  }
+
+  /// Comma/indent bookkeeping shared by every value start.
+  void pre_value() {
+    if (stack_.empty()) return;  // the document root value
+    if (stack_.back().is_object) {
+      PPK_EXPECTS(key_pending_);
+      key_pending_ = false;
+      return;
+    }
+    separate();
+  }
+
+  void separate() {
+    if (stack_.back().has_items) *out_ << ',';
+    stack_.back().has_items = true;
+    newline_indent();
+  }
+
+  void newline_indent() {
+    *out_ << '\n';
+    for (std::size_t i = 0; i < stack_.size(); ++i) *out_ << "  ";
+  }
+
+  void write_string(std::string_view s) {
+    *out_ << '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': *out_ << "\\\""; break;
+        case '\\': *out_ << "\\\\"; break;
+        case '\n': *out_ << "\\n"; break;
+        case '\t': *out_ << "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buffer[8];
+            std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+            *out_ << buffer;
+          } else {
+            *out_ << c;
+          }
+      }
+    }
+    *out_ << '"';
+  }
+
+  std::ostream* out_;
+  std::vector<Scope> stack_;
+  bool key_pending_ = false;
+};
+
+}  // namespace ppk::io

@@ -2,30 +2,32 @@
 
 namespace ppk::pp {
 
-StateId CountSimulator::sample_state(std::uint64_t total,
-                                     StateId exclude_one_of) {
-  std::uint64_t u = rng_.below(total);
-  for (StateId s = 0; s < counts_.size(); ++s) {
-    std::uint64_t c = counts_[s];
-    if (s == exclude_one_of) --c;  // one agent already chosen from s
-    if (u < c) return s;
-    u -= c;
-  }
-  PPK_ASSERT(false);  // unreachable: weights sum to `total`
-  return 0;
-}
-
 bool CountSimulator::step(StabilityOracle& oracle) {
   ++interactions_;
-  const StateId p = sample_state(n_, table_->num_states());
-  const StateId q = sample_state(n_ - 1, p);
+  // Initiator: weight c[s].  Responder: weight c[s] - [s == p], realized by
+  // conceptually removing the initiator from the tree for the second draw.
+  const StateId p = static_cast<StateId>(fenwick_.sample(rng_.below(n_)));
+  fenwick_.add(p, -1);
+  const StateId q = static_cast<StateId>(fenwick_.sample(rng_.below(n_ - 1)));
+  fenwick_.add(p, +1);
   if (!table_->effective(p, q)) return false;
   const Transition& t = table_->apply(p, q);
   --counts_[p];
   --counts_[q];
   ++counts_[t.initiator];
   ++counts_[t.responder];
+  fenwick_.add(p, -1);
+  fenwick_.add(q, -1);
+  fenwick_.add(t.initiator, +1);
+  fenwick_.add(t.responder, +1);
   ++effective_;
+  if (watch_marks_ != nullptr) {
+    const int delta = (t.initiator == watch_state_ ? 1 : 0) +
+                      (t.responder == watch_state_ ? 1 : 0) -
+                      (p == watch_state_ ? 1 : 0) -
+                      (q == watch_state_ ? 1 : 0);
+    for (int i = 0; i < delta; ++i) watch_marks_->push_back(interactions_);
+  }
   oracle.on_transition(p, q, t.initiator, t.responder);
   return true;
 }

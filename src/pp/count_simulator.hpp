@@ -11,18 +11,22 @@
 // distribution-identical to AgentSimulator (the test suite checks both a
 // schedule-level correspondence and a statistical agreement) while keeping
 // only O(|Q|) memory -- configurations of a billion agents fit in a cache
-// line.  Per interaction it costs O(#present states) for the weighted draw,
-// which for the protocols here (|Q| <= ~40) is comparable to the agent
-// engine's O(1) but with far better locality for huge n.
+// line.  The counts live in a Fenwick tree, so each of the two weighted
+// draws per interaction is an O(log |Q|) descent and a transition's four
+// count updates are four O(log |Q|) point updates; the tree's descent
+// visits states in the same cumulative order the old linear scan did, so
+// the upgrade is bit-reproducible with earlier versions.
 
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "pp/population.hpp"
 #include "pp/sim_result.hpp"
 #include "pp/stability.hpp"
 #include "pp/transition_table.hpp"
+#include "util/fenwick.hpp"
 #include "util/rng.hpp"
 
 namespace ppk::pp {
@@ -33,8 +37,8 @@ class CountSimulator {
                  std::uint64_t seed)
       : table_(&table), counts_(std::move(initial)), rng_(seed) {
     PPK_EXPECTS(counts_.size() == table.num_states());
-    n_ = 0;
-    for (auto c : counts_) n_ += c;
+    fenwick_.assign(counts_);
+    n_ = fenwick_.total();
     PPK_EXPECTS(n_ >= 2);
   }
 
@@ -53,6 +57,16 @@ class CountSimulator {
   SimResult resume(StabilityOracle& oracle,
                    std::uint64_t max_interactions = UINT64_MAX);
 
+  /// Records, into `marks`, the interaction index of every increase of
+  /// `state`'s count (one entry per unit of increase, matching the agent
+  /// engine's observer-based marks; the paper's NI_i grouping marks).
+  /// Pass nullptr to stop recording.
+  void set_watch(StateId state, std::vector<std::uint64_t>* marks) {
+    PPK_EXPECTS(marks == nullptr || state < counts_.size());
+    watch_state_ = state;
+    watch_marks_ = marks;
+  }
+
   [[nodiscard]] const Counts& counts() const noexcept { return counts_; }
 
   [[nodiscard]] std::uint64_t population_size() const noexcept { return n_; }
@@ -62,16 +76,15 @@ class CountSimulator {
   }
 
  private:
-  /// Samples a state with probability counts[s]/total, after conceptually
-  /// removing `exclude_one_of` (set to num_states() for no exclusion).
-  StateId sample_state(std::uint64_t total, StateId exclude_one_of);
-
   const TransitionTable* table_;
   Counts counts_;
+  FenwickTree fenwick_;  // mirrors counts_; the sampling structure
   Xoshiro256 rng_;
   std::uint64_t n_ = 0;
   std::uint64_t interactions_ = 0;
   std::uint64_t effective_ = 0;
+  StateId watch_state_ = 0;
+  std::vector<std::uint64_t>* watch_marks_ = nullptr;
 };
 
 }  // namespace ppk::pp

@@ -72,15 +72,24 @@ void JumpSimulator::apply_count_change(StateId state, std::int64_t delta) {
 }
 
 bool JumpSimulator::step(StabilityOracle& oracle) {
+  return step_within(oracle, UINT64_MAX);
+}
+
+bool JumpSimulator::step_within(StabilityOracle& oracle, std::uint64_t budget) {
   if (total_weight_ == 0) return false;  // silent configuration
 
   // Skip the geometric run of null interactions.
   const double p_eff = static_cast<double>(total_weight_) /
                        (static_cast<double>(n_) * static_cast<double>(n_ - 1));
-  std::uint64_t nulls = 0;
-  if (p_eff < 1.0) {
-    const double u = 1.0 - rng_.uniform01();  // in (0, 1]
-    nulls = static_cast<std::uint64_t>(std::log(u) / std::log1p(-p_eff));
+  const std::uint64_t nulls = rng_.geometric(p_eff);
+  if (nulls >= budget) {
+    // The null run carries past the budget: consume exactly `budget` nulls
+    // and stop at the boundary without applying a pair.  Memorylessness
+    // makes this exact -- the truncated run's first `budget` draws are
+    // distributed as `budget` independent null draws, and the next
+    // step_within() call re-samples the wait from scratch.
+    interactions_ += budget;
+    return true;
   }
   interactions_ += nulls + 1;
   ++effective_;
@@ -111,6 +120,13 @@ bool JumpSimulator::step(StabilityOracle& oracle) {
   apply_count_change(t.initiator, +1);
   apply_count_change(t.responder, +1);
 
+  if (watch_marks_ != nullptr) {
+    const int delta = (t.initiator == watch_state_ ? 1 : 0) +
+                      (t.responder == watch_state_ ? 1 : 0) -
+                      (p == watch_state_ ? 1 : 0) -
+                      (q == watch_state_ ? 1 : 0);
+    for (int i = 0; i < delta; ++i) watch_marks_->push_back(interactions_);
+  }
   oracle.on_transition(p, q, t.initiator, t.responder);
   return true;
 }
@@ -127,7 +143,8 @@ SimResult JumpSimulator::resume(StabilityOracle& oracle,
   const std::uint64_t start = interactions_;
   const std::uint64_t start_effective = effective_;
   while (!oracle.stable() && interactions_ - start < max_interactions) {
-    if (!step(oracle)) break;  // silent but oracle unsatisfied
+    const std::uint64_t remaining = max_interactions - (interactions_ - start);
+    if (!step_within(oracle, remaining)) break;  // silent, oracle unsatisfied
   }
   result.interactions = interactions_ - start;
   result.effective = effective_ - start_effective;

@@ -61,10 +61,15 @@ class JumpSimulator {
 
   /// Runs until the oracle reports stability, the interaction budget is
   /// exhausted, or the configuration goes silent without satisfying the
-  /// oracle (in which case stabilized = false).  Because whole null runs
-  /// are skipped atomically, the final count may overshoot
-  /// `max_interactions` by the last geometric skip; the budget is a
-  /// safety net, not an exact horizon.
+  /// oracle (in which case stabilized = false).  The budget is exact:
+  /// `interactions()` never advances past it.  When a geometric null run
+  /// would carry the counter beyond the budget, the run is truncated at the
+  /// boundary without applying the effective pair -- which is exactly the
+  /// right distribution, because the geometric is memoryless: the first
+  /// `remaining` draws of a longer-than-remaining null run are just
+  /// `remaining` null draws.  (Earlier versions documented the overshoot as
+  /// a known wart; it also made chunked wall-clock runs overdraw their
+  /// grants.)
   SimResult run(StabilityOracle& oracle,
                 std::uint64_t max_interactions = UINT64_MAX);
 
@@ -73,6 +78,17 @@ class JumpSimulator {
   /// lull spanning the chunk boundary).
   SimResult resume(StabilityOracle& oracle,
                    std::uint64_t max_interactions = UINT64_MAX);
+
+  /// Records, into `marks`, the interaction index of every increase of
+  /// `state`'s count (one entry per unit of increase).  Null skips cannot
+  /// change counts, so the indices recorded at effective draws are exact --
+  /// identical in distribution to the agent engine's observer-based marks.
+  /// Pass nullptr to stop recording.
+  void set_watch(StateId state, std::vector<std::uint64_t>* marks) {
+    PPK_EXPECTS(marks == nullptr || state < counts_.size());
+    watch_state_ = state;
+    watch_marks_ = marks;
+  }
 
   [[nodiscard]] const Counts& counts() const noexcept { return counts_; }
 
@@ -101,6 +117,13 @@ class JumpSimulator {
   void rebuild_weights();
   void apply_count_change(StateId state, std::int64_t delta);
 
+  /// One bounded advance: skips nulls and applies the next effective pair,
+  /// but never moves interactions() forward by more than `budget`.  If the
+  /// geometric null run reaches the budget, exactly `budget` nulls are
+  /// consumed and no pair is applied (exact: the geometric is memoryless).
+  /// Returns false iff the configuration is silent (nothing advanced).
+  bool step_within(StabilityOracle& oracle, std::uint64_t budget);
+
   /// Rows p with eff(p, u), per column u -- the protocol's effective-pair
   /// structure is sparse (for the paper's protocol each state reacts with
   /// only a handful of others), so count updates touch few rows.
@@ -120,6 +143,8 @@ class JumpSimulator {
   /// diagonal term is -1 while c_p == 0 (the weight clamps it to 0).
   std::vector<std::int64_t> row_sum_;
   std::uint64_t total_weight_ = 0;
+  StateId watch_state_ = 0;
+  std::vector<std::uint64_t>* watch_marks_ = nullptr;
 };
 
 }  // namespace ppk::pp

@@ -92,13 +92,34 @@ TrialResult run_one_trial(const TransitionTable& table, const Counts& initial,
   auto oracle = make_oracle();
   PPK_ASSERT(oracle != nullptr);
 
-  if (options.engine == Engine::kCountVector && !options.watch_state) {
+  std::uint64_t n = 0;
+  for (auto c : initial) n += c;
+  const Engine engine =
+      resolve_engine(options.engine, n, options.watch_state.has_value());
+  // The batch engine aggregates draws; it cannot produce per-interaction
+  // watch marks, and quietly returning none would corrupt downstream
+  // statistics.  kAuto never picks it with a watch set, so reaching this
+  // combination means the caller forced it.
+  PPK_EXPECTS(!(engine == Engine::kBatch && options.watch_state));
+
+  if (engine == Engine::kCountVector) {
     CountSimulator sim(table, initial, seed);
+    if (options.watch_state) {
+      sim.set_watch(*options.watch_state, &result.watch_marks);
+    }
     run_bounded(sim, *oracle, options, &result);
     return result;
   }
-  if (options.engine == Engine::kJump && !options.watch_state) {
+  if (engine == Engine::kJump) {
     JumpSimulator sim(table, initial, seed);
+    if (options.watch_state) {
+      sim.set_watch(*options.watch_state, &result.watch_marks);
+    }
+    run_bounded(sim, *oracle, options, &result);
+    return result;
+  }
+  if (engine == Engine::kBatch) {
+    BatchSimulator sim(table, initial, seed);
     run_bounded(sim, *oracle, options, &result);
     return result;
   }
@@ -123,6 +144,19 @@ TrialResult run_one_trial(const TransitionTable& table, const Counts& initial,
 }
 
 }  // namespace
+
+Engine resolve_engine(Engine engine, std::uint64_t n, bool watch) {
+  if (engine != Engine::kAuto) return engine;
+  if (watch) {
+    // Exact marks require pairwise draws; past cache-friendly populations
+    // the count engine's O(log |Q|) steps beat chasing n agent slots.
+    return n < 4096 ? Engine::kAgentArray : Engine::kCountVector;
+  }
+  // The agent array's O(1) steps win while the population is small enough
+  // that batching overhead (O(|Q|^2) RNG work per ~sqrt(n) interactions)
+  // dominates; beyond that the batch engine's amortized cost vanishes.
+  return n < 1024 ? Engine::kAgentArray : Engine::kBatch;
+}
 
 MonteCarloResult run_monte_carlo(const TransitionTable& table,
                                  const Counts& initial,

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "pp/agent_simulator.hpp"
+#include "pp/batch_simulator.hpp"
 #include "pp/count_simulator.hpp"
 #include "pp/jump_simulator.hpp"
 #include "pp/population.hpp"
@@ -24,8 +25,22 @@
 
 namespace ppk::pp {
 
-/// Which engine executes the trials.
-enum class Engine { kAgentArray, kCountVector, kJump };
+/// Which engine executes the trials.  kAuto picks per trial from the
+/// population size and the requested instrumentation (see
+/// resolve_engine(); docs/engines.md walks through the policy).
+enum class Engine { kAgentArray, kCountVector, kJump, kBatch, kAuto };
+
+/// The engine kAuto resolves to for a population of n agents with (or
+/// without) watch-mark instrumentation:
+///  - watch marks requested: agent for small n (per-agent state is cheap
+///    and the observer is free), count above -- both record exact marks;
+///    the batch engine cannot (aggregated draws have no per-interaction
+///    indices) and is never chosen here.
+///  - otherwise: agent while the population fits comfortably in cache
+///    (n < 1024 -- batching overhead beats O(1) array steps only past
+///    that), batch above.
+[[nodiscard]] Engine resolve_engine(Engine engine, std::uint64_t n,
+                                    bool watch);
 
 /// Default per-trial interaction budget.  The most expensive configuration
 /// in the paper's evaluation (n = 960, k = 8) stabilizes in ~7e8
@@ -44,8 +59,12 @@ struct MonteCarloOptions {
   /// 0 = one thread per hardware core.
   std::size_t threads = 1;
   /// If set, every time the count of this state increases, the current
-  /// interaction index is recorded (the paper's NI_i grouping marks; only
-  /// supported by the agent engine's observer hook).
+  /// interaction index is recorded (the paper's NI_i grouping marks).
+  /// Supported by the agent (observer hook), count and jump engines;
+  /// requesting it with Engine::kBatch is a precondition violation (the
+  /// batch engine aggregates draws and has no per-interaction indices --
+  /// failing fast beats silently returning empty marks).  kAuto never
+  /// resolves to batch when a watch is set.
   std::optional<StateId> watch_state;
   /// If set, a per-trial wall-clock cap: a trial that exceeds it stops at
   /// the next check (every ~4M interactions) and reports stabilized =

@@ -43,6 +43,23 @@ class StabilityOracle {
   virtual void on_transition(StateId p, StateId q, StateId p_next,
                              StateId q_next) = 0;
 
+  /// Called by aggregating engines (see pp/batch_simulator.hpp) that apply
+  /// whole groups of interactions at once: the configuration advanced to
+  /// `counts` over `interactions` drawn pairs, of which `effective` changed
+  /// some agent.  The intra-batch order is not observable, so oracles see
+  /// the batch's endpoints only; engines keep batches no coarser than their
+  /// exactness argument allows (and fall back to on_transition for the
+  /// pairwise draws they interleave).  The default rebuilds from the new
+  /// counts, which is exact for any oracle whose verdict is a function of
+  /// the current configuration (pattern matching, silence); history-keeping
+  /// oracles override to carry their window across the batch.
+  virtual void on_batch(const Counts& counts, std::uint64_t interactions,
+                        std::uint64_t effective) {
+    (void)interactions;
+    (void)effective;
+    reset(counts);
+  }
+
   /// True iff the current configuration is stable.
   [[nodiscard]] virtual bool stable() const = 0;
 
@@ -235,6 +252,35 @@ class QuiescenceOracle final : public StabilityOracle {
   /// Churn restarts the quiescence window: the output vector just changed
   /// by fiat, so the lull observed so far is no longer evidence.
   void on_external_change(const Counts& counts) override { reset(counts); }
+
+  /// Batch semantics: the window counts *effective* interactions whose
+  /// output vector stayed put.  If the group sizes at the batch's endpoints
+  /// match, all of the batch's effective interactions are credited to the
+  /// window (an intra-batch wiggle that cancelled out is invisible --
+  /// acceptable for a heuristic stopping rule, and the engines keep batches
+  /// far smaller than any sensible window).  If the endpoints differ, the
+  /// window restarts: a conservative choice (the last movement may have
+  /// happened early in the batch), which can only delay the stop, never
+  /// fabricate one.
+  void on_batch(const Counts& counts, std::uint64_t interactions,
+                std::uint64_t effective) override {
+    (void)interactions;
+    PPK_EXPECTS(counts.size() == group_of_.size());
+    bool moved = false;
+    std::vector<std::uint32_t> sizes(sizes_.size(), 0);
+    for (StateId s = 0; s < counts.size(); ++s) {
+      sizes[group_of_[s]] += counts[s];
+    }
+    if (sizes != sizes_) {
+      sizes_ = std::move(sizes);
+      moved = true;
+    }
+    if (moved) {
+      unchanged_ = 0;
+    } else {
+      unchanged_ += effective;
+    }
+  }
 
   void on_transition(StateId p, StateId q, StateId p_next,
                      StateId q_next) override {

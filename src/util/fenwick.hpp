@@ -1,0 +1,96 @@
+// Fenwick (binary indexed) tree over unsigned weights, specialized for the
+// one operation the simulators need: "draw an index with probability
+// proportional to its weight".
+//
+// The count engine keeps the state-count vector in one of these so a
+// weighted draw is a single O(log |Q|) root-to-leaf descent instead of a
+// linear prefix scan, and a transition's four +-1 count updates are four
+// O(log |Q|) point updates.  The descent visits indices in the same
+// cumulative order as a left-to-right prefix scan, so swapping the scan for
+// the tree changes nothing about which index a given uniform draw maps to
+// -- engines stay bit-reproducible across the upgrade.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace ppk {
+
+class FenwickTree {
+ public:
+  FenwickTree() = default;
+
+  explicit FenwickTree(const std::vector<std::uint32_t>& weights) {
+    assign(weights);
+  }
+
+  /// Rebuilds the tree over `weights` in O(size).
+  void assign(const std::vector<std::uint32_t>& weights) {
+    size_ = weights.size();
+    tree_.assign(size_ + 1, 0);
+    total_ = 0;
+    for (std::size_t i = 0; i < size_; ++i) {
+      total_ += weights[i];
+      std::size_t node = i + 1;
+      tree_[node] += weights[i];
+      const std::size_t parent = node + (node & (0 - node));
+      if (parent <= size_) tree_[parent] += tree_[node];
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// Adds `delta` to the weight at `index`.  The caller must not drive any
+  /// individual weight negative (checked indirectly: total() is unsigned).
+  void add(std::size_t index, std::int64_t delta) {
+    PPK_EXPECTS(index < size_);
+    total_ = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(total_) + delta);
+    for (std::size_t node = index + 1; node <= size_;
+         node += node & (0 - node)) {
+      tree_[node] = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(tree_[node]) + delta);
+    }
+  }
+
+  /// Sum of weights[0..index).
+  [[nodiscard]] std::uint64_t prefix_sum(std::size_t index) const {
+    PPK_EXPECTS(index <= size_);
+    std::uint64_t sum = 0;
+    for (std::size_t node = index; node > 0; node -= node & (0 - node)) {
+      sum += tree_[node];
+    }
+    return sum;
+  }
+
+  /// The smallest index i with prefix_sum(i + 1) > u, i.e. the index a
+  /// uniform draw u in [0, total()) selects when weights are laid out
+  /// consecutively.  O(log size).
+  [[nodiscard]] std::size_t sample(std::uint64_t u) const {
+    PPK_EXPECTS(u < total_);
+    std::size_t node = 0;
+    std::size_t mask = 1;
+    while (mask * 2 <= size_) mask *= 2;
+    for (; mask > 0; mask /= 2) {
+      const std::size_t next = node + mask;
+      if (next <= size_ && tree_[next] <= u) {
+        node = next;
+        u -= tree_[next];
+      }
+    }
+    PPK_ENSURES(node < size_);
+    return node;
+  }
+
+ private:
+  std::vector<std::uint64_t> tree_;  // 1-based implicit binary indexed tree
+  std::size_t size_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ppk

@@ -1,0 +1,184 @@
+// Validation of the collision-free batch engine: exact stable patterns in
+// every mode, exact interaction budgets, agreement with the closed-form
+// expectations, and clean behavior on silent configurations.  The
+// statistical four-way comparison against the other engines lives in
+// pp_engine_equivalence_test.cpp.
+
+#include "pp/batch_simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/invariants.hpp"
+#include "core/kpartition.hpp"
+#include "pp/transition_table.hpp"
+#include "protocols/leader_election.hpp"
+#include "util/rng.hpp"
+
+namespace ppk::pp {
+namespace {
+
+Counts all_initial(const Protocol& protocol, std::uint32_t n) {
+  Counts counts(protocol.num_states(), 0);
+  counts[protocol.initial_state()] = n;
+  return counts;
+}
+
+TEST(BatchSimulator, ReachesTheExactStablePatternInEveryMode) {
+  const core::KPartitionProtocol protocol(4);
+  const TransitionTable table(protocol);
+  for (const BatchMode mode :
+       {BatchMode::kAuto, BatchMode::kForceBatch, BatchMode::kForceThin}) {
+    for (std::uint32_t n : {9u, 13u, 16u, 40u}) {
+      BatchSimulator sim(table, all_initial(protocol, n), n);
+      sim.set_batch_mode(mode);
+      auto oracle = core::stable_pattern_oracle(protocol, n);
+      const SimResult result = sim.run(*oracle);
+      ASSERT_TRUE(result.stabilized)
+          << "n=" << n << " mode=" << static_cast<int>(mode);
+      EXPECT_TRUE(core::matches_stable_pattern(protocol, n, sim.counts()));
+    }
+  }
+}
+
+TEST(BatchSimulator, PopulationIsConservedAcrossBatches) {
+  const core::KPartitionProtocol protocol(5);
+  const TransitionTable table(protocol);
+  const std::uint32_t n = 64;
+  BatchSimulator sim(table, all_initial(protocol, n), 77);
+  sim.set_batch_mode(BatchMode::kForceBatch);
+  NeverStableOracle oracle;
+  for (int i = 0; i < 50; ++i) {
+    sim.step(oracle);
+    std::uint64_t total = 0;
+    for (auto c : sim.counts()) total += c;
+    ASSERT_EQ(total, n) << "after advance " << i;
+  }
+}
+
+TEST(BatchSimulator, StopsCleanlyOnSilentConfigurations) {
+  const protocols::LeaderElectionProtocol protocol;
+  const TransitionTable table(protocol);
+  BatchSimulator sim(table, Counts{1, 5}, 3);
+  NeverStableOracle oracle;
+  const SimResult result = sim.run(oracle, 1'000'000);
+  EXPECT_FALSE(result.stabilized);
+  EXPECT_EQ(result.effective, 0u);
+  EXPECT_EQ(result.interactions, 0u);
+  EXPECT_EQ(sim.effective_weight(), 0u);
+  EXPECT_FALSE(sim.step(oracle));
+}
+
+TEST(BatchSimulator, EffectiveInteractionsMatchAgentEngineExactly) {
+  // Leader election performs exactly n - 1 effective interactions in any
+  // execution, whichever regime draws them.
+  const protocols::LeaderElectionProtocol protocol;
+  const TransitionTable table(protocol);
+  for (const BatchMode mode : {BatchMode::kForceBatch, BatchMode::kForceThin}) {
+    BatchSimulator sim(table, all_initial(protocol, 30), 7);
+    sim.set_batch_mode(mode);
+    SilenceOracle oracle(table);
+    const SimResult result = sim.run(oracle);
+    EXPECT_TRUE(result.stabilized);
+    EXPECT_EQ(result.effective, 29u);
+    EXPECT_EQ(sim.counts()[protocols::LeaderElectionProtocol::kLeader], 1u);
+  }
+}
+
+TEST(BatchSimulator, MeanInteractionsMatchTheExactExpectation) {
+  // Leader election on n agents takes (n-1)^2 expected interactions; the
+  // batched counter (null draws included) must agree in the mean.  Forced
+  // batch mode keeps the whole run on the collision-free path.
+  const protocols::LeaderElectionProtocol protocol;
+  const TransitionTable table(protocol);
+  const std::uint32_t n = 10;
+  constexpr int kTrials = 3000;
+  double total = 0.0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    BatchSimulator sim(table, all_initial(protocol, n),
+                       derive_stream_seed(6, static_cast<std::uint64_t>(trial)));
+    sim.set_batch_mode(BatchMode::kForceBatch);
+    SilenceOracle oracle(table);
+    total += static_cast<double>(sim.run(oracle).interactions);
+  }
+  const double mean = total / kTrials;
+  const double exact = (n - 1.0) * (n - 1.0);  // 81
+  // stddev of a single run is ~60 here; 3000 trials -> sem ~1.1.
+  EXPECT_NEAR(mean, exact, 4.0);
+}
+
+TEST(BatchSimulator, InteractionBudgetIsExactInEveryMode) {
+  // Batches truncate at the budget and thin-regime skips clamp, so a
+  // non-stabilizing run must land on the budget exactly -- never short
+  // (unless silent), never over.  n = 49 = 1 (mod 3) leaves one free agent
+  // at stability, so rule 4 keeps the configuration non-silent forever.
+  const core::KPartitionProtocol protocol(3);
+  const TransitionTable table(protocol);
+  for (const BatchMode mode :
+       {BatchMode::kAuto, BatchMode::kForceBatch, BatchMode::kForceThin}) {
+    for (const std::uint64_t budget : {1ULL, 7ULL, 100ULL, 12'345ULL}) {
+      BatchSimulator sim(table, all_initial(protocol, 49), 11);
+      sim.set_batch_mode(mode);
+      NeverStableOracle oracle;
+      const SimResult result = sim.run(oracle, budget);
+      EXPECT_EQ(result.interactions, budget)
+          << "mode=" << static_cast<int>(mode);
+      EXPECT_EQ(sim.interactions(), budget);
+    }
+  }
+}
+
+TEST(BatchSimulator, ChunkedResumeAdvancesExactlyTheGrants) {
+  // n = 81 = 1 (mod 4): never silent (see above), so every grant is spent.
+  const core::KPartitionProtocol protocol(4);
+  const TransitionTable table(protocol);
+  BatchSimulator sim(table, all_initial(protocol, 81), 23);
+  NeverStableOracle oracle;
+  oracle.reset(sim.counts());
+  std::uint64_t total = 0;
+  for (const std::uint64_t grant : {13ULL, 1ULL, 999ULL, 4'096ULL}) {
+    const SimResult r = sim.resume(oracle, grant);
+    EXPECT_EQ(r.interactions, grant);
+    total += r.interactions;
+  }
+  EXPECT_EQ(sim.interactions(), total);
+}
+
+TEST(BatchSimulator, SameSeedReproducesBitForBit) {
+  const core::KPartitionProtocol protocol(6);
+  const TransitionTable table(protocol);
+  for (const BatchMode mode :
+       {BatchMode::kAuto, BatchMode::kForceBatch, BatchMode::kForceThin}) {
+    BatchSimulator a(table, all_initial(protocol, 120), 99);
+    BatchSimulator b(table, all_initial(protocol, 120), 99);
+    a.set_batch_mode(mode);
+    b.set_batch_mode(mode);
+    auto oracle_a = core::stable_pattern_oracle(protocol, 120);
+    auto oracle_b = core::stable_pattern_oracle(protocol, 120);
+    const SimResult ra = a.run(*oracle_a);
+    const SimResult rb = b.run(*oracle_b);
+    EXPECT_EQ(ra.interactions, rb.interactions);
+    EXPECT_EQ(ra.effective, rb.effective);
+    EXPECT_EQ(a.counts(), b.counts());
+  }
+}
+
+TEST(BatchSimulator, LargePopulationUsesTheLgammaFallback) {
+  // Populations beyond the log-factorial table threshold exercise the
+  // live-lgamma path; the run must still reach a valid configuration.
+  const core::KPartitionProtocol protocol(3);
+  const TransitionTable table(protocol);
+  const std::uint32_t n = 2'000'000;  // > kLogFactTableMax
+  BatchSimulator sim(table, all_initial(protocol, n), 5);
+  sim.set_batch_mode(BatchMode::kForceBatch);
+  NeverStableOracle oracle;
+  const SimResult r = sim.run(oracle, 200'000);
+  EXPECT_EQ(r.interactions, 200'000u);
+  std::uint64_t total = 0;
+  for (auto c : sim.counts()) total += c;
+  EXPECT_EQ(total, n);
+}
+
+}  // namespace
+}  // namespace ppk::pp

@@ -141,6 +141,78 @@ TEST(JumpSimulator, EffectiveWeightTracksConfiguration) {
   }
 }
 
+TEST(JumpSimulator, InteractionBudgetIsNeverOvershot) {
+  // Regression: run/resume used to let the final geometric null skip sail
+  // past the budget, overshooting by up to one skip length (huge near
+  // silence).  The skip now clamps at the boundary -- exact by the
+  // memorylessness of the geometric -- so a non-stabilizing run lands on
+  // the budget to the interaction.  n = 49 = 1 (mod 3) keeps one free
+  // agent at stability, so the configuration never goes silent and every
+  // budget must be spent exactly.
+  const core::KPartitionProtocol protocol(3);
+  const TransitionTable table(protocol);
+  for (const std::uint64_t budget : {1ULL, 2ULL, 500ULL, 44'444ULL}) {
+    JumpSimulator sim(table, all_initial(protocol, 49), 17);
+    NeverStableOracle oracle;
+    const SimResult result = sim.run(oracle, budget);
+    EXPECT_EQ(result.interactions, budget);
+    EXPECT_EQ(sim.interactions(), budget);
+  }
+}
+
+TEST(JumpSimulator, SparseConfigurationBudgetIsExact) {
+  // The skip clamp matters most when p_eff is tiny: two leaders among many
+  // followers make nearly every interaction null, so each geometric skip
+  // dwarfs small budgets.  The counter must still stop exactly on budget.
+  const protocols::LeaderElectionProtocol protocol;
+  const TransitionTable table(protocol);
+  for (const std::uint64_t budget : {1ULL, 10ULL, 1'000ULL}) {
+    JumpSimulator sim(table, Counts{2, 998}, 21);
+    NeverStableOracle oracle;
+    const SimResult result = sim.run(oracle, budget);
+    EXPECT_EQ(result.interactions, budget);
+    // With p_eff = 2/(1000*999), a 1000-interaction budget almost surely
+    // ends inside a null run: no effective interaction was applied.
+    EXPECT_LE(result.effective, 1u);
+  }
+}
+
+TEST(JumpSimulator, ChunkedResumeMatchesSingleRunBudget) {
+  // Splitting one budget across resume() grants must consume exactly the
+  // same total, chunk boundaries landing mid-skip included.
+  const core::KPartitionProtocol protocol(3);
+  const TransitionTable table(protocol);
+  JumpSimulator sim(table, all_initial(protocol, 49), 31);
+  NeverStableOracle oracle;
+  oracle.reset(sim.counts());
+  std::uint64_t total = 0;
+  for (const std::uint64_t grant : {7ULL, 1ULL, 250ULL, 3'000ULL}) {
+    const SimResult r = sim.resume(oracle, grant);
+    EXPECT_EQ(r.interactions, grant);
+    total += r.interactions;
+  }
+  EXPECT_EQ(sim.interactions(), total);
+}
+
+TEST(JumpSimulator, WatchMarksRecordStateEntries) {
+  // Leader election: followers only ever increase, one per effective
+  // interaction, so watching kFollower must mark exactly n - 1 entries at
+  // strictly increasing interaction indices.
+  const protocols::LeaderElectionProtocol protocol;
+  const TransitionTable table(protocol);
+  JumpSimulator sim(table, all_initial(protocol, 20), 13);
+  std::vector<std::uint64_t> marks;
+  sim.set_watch(protocols::LeaderElectionProtocol::kFollower, &marks);
+  SilenceOracle oracle(table);
+  const SimResult result = sim.run(oracle);
+  ASSERT_TRUE(result.stabilized);
+  ASSERT_EQ(marks.size(), 19u);
+  for (std::size_t i = 1; i < marks.size(); ++i) {
+    EXPECT_GT(marks[i], marks[i - 1]);
+  }
+  EXPECT_LE(marks.back(), result.interactions);
+}
+
 TEST(JumpSimulator, InteractionCounterIsMonotoneAndSkipsAreCounted) {
   const core::KPartitionProtocol protocol(6);
   const TransitionTable table(protocol);

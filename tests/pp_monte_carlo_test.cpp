@@ -94,6 +94,68 @@ TEST_F(MonteCarloTest, WatchMarksCountGkEntries) {
   }
 }
 
+TEST_F(MonteCarloTest, WatchMarksWorkOnCountAndJumpEngines) {
+  // Regression: requesting watch_state on a non-agent engine used to
+  // silently return empty marks.  Count and jump now record them; all
+  // three agent-faithful engines must agree on the mark structure.
+  for (const Engine engine :
+       {Engine::kAgentArray, Engine::kCountVector, Engine::kJump}) {
+    MonteCarloOptions options;
+    options.trials = 10;
+    options.engine = engine;
+    options.watch_state = protocol_.g(4);
+    const std::uint32_t n = 14;  // floor(14/4) = 3 groupings
+    const auto result =
+        run_monte_carlo(protocol_, table_, n, oracle_factory(n), options);
+    for (const auto& trial : result.trials) {
+      ASSERT_TRUE(trial.stabilized);
+      ASSERT_EQ(trial.watch_marks.size(), 3u)
+          << "engine=" << static_cast<int>(engine);
+      for (std::size_t i = 1; i < trial.watch_marks.size(); ++i) {
+        EXPECT_GT(trial.watch_marks[i], trial.watch_marks[i - 1]);
+      }
+      EXPECT_LE(trial.watch_marks.back(), trial.interactions);
+    }
+  }
+}
+
+TEST_F(MonteCarloTest, WatchOnBatchEngineFailsFast) {
+  // The batch engine aggregates interactions and cannot attribute marks to
+  // individual draws; asking for both is a contract violation, not a
+  // silently empty result.
+  MonteCarloOptions options;
+  options.trials = 1;
+  options.engine = Engine::kBatch;
+  options.watch_state = protocol_.g(4);
+  EXPECT_DEATH(
+      run_monte_carlo(protocol_, table_, 14, oracle_factory(14), options),
+      "precondition");
+}
+
+TEST_F(MonteCarloTest, AutoEngineResolutionPolicy) {
+  // kAuto picks by population size and never picks batch when marks are
+  // requested; explicit choices pass through untouched.
+  EXPECT_EQ(resolve_engine(Engine::kAuto, 100, false), Engine::kAgentArray);
+  EXPECT_EQ(resolve_engine(Engine::kAuto, 100'000, false), Engine::kBatch);
+  EXPECT_EQ(resolve_engine(Engine::kAuto, 100, true), Engine::kAgentArray);
+  EXPECT_EQ(resolve_engine(Engine::kAuto, 100'000, true),
+            Engine::kCountVector);
+  EXPECT_EQ(resolve_engine(Engine::kJump, 100'000, false), Engine::kJump);
+  EXPECT_EQ(resolve_engine(Engine::kBatch, 10, false), Engine::kBatch);
+}
+
+TEST_F(MonteCarloTest, BatchAndAutoEnginesStabilizeLikeTheOthers) {
+  for (const Engine engine : {Engine::kBatch, Engine::kAuto}) {
+    MonteCarloOptions options;
+    options.trials = 8;
+    options.engine = engine;
+    const auto result =
+        run_monte_carlo(protocol_, table_, 16, oracle_factory(16), options);
+    EXPECT_EQ(result.stabilized_count(), 8u)
+        << "engine=" << static_cast<int>(engine);
+  }
+}
+
 TEST_F(MonteCarloTest, MaxInteractionsBoundsUnstableRuns) {
   MonteCarloOptions options;
   options.trials = 3;

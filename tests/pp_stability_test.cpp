@@ -170,5 +170,52 @@ TEST(NeverStableOracle, NeverStable) {
   EXPECT_FALSE(oracle.stable());
 }
 
+TEST(CountPatternOracle, OnBatchRebuildsFromTheEndpointCounts) {
+  // The default on_batch resets from the new configuration, which is exact
+  // for any oracle whose verdict is a function of the counts alone.
+  CountPatternOracle oracle({0, 0, 1}, {3, 2});
+  oracle.reset({2, 2, 1});
+  EXPECT_FALSE(oracle.stable());
+  oracle.on_batch({1, 2, 2}, 1000, 40);  // batch lands on the pattern
+  EXPECT_TRUE(oracle.stable());
+  oracle.on_batch({0, 1, 4}, 500, 3);  // ...and off it again
+  EXPECT_FALSE(oracle.stable());
+}
+
+TEST(SilenceOracle, OnBatchRebuildsFromTheEndpointCounts) {
+  const protocols::LeaderElectionProtocol protocol;
+  const TransitionTable table(protocol);
+  SilenceOracle oracle(table);
+  oracle.reset({3, 0});
+  EXPECT_FALSE(oracle.stable());
+  oracle.on_batch({1, 2}, 7, 2);  // one leader left: silent
+  EXPECT_TRUE(oracle.stable());
+}
+
+TEST(QuiescenceOracle, OnBatchCreditsEffectiveWhenEndpointsAgree) {
+  // Group map: state 0 -> group 0, state 1 -> group 1.  Window of 10
+  // unmoved effective interactions.
+  QuiescenceOracle oracle({0, 1}, 10);
+  oracle.reset({4, 4});
+  EXPECT_FALSE(oracle.stable());
+  // Batch whose endpoints leave the group sizes unchanged: all its
+  // effective interactions count toward the window.
+  oracle.on_batch({4, 4}, 100, 6);
+  EXPECT_FALSE(oracle.stable());  // 6 < 10
+  oracle.on_batch({4, 4}, 50, 4);
+  EXPECT_TRUE(oracle.stable());  // 10 >= 10
+}
+
+TEST(QuiescenceOracle, OnBatchRestartsWhenTheOutputMoved) {
+  QuiescenceOracle oracle({0, 1}, 10);
+  oracle.reset({4, 4});
+  oracle.on_batch({4, 4}, 100, 9);  // one short of the window
+  EXPECT_FALSE(oracle.stable());
+  oracle.on_batch({5, 3}, 10, 9);  // group sizes moved: window restarts
+  EXPECT_FALSE(oracle.stable());
+  oracle.on_batch({5, 3}, 40, 10);  // unmoved again, full window
+  EXPECT_TRUE(oracle.stable());
+}
+
 }  // namespace
 }  // namespace ppk::pp

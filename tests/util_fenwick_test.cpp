@@ -1,0 +1,81 @@
+#include "util/fenwick.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ppk {
+namespace {
+
+/// The reference the tree replaced: left-to-right prefix scan selection.
+std::size_t linear_sample(const std::vector<std::uint32_t>& weights,
+                          std::uint64_t u) {
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (u < weights[i]) return i;
+    u -= weights[i];
+  }
+  ADD_FAILURE() << "u out of range";
+  return weights.size();
+}
+
+TEST(FenwickTree, AssignComputesTotalsAndPrefixSums) {
+  const std::vector<std::uint32_t> weights = {3, 0, 5, 1, 0, 7};
+  FenwickTree tree(weights);
+  EXPECT_EQ(tree.size(), weights.size());
+  EXPECT_EQ(tree.total(), 16u);
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i <= weights.size(); ++i) {
+    EXPECT_EQ(tree.prefix_sum(i), running) << "prefix " << i;
+    if (i < weights.size()) running += weights[i];
+  }
+}
+
+TEST(FenwickTree, SampleMatchesLinearScanForEveryDraw) {
+  // Bit-compatibility contract: for every u, the descent must select the
+  // same index a left-to-right scan does (this is what keeps the count
+  // engine's output identical across the upgrade).
+  const std::vector<std::uint32_t> weights = {2, 0, 1, 4, 0, 0, 3, 5};
+  const FenwickTree tree(weights);
+  for (std::uint64_t u = 0; u < tree.total(); ++u) {
+    EXPECT_EQ(tree.sample(u), linear_sample(weights, u)) << "u=" << u;
+  }
+}
+
+TEST(FenwickTree, SampleMatchesLinearScanAfterUpdates) {
+  Xoshiro256 rng(42);
+  std::vector<std::uint32_t> weights(13, 1);
+  FenwickTree tree(weights);
+  for (int round = 0; round < 200; ++round) {
+    const auto i = static_cast<std::size_t>(rng.below(weights.size()));
+    if (rng.below(2) == 0 && weights[i] > 0) {
+      weights[i] -= 1;
+      tree.add(i, -1);
+    } else {
+      weights[i] += 1;
+      tree.add(i, +1);
+    }
+    ASSERT_GT(tree.total(), 0u);
+    const std::uint64_t u = rng.below(tree.total());
+    ASSERT_EQ(tree.sample(u), linear_sample(weights, u)) << "round " << round;
+  }
+}
+
+TEST(FenwickTree, NonPowerOfTwoSizesCoverEveryIndex) {
+  for (std::size_t size : {1u, 2u, 3u, 5u, 7u, 9u, 16u, 17u, 31u}) {
+    std::vector<std::uint32_t> weights(size, 2);
+    const FenwickTree tree(weights);
+    std::vector<bool> hit(size, false);
+    for (std::uint64_t u = 0; u < tree.total(); ++u) {
+      hit[tree.sample(u)] = true;
+    }
+    for (std::size_t i = 0; i < size; ++i) {
+      EXPECT_TRUE(hit[i]) << "size " << size << " index " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ppk

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cmath>
 #include <set>
 #include <vector>
 
@@ -100,6 +101,203 @@ TEST(DeriveStreamSeed, DependsOnMasterSeed) {
 
 TEST(DeriveStreamSeed, IsDeterministic) {
   EXPECT_EQ(derive_stream_seed(77, 5), derive_stream_seed(77, 5));
+}
+
+// ---------------------------------------------------------------------------
+// Discrete samplers.  Strategy: exact edge cases, a chi-square against the
+// exact pmf where the support is small (this exercises every branch of the
+// inversions), and moment checks where it is not.  All seeds are fixed, so
+// none of these are flaky.
+
+double chi_square(const std::vector<std::uint64_t>& observed,
+                  const std::vector<double>& expected) {
+  double stat = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    const double diff = static_cast<double>(observed[i]) - expected[i];
+    stat += diff * diff / expected[i];
+  }
+  return stat;
+}
+
+double binomial_pmf(std::uint64_t n, double p, std::uint64_t x) {
+  const double nd = static_cast<double>(n);
+  const double xd = static_cast<double>(x);
+  const double log_pmf = std::lgamma(nd + 1.0) - std::lgamma(xd + 1.0) -
+                         std::lgamma(nd - xd + 1.0) + xd * std::log(p) +
+                         (nd - xd) * std::log1p(-p);
+  return std::exp(log_pmf);
+}
+
+double hypergeometric_pmf(std::uint64_t total, std::uint64_t marked,
+                          std::uint64_t m, std::uint64_t x) {
+  auto log_choose = [](double a, double b) {
+    return std::lgamma(a + 1.0) - std::lgamma(b + 1.0) -
+           std::lgamma(a - b + 1.0);
+  };
+  const double log_pmf =
+      log_choose(static_cast<double>(marked), static_cast<double>(x)) +
+      log_choose(static_cast<double>(total - marked),
+                 static_cast<double>(m - x)) -
+      log_choose(static_cast<double>(total), static_cast<double>(m));
+  return std::exp(log_pmf);
+}
+
+TEST(Geometric, CertainSuccessIsZero) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.geometric(1.0), 0u);
+}
+
+TEST(Geometric, MeanMatchesTheory) {
+  Xoshiro256 rng(2);
+  const double p = 0.2;
+  constexpr int kDraws = 50'000;
+  double total = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    total += static_cast<double>(rng.geometric(p));
+  }
+  const double mean = total / kDraws;
+  // E = (1-p)/p = 4, sd of the mean ~ sqrt(20)/sqrt(50000) ~ 0.02.
+  EXPECT_NEAR(mean, 4.0, 0.15);
+}
+
+TEST(Geometric, IsDeterministic) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.geometric(0.01), b.geometric(0.01));
+}
+
+TEST(Binomial, EdgeCases) {
+  Xoshiro256 rng(3);
+  EXPECT_EQ(rng.binomial(0, 0.5), 0u);
+  EXPECT_EQ(rng.binomial(100, 0.0), 0u);
+  EXPECT_EQ(rng.binomial(100, 1.0), 100u);
+  for (int i = 0; i < 1000; ++i) EXPECT_LE(rng.binomial(7, 0.3), 7u);
+}
+
+TEST(Binomial, SmallCaseMatchesExactPmf) {
+  // n = 5, p = 0.3 uses the bottom-up inversion branch; chi-square over
+  // the full support against the exact pmf.
+  Xoshiro256 rng(4);
+  const std::uint64_t n = 5;
+  const double p = 0.3;
+  constexpr int kDraws = 60'000;
+  std::vector<std::uint64_t> observed(n + 1, 0);
+  for (int i = 0; i < kDraws; ++i) ++observed[rng.binomial(n, p)];
+  std::vector<double> expected;
+  for (std::uint64_t x = 0; x <= n; ++x) {
+    expected.push_back(kDraws * binomial_pmf(n, p, x));
+  }
+  // 5 dof; P(chi2 > 20.5) ~ 0.001, and the seed is fixed.
+  EXPECT_LT(chi_square(observed, expected), 20.5);
+}
+
+TEST(Binomial, LargeMeanBranchMatchesMoments) {
+  // n p = 4000 forces the mode-centered walk; check mean and variance.
+  Xoshiro256 rng(5);
+  const std::uint64_t n = 10'000;
+  const double p = 0.4;
+  constexpr int kDraws = 20'000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = static_cast<double>(rng.binomial(n, p));
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kDraws;
+  const double var = sum_sq / kDraws - mean * mean;
+  const double expect_mean = 4000.0;
+  const double expect_var = 2400.0;  // n p (1-p)
+  EXPECT_NEAR(mean, expect_mean, 2.0);         // sem ~ 0.35
+  EXPECT_NEAR(var / expect_var, 1.0, 0.05);
+}
+
+TEST(Binomial, ComplementSymmetryKeepsSupport) {
+  // p > 0.5 routes through the n - Binomial(n, 1-p) symmetry.
+  Xoshiro256 rng(6);
+  constexpr int kDraws = 20'000;
+  double sum = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const std::uint64_t x = rng.binomial(50, 0.9);
+    ASSERT_LE(x, 50u);
+    sum += static_cast<double>(x);
+  }
+  EXPECT_NEAR(sum / kDraws, 45.0, 0.1);
+}
+
+TEST(Hypergeometric, EdgeCases) {
+  Xoshiro256 rng(8);
+  EXPECT_EQ(rng.hypergeometric(10, 4, 0), 0u);
+  EXPECT_EQ(rng.hypergeometric(10, 0, 5), 0u);
+  EXPECT_EQ(rng.hypergeometric(10, 10, 5), 5u);
+  EXPECT_EQ(rng.hypergeometric(10, 4, 10), 4u);
+}
+
+TEST(Hypergeometric, StaysInSupport) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t total = 2 + rng.below(60);
+    const std::uint64_t marked = rng.below(total + 1);
+    const std::uint64_t m = rng.below(total + 1);
+    const std::uint64_t x = rng.hypergeometric(total, marked, m);
+    const std::uint64_t x_min =
+        m + marked > total ? m + marked - total : 0;
+    const std::uint64_t x_max = marked < m ? marked : m;
+    ASSERT_GE(x, x_min) << total << " " << marked << " " << m;
+    ASSERT_LE(x, x_max) << total << " " << marked << " " << m;
+  }
+}
+
+TEST(Hypergeometric, SmallCaseMatchesExactPmf) {
+  // N = 10, K = 4, m = 5: support {0..4}, exact pmf from binomials.
+  Xoshiro256 rng(10);
+  constexpr int kDraws = 60'000;
+  std::vector<std::uint64_t> observed(5, 0);
+  for (int i = 0; i < kDraws; ++i) ++observed[rng.hypergeometric(10, 4, 5)];
+  std::vector<double> expected;
+  for (std::uint64_t x = 0; x <= 4; ++x) {
+    expected.push_back(kDraws * hypergeometric_pmf(10, 4, 5, x));
+  }
+  // 4 dof; P(chi2 > 18.5) ~ 0.001, fixed seed.
+  EXPECT_LT(chi_square(observed, expected), 18.5);
+}
+
+TEST(Hypergeometric, LargeCaseMatchesMoments) {
+  Xoshiro256 rng(11);
+  const std::uint64_t total = 100'000;
+  const std::uint64_t marked = 30'000;
+  const std::uint64_t m = 500;
+  constexpr int kDraws = 20'000;
+  double sum = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += static_cast<double>(rng.hypergeometric(total, marked, m));
+  }
+  // E = m K / N = 150; sd of one draw ~ 10.2, sem ~ 0.07.
+  EXPECT_NEAR(sum / kDraws, 150.0, 0.5);
+}
+
+TEST(Hypergeometric, TabledLogFactorialIsBitIdentical) {
+  // The batch engine passes lgamma values read from a table; the sampler
+  // must consume the same randomness and return the same value.
+  std::vector<double> table(201);
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    table[i] = std::lgamma(static_cast<double>(i) + 1.0);
+  }
+  Xoshiro256 a(12);
+  Xoshiro256 b(12);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t total = 2 + a.below(150);
+    (void)b.below(150);  // keep the streams aligned
+    const std::uint64_t marked = a.below(total + 1);
+    (void)b.below(total + 1);
+    const std::uint64_t m = a.below(total + 1);
+    (void)b.below(total + 1);
+    const std::uint64_t x = a.hypergeometric(total, marked, m);
+    const std::uint64_t y = b.hypergeometric(
+        total, marked, m,
+        [&table](double v) { return table[static_cast<std::size_t>(v)]; });
+    ASSERT_EQ(x, y) << total << " " << marked << " " << m;
+  }
 }
 
 }  // namespace
