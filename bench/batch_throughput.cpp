@@ -2,9 +2,12 @@
 // engine over an {n, k} grid, emitted as the machine-readable report
 // (BENCH_ENGINES.json) the CI regression gate checks.
 //
-// Metric.  Each (engine, n, k) point runs ONE trajectory of the paper's
-// protocol from the all-initial configuration toward the stable pattern,
-// under a wall-clock cap, and reports interactions advanced per second.
+// Metric.  Each (engine, n, k) point runs the paper's protocol from the
+// all-initial configuration toward the stable pattern, under a wall-clock
+// cap, and reports interactions advanced per second.  A trajectory that
+// stabilizes in under the minimum measurement window is repeated (same
+// seed, bit-identical work) until the window fills, so short rows are
+// timed over hundreds of milliseconds rather than single-digit ones.
 // The aggregating engines (jump, batch) typically reach stabilization
 // inside the cap -- their rate is an honest full-trajectory average,
 // including the null-dominated endgame they skip through.  The pairwise
@@ -15,10 +18,22 @@
 // user cares about: wall time per simulated interaction, over the
 // trajectory each engine would actually execute.
 //
+// Calibration.  Shared machines drift in effective CPU frequency under
+// sustained load (tens of percent, on timescales from milliseconds to
+// minutes), so raw rates from two benchmarking sessions are not comparable
+// at the percent level no matter how many reps are taken.  Each measurement
+// therefore interleaves short slices of a fixed xoshiro256** kernel with
+// the simulation chunks; the slices' aggregate rate samples the machine's
+// effective frequency over the SAME window as the measurement itself, and
+// the report carries it as calibration_rate.  The regression gate divides
+// rates by it, cancelling the frequency term.  Slice time is excluded from
+// the reported seconds.
+//
 // The JSON report carries machine metadata and (via --git-rev, filled in
 // by scripts/run_benchmarks.sh) the source revision, so committed baselines
 // are auditable.
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -27,12 +42,14 @@
 #include "bench_common.hpp"
 #include "core/invariants.hpp"
 #include "core/kpartition.hpp"
+#include "obs/sink.hpp"
 #include "pp/agent_simulator.hpp"
 #include "pp/batch_simulator.hpp"
 #include "pp/count_simulator.hpp"
 #include "pp/jump_simulator.hpp"
 #include "pp/monte_carlo.hpp"
 #include "pp/transition_table.hpp"
+#include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 
 namespace {
@@ -42,7 +59,32 @@ struct Measurement {
   std::uint64_t interactions = 0;
   std::uint64_t effective = 0;
   bool stabilized = false;
+  std::uint64_t calibration_draws = 0;
+  double calibration_seconds = 0.0;
+
+  double calibration_rate() const {
+    return calibration_seconds > 0.0
+               ? static_cast<double>(calibration_draws) / calibration_seconds
+               : 0.0;
+  }
 };
+
+volatile std::uint64_t g_calibration_sink = 0;
+
+/// One slice of the fixed ALU-bound calibration kernel; returns its
+/// duration.  Aggregated slice rate tracks the machine's momentary
+/// effective frequency, which is the only thing that separates two runs
+/// of the same (seeded, deterministic) row.
+double calibration_slice(std::uint64_t* draws) {
+  constexpr std::uint64_t kSliceDraws = 1ULL << 21;
+  ppk::Xoshiro256 rng(0x9E3779B97F4A7C15ULL);
+  const ppk::Stopwatch clock;
+  std::uint64_t acc = 0;
+  for (std::uint64_t i = 0; i < kSliceDraws; ++i) acc += rng();
+  g_calibration_sink = acc;
+  *draws += kSliceDraws;
+  return clock.seconds();
+}
 
 /// Chunked run under a wall-clock cap: run() once, then resume() so the
 /// oracle's progress and the interaction stream are those of one unchunked
@@ -51,24 +93,72 @@ template <typename Sim>
 Measurement measure(Sim& sim, ppk::pp::StabilityOracle& oracle,
                     double wall_cap_seconds) {
   constexpr std::uint64_t kChunk = 1ULL << 22;
+  constexpr double kCalibrateEvery = 0.02;  // seconds of measured sim time
   Measurement m;
-  const ppk::Stopwatch clock;
+  const ppk::Stopwatch total;  // caps sim + calibration together
+  double measured = 0.0;
+  double since_calibration = 0.0;
   bool first = true;
   while (true) {
+    const ppk::Stopwatch chunk_clock;
     const ppk::pp::SimResult r =
         first ? sim.run(oracle, kChunk) : sim.resume(oracle, kChunk);
+    const double chunk_seconds = chunk_clock.seconds();
+    measured += chunk_seconds;
+    since_calibration += chunk_seconds;
     first = false;
     m.interactions += r.interactions;
     m.effective += r.effective;
+    bool done = false;
     if (r.stabilized) {
       m.stabilized = true;
+      done = true;
+    } else if (r.interactions < kChunk) {
+      done = true;  // silent / stalled
+    } else if (total.seconds() >= wall_cap_seconds) {
+      done = true;
+    }
+    // Sample the machine's momentary speed inside the measurement window
+    // itself (frequency fluctuates too fast for a before/after probe).
+    if (since_calibration >= kCalibrateEvery || done) {
+      m.calibration_seconds += calibration_slice(&m.calibration_draws);
+      since_calibration = 0.0;
+    }
+    if (done) break;
+  }
+  m.seconds = measured;
+  return m;
+}
+
+/// Trajectories that stabilize in milliseconds are too short to time at
+/// the percent level, so repeat the identical (same-seed) trajectory until
+/// the measured window reaches kMinMeasureSeconds and report the totals:
+/// per-trajectory noise and calibration-slice noise both average out over
+/// the full window.  Clock-capped rows already fill the window and run
+/// once.
+template <typename Sim, typename MakeSim>
+Measurement measure_repeated(MakeSim make_sim,
+                             const ppk::core::KPartitionProtocol& protocol,
+                             std::uint32_t n, double wall_cap_seconds) {
+  constexpr double kMinMeasureSeconds = 0.3;
+  Measurement total;
+  while (true) {
+    const auto oracle = ppk::core::stable_pattern_oracle(protocol, n);
+    Sim sim = make_sim();
+    const Measurement one = measure(sim, *oracle, wall_cap_seconds);
+    total.seconds += one.seconds;
+    total.interactions += one.interactions;
+    total.effective += one.effective;
+    total.stabilized = one.stabilized;
+    total.calibration_draws += one.calibration_draws;
+    total.calibration_seconds += one.calibration_seconds;
+    if (!one.stabilized) break;  // capped or stalled: window already full
+    if (total.seconds + total.calibration_seconds >=
+        std::min(wall_cap_seconds, kMinMeasureSeconds)) {
       break;
     }
-    if (r.interactions < kChunk) break;  // silent / stalled
-    if (clock.seconds() >= wall_cap_seconds) break;
   }
-  m.seconds = clock.seconds();
-  return m;
+  return total;
 }
 
 Measurement measure_engine(ppk::pp::Engine engine,
@@ -76,26 +166,28 @@ Measurement measure_engine(ppk::pp::Engine engine,
                            const ppk::core::KPartitionProtocol& protocol,
                            std::uint32_t n, std::uint64_t seed,
                            double wall_cap_seconds) {
-  const auto oracle = ppk::core::stable_pattern_oracle(protocol, n);
   ppk::pp::Counts initial(protocol.num_states(), 0);
   initial[protocol.initial_state()] = n;
   switch (engine) {
-    case ppk::pp::Engine::kAgentArray: {
-      ppk::pp::AgentSimulator sim(table, ppk::pp::Population(initial), seed);
-      return measure(sim, *oracle, wall_cap_seconds);
-    }
-    case ppk::pp::Engine::kCountVector: {
-      ppk::pp::CountSimulator sim(table, initial, seed);
-      return measure(sim, *oracle, wall_cap_seconds);
-    }
-    case ppk::pp::Engine::kJump: {
-      ppk::pp::JumpSimulator sim(table, initial, seed);
-      return measure(sim, *oracle, wall_cap_seconds);
-    }
-    default: {
-      ppk::pp::BatchSimulator sim(table, initial, seed);
-      return measure(sim, *oracle, wall_cap_seconds);
-    }
+    case ppk::pp::Engine::kAgentArray:
+      return measure_repeated<ppk::pp::AgentSimulator>(
+          [&] {
+            return ppk::pp::AgentSimulator(table, ppk::pp::Population(initial),
+                                           seed);
+          },
+          protocol, n, wall_cap_seconds);
+    case ppk::pp::Engine::kCountVector:
+      return measure_repeated<ppk::pp::CountSimulator>(
+          [&] { return ppk::pp::CountSimulator(table, initial, seed); },
+          protocol, n, wall_cap_seconds);
+    case ppk::pp::Engine::kJump:
+      return measure_repeated<ppk::pp::JumpSimulator>(
+          [&] { return ppk::pp::JumpSimulator(table, initial, seed); },
+          protocol, n, wall_cap_seconds);
+    default:
+      return measure_repeated<ppk::pp::BatchSimulator>(
+          [&] { return ppk::pp::BatchSimulator(table, initial, seed); },
+          protocol, n, wall_cap_seconds);
   }
 }
 
@@ -118,6 +210,10 @@ int main(int argc, char** argv) {
       "smoke", false, "tiny grid + short caps (CI regression gate)");
   auto seconds = cli.flag<double>(
       "seconds", 0.0, "wall-clock cap per point (0 = 2.0 full, 0.5 smoke)");
+  auto reps = cli.flag<int>(
+      "reps", 1,
+      "measurements per point; the best rate is reported (suppresses timer "
+      "noise for tight gates like the observability-overhead check)");
   auto git_rev = cli.flag<std::string>(
       "git-rev", "unknown", "source revision recorded in the JSON report");
   cli.parse(argc, argv);
@@ -150,6 +246,8 @@ int main(int argc, char** argv) {
     const char* engine;
     Measurement m;
     double rate;
+    double calibration;
+    double rep_spread;
   };
   std::vector<Row> rows;
   for (const Case& c : cases) {
@@ -157,12 +255,41 @@ int main(int argc, char** argv) {
     const ppk::pp::TransitionTable transitions(protocol);
     for (const auto engine : engines) {
       const auto seed = static_cast<std::uint64_t>(*common.seed);
-      const Measurement m =
-          measure_engine(engine, transitions, protocol, c.n, seed, cap);
-      const double rate =
-          m.seconds > 0 ? static_cast<double>(m.interactions) / m.seconds
-                        : 0.0;
-      rows.push_back({c, engine_name(engine), m, rate});
+      // Same seed every rep: the work is identical, so the best rate is a
+      // pure timer-noise floor, not a different trajectory.  Interference
+      // only ever slows a kernel down, so the simulation rate and the
+      // calibration rate are floored INDEPENDENTLY across reps -- keeping
+      // the pair from a single rep would let a disturbed calibration slice
+      // inflate the calibrated ratio.
+      Measurement m;
+      double rate = 0.0;
+      double calibration = 0.0;
+      double norm_lo = 0.0;
+      double norm_hi = 0.0;
+      for (int rep = 0; rep < std::max(1, *reps); ++rep) {
+        const Measurement candidate =
+            measure_engine(engine, transitions, protocol, c.n, seed, cap);
+        const double candidate_rate =
+            candidate.seconds > 0
+                ? static_cast<double>(candidate.interactions) /
+                      candidate.seconds
+                : 0.0;
+        if (rep == 0 || candidate_rate > rate) {
+          m = candidate;
+          rate = candidate_rate;
+        }
+        calibration = std::max(calibration, candidate.calibration_rate());
+        const double normalized =
+            candidate_rate / candidate.calibration_rate();
+        norm_lo = rep == 0 ? normalized : std::min(norm_lo, normalized);
+        norm_hi = rep == 0 ? normalized : std::max(norm_hi, normalized);
+      }
+      // The spread of per-rep calibrated rates is the row's own noise
+      // estimate; the regression gate widens its tolerance by it, so the
+      // gate is tight exactly when the machine was quiet enough to earn it.
+      const double rep_spread = norm_hi > 0.0 ? 1.0 - norm_lo / norm_hi : 0.0;
+      rows.push_back(
+          {c, engine_name(engine), m, rate, calibration, rep_spread});
       table.row(int{c.k}, c.n, engine_name(engine), m.interactions, m.seconds,
                 m.stabilized ? "yes" : "no", rate / 1e6);
     }
@@ -188,6 +315,15 @@ int main(int argc, char** argv) {
     json.member("smoke", *smoke);
     json.member("wall_cap_seconds", cap);
     json.member("seed", static_cast<std::int64_t>(*common.seed));
+    json.member("reps", std::max(1, *reps));
+    // Whether the observability hooks were compiled into the engines for
+    // this run (no sink is ever attached here); the regression gate uses
+    // this to decide when the <= 2% overhead check applies.
+    json.key("observability");
+    json.begin_object();
+    json.member("compiled", PPK_OBS_ENABLED != 0);
+    json.member("sink_attached", false);
+    json.end_object();
     json.key("machine");
     ppk::bench::write_machine_metadata(json);
     json.key("results");
@@ -202,6 +338,12 @@ int main(int argc, char** argv) {
       json.member("seconds", r.m.seconds);
       json.member("stabilized", r.m.stabilized);
       json.member("interactions_per_second", r.rate);
+      // Best aggregate rate of the interleaved calibration slices across
+      // reps; comparisons divide by it to cancel machine frequency drift.
+      json.member("calibration_rate", r.calibration);
+      // Fractional spread of per-rep calibrated rates: the measurement's
+      // own uncertainty; the gate adds it to its tolerance.
+      json.member("rep_spread", r.rep_spread);
       json.end_object();
     }
     json.end_array();

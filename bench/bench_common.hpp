@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -18,6 +19,7 @@
 #include "analysis/table.hpp"
 #include "io/csv.hpp"
 #include "io/json.hpp"
+#include "obs/metrics.hpp"
 #include "util/cli.hpp"
 
 namespace ppk::bench {
@@ -31,7 +33,13 @@ struct CommonFlags {
   std::shared_ptr<bool> paper;
   std::shared_ptr<std::string> csv;
   std::shared_ptr<std::string> json;
+  std::shared_ptr<std::string> metrics_out;
   std::shared_ptr<int> threads;
+
+  /// Aggregate metrics across every point the bench sweeps, merged from
+  /// the per-trial registries (see pp::MonteCarloOptions::metrics); filled
+  /// only when --metrics-out is set, written by write_metrics().
+  mutable obs::MetricsRegistry metrics;
 
   explicit CommonFlags(Cli& cli, int default_trials = 30)
       : trials(cli.flag<int>("trials", default_trials, "trials per point")),
@@ -44,6 +52,10 @@ struct CommonFlags {
         json(cli.flag<std::string>("json", "",
                                    "also write results to this JSON path "
                                    "(machine-readable report)")),
+        metrics_out(cli.flag<std::string>(
+            "metrics-out", "",
+            "write aggregate observability metrics (counters/histograms "
+            "merged over all trials) to this JSON path")),
         threads(cli.flag<int>("threads", 1, "worker threads for trials")) {}
 
   [[nodiscard]] analysis::ExperimentOptions experiment_options() const {
@@ -51,7 +63,29 @@ struct CommonFlags {
     options.trials = static_cast<std::uint32_t>(*paper ? 100 : *trials);
     options.master_seed = static_cast<std::uint64_t>(*seed);
     options.threads = static_cast<std::size_t>(*threads);
+    if (!metrics_out->empty()) options.metrics = &metrics;
     return options;
+  }
+
+  /// Writes the aggregated metrics bundle to --metrics-out (no-op when the
+  /// flag is unset).  Call once, after the sweep.
+  void write_metrics(const char* bench_name) const {
+    if (metrics_out->empty()) return;
+    std::ofstream out(*metrics_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write metrics to %s\n",
+                   metrics_out->c_str());
+      return;
+    }
+    io::JsonWriter json(out);
+    json.begin_object();
+    json.member("schema", "ppk-metrics-v1");
+    json.member("bench", bench_name);
+    json.key("metrics");
+    metrics.write_json(json);
+    json.end_object();
+    out << '\n';
+    std::printf("metrics written to %s\n", metrics_out->c_str());
   }
 };
 

@@ -51,5 +51,6 @@ int main(int argc, char** argv) {
       "Expected shape (paper Fig. 3): overall growth with n, overlaid with a\n"
       "sawtooth of period k -- local peaks near n = c*k + k and c*k + k + 1,\n"
       "where the final grouping accounts for over half the interactions.\n");
+  common.write_metrics("fig3_interactions_vs_n");
   return 0;
 }

@@ -62,5 +62,6 @@ int main(int argc, char** argv) {
       "Expected shape (paper Fig. 4): the increments grow with the grouping\n"
       "index; at n = c*k + k (+1) the final grouping plus tail exceeds half\n"
       "of all interactions (see the last/total column).\n");
+  common.write_metrics("fig4_grouping_breakdown");
   return 0;
 }

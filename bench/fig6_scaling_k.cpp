@@ -68,5 +68,6 @@ int main(int argc, char** argv) {
       "the fitted per-k ratio exceeds 1.4 and the exponential model fits at\n"
       "least as well as the power law (straight line on a log-scale plot of\n"
       "the CSV output).\n");
+  common.write_metrics("fig6_scaling_k");
   return 0;
 }

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's documentation.
+
+Scans markdown files for inline links and images, and verifies that every
+relative link resolves: the target file exists, and, when the link carries
+a `#fragment`, that the target contains a heading whose GitHub-style slug
+matches.  External links (http/https/mailto) are not fetched -- this gate
+protects the cross-reference structure of the docs, not the internet.
+
+Usage:
+  scripts/check_markdown_links.py [FILE_OR_DIR...]
+
+With no arguments, checks README.md, DESIGN.md, EXPERIMENTS.md, ROADMAP.md,
+CHANGES.md and every *.md under docs/.  Exits non-zero listing every broken
+link.  Stdlib only.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE = re.compile(r"^(```|~~~)")
+
+
+def default_targets():
+    targets = [REPO / name for name in
+               ("README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md",
+                "CHANGES.md")]
+    targets += sorted((REPO / "docs").glob("*.md"))
+    return [t for t in targets if t.exists()]
+
+
+def slugify(heading):
+    """GitHub's anchor algorithm, close enough: lowercase, drop anything
+    but word characters, spaces and hyphens, then hyphenate spaces."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path):
+    slugs = set()
+    counts = {}
+    in_fence = False
+    for line in path.read_text().splitlines():
+        if CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING.match(line)
+        if not m:
+            continue
+        slug = slugify(m.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def iter_links(path):
+    in_fence = False
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        if CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in LINK.finditer(line):
+            yield number, m.group(1)
+
+
+def check_file(path):
+    failures = []
+    for number, target in iter_links(path):
+        if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, https:, mailto:
+            continue
+        if target.startswith("#"):
+            if target[1:] not in heading_slugs(path):
+                failures.append((number, target, "no such heading anchor"))
+            continue
+        raw, _, fragment = target.partition("#")
+        resolved = (path.parent / raw).resolve()
+        if not resolved.exists():
+            failures.append((number, target, "target does not exist"))
+            continue
+        if fragment and resolved.suffix == ".md":
+            if fragment not in heading_slugs(resolved):
+                failures.append((number, target,
+                                 f"no heading '#{fragment}' in {raw}"))
+    return failures
+
+
+def main(argv):
+    args = [Path(a) for a in argv[1:]]
+    files = []
+    for arg in args:
+        if arg.is_dir():
+            files += sorted(arg.rglob("*.md"))
+        else:
+            files.append(arg)
+    if not files:
+        files = default_targets()
+
+    broken = 0
+    for path in files:
+        if not path.exists():
+            print(f"FAIL: {path}: no such file", file=sys.stderr)
+            broken += 1
+            continue
+        for number, target, reason in check_file(path):
+            rel = path.relative_to(REPO) if path.is_relative_to(REPO) else path
+            print(f"FAIL: {rel}:{number}: broken link '{target}' ({reason})",
+                  file=sys.stderr)
+            broken += 1
+    if broken:
+        print(f"{broken} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"markdown links ok: {len(files)} file(s) checked")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

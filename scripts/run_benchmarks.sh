@@ -6,6 +6,8 @@
 #   scripts/run_benchmarks.sh [--smoke] [--build-dir DIR] [--out FILE]
 #
 #   --smoke       small grid + short wall caps (CI-sized, ~seconds)
+#   --reps N      measurements per point, best rate kept (default 1;
+#                 use >= 3 when regenerating the committed baseline)
 #   --build-dir   build tree holding bench/batch_throughput
 #                 (default: ./build, configured+built if missing)
 #   --out         output JSON path (default: BENCH_ENGINES.json)
@@ -20,10 +22,12 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${repo_root}/build"
 out="${repo_root}/BENCH_ENGINES.json"
 smoke=""
+reps="1"
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --smoke) smoke="--smoke"; shift ;;
+    --reps) reps="$2"; shift 2 ;;
     --build-dir) build_dir="$2"; shift 2 ;;
     --out) out="$2"; shift 2 ;;
     *) echo "unknown flag: $1" >&2; exit 2 ;;
@@ -39,5 +43,5 @@ fi
 
 git_rev="$(git -C "${repo_root}" rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
-"${bench}" ${smoke} --json "${out}" --git-rev "${git_rev}"
+"${bench}" ${smoke} --reps "${reps}" --json "${out}" --git-rev "${git_rev}"
 echo "== wrote ${out} (git ${git_rev}) =="

@@ -18,6 +18,7 @@ ExperimentResult measure_kpartition(pp::GroupId k, std::uint32_t n,
   mc.max_interactions = options.max_interactions;
   mc.engine = options.engine;
   mc.threads = options.threads;
+  mc.metrics = options.metrics;
   if (options.track_groupings) mc.watch_state = protocol.g(k);
 
   Stopwatch timer;

@@ -21,6 +21,9 @@ struct ExperimentOptions {
   pp::Engine engine = pp::Engine::kAgentArray;
   std::size_t threads = 1;
   bool track_groupings = false;  // record g_k entries for Figure 4
+  /// If non-null, aggregate metrics across all trials are merged into this
+  /// registry (see pp::MonteCarloOptions::metrics).  Must outlive the call.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct ExperimentResult {

@@ -1,17 +1,21 @@
 // Fixed-width histogram for stabilization-time distributions.  The paper
 // reports only means; the distribution bench uses this to show the heavy
 // right tail behind them (a few unlucky executions dominate the average).
+//
+// This is a facade: the bucketing implementation lives in obs/metrics.hpp
+// (obs::Histogram, linear layout), the repo's single histogram engine --
+// one place for bucket arithmetic, saturation, merging and rendering.
+// This wrapper pins the analysis-facing API (ctor + from_samples over
+// doubles) that the distribution benches and tests use.
 
 #pragma once
 
 #include <algorithm>
-#include <cmath>
 #include <cstdint>
-#include <cstdio>
 #include <ostream>
-#include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 
 namespace ppk::analysis {
@@ -21,10 +25,7 @@ class Histogram {
   /// Buckets [lo, hi) split evenly `buckets` ways; values outside the
   /// range land in saturated edge buckets.
   Histogram(double lo, double hi, std::size_t buckets)
-      : lo_(lo), hi_(hi), counts_(buckets, 0) {
-    PPK_EXPECTS(hi > lo);
-    PPK_EXPECTS(buckets >= 1);
-  }
+      : impl_(obs::Histogram::linear(lo, hi, buckets)) {}
 
   /// Convenience: bounds from data, with `buckets` bins.
   static Histogram from_samples(const std::vector<double>& samples,
@@ -42,54 +43,29 @@ class Histogram {
     return histogram;
   }
 
-  void add(double x) {
-    const double clamped = std::min(std::max(x, lo_), hi_);
-    auto bucket = static_cast<std::size_t>(
-        (clamped - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size()));
-    bucket = std::min(bucket, counts_.size() - 1);
-    ++counts_[bucket];
-    ++total_;
-  }
+  void add(double x) { impl_.add(x); }
 
-  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return impl_.total(); }
   [[nodiscard]] const std::vector<std::uint64_t>& counts() const noexcept {
-    return counts_;
+    return impl_.counts();
   }
 
   [[nodiscard]] double bucket_lo(std::size_t bucket) const {
-    return lo_ + (hi_ - lo_) * static_cast<double>(bucket) /
-                     static_cast<double>(counts_.size());
+    return impl_.bucket_lo(bucket);
   }
 
   [[nodiscard]] double bucket_hi(std::size_t bucket) const {
-    return bucket_lo(bucket + 1);
+    return impl_.bucket_hi(bucket);
   }
 
   /// ASCII rendering: one row per bucket, bar length proportional to the
   /// count, `width` characters for the largest bucket.
   void print(std::ostream& out, std::size_t width = 50) const {
-    std::uint64_t peak = 1;
-    for (auto c : counts_) peak = std::max(peak, c);
-    for (std::size_t b = 0; b < counts_.size(); ++b) {
-      const auto bar = static_cast<std::size_t>(
-          static_cast<double>(counts_[b]) / static_cast<double>(peak) *
-          static_cast<double>(width));
-      out << format_bound(bucket_lo(b)) << " .. " << format_bound(bucket_hi(b))
-          << "  " << std::string(bar, '#') << ' ' << counts_[b] << '\n';
-    }
+    impl_.print(out, width);
   }
 
  private:
-  static std::string format_bound(double value) {
-    char buffer[32];
-    std::snprintf(buffer, sizeof buffer, "%12.0f", value);
-    return buffer;
-  }
-
-  double lo_;
-  double hi_;
-  std::vector<std::uint64_t> counts_;
-  std::uint64_t total_ = 0;
+  obs::Histogram impl_;
 };
 
 }  // namespace ppk::analysis

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "core/invariants.hpp"
+#include "obs/sink.hpp"
 
 namespace ppk::core {
 
@@ -219,6 +220,9 @@ void RecoveryManager::start_wave() {
   wave_pending_ = false;
   epoch_ = SelfHealingKPartitionProtocol::next_epoch(epoch_);
   ++waves_;
+  PPK_OBS_HOOK(obs_, on_event("recovery.waves"));
+  PPK_OBS_HOOK(obs_, set_gauge("recovery.epoch",
+                               static_cast<std::int64_t>(epoch_)));
   sim_->set_default_join_state(
       protocol_->encode(epoch_, protocol_->base().initial_state()));
   seed_current_epoch();
@@ -238,6 +242,7 @@ void RecoveryManager::seed_current_epoch() {
     }
   }
   sim_->overwrite_state(seed_agent, fresh, &oracle_);
+  PPK_OBS_HOOK(obs_, on_event("recovery.reseeds"));
 }
 
 void RecoveryManager::handle_transition(const pp::SimEvent& event) {

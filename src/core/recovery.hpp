@@ -48,6 +48,10 @@
 #include "pp/population.hpp"
 #include "pp/stability.hpp"
 
+namespace ppk::obs {
+class ObsSink;
+}  // namespace ppk::obs
+
 namespace ppk::core {
 
 class SelfHealingKPartitionProtocol final : public pp::Protocol {
@@ -163,6 +167,12 @@ class RecoveryManager {
   /// True while a damaged configuration has not yet re-stabilized.
   [[nodiscard]] bool wave_pending() const noexcept { return wave_pending_; }
 
+  /// Attaches an observability sink (obs/sink.hpp); nullptr detaches.  The
+  /// manager counts recovery.waves and recovery.reseeds and tracks the
+  /// current epoch in the recovery.epoch gauge; the sink must outlive the
+  /// manager.
+  void set_obs_sink(obs::ObsSink* sink) noexcept { obs_ = sink; }
+
  private:
   void handle_fault(const pp::FaultRecord& record);
   void handle_transition(const pp::SimEvent& event);
@@ -182,6 +192,7 @@ class RecoveryManager {
   bool wave_pending_ = false;
   std::uint32_t waves_ = 0;
   std::uint64_t last_disruption_at_ = 0;
+  obs::ObsSink* obs_ = nullptr;
 };
 
 }  // namespace ppk::core

@@ -1,0 +1,422 @@
+// Metrics registry: counters, gauges, and bucketed histograms for the
+// observability layer (docs/observability.md).
+//
+// Design constraints, in order:
+//  1. Zero overhead when disabled.  Engines hold a nullable ObsSink pointer
+//     (obs/sink.hpp); every hot-path hook is one predictable branch when no
+//     sink is attached, and compiles out entirely under PPK_OBS_ENABLED=0.
+//  2. Deterministic aggregation.  A registry is single-threaded by design;
+//     concurrent trials each fill their own registry and merge() afterwards.
+//     Every merge operation is commutative and associative (counters add,
+//     gauges take the max, histograms add per bucket), so the merged result
+//     is identical regardless of thread interleaving -- bit-reproducible
+//     reports from parallel runs.
+//  3. One bucketing implementation.  Histogram supports both the linear
+//     fixed-width layout (the stabilization-distribution plots; the
+//     analysis::Histogram facade delegates here) and the HDR-style
+//     log2-with-subbuckets layout used for metrics whose range spans many
+//     orders of magnitude (null-run lengths, batch sizes, per-trial
+//     interaction totals).  Bucket arithmetic, saturation, merging,
+//     quantiles, and rendering are written exactly once.
+
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "io/json.hpp"
+#include "util/assert.hpp"
+
+namespace ppk::obs {
+
+/// Monotonically increasing event count.  Merge semantics: sum.
+class Counter {
+ public:
+  /// Adds `delta` occurrences (default one).
+  void inc(std::uint64_t delta = 1) noexcept { value_ += delta; }
+
+  /// Current total.
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+  /// Commutative merge: totals add.
+  void merge(const Counter& other) noexcept { value_ += other.value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-written instantaneous value (population size, current epoch, ...).
+/// Merge semantics: maximum over the merged registries -- the only
+/// order-independent choice for a "latest value" metric, and the useful one
+/// for the gauges the engines export (peak population, furthest epoch).
+class Gauge {
+ public:
+  /// Overwrites the gauge with `value`.
+  void set(std::int64_t value) noexcept {
+    value_ = value;
+    present_ = true;
+  }
+
+  /// Raises the gauge to `value` if larger (or if never set).
+  void record_max(std::int64_t value) noexcept {
+    if (!present_ || value > value_) set(value);
+  }
+
+  /// Current value (0 if never set; see present()).
+  [[nodiscard]] std::int64_t value() const noexcept { return value_; }
+
+  /// True once set() or record_max() has been called.
+  [[nodiscard]] bool present() const noexcept { return present_; }
+
+  /// Commutative merge: element-wise maximum.
+  void merge(const Gauge& other) noexcept {
+    if (other.present_) record_max(other.value_);
+  }
+
+ private:
+  std::int64_t value_ = 0;
+  bool present_ = false;
+};
+
+/// Bucketed histogram -- the single bucketing implementation in the repo.
+///
+/// Two layouts share every algorithm (add, saturation, bounds, merge,
+/// quantile, ASCII rendering):
+///
+///  - linear(lo, hi, buckets): `buckets` equal-width bins over [lo, hi);
+///    values outside the range land in the saturated edge buckets.  This is
+///    the layout of the stabilization-distribution plots
+///    (analysis::Histogram is a facade over it).
+///
+///  - log2(sub_bits): HDR-style log-bucketed layout over the non-negative
+///    integers.  With S = 2^sub_bits sub-buckets per octave, values below S
+///    are exact and every larger value lands in a bucket of relative width
+///    <= 1/S (6.25% at the default sub_bits = 4).  Buckets are allocated
+///    lazily, so an empty histogram costs a few dozen bytes regardless of
+///    the value range.  This is the layout the metrics registry hands out.
+class Histogram {
+ public:
+  /// Bucket layout selector; see the class comment.
+  enum class Layout { kLinear, kLog2 };
+
+  /// Linear layout: [lo, hi) split evenly `buckets` ways, saturating edges.
+  static Histogram linear(double lo, double hi, std::size_t buckets) {
+    PPK_EXPECTS(hi > lo);
+    PPK_EXPECTS(buckets >= 1);
+    Histogram h;
+    h.layout_ = Layout::kLinear;
+    h.lo_ = lo;
+    h.hi_ = hi;
+    h.counts_.assign(buckets, 0);
+    return h;
+  }
+
+  /// Log2 layout with 2^sub_bits sub-buckets per octave (sub_bits in
+  /// [0, 8]).
+  static Histogram log2(unsigned sub_bits = 4) {
+    PPK_EXPECTS(sub_bits <= 8);
+    Histogram h;
+    h.layout_ = Layout::kLog2;
+    h.sub_bits_ = sub_bits;
+    return h;
+  }
+
+  /// Active layout.
+  [[nodiscard]] Layout layout() const noexcept { return layout_; }
+
+  /// Records one real-valued sample (log2 layout clamps negatives to 0 and
+  /// truncates to an integer).
+  void add(double x) {
+    if (layout_ == Layout::kLinear) {
+      const double clamped = std::min(std::max(x, lo_), hi_);
+      auto bucket = static_cast<std::size_t>(
+          (clamped - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size()));
+      bucket = std::min(bucket, counts_.size() - 1);
+      ++counts_[bucket];
+      ++total_;
+      return;
+    }
+    record(x <= 0.0 ? 0 : static_cast<std::uint64_t>(x));
+  }
+
+  /// Records one integer sample (the metrics fast path; linear layout
+  /// forwards to add()).
+  void record(std::uint64_t v) {
+    if (layout_ == Layout::kLinear) {
+      add(static_cast<double>(v));
+      return;
+    }
+    const std::size_t bucket = log_bucket(v);
+    if (bucket >= counts_.size()) counts_.resize(bucket + 1, 0);
+    ++counts_[bucket];
+    ++total_;
+  }
+
+  /// Number of recorded samples.
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// Per-bucket sample counts (log2 layout: trailing empty buckets are not
+  /// materialized).
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const noexcept {
+    return counts_;
+  }
+
+  /// Inclusive lower bound of bucket `bucket`.
+  [[nodiscard]] double bucket_lo(std::size_t bucket) const {
+    if (layout_ == Layout::kLinear) {
+      return lo_ + (hi_ - lo_) * static_cast<double>(bucket) /
+                       static_cast<double>(counts_.size());
+    }
+    return static_cast<double>(log_bucket_lo(bucket));
+  }
+
+  /// Exclusive upper bound of bucket `bucket`.
+  [[nodiscard]] double bucket_hi(std::size_t bucket) const {
+    if (layout_ == Layout::kLinear) return bucket_lo(bucket + 1);
+    return static_cast<double>(log_bucket_lo(bucket + 1));
+  }
+
+  /// Merges another histogram of the identical layout and parameters; per
+  /// bucket, counts add (commutative, so merge order never matters).
+  void merge(const Histogram& other) {
+    PPK_EXPECTS(layout_ == other.layout_);
+    if (layout_ == Layout::kLinear) {
+      PPK_EXPECTS(lo_ == other.lo_ && hi_ == other.hi_ &&
+                  counts_.size() == other.counts_.size());
+    } else {
+      PPK_EXPECTS(sub_bits_ == other.sub_bits_);
+      if (other.counts_.size() > counts_.size()) {
+        counts_.resize(other.counts_.size(), 0);
+      }
+    }
+    for (std::size_t b = 0; b < other.counts_.size(); ++b) {
+      counts_[b] += other.counts_[b];
+    }
+    total_ += other.total_;
+  }
+
+  /// Bucket-resolution quantile estimate: the lower bound of the first
+  /// bucket whose cumulative count reaches q * total (q in [0, 1]).
+  [[nodiscard]] double quantile(double q) const {
+    PPK_EXPECTS(q >= 0.0 && q <= 1.0);
+    if (total_ == 0) return 0.0;
+    const double target = q * static_cast<double>(total_);
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+      cumulative += counts_[b];
+      if (static_cast<double>(cumulative) >= target && counts_[b] > 0) {
+        return bucket_lo(b);
+      }
+    }
+    return bucket_lo(counts_.empty() ? 0 : counts_.size() - 1);
+  }
+
+  /// ASCII rendering: one row per (non-empty, for log2) bucket, bar length
+  /// proportional to the count, `width` characters for the largest bucket.
+  void print(std::ostream& out, std::size_t width = 50) const {
+    std::uint64_t peak = 1;
+    for (auto c : counts_) peak = std::max(peak, c);
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+      if (layout_ == Layout::kLog2 && counts_[b] == 0) continue;
+      const auto bar = static_cast<std::size_t>(
+          static_cast<double>(counts_[b]) / static_cast<double>(peak) *
+          static_cast<double>(width));
+      out << format_bound(bucket_lo(b)) << " .. " << format_bound(bucket_hi(b))
+          << "  " << std::string(bar, '#') << ' ' << counts_[b] << '\n';
+    }
+  }
+
+  /// Emits {"total": n, "buckets": [{"lo", "hi", "count"}...]} (non-empty
+  /// buckets only) into an open JSON writer.
+  void write_json(io::JsonWriter& json) const {
+    json.begin_object();
+    json.member("total", total_);
+    json.key("buckets");
+    json.begin_array();
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+      if (counts_[b] == 0) continue;
+      json.begin_object();
+      json.member("lo", bucket_lo(b));
+      json.member("hi", bucket_hi(b));
+      json.member("count", counts_[b]);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+
+ private:
+  Histogram() = default;
+
+  [[nodiscard]] std::size_t log_bucket(std::uint64_t v) const noexcept {
+    const std::uint64_t sub = 1ULL << sub_bits_;
+    if (v < sub) return static_cast<std::size_t>(v);
+    const unsigned e =
+        static_cast<unsigned>(std::bit_width(v)) - 1u - sub_bits_;
+    return static_cast<std::size_t>(e) * static_cast<std::size_t>(sub) +
+           static_cast<std::size_t>(v >> e);
+  }
+
+  [[nodiscard]] std::uint64_t log_bucket_lo(std::size_t bucket) const {
+    const std::uint64_t sub = 1ULL << sub_bits_;
+    if (bucket < sub) return bucket;
+    const std::uint64_t e = bucket / sub - 1;
+    const std::uint64_t mantissa = bucket - e * sub;  // in [sub, 2*sub)
+    return mantissa << e;
+  }
+
+  static std::string format_bound(double value) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%12.0f", value);
+    return buffer;
+  }
+
+  Layout layout_ = Layout::kLog2;
+  double lo_ = 0.0;                    // linear layout only
+  double hi_ = 0.0;                    // linear layout only
+  unsigned sub_bits_ = 4;              // log2 layout only
+  std::vector<std::uint64_t> counts_;  // log2: grown lazily
+  std::uint64_t total_ = 0;
+};
+
+/// Named metrics for one execution context (one engine run, one trial).
+///
+/// Lookup by name is a map operation; callers on hot paths resolve their
+/// instruments once and keep the returned reference (ObsSink does exactly
+/// this).  Registries are intentionally not thread-safe: parallel drivers
+/// give each worker its own registry and merge() afterwards, which is both
+/// faster (no shared cache line) and deterministic (all merge operations
+/// commute).  Emission orders instruments by name, so two registries with
+/// equal contents serialize identically.
+class MetricsRegistry {
+ public:
+  /// Returns the counter `name`, creating it at zero on first use.
+  /// References stay valid for the registry's lifetime.
+  Counter& counter(std::string_view name) {
+    return counters_[std::string(name)];
+  }
+
+  /// Returns the gauge `name`, creating it unset on first use.
+  Gauge& gauge(std::string_view name) { return gauges_[std::string(name)]; }
+
+  /// Returns the histogram `name`, creating it with the default log2
+  /// layout on first use.
+  Histogram& histogram(std::string_view name) {
+    auto it = histograms_.find(std::string(name));
+    if (it == histograms_.end()) {
+      it = histograms_.emplace(std::string(name), Histogram::log2()).first;
+    }
+    return it->second;
+  }
+
+  /// Returns the histogram `name`, creating it from `prototype` (layout and
+  /// parameters, not samples) on first use.
+  Histogram& histogram(std::string_view name, const Histogram& prototype) {
+    auto it = histograms_.find(std::string(name));
+    if (it == histograms_.end()) {
+      Histogram empty = prototype.layout() == Histogram::Layout::kLinear
+                            ? prototype
+                            : Histogram::log2();
+      it = histograms_.emplace(std::string(name), std::move(empty)).first;
+    }
+    return it->second;
+  }
+
+  /// True iff no instrument has been created.
+  [[nodiscard]] bool empty() const noexcept {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  /// All counters, ordered by name.
+  [[nodiscard]] const std::map<std::string, Counter>& counters()
+      const noexcept {
+    return counters_;
+  }
+
+  /// All gauges, ordered by name.
+  [[nodiscard]] const std::map<std::string, Gauge>& gauges() const noexcept {
+    return gauges_;
+  }
+
+  /// All histograms, ordered by name.
+  [[nodiscard]] const std::map<std::string, Histogram>& histograms()
+      const noexcept {
+    return histograms_;
+  }
+
+  /// Folds another registry in: counters add, gauges take the max,
+  /// histograms add per bucket.  Instruments missing on either side are
+  /// created.  Commutative and associative, so any merge order over any
+  /// partition of trials produces the same registry.
+  void merge(const MetricsRegistry& other) {
+    for (const auto& [name, c] : other.counters_) counters_[name].merge(c);
+    for (const auto& [name, g] : other.gauges_) gauges_[name].merge(g);
+    for (const auto& [name, h] : other.histograms_) {
+      auto it = histograms_.find(name);
+      if (it == histograms_.end()) {
+        histograms_.emplace(name, h);
+      } else {
+        it->second.merge(h);
+      }
+    }
+  }
+
+  /// Emits {"counters": {...}, "gauges": {...}, "histograms": {...}} into
+  /// an open JSON writer, each section sorted by instrument name.
+  void write_json(io::JsonWriter& json) const {
+    json.begin_object();
+    json.key("counters");
+    json.begin_object();
+    for (const auto& [name, c] : counters_) json.member(name, c.value());
+    json.end_object();
+    json.key("gauges");
+    json.begin_object();
+    for (const auto& [name, g] : gauges_) {
+      json.member(name, static_cast<std::int64_t>(g.value()));
+    }
+    json.end_object();
+    json.key("histograms");
+    json.begin_object();
+    for (const auto& [name, h] : histograms_) {
+      json.key(name);
+      h.write_json(json);
+    }
+    json.end_object();
+    json.end_object();
+  }
+
+  /// Emits "kind,name,lo,hi,value" CSV rows (scalar instruments leave
+  /// lo/hi empty; histograms write one row per non-empty bucket).
+  void write_csv(std::ostream& out) const {
+    out << "kind,name,lo,hi,value\n";
+    for (const auto& [name, c] : counters_) {
+      out << "counter," << name << ",,," << c.value() << '\n';
+    }
+    for (const auto& [name, g] : gauges_) {
+      out << "gauge," << name << ",,," << g.value() << '\n';
+    }
+    for (const auto& [name, h] : histograms_) {
+      const auto& counts = h.counts();
+      for (std::size_t b = 0; b < counts.size(); ++b) {
+        if (counts[b] == 0) continue;
+        out << "histogram," << name << ',' << h.bucket_lo(b) << ','
+            << h.bucket_hi(b) << ',' << counts[b] << '\n';
+      }
+    }
+  }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace ppk::obs

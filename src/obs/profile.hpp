@@ -1,0 +1,179 @@
+// Phase profiler: wall-clock attribution of a run to named phases.
+//
+// Two idioms, both built on util/stopwatch.hpp:
+//
+//   PhaseProfile profile;
+//   { ScopedSpan span(profile, "build_table"); build(); }   // RAII span
+//
+//   PhaseTimer timer(profile);          // exclusive phase switching
+//   timer.enter("grouping_1");          // closes nothing (first phase)
+//   ...
+//   timer.enter("grouping_2");          // attributes elapsed to grouping_1
+//   timer.stop();                       // attributes elapsed to grouping_2
+//
+// Spans may nest (each span attributes its own wall time, so nested phases
+// are counted in both the inner and outer phase -- attribution is
+// inclusive).  PhaseTimer is exclusive: exactly one phase is open at a
+// time, so its entries partition the timed interval.
+//
+// Wall-clock values are inherently non-deterministic; callers that need
+// bit-reproducible artifacts (examples/observed_run.cpp) print the profile
+// to stdout and keep it out of their JSON bundles.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "io/json.hpp"
+#include "util/stopwatch.hpp"
+
+namespace ppk::obs {
+
+/// Accumulated wall-clock time per named phase, in first-use order.
+class PhaseProfile {
+ public:
+  /// One phase's accumulated totals.
+  struct Entry {
+    /// Phase name as passed to add() / ScopedSpan / PhaseTimer::enter().
+    std::string name;
+    /// Total wall-clock seconds attributed to the phase.
+    double seconds = 0.0;
+    /// Number of times the phase was entered.
+    std::uint64_t entries = 0;
+  };
+
+  /// Attributes `seconds` of wall time (and `entries` phase entries) to
+  /// `phase`, creating the phase on first use.
+  void add(std::string_view phase, double seconds, std::uint64_t entries = 1) {
+    Entry& entry = find_or_create(phase);
+    entry.seconds += seconds;
+    entry.entries += entries;
+  }
+
+  /// All phases, in order of first use (deterministic given the same
+  /// sequence of phase names).
+  [[nodiscard]] const std::vector<Entry>& entries() const noexcept {
+    return entries_;
+  }
+
+  /// Sum of all attributed seconds (spans may overlap; see file comment).
+  [[nodiscard]] double total_seconds() const noexcept {
+    double total = 0.0;
+    for (const auto& e : entries_) total += e.seconds;
+    return total;
+  }
+
+  /// Folds another profile in (seconds and entry counts add; phases new to
+  /// this profile are appended in the other profile's order).
+  void merge(const PhaseProfile& other) {
+    for (const auto& e : other.entries_) add(e.name, e.seconds, e.entries);
+  }
+
+  /// Emits [{"phase", "seconds", "entries"}...] into an open JSON writer.
+  /// Note: seconds are wall-clock and therefore non-deterministic.
+  void write_json(io::JsonWriter& json) const {
+    json.begin_array();
+    for (const auto& e : entries_) {
+      json.begin_object();
+      json.member("phase", e.name);
+      json.member("seconds", e.seconds);
+      json.member("entries", e.entries);
+      json.end_object();
+    }
+    json.end_array();
+  }
+
+  /// Prints an aligned table with per-phase percentages of the total.
+  void print(std::ostream& out) const {
+    const double total = total_seconds();
+    std::size_t width = 5;
+    for (const auto& e : entries_) width = std::max(width, e.name.size());
+    for (const auto& e : entries_) {
+      const double pct = total > 0.0 ? 100.0 * e.seconds / total : 0.0;
+      char line[128];
+      std::snprintf(line, sizeof line, "  %-*s %10.3f ms  %5.1f%%  x%llu\n",
+                    static_cast<int>(width), e.name.c_str(), e.seconds * 1e3,
+                    pct, static_cast<unsigned long long>(e.entries));
+      out << line;
+    }
+  }
+
+ private:
+  Entry& find_or_create(std::string_view phase) {
+    for (auto& e : entries_) {
+      if (e.name == phase) return e;
+    }
+    entries_.push_back(Entry{std::string(phase), 0.0, 0});
+    return entries_.back();
+  }
+
+  std::vector<Entry> entries_;
+};
+
+/// RAII span: attributes the wall time between construction and destruction
+/// to one phase of a PhaseProfile.  Spans may nest (inclusive attribution).
+class ScopedSpan {
+ public:
+  /// Opens a span named `phase` against `profile`.
+  ScopedSpan(PhaseProfile& profile, std::string_view phase)
+      : profile_(&profile), phase_(phase) {}
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Closes the span, attributing the elapsed wall time.
+  ~ScopedSpan() { profile_->add(phase_, watch_.seconds()); }
+
+ private:
+  PhaseProfile* profile_;
+  std::string phase_;
+  Stopwatch watch_;
+};
+
+/// Exclusive phase switcher: at most one phase is open at a time, so the
+/// recorded entries partition the interval between the first enter() and
+/// stop().  enter() closes the current phase (attributing its elapsed
+/// time) and opens the next; repeated enter() of the same name accumulates.
+class PhaseTimer {
+ public:
+  /// Creates an idle timer writing into `profile`.
+  explicit PhaseTimer(PhaseProfile& profile) : profile_(&profile) {}
+
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+  /// Closes any open phase on destruction.
+  ~PhaseTimer() { stop(); }
+
+  /// Closes the current phase (if any) and opens `phase`.
+  void enter(std::string_view phase) {
+    close();
+    current_ = phase;
+    open_ = true;
+    watch_.reset();
+  }
+
+  /// Closes the current phase (if any); the timer becomes idle.
+  void stop() {
+    close();
+    open_ = false;
+  }
+
+ private:
+  void close() {
+    if (open_) profile_->add(current_, watch_.seconds());
+  }
+
+  PhaseProfile* profile_;
+  std::string current_;
+  bool open_ = false;
+  Stopwatch watch_;
+};
+
+}  // namespace ppk::obs

@@ -1,0 +1,190 @@
+// Convergence timeline: count-vector snapshots at fixed interaction strides.
+//
+// The recorder turns a live run into the trajectory data behind the paper's
+// Section 5 figures: at every `stride` interactions it captures the count
+// vector plus derived grouping statistics (per-group sizes under the
+// protocol's output map, their spread, and whether the configuration is a
+// uniform partition).
+//
+// Sampling semantics under aggregated advances (the subtle part, tested by
+// tests/obs_timeline_test.cpp):
+//
+//  - Pairwise engines (agent, count, churn) call record() once per
+//    interaction, so every stride boundary is observed with the exact
+//    configuration at that boundary.
+//
+//  - Aggregating engines (jump, batch) advance the interaction clock by
+//    whole runs at a time -- a geometric null-run or a collision-free
+//    batch.  record(now, ...) therefore emits one sample for EVERY stride
+//    boundary in (last, now]; boundaries crossed inside a batch are never
+//    skipped.  Each such sample carries the configuration at the advance
+//    endpoint, and records that endpoint in `observed_at` so downstream
+//    analysis can tell exact samples (observed_at == interaction) from
+//    endpoint-attributed ones (observed_at > interaction).  For null-runs
+//    (jump engine skips, batch thin-mode skips) the endpoint attribution
+//    is still exact: the configuration does not change during a null run,
+//    and the engines report the skipped span before applying the following
+//    effective pair.  Only collision-free batches produce genuinely
+//    attributed samples, with error bounded by the batch width Theta(√n).
+//
+// See docs/observability.md, "Sampling under batching".
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "io/json.hpp"
+#include "pp/population.hpp"
+#include "pp/protocol.hpp"
+#include "util/assert.hpp"
+
+namespace ppk::obs {
+
+/// Records count-vector snapshots plus derived grouping statistics at a
+/// fixed interaction stride; batch-aware (see the file comment).
+class ConvergenceTimeline {
+ public:
+  /// One snapshot.
+  struct Sample {
+    /// The stride boundary (or forced sample point) this sample stands for.
+    std::uint64_t interaction = 0;
+    /// Interaction count at which the configuration was actually captured;
+    /// equal to `interaction` for exact samples, the enclosing advance's
+    /// endpoint for batch-attributed ones.
+    std::uint64_t observed_at = 0;
+    /// Cumulative effective (state-changing) interactions at observed_at.
+    std::uint64_t effective = 0;
+    /// Full per-state count vector.
+    pp::Counts counts;
+    /// Per-group population under the protocol's output map.
+    std::vector<std::uint32_t> group_sizes;
+    /// max(group_sizes) - min(group_sizes); <= 1 means uniform.
+    std::uint32_t spread = 0;
+  };
+
+  /// Creates a timeline sampling every `stride` interactions (stride >= 1)
+  /// of a run of `protocol`.  The protocol must outlive the timeline.
+  ConvergenceTimeline(const pp::Protocol& protocol, std::uint64_t stride)
+      : protocol_(&protocol), stride_(stride), next_boundary_(stride) {
+    PPK_EXPECTS(stride >= 1);
+  }
+
+  /// Sampling stride in interactions.
+  [[nodiscard]] std::uint64_t stride() const noexcept { return stride_; }
+
+  /// Records the initial configuration as the sample at interaction 0
+  /// (no-op once any sample exists).
+  void seed(const pp::Counts& counts) {
+    if (samples_.empty()) push(0, 0, 0, counts);
+  }
+
+  /// Notifies the timeline that the run has advanced to `interactions_now`
+  /// total interactions (`effective_total` of them effective), with the
+  /// configuration now `counts`.  Emits one sample per uncovered stride
+  /// boundary in (previous, interactions_now] -- zero when no boundary was
+  /// crossed (the hot-path case: one compare), several when an aggregated
+  /// advance spanned multiple boundaries.
+  void record(std::uint64_t interactions_now, const pp::Counts& counts,
+              std::uint64_t effective_total) {
+    while (next_boundary_ <= interactions_now) {
+      push(next_boundary_, interactions_now, effective_total, counts);
+      next_boundary_ += stride_;
+    }
+  }
+
+  /// Forces a final off-grid sample at `interactions_now` (run end), unless
+  /// that point was already covered by a stride boundary.
+  void finish(std::uint64_t interactions_now, const pp::Counts& counts,
+              std::uint64_t effective_total) {
+    record(interactions_now, counts, effective_total);
+    if (!samples_.empty() && samples_.back().interaction == interactions_now) {
+      return;
+    }
+    push(interactions_now, interactions_now, effective_total, counts);
+  }
+
+  /// All samples, in increasing `interaction` order.
+  [[nodiscard]] const std::vector<Sample>& samples() const noexcept {
+    return samples_;
+  }
+
+  /// Writes one CSV row per sample: interaction, observed_at, effective,
+  /// spread, uniform, then group_0..group_{k-1}, then count_0..count_{Q-1}.
+  void write_csv(std::ostream& out) const {
+    out << "interaction,observed_at,effective,spread,uniform";
+    const auto groups = static_cast<std::size_t>(protocol_->num_groups());
+    const auto states = static_cast<std::size_t>(protocol_->num_states());
+    for (std::size_t g = 0; g < groups; ++g) out << ",group_" << g;
+    for (std::size_t s = 0; s < states; ++s) out << ",count_" << s;
+    out << '\n';
+    for (const auto& sample : samples_) {
+      out << sample.interaction << ',' << sample.observed_at << ','
+          << sample.effective << ',' << sample.spread << ','
+          << (sample.spread <= 1 ? 1 : 0);
+      for (auto g : sample.group_sizes) out << ',' << g;
+      for (auto c : sample.counts) out << ',' << c;
+      out << '\n';
+    }
+  }
+
+  /// Emits {"stride", "samples": [{"interaction", "observed_at",
+  /// "effective", "spread", "uniform", "group_sizes", "counts"}...]} into
+  /// an open JSON writer.
+  void write_json(io::JsonWriter& json) const {
+    json.begin_object();
+    json.member("stride", stride_);
+    json.key("samples");
+    json.begin_array();
+    for (const auto& sample : samples_) {
+      json.begin_object();
+      json.member("interaction", sample.interaction);
+      json.member("observed_at", sample.observed_at);
+      json.member("effective", sample.effective);
+      json.member("spread", sample.spread);
+      json.member("uniform", sample.spread <= 1);
+      json.key("group_sizes");
+      json.begin_array();
+      for (auto g : sample.group_sizes) json.value(g);
+      json.end_array();
+      json.key("counts");
+      json.begin_array();
+      for (auto c : sample.counts) json.value(c);
+      json.end_array();
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+
+ private:
+  void push(std::uint64_t boundary, std::uint64_t observed_at,
+            std::uint64_t effective_total, const pp::Counts& counts) {
+    Sample sample;
+    sample.interaction = boundary;
+    sample.observed_at = observed_at;
+    sample.effective = effective_total;
+    sample.counts = counts;
+    sample.group_sizes.assign(protocol_->num_groups(), 0);
+    for (pp::StateId s = 0; s < counts.size(); ++s) {
+      if (counts[s] > 0) sample.group_sizes[protocol_->group(s)] += counts[s];
+    }
+    std::uint32_t lo = sample.group_sizes.empty() ? 0 : sample.group_sizes[0];
+    std::uint32_t hi = lo;
+    for (auto v : sample.group_sizes) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    sample.spread = hi - lo;
+    samples_.push_back(std::move(sample));
+  }
+
+  const pp::Protocol* protocol_;
+  std::uint64_t stride_;
+  std::uint64_t next_boundary_;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace ppk::obs

@@ -1,5 +1,7 @@
 #include "pp/agent_simulator.hpp"
 
+#include "obs/sink.hpp"
+
 namespace ppk::pp {
 
 void AgentSimulator::apply_pair(std::uint32_t i, std::uint32_t j,
@@ -9,6 +11,7 @@ void AgentSimulator::apply_pair(std::uint32_t i, std::uint32_t j,
   ++interactions_;
   if (!table_->effective(p, q)) {
     *effective = false;
+    PPK_OBS_HOOK(obs_, on_step(population_.counts(), interactions_, false));
     return;
   }
   const Transition& t = table_->apply(p, q);
@@ -21,6 +24,7 @@ void AgentSimulator::apply_pair(std::uint32_t i, std::uint32_t j,
   if (observer_) {
     observer_(SimEvent{interactions_, i, j, p, q, t.initiator, t.responder});
   }
+  PPK_OBS_HOOK(obs_, on_step(population_.counts(), interactions_, true));
 }
 
 bool AgentSimulator::step(StabilityOracle& oracle) {

@@ -18,6 +18,10 @@
 #include "pp/transition_table.hpp"
 #include "util/rng.hpp"
 
+namespace ppk::obs {
+class ObsSink;
+}  // namespace ppk::obs
+
 namespace ppk::pp {
 
 class AgentSimulator {
@@ -33,6 +37,11 @@ class AgentSimulator {
   void set_observer(std::function<void(const SimEvent&)> observer) {
     observer_ = std::move(observer);
   }
+
+  /// Attaches an observability sink (obs/sink.hpp); nullptr detaches.  The
+  /// sink is notified after every drawn interaction (null or effective)
+  /// and must outlive the simulator.  Totals count from attachment.
+  void set_obs_sink(obs::ObsSink* sink) noexcept { obs_ = sink; }
 
   /// Draws one pair and applies the rule.  Returns true iff effective.
   bool step(StabilityOracle& oracle);
@@ -70,6 +79,7 @@ class AgentSimulator {
   Population population_;
   Xoshiro256 rng_;
   std::function<void(const SimEvent&)> observer_;
+  obs::ObsSink* obs_ = nullptr;
   std::uint64_t interactions_ = 0;
   std::uint64_t effective_ = 0;
 };

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/sink.hpp"
 #include "util/assert.hpp"
 
 namespace ppk::pp {
@@ -118,9 +119,17 @@ std::uint64_t BatchSimulator::thin_advance(StabilityOracle& oracle,
     // Clamp at the boundary without applying a pair; exact by the
     // memorylessness of the geometric (see jump_simulator.cpp).
     interactions_ += budget;
+    PPK_OBS_HOOK(obs_, on_skip(counts_, interactions_, budget,
+                               obs::AdvanceKind::kThin));
     return budget;
   }
   interactions_ += nulls + 1;
+  // Counts are untouched during the null run; report it before the pair is
+  // applied so timeline boundaries inside the run get exact configurations.
+  if (nulls > 0) {
+    PPK_OBS_HOOK(obs_, on_skip(counts_, interactions_ - 1, nulls,
+                               obs::AdvanceKind::kThin));
+  }
 
   // One effective ordered pair with exact integer weights.
   std::uint64_t u = rng_.below(weight);
@@ -141,6 +150,8 @@ std::uint64_t BatchSimulator::thin_advance(StabilityOracle& oracle,
   const Transition& t = table_->apply(p, q);  // fetch before counts move
   apply_pair(p, q);
   oracle.on_transition(p, q, t.initiator, t.responder);
+  PPK_OBS_HOOK(obs_,
+               on_apply(counts_, interactions_, obs::AdvanceKind::kThin));
   return nulls + 1;
 }
 
@@ -297,6 +308,8 @@ std::uint64_t BatchSimulator::batch_advance(StabilityOracle& oracle,
   }
 
   oracle.on_batch(counts_, advanced, batch_effective);
+  PPK_OBS_HOOK(obs_, on_advance(counts_, interactions_, advanced,
+                                batch_effective, obs::AdvanceKind::kBatch));
   return advanced;
 }
 

@@ -69,6 +69,10 @@
 #include "pp/transition_table.hpp"
 #include "util/rng.hpp"
 
+namespace ppk::obs {
+class ObsSink;
+}  // namespace ppk::obs
+
 namespace ppk::pp {
 
 /// Regime selection for BatchSimulator.  kAuto is the production setting;
@@ -107,6 +111,13 @@ class BatchSimulator {
                    std::uint64_t max_interactions = UINT64_MAX);
 
   void set_batch_mode(BatchMode mode) noexcept { mode_ = mode; }
+
+  /// Attaches an observability sink (obs/sink.hpp); nullptr detaches.  The
+  /// sink sees each batch at its endpoint (timeline samples inside a batch
+  /// carry the endpoint configuration -- the on_batch attribution contract)
+  /// and each thin-regime null run / effective pair exactly; it must
+  /// outlive the simulator.
+  void set_obs_sink(obs::ObsSink* sink) noexcept { obs_ = sink; }
 
   [[nodiscard]] BatchMode batch_mode() const noexcept { return mode_; }
 
@@ -158,6 +169,7 @@ class BatchSimulator {
   std::uint64_t interactions_ = 0;
   std::uint64_t effective_ = 0;
   BatchMode mode_ = BatchMode::kAuto;
+  obs::ObsSink* obs_ = nullptr;
   double sqrt_n_ = 0.0;
   std::vector<double> log_fact_;  // log(i!) for i <= n, when n is tabulable
 

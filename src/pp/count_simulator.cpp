@@ -1,5 +1,7 @@
 #include "pp/count_simulator.hpp"
 
+#include "obs/sink.hpp"
+
 namespace ppk::pp {
 
 bool CountSimulator::step(StabilityOracle& oracle) {
@@ -10,7 +12,10 @@ bool CountSimulator::step(StabilityOracle& oracle) {
   fenwick_.add(p, -1);
   const StateId q = static_cast<StateId>(fenwick_.sample(rng_.below(n_ - 1)));
   fenwick_.add(p, +1);
-  if (!table_->effective(p, q)) return false;
+  if (!table_->effective(p, q)) {
+    PPK_OBS_HOOK(obs_, on_step(counts_, interactions_, false));
+    return false;
+  }
   const Transition& t = table_->apply(p, q);
   --counts_[p];
   --counts_[q];
@@ -29,6 +34,7 @@ bool CountSimulator::step(StabilityOracle& oracle) {
     for (int i = 0; i < delta; ++i) watch_marks_->push_back(interactions_);
   }
   oracle.on_transition(p, q, t.initiator, t.responder);
+  PPK_OBS_HOOK(obs_, on_step(counts_, interactions_, true));
   return true;
 }
 

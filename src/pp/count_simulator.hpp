@@ -29,6 +29,10 @@
 #include "util/fenwick.hpp"
 #include "util/rng.hpp"
 
+namespace ppk::obs {
+class ObsSink;
+}  // namespace ppk::obs
+
 namespace ppk::pp {
 
 class CountSimulator {
@@ -67,6 +71,11 @@ class CountSimulator {
     watch_marks_ = marks;
   }
 
+  /// Attaches an observability sink (obs/sink.hpp); nullptr detaches.  The
+  /// sink is notified after every drawn interaction (null or effective)
+  /// and must outlive the simulator.  Totals count from attachment.
+  void set_obs_sink(obs::ObsSink* sink) noexcept { obs_ = sink; }
+
   [[nodiscard]] const Counts& counts() const noexcept { return counts_; }
 
   [[nodiscard]] std::uint64_t population_size() const noexcept { return n_; }
@@ -85,6 +94,7 @@ class CountSimulator {
   std::uint64_t effective_ = 0;
   StateId watch_state_ = 0;
   std::vector<std::uint64_t>* watch_marks_ = nullptr;
+  obs::ObsSink* obs_ = nullptr;
 };
 
 }  // namespace ppk::pp

@@ -3,7 +3,31 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/sink.hpp"
+
 namespace ppk::pp {
+
+namespace {
+
+/// Metric name of an applied fault ("faults.<kind>"); static literals so
+/// the obs hook never allocates.
+const char* fault_metric_name(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kCrash:
+      return "faults.crash";
+    case FaultKind::kJoin:
+      return "faults.join";
+    case FaultKind::kCorrupt:
+      return "faults.corrupt";
+    case FaultKind::kSleep:
+      return "faults.sleep";
+    case FaultKind::kReset:
+      return "faults.reset";
+  }
+  return "faults.unknown";
+}
+
+}  // namespace
 
 const char* fault_kind_name(FaultKind kind) noexcept {
   switch (kind) {
@@ -98,6 +122,9 @@ void ChurnSimulator::record(FaultKind kind, std::uint32_t agent,
   rec.new_state = new_state;
   rec.population_after = population_.size();
   trace_.push_back(rec);
+  PPK_OBS_HOOK(obs_, on_event(fault_metric_name(kind)));
+  PPK_OBS_HOOK(obs_, set_gauge("churn.population",
+                               static_cast<std::int64_t>(population_.size())));
   if (oracle != nullptr) oracle->on_external_change(population_.counts());
   if (fault_observer_) fault_observer_(rec);
 }
@@ -196,10 +223,16 @@ bool ChurnSimulator::step(StabilityOracle& oracle) {
   auto j = static_cast<std::uint32_t>(pair_rng_.below(n - 1));
   if (j >= i) ++j;  // uniform over ordered pairs of distinct agents
   ++interactions_;
-  if (asleep(i) || asleep(j)) return false;  // stuck agent: null interaction
+  if (asleep(i) || asleep(j)) {  // stuck agent: null interaction
+    PPK_OBS_HOOK(obs_, on_step(population_.counts(), interactions_, false));
+    return false;
+  }
   const StateId p = population_.state_of(i);
   const StateId q = population_.state_of(j);
-  if (!table_->effective(p, q)) return false;
+  if (!table_->effective(p, q)) {
+    PPK_OBS_HOOK(obs_, on_step(population_.counts(), interactions_, false));
+    return false;
+  }
   const Transition& t = table_->apply(p, q);
   population_.apply(i, j, t);
   ++effective_;
@@ -207,6 +240,7 @@ bool ChurnSimulator::step(StabilityOracle& oracle) {
   if (observer_) {
     observer_(SimEvent{interactions_, i, j, p, q, t.initiator, t.responder});
   }
+  PPK_OBS_HOOK(obs_, on_step(population_.counts(), interactions_, true));
   return true;
 }
 

@@ -39,6 +39,10 @@
 #include "pp/transition_table.hpp"
 #include "util/rng.hpp"
 
+namespace ppk::obs {
+class ObsSink;
+}  // namespace ppk::obs
+
 namespace ppk::pp {
 
 enum class FaultKind : std::uint8_t {
@@ -137,6 +141,12 @@ class ChurnSimulator {
     observer_ = std::move(observer);
   }
 
+  /// Attaches an observability sink (obs/sink.hpp); nullptr detaches.  The
+  /// sink is notified per drawn interaction, counts applied faults per kind
+  /// (faults.crash, faults.join, ...) and tracks the live population size
+  /// in the churn.population gauge; it must outlive the simulator.
+  void set_obs_sink(obs::ObsSink* sink) noexcept { obs_ = sink; }
+
   /// Applies due faults, then draws and applies one pair.  Returns true
   /// iff the interaction was effective.
   bool step(StabilityOracle& oracle);
@@ -223,6 +233,7 @@ class ChurnSimulator {
   FaultTrace trace_;
   std::function<void(const FaultRecord&)> fault_observer_;
   std::function<void(const SimEvent&)> observer_;
+  obs::ObsSink* obs_ = nullptr;
   std::uint64_t interactions_ = 0;
   std::uint64_t effective_ = 0;
 };

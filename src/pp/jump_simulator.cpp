@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/sink.hpp"
+
 namespace ppk::pp {
 
 JumpSimulator::JumpSimulator(const TransitionTable& table, Counts initial,
@@ -89,10 +91,19 @@ bool JumpSimulator::step_within(StabilityOracle& oracle, std::uint64_t budget) {
     // distributed as `budget` independent null draws, and the next
     // step_within() call re-samples the wait from scratch.
     interactions_ += budget;
+    PPK_OBS_HOOK(obs_, on_skip(counts_, interactions_, budget,
+                               obs::AdvanceKind::kJump));
     return true;
   }
   interactions_ += nulls + 1;
   ++effective_;
+  // Counts are untouched during the null run, so reporting it before the
+  // pair is applied gives the timeline exact configurations at boundaries
+  // inside the run.
+  if (nulls > 0) {
+    PPK_OBS_HOOK(obs_, on_skip(counts_, interactions_ - 1, nulls,
+                               obs::AdvanceKind::kJump));
+  }
 
   // Sample the effective ordered pair with exact integer weights.
   std::uint64_t u = rng_.below(total_weight_);
@@ -128,6 +139,8 @@ bool JumpSimulator::step_within(StabilityOracle& oracle, std::uint64_t budget) {
     for (int i = 0; i < delta; ++i) watch_marks_->push_back(interactions_);
   }
   oracle.on_transition(p, q, t.initiator, t.responder);
+  PPK_OBS_HOOK(obs_,
+               on_apply(counts_, interactions_, obs::AdvanceKind::kJump));
   return true;
 }
 

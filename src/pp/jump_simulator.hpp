@@ -46,6 +46,10 @@
 #include "pp/transition_table.hpp"
 #include "util/rng.hpp"
 
+namespace ppk::obs {
+class ObsSink;
+}  // namespace ppk::obs
+
 namespace ppk::pp {
 
 class JumpSimulator {
@@ -89,6 +93,12 @@ class JumpSimulator {
     watch_state_ = state;
     watch_marks_ = marks;
   }
+
+  /// Attaches an observability sink (obs/sink.hpp); nullptr detaches.  The
+  /// sink sees each null run (before the concluding pair is applied, so
+  /// timeline samples inside the run are exact) and each effective
+  /// interaction; it must outlive the simulator.
+  void set_obs_sink(obs::ObsSink* sink) noexcept { obs_ = sink; }
 
   [[nodiscard]] const Counts& counts() const noexcept { return counts_; }
 
@@ -145,6 +155,7 @@ class JumpSimulator {
   std::uint64_t total_weight_ = 0;
   StateId watch_state_ = 0;
   std::vector<std::uint64_t>* watch_marks_ = nullptr;
+  obs::ObsSink* obs_ = nullptr;
 };
 
 }  // namespace ppk::pp

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
@@ -84,13 +87,26 @@ void run_bounded(Sim& sim, StabilityOracle& oracle,
   }
 }
 
+/// Stamps the per-trial outcome metrics into the trial's registry.
+void record_trial_metrics(obs::MetricsRegistry& metrics,
+                          const TrialResult& result) {
+  metrics.counter("trials").inc();
+  if (result.stabilized) metrics.counter("trials.stabilized").inc();
+  if (result.timed_out) metrics.counter("trials.timed_out").inc();
+  if (result.stalled) metrics.counter("trials.stalled").inc();
+  metrics.histogram("trial.interactions").record(result.interactions);
+  metrics.histogram("trial.effective").record(result.effective);
+}
+
 TrialResult run_one_trial(const TransitionTable& table, const Counts& initial,
                           const OracleFactory& make_oracle,
-                          const MonteCarloOptions& options,
-                          std::uint64_t seed) {
+                          const MonteCarloOptions& options, std::uint64_t seed,
+                          obs::MetricsRegistry* trial_metrics) {
   TrialResult result;
   auto oracle = make_oracle();
   PPK_ASSERT(oracle != nullptr);
+  std::optional<obs::ObsSink> sink;
+  if (trial_metrics != nullptr) sink.emplace(*trial_metrics);
 
   std::uint64_t n = 0;
   for (auto c : initial) n += c;
@@ -107,7 +123,9 @@ TrialResult run_one_trial(const TransitionTable& table, const Counts& initial,
     if (options.watch_state) {
       sim.set_watch(*options.watch_state, &result.watch_marks);
     }
+    if (sink) sim.set_obs_sink(&*sink);
     run_bounded(sim, *oracle, options, &result);
+    if (trial_metrics != nullptr) record_trial_metrics(*trial_metrics, result);
     return result;
   }
   if (engine == Engine::kJump) {
@@ -115,16 +133,21 @@ TrialResult run_one_trial(const TransitionTable& table, const Counts& initial,
     if (options.watch_state) {
       sim.set_watch(*options.watch_state, &result.watch_marks);
     }
+    if (sink) sim.set_obs_sink(&*sink);
     run_bounded(sim, *oracle, options, &result);
+    if (trial_metrics != nullptr) record_trial_metrics(*trial_metrics, result);
     return result;
   }
   if (engine == Engine::kBatch) {
     BatchSimulator sim(table, initial, seed);
+    if (sink) sim.set_obs_sink(&*sink);
     run_bounded(sim, *oracle, options, &result);
+    if (trial_metrics != nullptr) record_trial_metrics(*trial_metrics, result);
     return result;
   }
 
   AgentSimulator sim(table, Population(initial), seed);
+  if (sink) sim.set_obs_sink(&*sink);
   if (options.watch_state) {
     const StateId watched = *options.watch_state;
     sim.set_observer([&result, watched](const SimEvent& event) {
@@ -140,6 +163,7 @@ TrialResult run_one_trial(const TransitionTable& table, const Counts& initial,
     });
   }
   run_bounded(sim, *oracle, options, &result);
+  if (trial_metrics != nullptr) record_trial_metrics(*trial_metrics, result);
   return result;
 }
 
@@ -166,10 +190,22 @@ MonteCarloResult run_monte_carlo(const TransitionTable& table,
   MonteCarloResult result;
   result.trials.resize(options.trials);
 
+  std::mutex metrics_mutex;
   auto body = [&](std::size_t trial) {
     const std::uint64_t seed = derive_stream_seed(options.master_seed, trial);
-    result.trials[trial] =
-        run_one_trial(table, initial, make_oracle, options, seed);
+    if (options.metrics == nullptr) {
+      result.trials[trial] =
+          run_one_trial(table, initial, make_oracle, options, seed, nullptr);
+      return;
+    }
+    // Each trial fills a private registry; folding into the shared one is
+    // the only synchronized step.  merge() is commutative, so the aggregate
+    // is bit-identical no matter which trial's merge wins a race.
+    obs::MetricsRegistry trial_metrics;
+    result.trials[trial] = run_one_trial(table, initial, make_oracle, options,
+                                         seed, &trial_metrics);
+    const std::lock_guard<std::mutex> lock(metrics_mutex);
+    options.metrics->merge(trial_metrics);
   };
 
   if (options.threads == 1 || options.trials == 1) {

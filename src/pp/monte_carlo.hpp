@@ -23,6 +23,10 @@
 #include "pp/stability.hpp"
 #include "pp/transition_table.hpp"
 
+namespace ppk::obs {
+class MetricsRegistry;
+}  // namespace ppk::obs
+
 namespace ppk::pp {
 
 /// Which engine executes the trials.  kAuto picks per trial from the
@@ -71,6 +75,15 @@ struct MonteCarloOptions {
   /// false, timed_out = true.  Complements the interaction budget for
   /// configurations whose per-interaction cost is hard to predict.
   std::optional<double> wall_clock_limit_seconds;
+  /// If non-null, every trial runs with an observability sink writing into
+  /// a private per-trial registry; the driver folds the trial registries
+  /// into this one as trials finish (mutex-guarded -- the merge operations
+  /// commute, so the aggregate is identical regardless of the thread
+  /// interleaving).  Adds engine metrics (sim.*) plus per-trial outcome
+  /// counters (trials, trials.stabilized, trials.timed_out, trials.stalled)
+  /// and distribution histograms (trial.interactions, trial.effective).
+  /// Must outlive the run.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct TrialResult {

@@ -160,6 +160,8 @@ class CountPatternOracle final : public StabilityOracle {
 /// here (|Q| <= a few dozen for every silent protocol in the repo).
 class SilenceOracle final : public StabilityOracle {
  public:
+  /// Builds the oracle over `table`'s effective-pair structure; the table
+  /// must outlive the oracle.  Call reset() before the first query.
   explicit SilenceOracle(const TransitionTable& table) : table_(&table) {}
 
   void reset(const Counts& counts) override {
@@ -301,6 +303,8 @@ class QuiescenceOracle final : public StabilityOracle {
     return unchanged_ >= window_;
   }
 
+  /// The output vector being watched for quiescence: current agents per
+  /// group under the `group_of` map given at construction.
   [[nodiscard]] const std::vector<std::uint32_t>& group_sizes()
       const noexcept {
     return sizes_;
