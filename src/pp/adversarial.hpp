@@ -19,6 +19,7 @@
 
 #include <cstdint>
 
+#include "obs/sink.hpp"
 #include "pp/population.hpp"
 #include "pp/protocol.hpp"
 #include "pp/sim_result.hpp"
@@ -42,6 +43,11 @@ class AdversarialSimulator {
     PPK_EXPECTS(epsilon > 0.0 && epsilon <= 1.0);
     PPK_EXPECTS(population_.size() >= 2);
   }
+
+  /// Attaches an observability sink (obs/sink.hpp); nullptr detaches.  The
+  /// sink is notified after every drawn interaction (null or effective)
+  /// and must outlive the simulator.  Totals count from attachment.
+  void set_obs_sink(obs::ObsSink* sink) noexcept { obs_ = sink; }
 
   bool step(StabilityOracle& oracle) {
     const std::uint32_t n = population_.size();
@@ -70,17 +76,31 @@ class AdversarialSimulator {
     ++interactions_;
     const StateId p = population_.state_of(i);
     const StateId q = population_.state_of(j);
-    if (!table_->effective(p, q)) return false;
+    if (!table_->effective(p, q)) {
+      PPK_OBS_HOOK(obs_, on_step(population_.counts(), interactions_, false));
+      return false;
+    }
     const Transition& t = table_->apply(p, q);
     population_.apply(i, j, t);
     ++effective_;
     oracle.on_transition(p, q, t.initiator, t.responder);
+    PPK_OBS_HOOK(obs_, on_step(population_.counts(), interactions_, true));
     return true;
   }
 
+  /// Runs until the oracle reports stability or `max_interactions` pairs
+  /// have been drawn.  The oracle is reset from the current configuration.
   SimResult run(StabilityOracle& oracle,
                 std::uint64_t max_interactions = UINT64_MAX) {
     oracle.reset(population_.counts());
+    return resume(oracle, max_interactions);
+  }
+
+  /// Like run(), but does NOT reset the oracle: continues a run split into
+  /// budget chunks (e.g. for wall-clock checks) without discarding oracle
+  /// progress such as a QuiescenceOracle lull spanning the chunk boundary.
+  SimResult resume(StabilityOracle& oracle,
+                   std::uint64_t max_interactions = UINT64_MAX) {
     SimResult result;
     const std::uint64_t start = interactions_;
     const std::uint64_t start_effective = effective_;
@@ -105,6 +125,7 @@ class AdversarialSimulator {
   Population population_;
   double epsilon_;
   Xoshiro256 rng_;
+  obs::ObsSink* obs_ = nullptr;
   std::uint64_t interactions_ = 0;
   std::uint64_t effective_ = 0;
 };

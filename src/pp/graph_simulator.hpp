@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "obs/sink.hpp"
 #include "pp/interaction_graph.hpp"
 #include "pp/population.hpp"
 #include "pp/sim_result.hpp"
@@ -29,6 +30,11 @@ class GraphSimulator {
     PPK_EXPECTS(!graph_.edges().empty());
   }
 
+  /// Attaches an observability sink (obs/sink.hpp); nullptr detaches.  The
+  /// sink is notified after every drawn interaction (null or effective)
+  /// and must outlive the simulator.  Totals count from attachment.
+  void set_obs_sink(obs::ObsSink* sink) noexcept { obs_ = sink; }
+
   /// Draws one edge + orientation and applies the rule.  Returns true iff
   /// the interaction was effective.
   bool step(StabilityOracle& oracle) {
@@ -40,17 +46,31 @@ class GraphSimulator {
     ++interactions_;
     const StateId p = population_.state_of(i);
     const StateId q = population_.state_of(j);
-    if (!table_->effective(p, q)) return false;
+    if (!table_->effective(p, q)) {
+      PPK_OBS_HOOK(obs_, on_step(population_.counts(), interactions_, false));
+      return false;
+    }
     const Transition& t = table_->apply(p, q);
     population_.apply(i, j, t);
     ++effective_;
     oracle.on_transition(p, q, t.initiator, t.responder);
+    PPK_OBS_HOOK(obs_, on_step(population_.counts(), interactions_, true));
     return true;
   }
 
+  /// Runs until the oracle reports stability or `max_interactions` pairs
+  /// have been drawn.  The oracle is reset from the current configuration.
   SimResult run(StabilityOracle& oracle,
                 std::uint64_t max_interactions = UINT64_MAX) {
     oracle.reset(population_.counts());
+    return resume(oracle, max_interactions);
+  }
+
+  /// Like run(), but does NOT reset the oracle: continues a run split into
+  /// budget chunks (e.g. for wall-clock checks) without discarding oracle
+  /// progress such as a QuiescenceOracle lull spanning the chunk boundary.
+  SimResult resume(StabilityOracle& oracle,
+                   std::uint64_t max_interactions = UINT64_MAX) {
     SimResult result;
     const std::uint64_t start = interactions_;
     const std::uint64_t start_effective = effective_;
@@ -76,6 +96,7 @@ class GraphSimulator {
   InteractionGraph graph_;
   Population population_;
   Xoshiro256 rng_;
+  obs::ObsSink* obs_ = nullptr;
   std::uint64_t interactions_ = 0;
   std::uint64_t effective_ = 0;
 };

@@ -1,0 +1,1203 @@
+#include "verify/conformance.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <set>
+#include <sstream>
+
+#include "core/invariants.hpp"
+#include "core/kpartition.hpp"
+#include "pp/adversarial.hpp"
+#include "pp/agent_simulator.hpp"
+#include "pp/batch_simulator.hpp"
+#include "pp/count_simulator.hpp"
+#include "pp/faults.hpp"
+#include "pp/graph_simulator.hpp"
+#include "pp/interaction_graph.hpp"
+#include "pp/jump_simulator.hpp"
+#include "pp/stability.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "verify/config_graph.hpp"
+#include "verify/global_fairness.hpp"
+
+namespace ppk::verify {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Names
+
+struct EngineName {
+  ConformanceEngine engine;
+  const char* name;
+};
+
+constexpr EngineName kEngineNames[] = {
+    {ConformanceEngine::kAgent, "agent"},
+    {ConformanceEngine::kCount, "count"},
+    {ConformanceEngine::kJump, "jump"},
+    {ConformanceEngine::kBatchAuto, "batch-auto"},
+    {ConformanceEngine::kBatchForced, "batch-forced"},
+    {ConformanceEngine::kThinForced, "thin-forced"},
+    {ConformanceEngine::kGraphComplete, "graph-complete"},
+    {ConformanceEngine::kAdversarialEps1, "adversarial-eps1"},
+    {ConformanceEngine::kChurnNoFaults, "churn-nofaults"},
+    {ConformanceEngine::kModel, "model"},
+};
+
+struct CheckName {
+  ConformanceCheck check;
+  const char* name;
+};
+
+constexpr CheckName kCheckNames[] = {
+    {ConformanceCheck::kTrajectory, "trajectory"},
+    {ConformanceCheck::kChunkedResume, "chunked-resume"},
+    {ConformanceCheck::kDistribution, "distribution"},
+    {ConformanceCheck::kLemma1, "lemma1"},
+    {ConformanceCheck::kGroundTruth, "ground-truth"},
+};
+
+// ---------------------------------------------------------------------------
+// Reference models
+
+/// Engine-independent semantics the trajectories are checked against.
+struct Reference {
+  /// Non-null for the k-partition family: enables the Lemma 1 invariant.
+  const core::KPartitionProtocol* kpartition = nullptr;
+  /// Non-null when the exact reachable set was built (small n): every
+  /// oracle-visible configuration must be a member.
+  const std::set<pp::Counts>* reachable = nullptr;
+};
+
+struct Violation {
+  ConformanceCheck check;
+  std::uint64_t event;
+  std::string detail;
+};
+
+std::string counts_to_string(const pp::Counts& counts) {
+  std::ostringstream out;
+  out << '[';
+  for (std::size_t s = 0; s < counts.size(); ++s) {
+    if (s > 0) out << ' ';
+    out << counts[s];
+  }
+  out << ']';
+  return out.str();
+}
+
+/// Forwarding oracle that fingerprints the oracle-visible trajectory and
+/// checks the reference models at every callback.  A violation forces
+/// stable() so the run stops at the first bad event (which localizes the
+/// failure for shrinking); the caller reads violation() afterwards.
+class CheckingOracle final : public pp::StabilityOracle {
+ public:
+  CheckingOracle(pp::StabilityOracle& inner, const Reference& ref)
+      : inner_(&inner), ref_(ref) {}
+
+  void reset(const pp::Counts& counts) override {
+    counts_ = counts;
+    inner_->reset(counts);
+    check_counts();
+  }
+
+  void on_transition(pp::StateId p, pp::StateId q, pp::StateId p_next,
+                     pp::StateId q_next) override {
+    --counts_[p];
+    --counts_[q];
+    ++counts_[p_next];
+    ++counts_[q_next];
+    ++events_;
+    mix(1);
+    mix(p);
+    mix(q);
+    mix(p_next);
+    mix(q_next);
+    inner_->on_transition(p, q, p_next, q_next);
+    check_counts();
+  }
+
+  void on_batch(const pp::Counts& counts, std::uint64_t interactions,
+                std::uint64_t effective) override {
+    counts_ = counts;
+    ++events_;
+    mix(2);
+    mix(interactions);
+    mix(effective);
+    for (auto c : counts) mix(c);
+    inner_->on_batch(counts, interactions, effective);
+    check_counts();
+  }
+
+  void on_external_change(const pp::Counts& counts) override {
+    counts_ = counts;
+    inner_->on_external_change(counts);
+  }
+
+  [[nodiscard]] bool stable() const override {
+    return violation_.has_value() || inner_->stable();
+  }
+
+  /// FNV-1a accumulator over every oracle-visible event.
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept { return hash_; }
+
+  /// 1-based ordinal of the last callback.
+  [[nodiscard]] std::uint64_t events() const noexcept { return events_; }
+
+  /// Oracle-tracked configuration (must equal the engine's own).
+  [[nodiscard]] const pp::Counts& tracked_counts() const noexcept {
+    return counts_;
+  }
+
+  [[nodiscard]] const std::optional<Violation>& violation() const noexcept {
+    return violation_;
+  }
+
+ private:
+  void mix(std::uint64_t v) noexcept {
+    hash_ ^= v + 0x9e3779b97f4a7c15ULL;
+    hash_ *= 0x100000001b3ULL;
+  }
+
+  void check_counts() {
+    if (violation_.has_value()) return;
+    if (ref_.kpartition != nullptr &&
+        !core::lemma1_holds(*ref_.kpartition, counts_)) {
+      violation_ = Violation{ConformanceCheck::kLemma1, events_,
+                             "Lemma 1 counting invariant violated at " +
+                                 counts_to_string(counts_)};
+      return;
+    }
+    if (ref_.reachable != nullptr && !ref_.reachable->contains(counts_)) {
+      violation_ = Violation{
+          ConformanceCheck::kGroundTruth, events_,
+          "configuration " + counts_to_string(counts_) +
+              " is not reachable under the reference transition function"};
+    }
+  }
+
+  pp::StabilityOracle* inner_;
+  Reference ref_;
+  pp::Counts counts_;
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+  std::uint64_t events_ = 0;
+  std::optional<Violation> violation_;
+};
+
+// ---------------------------------------------------------------------------
+// Materialized case context
+
+struct CaseContext {
+  std::unique_ptr<core::KPartitionProtocol> kpartition;  // family-dependent
+  std::unique_ptr<EnumeratedProtocol> candidate;
+  const pp::Protocol* true_protocol = nullptr;
+  std::unique_ptr<MutantProtocol> mutant;       // set iff case has mutation
+  const pp::Protocol* engine_protocol = nullptr;  // what engines execute
+  std::unique_ptr<pp::TransitionTable> engine_table;
+  pp::Counts initial;
+  std::uint32_t n = 0;
+};
+
+CaseContext materialize(const ConformanceCase& c) {
+  CaseContext ctx;
+  if (c.protocol.family == ConformanceProtocol::Family::kKPartition) {
+    ctx.kpartition = std::make_unique<core::KPartitionProtocol>(c.protocol.k);
+    ctx.true_protocol = ctx.kpartition.get();
+  } else {
+    ctx.candidate = std::make_unique<EnumeratedProtocol>(c.protocol.candidate);
+    ctx.true_protocol = ctx.candidate.get();
+  }
+  ctx.engine_protocol = ctx.true_protocol;
+  if (c.mutation.has_value()) {
+    PPK_EXPECTS(c.mutation->p < ctx.true_protocol->num_states() &&
+                c.mutation->q < ctx.true_protocol->num_states() &&
+                c.mutation->out.initiator < ctx.true_protocol->num_states() &&
+                c.mutation->out.responder < ctx.true_protocol->num_states());
+    ctx.mutant =
+        std::make_unique<MutantProtocol>(*ctx.true_protocol, *c.mutation);
+    ctx.engine_protocol = ctx.mutant.get();
+  }
+  ctx.engine_table = std::make_unique<pp::TransitionTable>(*ctx.engine_protocol);
+  ctx.n = c.n;
+  ctx.initial.assign(ctx.true_protocol->num_states(), 0);
+  ctx.initial[ctx.true_protocol->initial_state()] = c.n;
+  return ctx;
+}
+
+enum class OracleKind { kStabilization, kQuiescence };
+
+std::unique_ptr<pp::StabilityOracle> make_oracle(const CaseContext& ctx,
+                                                 OracleKind kind) {
+  if (kind == OracleKind::kQuiescence) {
+    return std::make_unique<pp::QuiescenceOracle>(
+        make_quiescence_oracle(*ctx.engine_protocol, 200));
+  }
+  if (ctx.kpartition != nullptr) {
+    return core::stable_pattern_oracle(*ctx.kpartition, ctx.n);
+  }
+  return std::make_unique<pp::SilenceOracle>(*ctx.engine_table);
+}
+
+/// True for the engines whose per-step RNG consumption is independent of
+/// budget boundaries, making chunked run()+resume() bit-identical to one
+/// unchunked run.  The aggregated engines (jump, batch) clamp geometric
+/// skips / batch lengths at the budget and therefore only agree in law.
+bool is_pairwise(ConformanceEngine engine) {
+  switch (engine) {
+    case ConformanceEngine::kAgent:
+    case ConformanceEngine::kCount:
+    case ConformanceEngine::kGraphComplete:
+    case ConformanceEngine::kAdversarialEps1:
+    case ConformanceEngine::kChurnNoFaults:
+      return true;
+    default:
+      return false;
+  }
+}
+
+struct TrialRun {
+  pp::SimResult result;
+  pp::Counts final_counts;
+  std::uint64_t fingerprint = 0;
+  std::optional<Violation> violation;
+  bool counts_consistent = true;  // engine state == oracle-tracked state
+};
+
+/// Runs one trial of `engine` with the given seed; chunk = 0 runs the whole
+/// budget in one grant, otherwise the budget is granted `chunk` pairs at a
+/// time through run()+resume().
+TrialRun run_engine_trial(ConformanceEngine engine, const CaseContext& ctx,
+                          const Reference& ref, std::uint64_t seed,
+                          OracleKind oracle_kind, std::uint64_t budget,
+                          std::uint64_t chunk) {
+  auto base_oracle = make_oracle(ctx, oracle_kind);
+  CheckingOracle oracle(*base_oracle, ref);
+
+  auto drive = [&](auto& sim) {
+    pp::SimResult total;
+    if (chunk == 0) {
+      total = sim.run(oracle, budget);
+      return total;
+    }
+    bool first = true;
+    while (true) {
+      const std::uint64_t remaining = budget - total.interactions;
+      const std::uint64_t grant = std::min(chunk, remaining);
+      const pp::SimResult r =
+          first ? sim.run(oracle, grant) : sim.resume(oracle, grant);
+      first = false;
+      total.interactions += r.interactions;
+      total.effective += r.effective;
+      total.stabilized = r.stabilized;
+      if (r.stabilized || total.interactions >= budget) return total;
+    }
+  };
+
+  const pp::StateId num_states = ctx.true_protocol->num_states();
+  const pp::StateId initial_state = ctx.true_protocol->initial_state();
+  const pp::TransitionTable& table = *ctx.engine_table;
+
+  TrialRun run;
+  switch (engine) {
+    case ConformanceEngine::kAgent: {
+      pp::AgentSimulator sim(table,
+                             pp::Population(ctx.n, num_states, initial_state),
+                             seed);
+      run.result = drive(sim);
+      run.final_counts = sim.population().counts();
+      break;
+    }
+    case ConformanceEngine::kCount: {
+      pp::CountSimulator sim(table, ctx.initial, seed);
+      run.result = drive(sim);
+      run.final_counts = sim.counts();
+      break;
+    }
+    case ConformanceEngine::kJump: {
+      pp::JumpSimulator sim(table, ctx.initial, seed);
+      run.result = drive(sim);
+      run.final_counts = sim.counts();
+      break;
+    }
+    case ConformanceEngine::kBatchAuto:
+    case ConformanceEngine::kBatchForced:
+    case ConformanceEngine::kThinForced: {
+      pp::BatchSimulator sim(table, ctx.initial, seed);
+      sim.set_batch_mode(engine == ConformanceEngine::kBatchAuto
+                             ? pp::BatchMode::kAuto
+                             : (engine == ConformanceEngine::kBatchForced
+                                    ? pp::BatchMode::kForceBatch
+                                    : pp::BatchMode::kForceThin));
+      run.result = drive(sim);
+      run.final_counts = sim.counts();
+      break;
+    }
+    case ConformanceEngine::kGraphComplete: {
+      pp::GraphSimulator sim(table, pp::InteractionGraph::complete(ctx.n),
+                             pp::Population(ctx.n, num_states, initial_state),
+                             seed);
+      run.result = drive(sim);
+      run.final_counts = sim.population().counts();
+      break;
+    }
+    case ConformanceEngine::kAdversarialEps1: {
+      pp::AdversarialSimulator sim(
+          *ctx.engine_protocol, table,
+          pp::Population(ctx.n, num_states, initial_state), 1.0, seed);
+      run.result = drive(sim);
+      run.final_counts = sim.population().counts();
+      break;
+    }
+    case ConformanceEngine::kChurnNoFaults: {
+      pp::ChurnSimulator sim(table,
+                             pp::Population(ctx.n, num_states, initial_state),
+                             seed);
+      run.result = drive(sim);
+      run.final_counts = sim.population().counts();
+      break;
+    }
+    case ConformanceEngine::kModel:
+      PPK_ASSERT(false);  // not an engine
+      break;
+  }
+  run.fingerprint = oracle.fingerprint();
+  run.violation = oracle.violation();
+  run.counts_consistent = run.final_counts == oracle.tracked_counts();
+  return run;
+}
+
+std::uint64_t trial_seed(const ConformanceCase& c, ConformanceEngine engine,
+                         std::uint64_t purpose, std::uint64_t trial) {
+  const std::uint64_t stream =
+      (purpose << 8) | static_cast<std::uint64_t>(engine);
+  return derive_stream_seed(derive_stream_seed(c.seed, stream), trial);
+}
+
+// Purpose tags for trial_seed (distinct RNG stream families).
+constexpr std::uint64_t kPurposeTrajectory = 1;
+constexpr std::uint64_t kPurposeChunked = 2;
+constexpr std::uint64_t kPurposeDistribution = 3;
+constexpr std::uint64_t kPurposeConfirm = 4;
+
+// ---------------------------------------------------------------------------
+// Kolmogorov-Smirnov machinery (two-sample, tie-aware)
+
+double ks_statistic(std::vector<double> a, std::vector<double> b) {
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  const auto na = static_cast<double>(a.size());
+  const auto nb = static_cast<double>(b.size());
+  double d = 0.0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    const double x = std::min(a[i], b[j]);
+    while (i < a.size() && a[i] <= x) ++i;
+    while (j < b.size() && b[j] <= x) ++j;
+    d = std::max(d, std::abs(static_cast<double>(i) / na -
+                             static_cast<double>(j) / nb));
+  }
+  return d;
+}
+
+/// Critical value at alpha = 0.001: c(alpha) * sqrt((m+n)/(mn)) with
+/// c(0.001) = sqrt(-ln(0.0005) / 2) ~= 1.949.  The strict level plus the
+/// confirm-on-fail rerun keeps a long fuzz session's family-wise false
+/// positive rate negligible while a genuinely shifted distribution still
+/// fails both rounds.
+double ks_threshold(std::size_t m, std::size_t n) {
+  const auto md = static_cast<double>(m);
+  const auto nd = static_cast<double>(n);
+  return 1.949 * std::sqrt((md + nd) / (md * nd));
+}
+
+// ---------------------------------------------------------------------------
+// check_conformance
+
+void add_divergence(ConformanceReport* report,
+                    const ConformanceOptions& options, Divergence d) {
+  if (report->divergences.size() < options.max_divergences) {
+    report->divergences.push_back(std::move(d));
+  }
+}
+
+void add_violation(ConformanceReport* report,
+                   const ConformanceOptions& options, ConformanceEngine engine,
+                   const Violation& v) {
+  add_divergence(report, options, Divergence{v.check, engine, v.event,
+                                             v.detail});
+}
+
+struct DistributionSample {
+  std::vector<double> interactions;
+  std::vector<double> effective;
+  std::optional<Violation> violation;  // first semantic violation seen
+};
+
+DistributionSample sample_engine(const ConformanceCase& c,
+                                 const CaseContext& ctx, const Reference& ref,
+                                 ConformanceEngine engine,
+                                 std::uint64_t purpose, int trials) {
+  DistributionSample sample;
+  sample.interactions.reserve(static_cast<std::size_t>(trials));
+  sample.effective.reserve(static_cast<std::size_t>(trials));
+  for (int t = 0; t < trials; ++t) {
+    const TrialRun run = run_engine_trial(
+        engine, ctx, ref,
+        trial_seed(c, engine, purpose, static_cast<std::uint64_t>(t)),
+        OracleKind::kStabilization, c.budget, 0);
+    if (run.violation.has_value() && !sample.violation.has_value()) {
+      sample.violation = run.violation;
+    }
+    sample.interactions.push_back(
+        static_cast<double>(run.result.interactions));
+    sample.effective.push_back(static_cast<double>(run.result.effective));
+  }
+  return sample;
+}
+
+}  // namespace
+
+const char* conformance_engine_name(ConformanceEngine engine) {
+  for (const auto& e : kEngineNames) {
+    if (e.engine == engine) return e.name;
+  }
+  return "?";
+}
+
+std::optional<ConformanceEngine> conformance_engine_from_name(
+    const std::string& name) {
+  for (const auto& e : kEngineNames) {
+    if (name == e.name) return e.engine;
+  }
+  return std::nullopt;
+}
+
+const std::vector<ConformanceEngine>& all_conformance_engines() {
+  static const std::vector<ConformanceEngine> kAll = {
+      ConformanceEngine::kAgent,          ConformanceEngine::kCount,
+      ConformanceEngine::kJump,           ConformanceEngine::kBatchAuto,
+      ConformanceEngine::kBatchForced,    ConformanceEngine::kThinForced,
+      ConformanceEngine::kGraphComplete,  ConformanceEngine::kAdversarialEps1,
+      ConformanceEngine::kChurnNoFaults,
+  };
+  return kAll;
+}
+
+const char* conformance_check_name(ConformanceCheck check) {
+  for (const auto& e : kCheckNames) {
+    if (e.check == check) return e.name;
+  }
+  return "?";
+}
+
+std::optional<ConformanceCheck> conformance_check_from_name(
+    const std::string& name) {
+  for (const auto& e : kCheckNames) {
+    if (name == e.name) return e.check;
+  }
+  return std::nullopt;
+}
+
+std::string ConformanceReport::summary() const {
+  if (divergences.empty()) return "conformant";
+  std::ostringstream out;
+  for (const auto& d : divergences) {
+    out << conformance_check_name(d.check) << '/'
+        << conformance_engine_name(d.engine);
+    if (d.event != 0) out << " @event " << d.event;
+    out << ": " << d.detail << '\n';
+  }
+  return out.str();
+}
+
+ConformanceReport check_conformance(const ConformanceCase& c,
+                                    const ConformanceOptions& options) {
+  PPK_EXPECTS(c.n >= 3);
+  PPK_EXPECTS(c.trials >= 4);
+  PPK_EXPECTS(c.budget >= 1);
+
+  const CaseContext ctx = materialize(c);
+  ConformanceReport report;
+
+  // --- Reference models --------------------------------------------------
+  Reference ref;
+  ref.kpartition = ctx.kpartition.get();
+
+  std::set<pp::Counts> reachable;
+  std::unique_ptr<pp::TransitionTable> true_table;
+  if (c.n <= options.ground_truth_max_n) {
+    true_table = std::make_unique<pp::TransitionTable>(*ctx.true_protocol);
+    ConfigGraph::Options explore;
+    explore.max_configs = options.ground_truth_max_configs;
+    const ConfigGraph graph(*true_table, ctx.initial, explore);
+    if (graph.complete()) {
+      for (std::size_t i = 0; i < graph.num_configs(); ++i) {
+        reachable.insert(graph.config(i));
+      }
+      ref.reachable = &reachable;
+
+      // Model checker ground truth.  For the k-partition family Theorem 1
+      // promises every (n, k): a refutation means the protocol (or a
+      // mutation the caller injected into the *reference*) is broken.
+      if (ctx.kpartition != nullptr) {
+        const Verdict verdict = verify_uniform_partition(
+            *ctx.true_protocol, *true_table, c.n, explore);
+        ++report.checks_run;
+        if (!verdict.solves) {
+          add_divergence(
+              &report, options,
+              Divergence{ConformanceCheck::kGroundTruth,
+                         ConformanceEngine::kModel, 0,
+                         "model checker refutes Theorem 1 at n=" +
+                             std::to_string(c.n) + ": " + verdict.failure});
+        }
+      }
+    }
+  }
+
+  const std::vector<ConformanceEngine>& engines =
+      c.engines.empty() ? all_conformance_engines() : c.engines;
+
+  // --- Per-engine trajectory nets -----------------------------------------
+  for (const ConformanceEngine engine : engines) {
+    const std::uint64_t seed = trial_seed(c, engine, kPurposeTrajectory, 0);
+
+    const TrialRun first =
+        run_engine_trial(engine, ctx, ref, seed, OracleKind::kStabilization,
+                         c.budget, 0);
+    const TrialRun second =
+        run_engine_trial(engine, ctx, ref, seed, OracleKind::kStabilization,
+                         c.budget, 0);
+    ++report.checks_run;
+    if (first.fingerprint != second.fingerprint ||
+        first.final_counts != second.final_counts ||
+        first.result.interactions != second.result.interactions) {
+      add_divergence(&report, options,
+                     Divergence{ConformanceCheck::kTrajectory, engine, 0,
+                                "same seed produced different trajectories "
+                                "(engine is not deterministic)"});
+    }
+    if (!first.counts_consistent) {
+      add_divergence(
+          &report, options,
+          Divergence{ConformanceCheck::kTrajectory, engine, first.result.effective,
+                     "oracle-visible transitions do not reproduce the "
+                     "engine's final configuration " +
+                         counts_to_string(first.final_counts) +
+                         " (oracle callback discipline broken)"});
+    }
+    if (first.violation.has_value()) {
+      add_violation(&report, options, engine, *first.violation);
+    }
+    // Stabilized k-partition runs must land exactly on the Lemma 4-6
+    // pattern of the *true* protocol.
+    if (ctx.kpartition != nullptr && first.result.stabilized &&
+        !first.violation.has_value() &&
+        !core::matches_stable_pattern(*ctx.kpartition, c.n,
+                                      first.final_counts)) {
+      add_divergence(&report, options,
+                     Divergence{ConformanceCheck::kGroundTruth, engine,
+                                first.result.effective,
+                                "stabilized on " +
+                                    counts_to_string(first.final_counts) +
+                                    ", which is not the Lemma 4-6 pattern"});
+    }
+
+    // Chunked run()+resume() must be bit-identical for pairwise engines.
+    if (is_pairwise(engine)) {
+      const std::uint64_t chunk_seed =
+          trial_seed(c, engine, kPurposeChunked, 0);
+      const TrialRun whole =
+          run_engine_trial(engine, ctx, ref, chunk_seed,
+                           OracleKind::kQuiescence, c.budget, 0);
+      const TrialRun chunked =
+          run_engine_trial(engine, ctx, ref, chunk_seed,
+                           OracleKind::kQuiescence, c.budget, 64);
+      ++report.checks_run;
+      if (whole.fingerprint != chunked.fingerprint ||
+          whole.result.interactions != chunked.result.interactions ||
+          whole.result.stabilized != chunked.result.stabilized ||
+          whole.final_counts != chunked.final_counts) {
+        std::ostringstream detail;
+        detail << "chunked run()+resume() diverges from the unchunked run "
+               << "(whole: " << whole.result.interactions << " pairs, "
+               << (whole.result.stabilized ? "stable" : "unstable")
+               << "; chunked: " << chunked.result.interactions << " pairs, "
+               << (chunked.result.stabilized ? "stable" : "unstable")
+               << ") -- resume() is losing oracle or RNG state";
+        add_divergence(&report, options,
+                       Divergence{ConformanceCheck::kChunkedResume, engine, 0,
+                                  detail.str()});
+      }
+    }
+    if (report.divergences.size() >= options.max_divergences) return report;
+  }
+
+  // --- Distribution net ----------------------------------------------------
+  const bool has_agent =
+      std::find(engines.begin(), engines.end(), ConformanceEngine::kAgent) !=
+      engines.end();
+  if (has_agent && engines.size() > 1) {
+    const DistributionSample agent = sample_engine(
+        c, ctx, ref, ConformanceEngine::kAgent, kPurposeDistribution,
+        c.trials);
+    if (agent.violation.has_value()) {
+      add_violation(&report, options, ConformanceEngine::kAgent,
+                    *agent.violation);
+    }
+    for (const ConformanceEngine engine : engines) {
+      if (engine == ConformanceEngine::kAgent) continue;
+      const DistributionSample xs = sample_engine(
+          c, ctx, ref, engine, kPurposeDistribution, c.trials);
+      ++report.checks_run;
+      if (xs.violation.has_value()) {
+        add_violation(&report, options, engine, *xs.violation);
+        continue;
+      }
+      struct Axis {
+        const char* name;
+        const std::vector<double>& a;
+        const std::vector<double>& b;
+      };
+      const Axis axes[] = {
+          {"stabilization-time", agent.interactions, xs.interactions},
+          {"effective-count", agent.effective, xs.effective},
+      };
+      for (const Axis& axis : axes) {
+        const double d = ks_statistic(axis.a, axis.b);
+        if (d < ks_threshold(axis.a.size(), axis.b.size())) continue;
+        // Confirm on an independent stream with twice the trials before
+        // declaring: a single KS exceedance at alpha = 0.001 can still be
+        // sampling noise across a long fuzz campaign.
+        const DistributionSample agent2 =
+            sample_engine(c, ctx, ref, ConformanceEngine::kAgent,
+                          kPurposeConfirm, 2 * c.trials);
+        const DistributionSample xs2 = sample_engine(
+            c, ctx, ref, engine, kPurposeConfirm, 2 * c.trials);
+        const std::vector<double>& a2 =
+            axis.a == agent.interactions ? agent2.interactions
+                                         : agent2.effective;
+        const std::vector<double>& b2 =
+            axis.a == agent.interactions ? xs2.interactions : xs2.effective;
+        const double d2 = ks_statistic(a2, b2);
+        const double threshold2 = ks_threshold(a2.size(), b2.size());
+        if (d2 < threshold2) continue;
+        std::ostringstream detail;
+        detail << axis.name << " distribution diverges from the agent "
+               << "reference: KS D=" << d << " (confirm D=" << d2
+               << " > " << threshold2 << " at alpha=0.001, "
+               << 2 * c.trials << " trials/side)";
+        add_divergence(&report, options,
+                       Divergence{ConformanceCheck::kDistribution, engine, 0,
+                                  detail.str()});
+      }
+      if (report.divergences.size() >= options.max_divergences) return report;
+    }
+  }
+
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Reference interpreter (schedule derivation + replay)
+
+namespace {
+
+struct InterpreterResult {
+  /// 0-based index of the first pair whose application (or whose resulting
+  /// configuration) violates the reference; nullopt = clean.
+  std::optional<std::uint64_t> violating_index;
+  std::string detail;
+  /// Pairs actually drawn (sampling mode only; capped).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> drawn;
+  /// effective[i] = pair i changed some agent (replay/sampling alike).
+  std::vector<bool> effective;
+};
+
+/// Drives the engine table over an explicit schedule (or, when `schedule`
+/// is null, pairs sampled from `seed`), checking the reference after every
+/// effective application.  This is deliberately the dumbest possible
+/// executor -- no engine code on this path, so a repro's verdict cannot
+/// depend on the engine under suspicion.
+InterpreterResult interpret(
+    const CaseContext& ctx, const Reference& ref,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>* schedule,
+    std::uint64_t seed, std::uint64_t budget, std::uint64_t capture_cap) {
+  InterpreterResult out;
+  pp::Population population(ctx.n, ctx.true_protocol->num_states(),
+                            ctx.true_protocol->initial_state());
+  Xoshiro256 rng(seed);
+  const std::uint64_t limit =
+      schedule != nullptr ? schedule->size() : budget;
+  for (std::uint64_t index = 0; index < limit; ++index) {
+    std::uint32_t i = 0;
+    std::uint32_t j = 0;
+    if (schedule != nullptr) {
+      i = (*schedule)[index].first;
+      j = (*schedule)[index].second;
+      if (i >= ctx.n || j >= ctx.n || i == j) {
+        out.violating_index = index;
+        out.detail = "malformed schedule pair";
+        return out;
+      }
+    } else {
+      i = static_cast<std::uint32_t>(rng.below(ctx.n));
+      j = static_cast<std::uint32_t>(rng.below(ctx.n - 1));
+      if (j >= i) ++j;
+      if (out.drawn.size() < capture_cap) out.drawn.emplace_back(i, j);
+    }
+    const pp::StateId p = population.state_of(i);
+    const pp::StateId q = population.state_of(j);
+    const bool effective = ctx.engine_table->effective(p, q);
+    out.effective.push_back(effective);
+    if (!effective) continue;
+    population.apply(i, j, ctx.engine_table->apply(p, q));
+    if (ref.kpartition != nullptr &&
+        !core::lemma1_holds(*ref.kpartition, population.counts())) {
+      out.violating_index = index;
+      out.detail = "Lemma 1 counting invariant violated at " +
+                   counts_to_string(population.counts());
+      return out;
+    }
+    if (ref.reachable != nullptr &&
+        !ref.reachable->contains(population.counts())) {
+      out.violating_index = index;
+      out.detail = "configuration " + counts_to_string(population.counts()) +
+                   " is not reachable under the reference transition function";
+      return out;
+    }
+  }
+  return out;
+}
+
+/// Builds the Reference (and its backing storage) for the interpreter /
+/// shrinker.  `storage` must outlive the returned Reference.
+struct ReferenceStorage {
+  std::set<pp::Counts> reachable;
+  std::unique_ptr<pp::TransitionTable> true_table;
+};
+
+Reference build_reference(const CaseContext& ctx,
+                          const ConformanceOptions& options,
+                          ReferenceStorage* storage) {
+  Reference ref;
+  ref.kpartition = ctx.kpartition.get();
+  if (ctx.n <= options.ground_truth_max_n) {
+    storage->true_table =
+        std::make_unique<pp::TransitionTable>(*ctx.true_protocol);
+    ConfigGraph::Options explore;
+    explore.max_configs = options.ground_truth_max_configs;
+    const ConfigGraph graph(*storage->true_table, ctx.initial, explore);
+    if (graph.complete()) {
+      for (std::size_t i = 0; i < graph.num_configs(); ++i) {
+        storage->reachable.insert(graph.config(i));
+      }
+      ref.reachable = &storage->reachable;
+    }
+  }
+  return ref;
+}
+
+bool schedule_still_fails(
+    const CaseContext& ctx, const Reference& ref,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& schedule) {
+  const InterpreterResult r = interpret(ctx, ref, &schedule, 0, 0, 0);
+  return r.violating_index.has_value();
+}
+
+std::uint32_t min_population(const ConformanceCase& c) {
+  if (c.protocol.family == ConformanceProtocol::Family::kKPartition) {
+    // The paper assumes n >= 3; below k the stable pattern still exists but
+    // engines and oracles are exercised far from the intended regime.
+    return std::max<std::uint32_t>(3, c.protocol.k);
+  }
+  return 3;
+}
+
+/// Reruns the failing check class on a candidate case (restricted to the
+/// originally diverging engine plus the agent reference) and reports
+/// whether the same class of divergence persists.
+bool case_still_fails(const ConformanceCase& c, ConformanceCheck check,
+                      const ConformanceOptions& options) {
+  const ConformanceReport report = check_conformance(c, options);
+  for (const auto& d : report.divergences) {
+    if (d.check == check) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+ConformanceRepro shrink_failure(const ConformanceCase& failing,
+                                const Divergence& divergence,
+                                const ConformanceOptions& options) {
+  ConformanceRepro repro;
+  repro.check = divergence.check;
+  repro.engine = divergence.engine;
+  repro.detail = divergence.detail;
+  repro.shrunk = failing;
+  // Restrict to the diverging engine plus the agent reference (the
+  // distribution net needs agent; the others only speed up).
+  repro.shrunk.engines.clear();
+  repro.shrunk.engines.push_back(ConformanceEngine::kAgent);
+  if (divergence.engine != ConformanceEngine::kAgent &&
+      divergence.engine != ConformanceEngine::kModel) {
+    repro.shrunk.engines.push_back(divergence.engine);
+  }
+
+  // --- Minimize n ---------------------------------------------------------
+  // Halving descent (cheap on big n), then an ascending scan over the last
+  // interval pins the true minimum.  Every probe is a deterministic rerun.
+  {
+    const std::uint32_t lo = min_population(repro.shrunk);
+    std::uint32_t best = repro.shrunk.n;
+    std::uint32_t floor_known_good = lo;  // nothing known below lo
+    while (best > lo) {
+      const std::uint32_t half = std::max(lo, floor_known_good +
+                                                  (best - floor_known_good) / 2);
+      if (half == best) break;
+      ConformanceCase probe = repro.shrunk;
+      probe.n = half;
+      if (case_still_fails(probe, repro.check, options)) {
+        best = half;
+      } else {
+        if (half == floor_known_good) break;
+        floor_known_good = half;
+      }
+      if (best - floor_known_good <= 1) break;
+    }
+    // Ascending scan between the last known-good and the best failing n.
+    for (std::uint32_t n = std::max(lo, floor_known_good); n < best; ++n) {
+      ConformanceCase probe = repro.shrunk;
+      probe.n = n;
+      if (case_still_fails(probe, repro.check, options)) {
+        best = n;
+        break;
+      }
+    }
+    repro.shrunk.n = best;
+  }
+
+  // --- Minimize k (k-partition family only) --------------------------------
+  if (repro.shrunk.protocol.family ==
+      ConformanceProtocol::Family::kKPartition) {
+    for (pp::GroupId k = 2; k < repro.shrunk.protocol.k; ++k) {
+      const auto num_states = static_cast<pp::StateId>(3 * k - 2);
+      if (repro.shrunk.mutation.has_value() &&
+          (repro.shrunk.mutation->p >= num_states ||
+           repro.shrunk.mutation->q >= num_states ||
+           repro.shrunk.mutation->out.initiator >= num_states ||
+           repro.shrunk.mutation->out.responder >= num_states)) {
+        continue;  // mutation references states this k does not have
+      }
+      ConformanceCase probe = repro.shrunk;
+      probe.protocol.k = k;
+      probe.n = std::max(probe.n, std::max<std::uint32_t>(3, k));
+      if (case_still_fails(probe, repro.check, options)) {
+        repro.shrunk.protocol.k = k;
+        repro.shrunk.n = probe.n;
+        break;
+      }
+    }
+  }
+
+  // --- Minimize the schedule prefix (trajectory-local checks) -------------
+  if (repro.check == ConformanceCheck::kLemma1 ||
+      repro.check == ConformanceCheck::kGroundTruth) {
+    const CaseContext ctx = materialize(repro.shrunk);
+    ReferenceStorage storage;
+    const Reference ref = build_reference(ctx, options, &storage);
+    constexpr std::uint64_t kCaptureCap = 1u << 20;
+    const InterpreterResult probe =
+        interpret(ctx, ref, nullptr,
+                  derive_stream_seed(repro.shrunk.seed, 0xC0FFEE),
+                  repro.shrunk.budget, kCaptureCap);
+    if (probe.violating_index.has_value() &&
+        *probe.violating_index < probe.drawn.size()) {
+      // 1. Truncate at the violating pair.
+      std::vector<std::pair<std::uint32_t, std::uint32_t>> schedule(
+          probe.drawn.begin(),
+          probe.drawn.begin() +
+              static_cast<std::ptrdiff_t>(*probe.violating_index + 1));
+      // 2. Null interactions cannot contribute; drop them.
+      std::vector<std::pair<std::uint32_t, std::uint32_t>> dense;
+      for (std::size_t i = 0; i < schedule.size(); ++i) {
+        if (probe.effective[i]) dense.push_back(schedule[i]);
+      }
+      if (schedule_still_fails(ctx, ref, dense)) schedule = std::move(dense);
+      // 3. Greedy one-at-a-time removal, newest first (bounded).
+      if (schedule.size() <= 256) {
+        for (std::size_t i = schedule.size(); i-- > 0;) {
+          auto candidate = schedule;
+          candidate.erase(candidate.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+          if (schedule_still_fails(ctx, ref, candidate)) {
+            schedule = std::move(candidate);
+          }
+        }
+      }
+      if (schedule_still_fails(ctx, ref, schedule)) {
+        repro.schedule = std::move(schedule);
+        const InterpreterResult final_run =
+            interpret(ctx, ref, &repro.schedule, 0, 0, 0);
+        repro.detail = final_run.detail;
+      }
+    }
+  }
+
+  return repro;
+}
+
+// ---------------------------------------------------------------------------
+// Repro file IO
+
+std::string serialize_repro(const ConformanceRepro& repro) {
+  std::ostringstream out;
+  out << "ppk-conformance-repro-v1\n";
+  const ConformanceCase& c = repro.shrunk;
+  if (c.protocol.family == ConformanceProtocol::Family::kKPartition) {
+    out << "protocol kpartition " << c.protocol.k << '\n';
+  } else {
+    out << "protocol candidate " << int{c.protocol.candidate.num_states}
+        << ' ' << c.protocol.candidate.delta_index << ' '
+        << int{c.protocol.candidate.initial} << ' '
+        << c.protocol.candidate.output_bits << '\n';
+  }
+  if (c.mutation.has_value()) {
+    out << "mutation " << int{c.mutation->p} << ' ' << int{c.mutation->q}
+        << ' ' << int{c.mutation->out.initiator} << ' '
+        << int{c.mutation->out.responder} << '\n';
+  }
+  out << "n " << c.n << '\n';
+  out << "seed " << c.seed << '\n';
+  out << "trials " << c.trials << '\n';
+  out << "budget " << c.budget << '\n';
+  out << "engine " << conformance_engine_name(repro.engine) << '\n';
+  out << "check " << conformance_check_name(repro.check) << '\n';
+  if (!repro.schedule.empty()) {
+    out << "schedule";
+    for (const auto& [i, j] : repro.schedule) out << ' ' << i << '-' << j;
+    out << '\n';
+  }
+  if (!repro.detail.empty()) {
+    std::string one_line = repro.detail;
+    std::replace(one_line.begin(), one_line.end(), '\n', ' ');
+    out << "detail " << one_line << '\n';
+  }
+  out << "expect " << (repro.expect_pass ? "pass" : "fail") << '\n';
+  return out.str();
+}
+
+std::optional<ConformanceRepro> parse_repro(const std::string& text,
+                                            std::string* error) {
+  auto fail = [&](const std::string& why) -> std::optional<ConformanceRepro> {
+    if (error != nullptr) *error = why;
+    return std::nullopt;
+  };
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "ppk-conformance-repro-v1") {
+    return fail("missing ppk-conformance-repro-v1 header");
+  }
+  ConformanceRepro repro;
+  bool saw_protocol = false;
+  bool saw_engine = false;
+  bool saw_check = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    if (key == "protocol") {
+      std::string family;
+      fields >> family;
+      if (family == "kpartition") {
+        repro.shrunk.protocol.family =
+            ConformanceProtocol::Family::kKPartition;
+        unsigned k = 0;
+        if (!(fields >> k) || k < 2) return fail("bad kpartition k");
+        repro.shrunk.protocol.k = static_cast<pp::GroupId>(k);
+      } else if (family == "candidate") {
+        repro.shrunk.protocol.family = ConformanceProtocol::Family::kCandidate;
+        unsigned states = 0;
+        unsigned initial = 0;
+        CandidateSpec spec;
+        if (!(fields >> states >> spec.delta_index >> initial >>
+              spec.output_bits)) {
+          return fail("bad candidate spec");
+        }
+        spec.num_states = static_cast<pp::StateId>(states);
+        spec.initial = static_cast<pp::StateId>(initial);
+        if (states < 2 || initial >= states ||
+            spec.delta_index >= num_symmetric_deltas(spec.num_states) ||
+            spec.output_bits < 1 || spec.output_bits + 1 >= (1u << states)) {
+          return fail("candidate spec out of range");
+        }
+        repro.shrunk.protocol.candidate = spec;
+      } else {
+        return fail("unknown protocol family '" + family + "'");
+      }
+      saw_protocol = true;
+    } else if (key == "mutation") {
+      unsigned p = 0;
+      unsigned q = 0;
+      unsigned a = 0;
+      unsigned b = 0;
+      if (!(fields >> p >> q >> a >> b)) return fail("bad mutation");
+      repro.shrunk.mutation =
+          TableMutation{static_cast<pp::StateId>(p),
+                        static_cast<pp::StateId>(q),
+                        pp::Transition{static_cast<pp::StateId>(a),
+                                       static_cast<pp::StateId>(b)}};
+    } else if (key == "n") {
+      if (!(fields >> repro.shrunk.n) || repro.shrunk.n < 3) {
+        return fail("bad n");
+      }
+    } else if (key == "seed") {
+      if (!(fields >> repro.shrunk.seed)) return fail("bad seed");
+    } else if (key == "trials") {
+      if (!(fields >> repro.shrunk.trials) || repro.shrunk.trials < 4) {
+        return fail("bad trials");
+      }
+    } else if (key == "budget") {
+      if (!(fields >> repro.shrunk.budget) || repro.shrunk.budget == 0) {
+        return fail("bad budget");
+      }
+    } else if (key == "engine") {
+      std::string name;
+      fields >> name;
+      const auto engine = conformance_engine_from_name(name);
+      if (!engine.has_value()) return fail("unknown engine '" + name + "'");
+      repro.engine = *engine;
+      saw_engine = true;
+    } else if (key == "check") {
+      std::string name;
+      fields >> name;
+      const auto check = conformance_check_from_name(name);
+      if (!check.has_value()) return fail("unknown check '" + name + "'");
+      repro.check = *check;
+      saw_check = true;
+    } else if (key == "schedule") {
+      std::string pair;
+      while (fields >> pair) {
+        const auto dash = pair.find('-');
+        if (dash == std::string::npos) return fail("bad schedule pair");
+        try {
+          const unsigned long i = std::stoul(pair.substr(0, dash));
+          const unsigned long j = std::stoul(pair.substr(dash + 1));
+          repro.schedule.emplace_back(static_cast<std::uint32_t>(i),
+                                      static_cast<std::uint32_t>(j));
+        } catch (...) {
+          return fail("bad schedule pair");
+        }
+      }
+    } else if (key == "detail") {
+      std::string rest;
+      std::getline(fields, rest);
+      if (!rest.empty() && rest.front() == ' ') rest.erase(0, 1);
+      repro.detail = rest;
+    } else if (key == "expect") {
+      std::string what;
+      fields >> what;
+      if (what == "pass") {
+        repro.expect_pass = true;
+      } else if (what == "fail") {
+        repro.expect_pass = false;
+      } else {
+        return fail("expect must be pass or fail");
+      }
+    } else {
+      return fail("unknown key '" + key + "'");
+    }
+  }
+  if (!saw_protocol) return fail("missing protocol line");
+  if (!saw_engine) return fail("missing engine line");
+  if (!saw_check) return fail("missing check line");
+  return repro;
+}
+
+ConformanceReport replay_repro(const ConformanceRepro& repro,
+                               const ConformanceOptions& options) {
+  if (!repro.schedule.empty()) {
+    const CaseContext ctx = materialize(repro.shrunk);
+    ReferenceStorage storage;
+    const Reference ref = build_reference(ctx, options, &storage);
+    const InterpreterResult r =
+        interpret(ctx, ref, &repro.schedule, 0, 0, 0);
+    ConformanceReport report;
+    report.checks_run = 1;
+    if (r.violating_index.has_value()) {
+      report.divergences.push_back(Divergence{
+          repro.check, repro.engine, *r.violating_index + 1, r.detail});
+    }
+    return report;
+  }
+  ConformanceCase c = repro.shrunk;
+  if (c.engines.empty()) {
+    c.engines.push_back(ConformanceEngine::kAgent);
+    if (repro.engine != ConformanceEngine::kAgent &&
+        repro.engine != ConformanceEngine::kModel) {
+      c.engines.push_back(repro.engine);
+    }
+  }
+  return check_conformance(c, options);
+}
+
+// ---------------------------------------------------------------------------
+// Fuzzing
+
+FuzzResult fuzz_conformance(const FuzzOptions& options) {
+  Xoshiro256 rng(options.seed);
+  FuzzResult result;
+  const auto start = std::chrono::steady_clock::now();
+  auto out_of_time = [&] {
+    if (options.deadline_seconds <= 0.0) return false;
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    return elapsed.count() >= options.deadline_seconds;
+  };
+
+  for (int i = 0;
+       (options.deadline_seconds > 0.0 || i < options.num_cases) &&
+       !out_of_time();
+       ++i) {
+    ConformanceCase c;
+    c.seed = rng();
+    c.trials = options.trials;
+    if (rng.uniform01() < options.candidate_fraction) {
+      c.protocol.family = ConformanceProtocol::Family::kCandidate;
+      CandidateSpec spec;
+      spec.num_states = 3;
+      spec.delta_index = rng.below(num_symmetric_deltas(3));
+      spec.initial = static_cast<pp::StateId>(rng.below(3));
+      spec.output_bits = static_cast<std::uint32_t>(1 + rng.below(6));
+      c.protocol.candidate = spec;
+      c.n = static_cast<std::uint32_t>(
+          3 + rng.below(std::max<std::uint32_t>(1, options.max_n / 2 - 2)));
+      c.budget = options.candidate_budget;
+    } else {
+      c.protocol.family = ConformanceProtocol::Family::kKPartition;
+      c.protocol.k = static_cast<pp::GroupId>(
+          2 + rng.below(std::max<pp::GroupId>(1, options.max_k - 1)));
+      const std::uint32_t lo = std::max<std::uint32_t>(3, c.protocol.k);
+      c.n = static_cast<std::uint32_t>(
+          lo + rng.below(std::max<std::uint32_t>(1, options.max_n - lo)));
+      c.budget = options.kpartition_budget;
+    }
+    const ConformanceReport report = check_conformance(c, options.check);
+    ++result.cases_run;
+    if (!report.ok()) {
+      result.failure =
+          shrink_failure(c, report.divergences.front(), options.check);
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace ppk::verify

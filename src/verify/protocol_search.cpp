@@ -10,53 +10,6 @@ namespace ppk::verify {
 
 namespace {
 
-/// A candidate protocol materialized from enumeration indices.
-class CandidateProtocol final : public pp::Protocol {
- public:
-  CandidateProtocol(pp::StateId num_states, std::vector<pp::Transition> table,
-                    pp::StateId initial, std::vector<pp::GroupId> output)
-      : num_states_(num_states),
-        table_(std::move(table)),
-        initial_(initial),
-        output_(std::move(output)) {}
-
-  [[nodiscard]] std::string name() const override { return "candidate"; }
-  [[nodiscard]] pp::StateId num_states() const override { return num_states_; }
-  [[nodiscard]] pp::StateId initial_state() const override { return initial_; }
-  [[nodiscard]] pp::Transition delta(pp::StateId p,
-                                     pp::StateId q) const override {
-    return table_[static_cast<std::size_t>(p) * num_states_ + q];
-  }
-  [[nodiscard]] pp::GroupId group(pp::StateId s) const override {
-    return output_[s];
-  }
-  [[nodiscard]] pp::GroupId num_groups() const override { return 2; }
-
- private:
-  pp::StateId num_states_;
-  std::vector<pp::Transition> table_;
-  pp::StateId initial_;
-  std::vector<pp::GroupId> output_;
-};
-
-std::string describe(const CandidateProtocol& protocol) {
-  std::ostringstream out;
-  out << "s0=" << protocol.initial_state() << " f=";
-  for (pp::StateId s = 0; s < protocol.num_states(); ++s) {
-    out << int{protocol.group(s)} + 1;
-  }
-  out << " delta:";
-  for (pp::StateId p = 0; p < protocol.num_states(); ++p) {
-    for (pp::StateId q = p; q < protocol.num_states(); ++q) {
-      const pp::Transition t = protocol.delta(p, q);
-      if (t.initiator == p && t.responder == q) continue;  // null
-      out << " (" << int{p} << ',' << int{q} << ")->(" << int{t.initiator}
-          << ',' << int{t.responder} << ')';
-    }
-  }
-  return out.str();
-}
-
 /// Builds the ordered transition table from the enumeration index:
 /// diagonal digits in base S (successor state of (p,p)), off-diagonal
 /// digits in base S^2 (ordered outcome of the unordered pair {p, q}),
@@ -89,17 +42,55 @@ std::vector<pp::Transition> decode_delta(pp::StateId num_states,
 
 }  // namespace
 
-SearchResult search_symmetric_bipartition(pp::StateId num_states,
-                                          const SearchOptions& options) {
-  PPK_EXPECTS(num_states >= 2 && num_states <= 3);
-  PPK_EXPECTS(!options.population_sizes.empty());
-
+std::uint64_t num_symmetric_deltas(pp::StateId num_states) {
   const auto s = static_cast<std::uint64_t>(num_states);
   std::uint64_t num_deltas = 1;
   for (pp::StateId p = 0; p < num_states; ++p) num_deltas *= s;  // diagonal
   for (std::uint64_t pair = 0; pair < s * (s - 1) / 2; ++pair) {
     num_deltas *= s * s;  // off-diagonal ordered outcomes
   }
+  return num_deltas;
+}
+
+EnumeratedProtocol::EnumeratedProtocol(const CandidateSpec& spec)
+    : spec_(spec), table_(decode_delta(spec.num_states, spec.delta_index)) {
+  PPK_EXPECTS(spec.num_states >= 2);
+  PPK_EXPECTS(spec.delta_index < num_symmetric_deltas(spec.num_states));
+  PPK_EXPECTS(spec.initial < spec.num_states);
+  PPK_EXPECTS(spec.output_bits >= 1 &&
+              spec.output_bits + 1 < (1u << spec.num_states));
+}
+
+std::string EnumeratedProtocol::name() const {
+  std::ostringstream out;
+  out << "candidate-" << int{spec_.num_states} << 's' << spec_.delta_index;
+  return out.str();
+}
+
+std::string EnumeratedProtocol::describe() const {
+  std::ostringstream out;
+  out << "s0=" << spec_.initial << " f=";
+  for (pp::StateId s = 0; s < spec_.num_states; ++s) {
+    out << int{group(s)} + 1;
+  }
+  out << " delta:";
+  for (pp::StateId p = 0; p < spec_.num_states; ++p) {
+    for (pp::StateId q = p; q < spec_.num_states; ++q) {
+      const pp::Transition t = delta(p, q);
+      if (t.initiator == p && t.responder == q) continue;  // null
+      out << " (" << int{p} << ',' << int{q} << ")->(" << int{t.initiator}
+          << ',' << int{t.responder} << ')';
+    }
+  }
+  return out.str();
+}
+
+SearchResult search_symmetric_bipartition(pp::StateId num_states,
+                                          const SearchOptions& options) {
+  PPK_EXPECTS(num_states >= 2 && num_states <= 3);
+  PPK_EXPECTS(!options.population_sizes.empty());
+
+  const std::uint64_t num_deltas = num_symmetric_deltas(num_states);
 
   SearchResult result;
   result.killed_by_size.assign(options.population_sizes.size(), 0);
@@ -109,19 +100,12 @@ SearchResult search_symmetric_bipartition(pp::StateId num_states,
 
   for (std::uint64_t delta_index = 0; delta_index < num_deltas;
        ++delta_index) {
-    const std::vector<pp::Transition> delta =
-        decode_delta(num_states, delta_index);
     for (pp::StateId initial = 0; initial < num_states; ++initial) {
       // Non-constant output maps onto {0, 1}: skip all-0 and all-1.
       for (std::uint32_t output_bits = 1;
            output_bits + 1 < (1u << num_states); ++output_bits) {
-        std::vector<pp::GroupId> output(num_states);
-        for (pp::StateId st = 0; st < num_states; ++st) {
-          output[st] =
-              static_cast<pp::GroupId>((output_bits >> st) & 1u);
-        }
-        const CandidateProtocol candidate(num_states, delta, initial,
-                                          std::move(output));
+        const EnumeratedProtocol candidate(
+            CandidateSpec{num_states, delta_index, initial, output_bits});
         ++result.candidates;
 
         const pp::TransitionTable table(candidate);
@@ -141,7 +125,7 @@ SearchResult search_symmetric_bipartition(pp::StateId num_states,
         if (solves_all) {
           ++result.survivors;
           if (result.survivor_descriptions.size() < 16) {
-            result.survivor_descriptions.push_back(describe(candidate));
+            result.survivor_descriptions.push_back(candidate.describe());
           }
         }
       }

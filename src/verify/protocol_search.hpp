@@ -26,6 +26,56 @@
 
 namespace ppk::verify {
 
+/// One point in the symmetric-protocol enumeration space.  The exhaustive
+/// search iterates over all of them; the conformance fuzzer samples them at
+/// random, so the encoding is public: `delta_index` picks the transition
+/// function (diagonal digits in base S, off-diagonal digits in base S^2,
+/// mirrored swap-consistently), `output_bits` the output map onto {0, 1}
+/// (bit s = group of state s; constant maps are degenerate and skipped by
+/// both users).
+struct CandidateSpec {
+  pp::StateId num_states = 3;
+  std::uint64_t delta_index = 0;  ///< in [0, num_symmetric_deltas(states))
+  pp::StateId initial = 0;        ///< designated initial state
+  std::uint32_t output_bits = 1;  ///< non-constant: 1 .. 2^num_states - 2
+};
+
+/// Size of the symmetric transition-function space for `num_states`:
+/// S^S diagonal choices times (S^2)^(S(S-1)/2) unordered-pair outcomes.
+[[nodiscard]] std::uint64_t num_symmetric_deltas(pp::StateId num_states);
+
+/// A candidate protocol materialized from enumeration indices.  Symmetric
+/// and swap-consistent by construction; output onto 2 groups.
+class EnumeratedProtocol final : public pp::Protocol {
+ public:
+  explicit EnumeratedProtocol(const CandidateSpec& spec);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] pp::StateId num_states() const override {
+    return spec_.num_states;
+  }
+  [[nodiscard]] pp::StateId initial_state() const override {
+    return spec_.initial;
+  }
+  [[nodiscard]] pp::Transition delta(pp::StateId p,
+                                     pp::StateId q) const override {
+    return table_[static_cast<std::size_t>(p) * spec_.num_states + q];
+  }
+  [[nodiscard]] pp::GroupId group(pp::StateId s) const override {
+    return static_cast<pp::GroupId>((spec_.output_bits >> s) & 1u);
+  }
+  [[nodiscard]] pp::GroupId num_groups() const override { return 2; }
+
+  [[nodiscard]] const CandidateSpec& spec() const noexcept { return spec_; }
+
+  /// Compact rule listing ("s0=.. f=.. delta: ..") for logs and repro files.
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  CandidateSpec spec_;
+  std::vector<pp::Transition> table_;
+};
+
 struct SearchOptions {
   /// Population sizes each candidate must solve (a failure on any one
   /// disqualifies it).  Checked in order, so put the cheapest first.

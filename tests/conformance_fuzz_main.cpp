@@ -1,0 +1,108 @@
+// Standalone conformance-fuzz driver: the nightly CI entry point.
+//
+//   conformance_fuzz --seconds 600 --seed 0 --out repro.txt
+//
+// Runs randomized conformance cases until the time or case budget is spent.
+// On divergence the failure is auto-shrunk, written to --out as a
+// replayable ppk-conformance-repro-v1 file (CI uploads it as an artifact),
+// and the process exits 1.  With --seed 0 the master seed is derived from
+// the clock so successive nightly runs explore different cases; the chosen
+// seed is always printed, and rerunning with --seed <that> --seconds 0
+// reproduces the session deterministically.
+//
+//   conformance_fuzz --replay repro.txt
+//
+// Replays a repro file and exits 0 iff the recorded verdict still holds
+// (expect pass => conformant, expect fail => still diverges).
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "util/cli.hpp"
+#include "verify/conformance.hpp"
+
+namespace {
+
+int replay_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::cerr << "cannot read " << path << '\n';
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  std::string error;
+  const auto repro = ppk::verify::parse_repro(text.str(), &error);
+  if (!repro.has_value()) {
+    std::cerr << path << ": " << error << '\n';
+    return 2;
+  }
+  const ppk::verify::ConformanceReport report =
+      ppk::verify::replay_repro(*repro);
+  std::cout << "replay " << path << ": "
+            << (report.ok() ? "conformant" : "divergent") << " (expected "
+            << (repro->expect_pass ? "conformant" : "divergent") << ")\n";
+  if (!report.ok()) std::cout << report.summary();
+  return report.ok() == repro->expect_pass ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ppk::Cli cli("conformance_fuzz",
+               "Differential conformance fuzzer over all simulation engines "
+               "(see src/verify/conformance.hpp).");
+  auto seconds = cli.flag<double>("seconds", 0.0,
+                                  "wall-clock budget; 0 = use --cases only");
+  auto cases = cli.flag<int>("cases", 16, "case budget (when --seconds 0)");
+  auto seed = cli.flag<long long>(
+      "seed", 1, "master seed; 0 = derive from the clock (printed)");
+  auto max_n = cli.flag<int>("max-n", 36, "largest population to draw");
+  auto max_k = cli.flag<int>("max-k", 6, "largest k to draw");
+  auto trials = cli.flag<int>("trials", 30, "KS sample size per engine");
+  auto out = cli.flag<std::string>("out", "conformance_repro.txt",
+                                   "where to write a shrunken repro");
+  auto replay = cli.flag<std::string>("replay", "",
+                                      "replay this repro file and exit");
+  cli.parse(argc, argv);
+
+  if (!replay->empty()) return replay_file(*replay);
+
+  ppk::verify::FuzzOptions options;
+  options.seed = static_cast<std::uint64_t>(*seed);
+  if (options.seed == 0) {
+    options.seed = static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+  }
+  options.deadline_seconds = *seconds;
+  options.num_cases = *cases;
+  options.max_n = static_cast<std::uint32_t>(*max_n);
+  options.max_k = static_cast<ppk::pp::GroupId>(*max_k);
+  options.trials = *trials;
+
+  std::cout << "conformance_fuzz: seed=" << options.seed;
+  if (options.deadline_seconds > 0.0) {
+    std::cout << " seconds=" << options.deadline_seconds;
+  } else {
+    std::cout << " cases=" << options.num_cases;
+  }
+  std::cout << std::endl;
+
+  const ppk::verify::FuzzResult result =
+      ppk::verify::fuzz_conformance(options);
+  std::cout << "cases run: " << result.cases_run << '\n';
+  if (!result.failure.has_value()) {
+    std::cout << "all conformant\n";
+    return 0;
+  }
+
+  const std::string text = ppk::verify::serialize_repro(*result.failure);
+  std::cout << "DIVERGENCE (shrunk):\n" << text;
+  std::ofstream file(*out);
+  file << text;
+  std::cout << "repro written to " << *out << '\n';
+  return 1;
+}

@@ -15,9 +15,12 @@
 #include "io/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sink.hpp"
+#include "pp/adversarial.hpp"
 #include "pp/agent_simulator.hpp"
 #include "pp/batch_simulator.hpp"
 #include "pp/count_simulator.hpp"
+#include "pp/graph_simulator.hpp"
+#include "pp/interaction_graph.hpp"
 #include "pp/jump_simulator.hpp"
 #include "pp/monte_carlo.hpp"
 #include "pp/transition_table.hpp"
@@ -186,6 +189,26 @@ TEST(ObsMetrics, SinkCountersMatchEngineTotals) {
         return sim.run(*oracle);
       },
       "batch");
+  // The restricted-scheduler engines gained obs hooks in this PR.
+  check(
+      [&](ObsSink& sink) {
+        ppk::pp::GraphSimulator sim(table,
+                                    ppk::pp::InteractionGraph::complete(n),
+                                    ppk::pp::Population(initial), 11);
+        sim.set_obs_sink(&sink);
+        auto oracle = ppk::core::stable_pattern_oracle(protocol, n);
+        return sim.run(*oracle);
+      },
+      "graph");
+  check(
+      [&](ObsSink& sink) {
+        ppk::pp::AdversarialSimulator sim(
+            protocol, table, ppk::pp::Population(initial), 0.5, 11);
+        sim.set_obs_sink(&sink);
+        auto oracle = ppk::core::stable_pattern_oracle(protocol, n);
+        return sim.run(*oracle);
+      },
+      "adversarial");
 }
 
 TEST(ObsMetrics, JumpSinkSeesBudgetClampExactly) {

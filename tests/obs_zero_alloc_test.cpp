@@ -17,8 +17,12 @@
 
 #include "core/invariants.hpp"
 #include "core/kpartition.hpp"
+#include "pp/adversarial.hpp"
 #include "pp/count_simulator.hpp"
+#include "pp/graph_simulator.hpp"
+#include "pp/interaction_graph.hpp"
 #include "pp/jump_simulator.hpp"
+#include "pp/population.hpp"
 #include "pp/transition_table.hpp"
 
 namespace {
@@ -75,6 +79,50 @@ TEST(ObsZeroAlloc, CountEngineSteadyStateAllocatesNothingWithoutSink) {
   ppk::pp::CountSimulator sim(table, initial, 123);
   auto oracle = ppk::core::stable_pattern_oracle(protocol, n);
   oracle->reset(sim.counts());
+  for (int i = 0; i < 256; ++i) sim.step(*oracle);  // warm-up
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 20000; ++i) sim.step(*oracle);
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "the disabled observability path must not allocate";
+}
+
+TEST(ObsZeroAlloc, GraphEngineSteadyStateAllocatesNothingWithoutSink) {
+  // GraphSimulator gained obs hooks in this PR; its dormant path must stay
+  // allocation-free like the other engines'.
+  const KPartitionProtocol protocol(4);
+  const ppk::pp::TransitionTable table(protocol);
+  const std::uint32_t n = 64;
+
+  ppk::pp::GraphSimulator sim(
+      table, ppk::pp::InteractionGraph::complete(n),
+      ppk::pp::Population(n, protocol.num_states(), protocol.initial_state()),
+      123);
+  auto oracle = ppk::core::stable_pattern_oracle(protocol, n);
+  oracle->reset(sim.population().counts());
+  for (int i = 0; i < 256; ++i) sim.step(*oracle);  // warm-up
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 20000; ++i) sim.step(*oracle);
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "the disabled observability path must not allocate";
+}
+
+TEST(ObsZeroAlloc, AdversarialEngineSteadyStateAllocatesNothingWithoutSink) {
+  // AdversarialSimulator gained obs hooks in this PR; epsilon = 0.25 keeps
+  // the adversary's probe loop (the extra branch) on the measured path.
+  const KPartitionProtocol protocol(4);
+  const ppk::pp::TransitionTable table(protocol);
+  const std::uint32_t n = 64;
+
+  ppk::pp::AdversarialSimulator sim(
+      protocol, table,
+      ppk::pp::Population(n, protocol.num_states(), protocol.initial_state()),
+      0.25, 123);
+  auto oracle = ppk::core::stable_pattern_oracle(protocol, n);
+  oracle->reset(sim.population().counts());
   for (int i = 0; i < 256; ++i) sim.step(*oracle);  // warm-up
 
   const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);

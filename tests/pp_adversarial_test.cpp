@@ -60,6 +60,66 @@ TEST(AdversarialSimulator, SmallerEpsilonMeansSlowerStabilization) {
       << "friendly=" << friendly << " hostile=" << hostile;
 }
 
+TEST(AdversarialSimulator, ResumePreservesOracleProgressAcrossChunks) {
+  // Regression (the PR 1 bug class, fixed here for AdversarialSimulator):
+  // run() resets the oracle, so granting the budget in chunks via run()
+  // discarded a quiescence lull spanning a chunk boundary.  resume() must
+  // continue the oracle, making a chunked run bit-identical to an unchunked
+  // one.  epsilon = 0.25 keeps the adversary's probe branch on this path.
+  const core::KPartitionProtocol protocol(4);
+  const TransitionTable table(protocol);
+  const std::uint64_t seed = 11;
+  constexpr double kEpsilon = 0.25;
+  // n = 13, k = 4 leaves one free agent whose flips stay effective after
+  // stabilization, so the quiescence window does fill up.
+  constexpr std::uint32_t kN = 13;
+  constexpr std::uint64_t kWindow = 500;  // effective interactions
+  constexpr std::uint64_t kChunk = 64;    // drawn pairs per grant
+  constexpr std::uint64_t kBudget = 5'000'000;
+
+  AdversarialSimulator whole(protocol, table,
+                             Population(kN, protocol.num_states(),
+                                        protocol.initial_state()),
+                             kEpsilon, seed);
+  auto whole_oracle = make_quiescence_oracle(protocol, kWindow);
+  const SimResult reference = whole.run(whole_oracle, kBudget);
+  ASSERT_TRUE(reference.stabilized);
+
+  AdversarialSimulator chunked(protocol, table,
+                               Population(kN, protocol.num_states(),
+                                          protocol.initial_state()),
+                               kEpsilon, seed);
+  auto chunked_oracle = make_quiescence_oracle(protocol, kWindow);
+  std::uint64_t total = 0;
+  bool stabilized = false;
+  bool first = true;
+  while (!stabilized && total < kBudget) {
+    const SimResult r = first ? chunked.run(chunked_oracle, kChunk)
+                              : chunked.resume(chunked_oracle, kChunk);
+    first = false;
+    total += r.interactions;
+    stabilized = r.stabilized;
+  }
+  EXPECT_TRUE(stabilized);
+  EXPECT_EQ(total, reference.interactions);
+
+  // Contrast: the buggy per-chunk run() pattern resets the oracle every 64
+  // draws, so the 500-effective-interaction lull is never observed.
+  AdversarialSimulator resetting(protocol, table,
+                                 Population(kN, protocol.num_states(),
+                                            protocol.initial_state()),
+                                 kEpsilon, seed);
+  auto reset_oracle = make_quiescence_oracle(protocol, kWindow);
+  total = 0;
+  stabilized = false;
+  while (!stabilized && total < 200'000) {
+    const SimResult r = resetting.run(reset_oracle, kChunk);
+    total += r.interactions;
+    stabilized = r.stabilized;
+  }
+  EXPECT_FALSE(stabilized);
+}
+
 TEST(AdversarialSimulator, EpsilonOneMatchesUniformScheduler) {
   // With epsilon = 1 the adversary never acts: statistics must match the
   // plain AgentSimulator.

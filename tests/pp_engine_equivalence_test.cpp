@@ -1,7 +1,9 @@
-// Statistical equivalence of the four simulation engines (plus the batch
-// engine's two forced regimes): all of them must sample stabilization-time
-// distributions identical to AgentSimulator's, because they all claim to
-// realize the same uniform-random scheduler.  A two-sample
+// Statistical equivalence of the simulation engines (including the batch
+// engine's two forced regimes and the restricted-scheduler simulators
+// specialized to unrestricted parameters -- GraphSimulator on the complete
+// graph, AdversarialSimulator with epsilon = 1): all of them must sample
+// stabilization-time distributions identical to AgentSimulator's, because
+// they all claim to realize the same uniform-random scheduler.  A two-sample
 // Kolmogorov-Smirnov test per engine pair catches distribution-level bugs
 // (wrong pair weights, off-by-one in null accounting, broken batch
 // composition) that mean-comparison tests miss.
@@ -18,9 +20,12 @@
 
 #include "core/invariants.hpp"
 #include "core/kpartition.hpp"
+#include "pp/adversarial.hpp"
 #include "pp/agent_simulator.hpp"
 #include "pp/batch_simulator.hpp"
 #include "pp/count_simulator.hpp"
+#include "pp/graph_simulator.hpp"
+#include "pp/interaction_graph.hpp"
 #include "pp/jump_simulator.hpp"
 #include "pp/transition_table.hpp"
 #include "util/rng.hpp"
@@ -70,6 +75,11 @@ enum class EngineUnderTest {
   kBatchAuto,
   kBatchForced,
   kThinForced,
+  // Restricted-scheduler simulators specialized to unrestricted parameters
+  // (this PR): both claim to degenerate to the uniform-random scheduler, so
+  // both must match the agent reference in law.
+  kGraphComplete,    // GraphSimulator on the complete graph
+  kAdversarialEps1,  // AdversarialSimulator with a zero stall budget
 };
 
 const char* engine_name(EngineUnderTest e) {
@@ -80,6 +90,8 @@ const char* engine_name(EngineUnderTest e) {
     case EngineUnderTest::kBatchAuto: return "batch-auto";
     case EngineUnderTest::kBatchForced: return "batch-forced";
     case EngineUnderTest::kThinForced: return "thin-forced";
+    case EngineUnderTest::kGraphComplete: return "graph-complete";
+    case EngineUnderTest::kAdversarialEps1: return "adversarial-eps1";
   }
   return "?";
 }
@@ -124,6 +136,24 @@ double one_trial(EngineUnderTest engine, const core::KPartitionProtocol& protoco
       result = sim.run(*oracle);
       break;
     }
+    case EngineUnderTest::kGraphComplete: {
+      GraphSimulator sim(
+          table, InteractionGraph::complete(n),
+          Population(n, protocol.num_states(), protocol.initial_state()),
+          seed);
+      result = sim.run(*oracle);
+      break;
+    }
+    case EngineUnderTest::kAdversarialEps1: {
+      // epsilon = 1: the adversary branch never fires, leaving the pure
+      // uniform pair draw.
+      AdversarialSimulator sim(
+          protocol, table,
+          Population(n, protocol.num_states(), protocol.initial_state()),
+          1.0, seed);
+      result = sim.run(*oracle);
+      break;
+    }
   }
   EXPECT_TRUE(result.stabilized);
   return static_cast<double>(result.interactions);
@@ -150,7 +180,8 @@ void expect_all_engines_match_agent(pp::GroupId k, std::uint32_t n,
   for (const EngineUnderTest engine :
        {EngineUnderTest::kCount, EngineUnderTest::kJump,
         EngineUnderTest::kBatchAuto, EngineUnderTest::kBatchForced,
-        EngineUnderTest::kThinForced}) {
+        EngineUnderTest::kThinForced, EngineUnderTest::kGraphComplete,
+        EngineUnderTest::kAdversarialEps1}) {
     const std::vector<double> xs =
         sample_engine(engine, protocol, table, n, trials);
     const double d = ks_statistic(agent, xs);
@@ -192,7 +223,9 @@ TEST(EngineEquivalence, EveryEngineIsBitReproducible) {
   for (const EngineUnderTest engine :
        {EngineUnderTest::kAgent, EngineUnderTest::kCount,
         EngineUnderTest::kJump, EngineUnderTest::kBatchAuto,
-        EngineUnderTest::kBatchForced, EngineUnderTest::kThinForced}) {
+        EngineUnderTest::kBatchForced, EngineUnderTest::kThinForced,
+        EngineUnderTest::kGraphComplete,
+        EngineUnderTest::kAdversarialEps1}) {
     const double first = one_trial(engine, protocol, table, n, 7);
     const double second = one_trial(engine, protocol, table, n, 7);
     EXPECT_EQ(first, second) << engine_name(engine);
