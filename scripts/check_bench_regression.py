@@ -1,8 +1,15 @@
 #!/usr/bin/env python3
-"""Benchmark-regression gate for the engine throughput report.
+"""Benchmark-regression gate for the committed benchmark reports.
 
-Validates a fresh BENCH_ENGINES.json (schema ppk-bench-engines-v1) and
-compares it against the committed baseline:
+Dispatches on the new report's schema:
+
+ - ppk-bench-engines-v1  (bench/batch_throughput):   engine-throughput
+   gates, baseline BENCH_ENGINES.json -- see below.
+ - ppk-bench-topology-v1 (bench/topology_sensitivity): topology gates,
+   baseline BENCH_TOPOLOGY.json -- see check_topology().
+
+Engine-throughput gates.  Validates a fresh report and compares it
+against the committed baseline:
 
  1. Schema: required top-level keys, well-formed result rows, all four
     engines present for every (k, n) point.
@@ -56,8 +63,9 @@ compares it against the committed baseline:
 Usage:
   scripts/check_bench_regression.py NEW.json [BASELINE.json]
 
-Baseline defaults to the committed BENCH_ENGINES.json.  Exits non-zero
-with a reason on the first violated check.  Stdlib only.
+Baseline defaults to the committed report matching NEW.json's schema
+(BENCH_ENGINES.json or BENCH_TOPOLOGY.json).  Exits non-zero with a
+reason on the first violated check.  Stdlib only.
 """
 
 import json
@@ -65,6 +73,7 @@ import sys
 from pathlib import Path
 
 SCHEMA = "ppk-bench-engines-v1"
+TOPOLOGY_SCHEMA = "ppk-bench-topology-v1"
 ENGINES = {"agent", "count", "jump", "batch"}
 REQUIRED_TOP = {"schema", "bench", "git_rev", "smoke", "wall_cap_seconds",
                 "seed", "machine", "results"}
@@ -78,6 +87,18 @@ MAX_OBS_OVERHEAD = 0.02       # dormant observability hooks: <= 2% drop
 OBS_GATED_ENGINES = ("count", "batch")  # hot pairwise path + hot batch path
 MACHINE_KEYS = ("hardware_threads", "compiler", "assertions_disabled",
                 "os", "arch")
+
+# Topology-report gates (schema ppk-bench-topology-v1).
+MIN_WEDGE_SPEEDUP = 50.0      # live-edge vs per-draw on the wedged ring
+WEDGE_MIN_N = 100_000         # the acceptance-bar problem size
+ER_MIN_N = 1_000_000
+GRAPH_ENGINES = {"graph", "live-edge"}
+REQUIRED_TOPOLOGY_TOP = {"schema", "bench", "git_rev", "smoke", "seed",
+                         "machine", "sweep", "wedged_ring_speedup",
+                         "er_generation"}
+REQUIRED_SWEEP_ROW = {"k", "topology", "engine", "avg_degree",
+                      "stabilized_rate", "stalled_rate",
+                      "mean_interactions_stabilized", "trials"}
 
 
 def fail(msg):
@@ -209,16 +230,160 @@ def check_obs_overhead(new_doc, base_doc, new_points, base_points):
              "(k, n) point overlapped the baseline")
 
 
-def main(argv):
-    if len(argv) not in (2, 3):
-        print(__doc__, file=sys.stderr)
-        return 2
-    new_path = Path(argv[1])
-    base_path = (Path(argv[2]) if len(argv) == 3 else
-                 Path(__file__).resolve().parent.parent / "BENCH_ENGINES.json")
+def validate_topology_schema(doc, path):
+    missing = REQUIRED_TOPOLOGY_TOP - doc.keys()
+    if missing:
+        fail(f"{path}: missing top-level keys {sorted(missing)}")
+    if doc["schema"] != TOPOLOGY_SCHEMA:
+        fail(f"{path}: schema {doc['schema']!r}, expected {TOPOLOGY_SCHEMA!r}")
+    if not isinstance(doc["sweep"], list) or not doc["sweep"]:
+        fail(f"{path}: sweep must be a non-empty array")
+    points = {}
+    for i, row in enumerate(doc["sweep"]):
+        missing = REQUIRED_SWEEP_ROW - row.keys()
+        if missing:
+            fail(f"{path}: sweep[{i}] missing {sorted(missing)}")
+        if row["engine"] not in GRAPH_ENGINES:
+            fail(f"{path}: sweep[{i}] unknown engine {row['engine']!r}")
+        for rate in ("stabilized_rate", "stalled_rate"):
+            if not 0.0 <= row[rate] <= 1.0:
+                fail(f"{path}: sweep[{i}] {rate} outside [0, 1]")
+        if row["engine"] == "graph" and row["stalled_rate"] != 0.0:
+            fail(f"{path}: sweep[{i}] per-draw engine reports stalled "
+                 f"trials; it cannot detect stalls by construction")
+        if row["topology"] == "complete" and row["stabilized_rate"] != 1.0:
+            fail(f"{path}: sweep[{i}] complete graph stabilized only "
+                 f"{row['stabilized_rate']:.0%} of trials (Theorem 1 says "
+                 f"always)")
+        points.setdefault((row["k"], row["topology"]), {})[row["engine"]] = row
+    for (k, topology), rows in points.items():
+        if set(rows) != GRAPH_ENGINES:
+            fail(f"{path}: point (k={k}, {topology}) has engines "
+                 f"{sorted(rows)}, expected both of {sorted(GRAPH_ENGINES)}")
+    return points
 
-    new_doc = load(new_path)
-    base_doc = load(base_path)
+
+def gate_rate_drop(label, new_rate, new_cal, new_spread,
+                   base_rate, base_cal, base_spread):
+    """Fails if `new_rate` dropped more than MAX_REGRESSION (plus measured
+    rep spread) below `base_rate`, dividing by the calibration rates when
+    both reports carry one (cancels machine-frequency drift)."""
+    if new_cal > 0 and base_cal > 0:
+        prefix = "calibrated "
+        new_rate, base_rate = new_rate / new_cal, base_rate / base_cal
+    else:
+        prefix = ""
+        print(f"note: {label}: comparing raw rates (a report lacks "
+              f"calibration_rate); frequency drift may masquerade as "
+              f"regression")
+    drop = 1.0 - new_rate / base_rate
+    allowed = MAX_REGRESSION + new_spread + base_spread
+    if drop > allowed:
+        fail(f"{label}: {prefix}rate dropped {drop:.0%} vs baseline "
+             f"({new_rate:.3g} vs {base_rate:.3g}); the gate allows "
+             f"{allowed:.0%} ({MAX_REGRESSION:.0%} budget + measured rep "
+             f"spread)")
+    print(f"ok: {label} {prefix}rate {new_rate:.3g} "
+          f"({-drop:+.0%} vs baseline)")
+
+
+def check_topology(new_doc, base_doc, new_path, base_path):
+    """Gates for the topology report (schema ppk-bench-topology-v1):
+
+     1. Schema: both graph engines at every sweep point; the per-draw
+        engine never claims a stalled trial (it cannot detect one); the
+        complete graph stabilizes every trial (Theorem 1).
+     2. Wedge detection: some live-edge sweep row reports stalled_rate
+        > 0 (the detector actually fires on sparse topologies), and the
+        wedged-ring block confirms every live-edge trial proved the
+        wedge at 0 interactions.
+     3. Speedup claim: live-edge beats the per-draw engine by at least
+        MIN_WEDGE_SPEEDUP x on the wedged ring at n >= 1e5.  This is a
+        same-run ratio, so machine frequency cancels without
+        calibration; it understates the real gap because the per-draw
+        engine's cost is linear in its charged budget.
+     4. ER generation: connected G(n, 2 ln n / n) at n >= 1e6 was built
+        (the expected-O(n + m) sampler's acceptance bar).
+     5. Regressions vs the committed BENCH_TOPOLOGY.json, calibrated
+        and noise-widened exactly like the engine gates: wedge proofs
+        per second (live-edge setup + O(1) detection; budget-
+        independent, so smoke and full reports compare), per-draw
+        drawn-interactions per second, and ER edges per second.
+    """
+    new_points = validate_topology_schema(new_doc, new_path)
+    validate_topology_schema(base_doc, base_path)
+
+    detected = [(k, topology)
+                for (k, topology), rows in sorted(new_points.items())
+                if rows["live-edge"]["stalled_rate"] > 0]
+    if not detected:
+        fail("no live-edge sweep row reports stalled_rate > 0: exact wedge "
+             "detection never fired on any sparse topology")
+    print(f"ok: live-edge wedge detection fired at {len(detected)} sweep "
+          f"point(s), e.g. (k={detected[0][0]}, {detected[0][1]})")
+
+    wedge = new_doc["wedged_ring_speedup"]
+    if wedge["n"] < WEDGE_MIN_N:
+        fail(f"wedged-ring block ran at n={wedge['n']}, below the "
+             f"acceptance bar n >= {WEDGE_MIN_N}")
+    if not wedge.get("live_detected_wedge"):
+        fail("wedged-ring block: a live-edge trial advanced or stabilized; "
+             "the hand-wedged configuration must be proven dead at 0 "
+             "interactions")
+    if wedge["speedup"] < MIN_WEDGE_SPEEDUP:
+        fail(f"wedged ring (n={wedge['n']}): live-edge is only "
+             f"{wedge['speedup']:.1f}x the per-draw engine; the gate "
+             f"requires >= {MIN_WEDGE_SPEEDUP:.0f}x")
+    print(f"ok: wedged ring (n={wedge['n']}) live-edge speedup "
+          f"{wedge['speedup']:.0f}x (>= {MIN_WEDGE_SPEEDUP:.0f}x; per-draw "
+          f"charged {wedge['graph_budget']:.2g} draws)")
+
+    er = new_doc["er_generation"]
+    if er["n"] < ER_MIN_N:
+        fail(f"er_generation ran at n={er['n']}, below the acceptance bar "
+             f"n >= {ER_MIN_N}")
+    if not er["connected"]:
+        fail(f"er_generation: G(n={er['n']}, p={er['p']:.3g}) came out "
+             f"disconnected")
+    print(f"ok: connected G(n={er['n']}, p=2ln(n)/n) built: {er['edges']} "
+          f"edges in {er['seconds']:.2f}s")
+
+    base_wedge = base_doc["wedged_ring_speedup"]
+    if wedge["n"] == base_wedge["n"]:
+        gate_rate_drop(
+            f"wedged ring (n={wedge['n']}) live-edge wedge proofs",
+            1.0 / wedge["live_seconds"], wedge.get("calibration_rate", 0),
+            wedge.get("live_rep_spread", 0.0),
+            1.0 / base_wedge["live_seconds"],
+            base_wedge.get("calibration_rate", 0),
+            base_wedge.get("live_rep_spread", 0.0))
+        gate_rate_drop(
+            f"wedged ring (n={wedge['n']}) per-draw drawn interactions",
+            wedge["graph_budget"] / wedge["graph_seconds"],
+            wedge.get("calibration_rate", 0),
+            wedge.get("graph_rep_spread", 0.0),
+            base_wedge["graph_budget"] / base_wedge["graph_seconds"],
+            base_wedge.get("calibration_rate", 0),
+            base_wedge.get("graph_rep_spread", 0.0))
+    else:
+        print(f"skip: wedged-ring regression (n={wedge['n']} vs baseline "
+              f"n={base_wedge['n']}; costs not comparable)")
+
+    base_er = base_doc["er_generation"]
+    if er["n"] == base_er["n"]:
+        gate_rate_drop(
+            f"ER generation (n={er['n']}) edges",
+            er["edges"] / er["seconds"], er.get("calibration_rate", 0),
+            er.get("rep_spread", 0.0),
+            base_er["edges"] / base_er["seconds"],
+            base_er.get("calibration_rate", 0),
+            base_er.get("rep_spread", 0.0))
+    else:
+        print(f"skip: ER-generation regression (n={er['n']} vs baseline "
+              f"n={base_er['n']}; costs not comparable)")
+
+
+def check_engines(new_doc, base_doc, new_path, base_path):
     new_points = validate_schema(new_doc, new_path)
     base_points = validate_schema(base_doc, base_path)
 
@@ -256,6 +421,24 @@ def main(argv):
         fail("no (k, n) point overlapped the baseline -- nothing was gated")
 
     check_obs_overhead(new_doc, base_doc, new_points, base_points)
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        print(__doc__, file=sys.stderr)
+        return 2
+    new_path = Path(argv[1])
+    new_doc = load(new_path)
+    is_topology = new_doc.get("schema") == TOPOLOGY_SCHEMA
+    default_baseline = ("BENCH_TOPOLOGY.json" if is_topology
+                        else "BENCH_ENGINES.json")
+    base_path = (Path(argv[2]) if len(argv) == 3 else
+                 Path(__file__).resolve().parent.parent / default_baseline)
+    base_doc = load(base_path)
+    if is_topology:
+        check_topology(new_doc, base_doc, new_path, base_path)
+    else:
+        check_engines(new_doc, base_doc, new_path, base_path)
     print("all benchmark gates passed")
     return 0
 

@@ -1,47 +1,77 @@
 #!/usr/bin/env bash
-# Runs the engine-throughput benchmark and writes the machine-readable
-# report BENCH_ENGINES.json at the repo root (schema ppk-bench-engines-v1).
+# Runs the gated benchmarks and writes their machine-readable reports at
+# the repo root:
+#
+#   BENCH_ENGINES.json   (bench/batch_throughput,     ppk-bench-engines-v1)
+#   BENCH_TOPOLOGY.json  (bench/topology_sensitivity, ppk-bench-topology-v1)
 #
 # Usage:
-#   scripts/run_benchmarks.sh [--smoke] [--build-dir DIR] [--out FILE]
+#   scripts/run_benchmarks.sh [--smoke] [--only engines|topology]
+#                             [--reps N] [--build-dir DIR]
+#                             [--out FILE] [--topology-out FILE]
 #
-#   --smoke       small grid + short wall caps (CI-sized, ~seconds)
-#   --reps N      measurements per point, best rate kept (default 1;
-#                 use >= 3 when regenerating the committed baseline)
-#   --build-dir   build tree holding bench/batch_throughput
-#                 (default: ./build, configured+built if missing)
-#   --out         output JSON path (default: BENCH_ENGINES.json)
+#   --smoke         small grids + short budgets (CI-sized, ~seconds)
+#   --only WHICH    run just one report (default: both)
+#   --reps N        measurements per point, best figure kept (default 1;
+#                   use >= 3 when regenerating a committed baseline)
+#   --build-dir     build tree holding the bench binaries
+#                   (default: ./build, configured+built if missing)
+#   --out           engines JSON path (default: BENCH_ENGINES.json)
+#   --topology-out  topology JSON path (default: BENCH_TOPOLOGY.json)
 #
-# The committed BENCH_ENGINES.json is the regression baseline checked by
-# scripts/check_bench_regression.py; regenerate it with a full (non-smoke)
-# run on a quiet machine.
+# The committed reports are the regression baselines checked by
+# scripts/check_bench_regression.py; regenerate them with a full
+# (non-smoke) run on a quiet machine.
 
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${repo_root}/build"
 out="${repo_root}/BENCH_ENGINES.json"
+topology_out="${repo_root}/BENCH_TOPOLOGY.json"
 smoke=""
 reps="1"
+only="both"
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --smoke) smoke="--smoke"; shift ;;
+    --only) only="$2"; shift 2 ;;
     --reps) reps="$2"; shift 2 ;;
     --build-dir) build_dir="$2"; shift 2 ;;
     --out) out="$2"; shift 2 ;;
+    --topology-out) topology_out="$2"; shift 2 ;;
     *) echo "unknown flag: $1" >&2; exit 2 ;;
   esac
 done
+case "${only}" in
+  both|engines|topology) ;;
+  *) echo "--only must be 'engines' or 'topology', got '${only}'" >&2; exit 2 ;;
+esac
 
-bench="${build_dir}/bench/batch_throughput"
-if [[ ! -x "${bench}" ]]; then
-  echo "== batch_throughput not built; configuring ${build_dir} (Release) =="
-  cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
-  cmake --build "${build_dir}" --target batch_throughput
-fi
+ensure_built() {
+  local bench="$1"
+  if [[ ! -x "${build_dir}/bench/${bench}" ]]; then
+    echo "== ${bench} not built; configuring ${build_dir} (Release) =="
+    cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+    cmake --build "${build_dir}" --target "${bench}"
+  fi
+}
 
 git_rev="$(git -C "${repo_root}" rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
-"${bench}" ${smoke} --reps "${reps}" --json "${out}" --git-rev "${git_rev}"
-echo "== wrote ${out} (git ${git_rev}) =="
+if [[ "${only}" == "both" || "${only}" == "engines" ]]; then
+  ensure_built batch_throughput
+  "${build_dir}/bench/batch_throughput" ${smoke} --reps "${reps}" \
+    --json "${out}" --git-rev "${git_rev}"
+  echo "== wrote ${out} (git ${git_rev}) =="
+fi
+
+if [[ "${only}" == "both" || "${only}" == "topology" ]]; then
+  ensure_built topology_sensitivity
+  # --threads 0 = one worker per hardware core: the sweep's per-draw rows
+  # burn their budget on every wedged trial, so they parallelize well.
+  "${build_dir}/bench/topology_sensitivity" ${smoke} --reps "${reps}" \
+    --threads 0 --json "${topology_out}" --git-rev "${git_rev}"
+  echo "== wrote ${topology_out} (git ${git_rev}) =="
+fi

@@ -1,0 +1,176 @@
+// The live-edge ("graph jump") simulation engine: GraphSimulator's
+// distribution with JumpSimulator's null-skipping.
+//
+// On a sparse interaction graph the wedged endgame is even more extreme
+// than the complete-graph one: a k-partition run on a ring typically ends
+// with a handful of builders walled in by committed neighbours, where
+// *every* adjacent pair is null and GraphSimulator draws null edges until
+// the budget runs out.  This engine never draws a null pair and recognizes
+// that dead end exactly, in O(1).
+//
+// It maintains the set of **live directed edges** -- orientations (i, j)
+// of graph edges whose current endpoint-state pair (state(i), state(j))
+// has an effective rule -- incrementally:
+//
+//  - CSR adjacency over the InteractionGraph (offset + incident-edge
+//    arrays) locates the edges a state change can affect;
+//  - a dense position index with swap-delete keeps the live set a
+//    contiguous array, so membership updates are O(1) and sampling is one
+//    uniform draw;
+//  - an effective interaction at agents (i, j) re-derives liveness for
+//    both orientations of every edge incident to i or j: O(deg i + deg j)
+//    per effective interaction, independent of how many nulls it skipped.
+//
+// Sampling matches GraphSimulator's law exactly.  GraphSimulator draws a
+// uniform edge then a uniform orientation -- a uniform directed edge out
+// of 2m -- and the draw is effective iff that directed edge is live, so
+// with L live directed edges each drawn pair is effective with probability
+// p_eff = L / 2m and, conditioned on being effective, is uniform over the
+// live set.  This engine samples the null-run length from geometric(p_eff)
+// in O(1) and then one uniform live directed edge: the same conditional
+// distribution, which the conformance harness KS-verifies per topology.
+//
+// Zero live directed edges is precisely the dead-silent condition on the
+// graph (wedged, or globally silent): step() then returns false without
+// advancing, so wedged runs stop immediately instead of exhausting the
+// budget -- exact wedge detection, where GraphSimulator cannot detect it
+// at all (see the contract note in graph_simulator.hpp).
+//
+// Chunked runs are bit-identical to unchunked ones: when a budget boundary
+// truncates a null run, the *remainder* of the already-sampled run is
+// carried into the next grant instead of being re-sampled (memorylessness
+// makes re-sampling equally correct in law, but carrying the remainder
+// keeps the RNG stream independent of the chunking, so run() + resume()
+// reproduces an unchunked run bit for bit -- the conformance harness
+// checks this engine under the pairwise chunked-resume net, which the
+// complete-graph jump/batch engines cannot pass).  Liveness cannot change
+// during a null run (counts do not move), so the carried remainder's
+// p_eff is still exact.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pp/interaction_graph.hpp"
+#include "pp/population.hpp"
+#include "pp/sim_result.hpp"
+#include "pp/stability.hpp"
+#include "pp/transition_table.hpp"
+#include "util/rng.hpp"
+
+namespace ppk::obs {
+class ObsSink;
+}  // namespace ppk::obs
+
+namespace ppk::pp {
+
+class GraphJumpSimulator {
+ public:
+  GraphJumpSimulator(const TransitionTable& table, InteractionGraph graph,
+                     Population population, std::uint64_t seed);
+
+  /// Advances to (and applies) the next effective interaction, adding the
+  /// skipped null draws to interactions().  Returns false iff no directed
+  /// edge is live (the configuration is dead-silent on the graph; calling
+  /// step again keeps returning false without advancing).
+  bool step(StabilityOracle& oracle);
+
+  /// Runs until the oracle reports stability, the interaction budget is
+  /// exhausted, or the live set empties without satisfying the oracle (a
+  /// wedged configuration; stabilized = false with interactions() short of
+  /// the budget).  The budget is exact: `interactions()` never advances
+  /// past it, and a null run truncated at the boundary resumes from its
+  /// remainder on the next grant.  The oracle is reset from the current
+  /// configuration.
+  SimResult run(StabilityOracle& oracle,
+                std::uint64_t max_interactions = UINT64_MAX);
+
+  /// Like run(), but does NOT reset the oracle: continues a run split into
+  /// budget chunks without discarding oracle progress (e.g. a quiescence
+  /// lull spanning the chunk boundary).  Bit-identical to an unchunked run.
+  SimResult resume(StabilityOracle& oracle,
+                   std::uint64_t max_interactions = UINT64_MAX);
+
+  /// Records, into `marks`, the interaction index of every increase of
+  /// `state`'s count (one entry per unit of increase), exactly as the
+  /// agent engine's observer would.  Pass nullptr to stop recording.
+  void set_watch(StateId state, std::vector<std::uint64_t>* marks) {
+    PPK_EXPECTS(marks == nullptr ||
+                state < population_.counts().size());
+    watch_state_ = state;
+    watch_marks_ = marks;
+  }
+
+  /// Attaches an observability sink (obs/sink.hpp); nullptr detaches.  The
+  /// sink sees each null run (before the concluding pair is applied, so
+  /// timeline samples inside the run are exact) and each effective
+  /// interaction; it must outlive the simulator.
+  void set_obs_sink(obs::ObsSink* sink) noexcept { obs_ = sink; }
+
+  [[nodiscard]] const Population& population() const noexcept {
+    return population_;
+  }
+
+  [[nodiscard]] const InteractionGraph& graph() const noexcept {
+    return graph_;
+  }
+
+  [[nodiscard]] std::uint64_t interactions() const noexcept {
+    return interactions_;
+  }
+
+  /// Number of live directed edges (orientations with an effective rule).
+  /// Zero iff the configuration is dead-silent on this graph -- the exact
+  /// O(1) wedge predicate.
+  [[nodiscard]] std::uint64_t live_directed_edges() const noexcept {
+    return live_.size();
+  }
+
+ private:
+  /// One bounded advance: skips nulls and applies the next effective pair,
+  /// but never moves interactions() forward by more than `budget`.  A null
+  /// run reaching the budget consumes exactly `budget` draws and parks the
+  /// remainder in pending_nulls_.  Returns false iff the live set is empty
+  /// (nothing advanced).
+  bool step_within(StabilityOracle& oracle, std::uint64_t budget);
+
+  /// Re-derives liveness of both orientations of every edge incident to
+  /// agent v from the current states.  Idempotent, so edges incident to
+  /// both interaction endpoints may be refreshed twice.
+  void refresh_incident(std::uint32_t v);
+
+  /// Inserts/removes directed edge d in the live set (swap-delete; no-op
+  /// if already in the requested status).
+  void set_live(std::uint32_t d, bool live);
+
+  const TransitionTable* table_;
+  InteractionGraph graph_;
+  Population population_;
+  Xoshiro256 rng_;
+
+  /// CSR adjacency: incident *edge ids* of agent v are
+  /// adj_edge_[adj_offset_[v] .. adj_offset_[v + 1]).
+  std::vector<std::uint64_t> adj_offset_;
+  std::vector<std::uint32_t> adj_edge_;
+
+  /// Live directed edges, as ids 2 * edge + orientation (0 = stored a->b,
+  /// 1 = reversed), contiguous for uniform sampling.
+  std::vector<std::uint32_t> live_;
+  /// pos_[d] = index of directed edge d inside live_, or kNoPos.
+  std::vector<std::uint32_t> pos_;
+
+  std::uint64_t interactions_ = 0;
+  std::uint64_t effective_ = 0;
+  /// Remainder of a geometric null run truncated at a budget boundary
+  /// (valid iff has_pending_); consumed before any new draw so chunking
+  /// never touches the RNG stream.
+  std::uint64_t pending_nulls_ = 0;
+  bool has_pending_ = false;
+
+  StateId watch_state_ = 0;
+  std::vector<std::uint64_t>* watch_marks_ = nullptr;
+  obs::ObsSink* obs_ = nullptr;
+};
+
+}  // namespace ppk::pp

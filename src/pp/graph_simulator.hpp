@@ -3,6 +3,23 @@
 // responder).  On the complete graph this is exactly the AgentSimulator
 // distribution; on sparse graphs it models spatially constrained
 // populations (sensors that only meet their neighbours).
+//
+// Oracle contract (shared by every engine; see pp/stability.hpp): oracles
+// are notified of *effective* interactions only -- null draws cannot
+// change the configuration, so `on_transition` is never called for them
+// and a QuiescenceOracle window counts effective interactions, not drawn
+// ones.  On sparse graphs this has a sharp consequence: a wedged
+// configuration (every *adjacent* pair null, while non-adjacent effective
+// pairs still exist) produces no oracle callbacks at all, so no oracle --
+// quiescence included -- can fire, and this engine draws null edges until
+// the budget runs out.  That is the intended behavior for a per-draw
+// engine, pinned by the stalled-detection regression tests: detecting the
+// dead end exactly requires edge-level bookkeeping, which is what
+// GraphJumpSimulator (pp/graph_jump_simulator.hpp) provides -- zero live
+// directed edges <=> dead-silent on the graph, detected in O(1) instead
+// of via budget exhaustion.  Prefer it for wedge-prone sweeps; prefer
+// this engine when per-drawn-pair observability (on_step) matters more
+// than wedge detection.  docs/topologies.md discusses the phenomenology.
 
 #pragma once
 

@@ -1,5 +1,8 @@
 #include "pp/interaction_graph.hpp"
 
+#include <stdexcept>
+#include <string>
+
 namespace ppk::pp {
 
 InteractionGraph InteractionGraph::complete(std::uint32_t n) {
@@ -36,30 +39,76 @@ InteractionGraph InteractionGraph::path(std::uint32_t n) {
   return InteractionGraph(n, std::move(edges));
 }
 
-InteractionGraph InteractionGraph::erdos_renyi(std::uint32_t n, double p,
-                                               std::uint64_t seed) {
+std::optional<InteractionGraph> InteractionGraph::try_erdos_renyi(
+    std::uint32_t n, double p, std::uint64_t seed,
+    std::uint32_t max_attempts) {
   PPK_EXPECTS(n >= 2);
   PPK_EXPECTS(p > 0.0 && p <= 1.0);
+  PPK_EXPECTS(max_attempts >= 1);
+  if (p >= 1.0) return complete(n);
   Xoshiro256 rng(seed);
-  for (int attempt = 0; attempt < 1000; ++attempt) {
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(n) * (n - 1) / 2;  // upper-triangle pairs
+  for (std::uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+    // Each pair is present independently with probability p, so the gaps
+    // between present pairs (in the linearized upper-triangle order) are
+    // i.i.d. geometric(p): skip straight to the next present pair instead
+    // of flipping a coin per pair -- expected O(n + m) per attempt.  The
+    // (a, b) cursor is advanced row by row; the inner while amortizes to
+    // O(n) across the whole scan.
     std::vector<Edge> edges;
-    for (std::uint32_t a = 0; a < n; ++a) {
-      for (std::uint32_t b = a + 1; b < n; ++b) {
-        if (rng.uniform01() < p) edges.emplace_back(a, b);
+    edges.reserve(static_cast<std::size_t>(
+        p * static_cast<double>(total) * 1.1));
+    std::uint64_t idx = rng.geometric(p);
+    std::uint32_t a = 0;
+    std::uint64_t row_base = 0;          // index of pair (a, a + 1)
+    std::uint64_t row_len = n - 1;       // pairs remaining in row a
+    while (idx < total) {
+      while (idx - row_base >= row_len) {
+        row_base += row_len;
+        ++a;
+        row_len = n - 1 - a;
       }
+      const auto b =
+          static_cast<std::uint32_t>(a + 1 + (idx - row_base));
+      edges.emplace_back(a, b);
+      idx += 1 + rng.geometric(p);
     }
     InteractionGraph graph(n, std::move(edges));
     if (graph.is_connected()) return graph;
   }
-  PPK_ASSERT(false);  // p far below the connectivity threshold
-  return complete(n);
+  return std::nullopt;  // p below the connectivity threshold
+}
+
+InteractionGraph InteractionGraph::erdos_renyi(std::uint32_t n, double p,
+                                               std::uint64_t seed) {
+  auto graph = try_erdos_renyi(n, p, seed);
+  if (!graph) {
+    throw std::runtime_error(
+        "InteractionGraph::erdos_renyi: no connected sample of G(n=" +
+        std::to_string(n) + ", p=" + std::to_string(p) + ") in " +
+        std::to_string(kDefaultConnectivityAttempts) +
+        " attempts -- p is below the connectivity threshold ln(n)/n; use "
+        "try_erdos_renyi() to handle disconnected regimes");
+  }
+  return *std::move(graph);
 }
 
 bool InteractionGraph::is_connected() const {
-  std::vector<std::vector<std::uint32_t>> adjacency(n_);
+  // CSR adjacency (two passes: degree count, then slot fill) + iterative
+  // DFS.  The vector-of-vectors this replaces allocated per agent, which
+  // dominated the whole erdos_renyi pipeline at n = 10^6.
+  std::vector<std::uint64_t> offset(static_cast<std::size_t>(n_) + 1, 0);
   for (const auto& [a, b] : edges_) {
-    adjacency[a].push_back(b);
-    adjacency[b].push_back(a);
+    ++offset[a + 1];
+    ++offset[b + 1];
+  }
+  for (std::uint32_t v = 0; v < n_; ++v) offset[v + 1] += offset[v];
+  std::vector<std::uint32_t> neighbor(edges_.size() * 2);
+  std::vector<std::uint64_t> cursor(offset.begin(), offset.end() - 1);
+  for (const auto& [a, b] : edges_) {
+    neighbor[cursor[a]++] = b;
+    neighbor[cursor[b]++] = a;
   }
   std::vector<char> seen(n_, 0);
   std::vector<std::uint32_t> stack{0};
@@ -68,7 +117,8 @@ bool InteractionGraph::is_connected() const {
   while (!stack.empty()) {
     const std::uint32_t u = stack.back();
     stack.pop_back();
-    for (std::uint32_t v : adjacency[u]) {
+    for (std::uint64_t s = offset[u]; s < offset[u + 1]; ++s) {
+      const std::uint32_t v = neighbor[s];
       if (!seen[v]) {
         seen[v] = 1;
         ++visited;

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -34,9 +35,26 @@ class InteractionGraph {
   static InteractionGraph path(std::uint32_t n);
 
   /// Erdos-Renyi G(n, p), resampled until connected (expected O(1)
-  /// resamples for p above the connectivity threshold ln(n)/n).
+  /// resamples for p above the connectivity threshold ln(n)/n).  Edge
+  /// generation is geometric-skip over the linearized upper triangle --
+  /// expected O(n + m) per attempt, so near-threshold p is feasible at
+  /// n = 10^6.  Returns nullopt if `max_attempts` consecutive samples come
+  /// out disconnected (p below the threshold): a reportable outcome the
+  /// caller decides about, not a process abort.
+  static std::optional<InteractionGraph> try_erdos_renyi(
+      std::uint32_t n, double p, std::uint64_t seed,
+      std::uint32_t max_attempts = kDefaultConnectivityAttempts);
+
+  /// Convenience wrapper over try_erdos_renyi(): throws std::runtime_error
+  /// when the bounded resampling fails.  Use the try_ variant where a
+  /// disconnected sample is an expected outcome (sweeps probing the
+  /// connectivity threshold).
   static InteractionGraph erdos_renyi(std::uint32_t n, double p,
                                       std::uint64_t seed);
+
+  /// Resample budget of erdos_renyi(): generous enough that failing it
+  /// means p is genuinely below the connectivity threshold, not bad luck.
+  static constexpr std::uint32_t kDefaultConnectivityAttempts = 1000;
 
   [[nodiscard]] std::uint32_t num_agents() const noexcept { return n_; }
 

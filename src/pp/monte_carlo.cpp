@@ -39,6 +39,10 @@ std::uint32_t MonteCarloResult::stabilized_count() const {
 
 namespace {
 
+/// Sub-stream (of a trial's stream seed) that seeds randomized topology
+/// generation, keeping it independent of the interaction draws.
+constexpr std::uint64_t kGraphTopologyStream = 0x6772'6170'68ULL;  // "graph"
+
 /// Runs one engine to stability under both limits.  Without a wall-clock
 /// limit this is a single run() call; with one, the budget is granted in
 /// chunks so the clock is consulted without touching the engines' hot
@@ -111,12 +115,47 @@ TrialResult run_one_trial(const TransitionTable& table, const Counts& initial,
   std::uint64_t n = 0;
   for (auto c : initial) n += c;
   const Engine engine =
-      resolve_engine(options.engine, n, options.watch_state.has_value());
+      resolve_engine(options.engine, n, options.watch_state.has_value(),
+                     static_cast<bool>(options.graph));
   // The batch engine aggregates draws; it cannot produce per-interaction
   // watch marks, and quietly returning none would corrupt downstream
   // statistics.  kAuto never picks it with a watch set, so reaching this
   // combination means the caller forced it.
   PPK_EXPECTS(!(engine == Engine::kBatch && options.watch_state));
+  // A topology that no engine consults (or a graph engine with no
+  // topology) is a configuration error, not a silently different
+  // experiment.
+  const bool graph_engine =
+      engine == Engine::kGraph || engine == Engine::kGraphJump;
+  PPK_EXPECTS(graph_engine == static_cast<bool>(options.graph));
+
+  if (graph_engine) {
+    // The topology gets its own derived stream so randomized graphs are
+    // independent of the interaction draws (and of each other across
+    // trials) while staying a pure function of (master_seed, trial).
+    InteractionGraph graph =
+        options.graph(derive_stream_seed(seed, kGraphTopologyStream));
+    PPK_EXPECTS(graph.num_agents() == n);
+    if (engine == Engine::kGraph) {
+      // The per-draw engine has no watch hook; the live-edge engine
+      // records exact marks, so kAuto (and explicit kGraphJump) covers
+      // watched topology runs.
+      PPK_EXPECTS(!options.watch_state);
+      GraphSimulator sim(table, std::move(graph), Population(initial), seed);
+      if (sink) sim.set_obs_sink(&*sink);
+      run_bounded(sim, *oracle, options, &result);
+    } else {
+      GraphJumpSimulator sim(table, std::move(graph), Population(initial),
+                             seed);
+      if (options.watch_state) {
+        sim.set_watch(*options.watch_state, &result.watch_marks);
+      }
+      if (sink) sim.set_obs_sink(&*sink);
+      run_bounded(sim, *oracle, options, &result);
+    }
+    if (trial_metrics != nullptr) record_trial_metrics(*trial_metrics, result);
+    return result;
+  }
 
   if (engine == Engine::kCountVector) {
     CountSimulator sim(table, initial, seed);
@@ -169,8 +208,15 @@ TrialResult run_one_trial(const TransitionTable& table, const Counts& initial,
 
 }  // namespace
 
-Engine resolve_engine(Engine engine, std::uint64_t n, bool watch) {
+Engine resolve_engine(Engine engine, std::uint64_t n, bool watch,
+                      bool graph) {
   if (engine != Engine::kAuto) return engine;
+  // With a topology set the choice is between the two graph engines, and
+  // the live-edge engine dominates for unattended runs: exact watch marks,
+  // identical distribution, and O(1) wedge detection instead of budget
+  // exhaustion.  kGraph remains an explicit choice for per-draw
+  // observability.
+  if (graph) return Engine::kGraphJump;
   if (watch) {
     // Exact marks require pairwise draws; past cache-friendly populations
     // the count engine's O(log |Q|) steps beat chasing n agent slots.

@@ -17,6 +17,9 @@
 #include "pp/agent_simulator.hpp"
 #include "pp/batch_simulator.hpp"
 #include "pp/count_simulator.hpp"
+#include "pp/graph_jump_simulator.hpp"
+#include "pp/graph_simulator.hpp"
+#include "pp/interaction_graph.hpp"
 #include "pp/jump_simulator.hpp"
 #include "pp/population.hpp"
 #include "pp/protocol.hpp"
@@ -30,12 +33,26 @@ class MetricsRegistry;
 namespace ppk::pp {
 
 /// Which engine executes the trials.  kAuto picks per trial from the
-/// population size and the requested instrumentation (see
-/// resolve_engine(); docs/engines.md walks through the policy).
-enum class Engine { kAgentArray, kCountVector, kJump, kBatch, kAuto };
+/// population size, the requested instrumentation and whether a topology
+/// is set (see resolve_engine(); docs/engines.md walks through the
+/// policy).  kGraph (per-draw GraphSimulator) and kGraphJump (live-edge
+/// skip-ahead; docs/topologies.md) require MonteCarloOptions::graph.
+enum class Engine {
+  kAgentArray,
+  kCountVector,
+  kJump,
+  kBatch,
+  kGraph,
+  kGraphJump,
+  kAuto,
+};
 
 /// The engine kAuto resolves to for a population of n agents with (or
 /// without) watch-mark instrumentation:
+///  - a topology factory set: kGraphJump -- the live-edge engine records
+///    exact watch marks and detects wedged configurations, so it strictly
+///    dominates kGraph for unattended sweeps (pick kGraph explicitly for
+///    per-drawn-pair observability).
 ///  - watch marks requested: agent for small n (per-agent state is cheap
 ///    and the observer is free), count above -- both record exact marks;
 ///    the batch engine cannot (aggregated draws have no per-interaction
@@ -44,7 +61,7 @@ enum class Engine { kAgentArray, kCountVector, kJump, kBatch, kAuto };
 ///    (n < 1024 -- batching overhead beats O(1) array steps only past
 ///    that), batch above.
 [[nodiscard]] Engine resolve_engine(Engine engine, std::uint64_t n,
-                                    bool watch);
+                                    bool watch, bool graph = false);
 
 /// Default per-trial interaction budget.  The most expensive configuration
 /// in the paper's evaluation (n = 960, k = 8) stabilizes in ~7e8
@@ -75,6 +92,15 @@ struct MonteCarloOptions {
   /// false, timed_out = true.  Complements the interaction budget for
   /// configurations whose per-interaction cost is hard to predict.
   std::optional<double> wall_clock_limit_seconds;
+  /// Interaction topology for the graph engines (kGraph / kGraphJump, or
+  /// kAuto which resolves to kGraphJump when this is set): called once per
+  /// trial with a seed derived from that trial's stream (so randomized
+  /// topologies are independent across trials yet bit-reproducible), and
+  /// must return a graph over exactly the population's agents.
+  /// Deterministic topologies ignore the seed.  Unset for the
+  /// complete-graph engines; setting it while forcing a non-graph engine
+  /// is a precondition violation.
+  std::function<InteractionGraph(std::uint64_t seed)> graph;
   /// If non-null, every trial runs with an observability sink writing into
   /// a private per-trial registry; the driver folds the trial registries
   /// into this one as trials finish (mutex-guarded -- the merge operations

@@ -14,6 +14,7 @@
 #include "pp/batch_simulator.hpp"
 #include "pp/count_simulator.hpp"
 #include "pp/faults.hpp"
+#include "pp/graph_jump_simulator.hpp"
 #include "pp/graph_simulator.hpp"
 #include "pp/interaction_graph.hpp"
 #include "pp/jump_simulator.hpp"
@@ -45,6 +46,15 @@ constexpr EngineName kEngineNames[] = {
     {ConformanceEngine::kGraphComplete, "graph-complete"},
     {ConformanceEngine::kAdversarialEps1, "adversarial-eps1"},
     {ConformanceEngine::kChurnNoFaults, "churn-nofaults"},
+    {ConformanceEngine::kGraphRing, "graph-ring"},
+    {ConformanceEngine::kGraphStar, "graph-star"},
+    {ConformanceEngine::kGraphPath, "graph-path"},
+    {ConformanceEngine::kGraphEr, "graph-er"},
+    {ConformanceEngine::kLiveEdgeComplete, "live-edge-complete"},
+    {ConformanceEngine::kLiveEdgeRing, "live-edge-ring"},
+    {ConformanceEngine::kLiveEdgeStar, "live-edge-star"},
+    {ConformanceEngine::kLiveEdgePath, "live-edge-path"},
+    {ConformanceEngine::kLiveEdgeEr, "live-edge-er"},
     {ConformanceEngine::kModel, "model"},
 };
 
@@ -200,6 +210,10 @@ struct CaseContext {
   std::unique_ptr<pp::TransitionTable> engine_table;
   pp::Counts initial;
   std::uint32_t n = 0;
+  /// Seed for the G(n, p) topology rows, derived from the case seed only --
+  /// never from an engine or trial stream -- so a live-edge row and its
+  /// per-draw counterpart run the *same* sampled graph.
+  std::uint64_t topology_seed = 0;
 };
 
 CaseContext materialize(const ConformanceCase& c) {
@@ -225,7 +239,66 @@ CaseContext materialize(const ConformanceCase& c) {
   ctx.n = c.n;
   ctx.initial.assign(ctx.true_protocol->num_states(), 0);
   ctx.initial[ctx.true_protocol->initial_state()] = c.n;
+  ctx.topology_seed = derive_stream_seed(c.seed, 0x746f'706fULL);  // "topo"
   return ctx;
+}
+
+/// True for the sparse-topology rows -- the engines whose scheduler is
+/// restricted to a non-complete graph and therefore realizes a *different*
+/// stochastic process than the agent reference.
+bool is_sparse_topology(ConformanceEngine engine) {
+  switch (engine) {
+    case ConformanceEngine::kGraphRing:
+    case ConformanceEngine::kGraphStar:
+    case ConformanceEngine::kGraphPath:
+    case ConformanceEngine::kGraphEr:
+    case ConformanceEngine::kLiveEdgeRing:
+    case ConformanceEngine::kLiveEdgeStar:
+    case ConformanceEngine::kLiveEdgePath:
+    case ConformanceEngine::kLiveEdgeEr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// The per-draw engine a sparse live-edge row is distribution-pinned
+/// against (same topology, same conditional law).
+std::optional<ConformanceEngine> per_draw_counterpart(
+    ConformanceEngine engine) {
+  switch (engine) {
+    case ConformanceEngine::kLiveEdgeRing:
+      return ConformanceEngine::kGraphRing;
+    case ConformanceEngine::kLiveEdgeStar:
+      return ConformanceEngine::kGraphStar;
+    case ConformanceEngine::kLiveEdgePath:
+      return ConformanceEngine::kGraphPath;
+    case ConformanceEngine::kLiveEdgeEr:
+      return ConformanceEngine::kGraphEr;
+    default:
+      return std::nullopt;
+  }
+}
+
+pp::InteractionGraph topology_for(ConformanceEngine engine,
+                                  const CaseContext& ctx) {
+  switch (engine) {
+    case ConformanceEngine::kGraphRing:
+    case ConformanceEngine::kLiveEdgeRing:
+      return pp::InteractionGraph::ring(ctx.n);
+    case ConformanceEngine::kGraphStar:
+    case ConformanceEngine::kLiveEdgeStar:
+      return pp::InteractionGraph::star(ctx.n);
+    case ConformanceEngine::kGraphPath:
+    case ConformanceEngine::kLiveEdgePath:
+      return pp::InteractionGraph::path(ctx.n);
+    case ConformanceEngine::kGraphEr:
+    case ConformanceEngine::kLiveEdgeEr:
+      // Dense enough that every n >= 3 connects within the resample bound.
+      return pp::InteractionGraph::erdos_renyi(ctx.n, 0.5, ctx.topology_seed);
+    default:
+      return pp::InteractionGraph::complete(ctx.n);
+  }
 }
 
 enum class OracleKind { kStabilization, kQuiescence };
@@ -253,6 +326,19 @@ bool is_pairwise(ConformanceEngine engine) {
     case ConformanceEngine::kGraphComplete:
     case ConformanceEngine::kAdversarialEps1:
     case ConformanceEngine::kChurnNoFaults:
+    case ConformanceEngine::kGraphRing:
+    case ConformanceEngine::kGraphStar:
+    case ConformanceEngine::kGraphPath:
+    case ConformanceEngine::kGraphEr:
+    // The live-edge engine skips geometrically like the jump engine but
+    // *parks* a truncated run at the budget boundary instead of re-drawing
+    // it, so chunking does not perturb its RNG stream: it is held to the
+    // stronger bit-identical contract.
+    case ConformanceEngine::kLiveEdgeComplete:
+    case ConformanceEngine::kLiveEdgeRing:
+    case ConformanceEngine::kLiveEdgeStar:
+    case ConformanceEngine::kLiveEdgePath:
+    case ConformanceEngine::kLiveEdgeEr:
       return true;
     default:
       return false;
@@ -294,6 +380,10 @@ TrialRun run_engine_trial(ConformanceEngine engine, const CaseContext& ctx,
       total.effective += r.effective;
       total.stabilized = r.stabilized;
       if (r.stabilized || total.interactions >= budget) return total;
+      // An engine that returns short of its grant without stabilizing has
+      // stalled (zero live edges / silence): granting more budget would
+      // loop forever.
+      if (r.interactions < grant) return total;
     }
   };
 
@@ -336,10 +426,26 @@ TrialRun run_engine_trial(ConformanceEngine engine, const CaseContext& ctx,
       run.final_counts = sim.counts();
       break;
     }
-    case ConformanceEngine::kGraphComplete: {
-      pp::GraphSimulator sim(table, pp::InteractionGraph::complete(ctx.n),
+    case ConformanceEngine::kGraphComplete:
+    case ConformanceEngine::kGraphRing:
+    case ConformanceEngine::kGraphStar:
+    case ConformanceEngine::kGraphPath:
+    case ConformanceEngine::kGraphEr: {
+      pp::GraphSimulator sim(table, topology_for(engine, ctx),
                              pp::Population(ctx.n, num_states, initial_state),
                              seed);
+      run.result = drive(sim);
+      run.final_counts = sim.population().counts();
+      break;
+    }
+    case ConformanceEngine::kLiveEdgeComplete:
+    case ConformanceEngine::kLiveEdgeRing:
+    case ConformanceEngine::kLiveEdgeStar:
+    case ConformanceEngine::kLiveEdgePath:
+    case ConformanceEngine::kLiveEdgeEr: {
+      pp::GraphJumpSimulator sim(
+          table, topology_for(engine, ctx),
+          pp::Population(ctx.n, num_states, initial_state), seed);
       run.result = drive(sim);
       run.final_counts = sim.population().counts();
       break;
@@ -433,6 +539,11 @@ void add_violation(ConformanceReport* report,
 }
 
 struct DistributionSample {
+  /// Stabilization time, censored at the budget: a trial that did not
+  /// stabilize contributes `budget` whether the engine burned it drawing
+  /// null pairs (agent, graph) or proved the dead end early and stopped
+  /// (jump, live-edge) -- stall detection is an efficiency property, not a
+  /// distributional one, and must not register as a KS shift.
   std::vector<double> interactions;
   std::vector<double> effective;
   std::optional<Violation> violation;  // first semantic violation seen
@@ -453,11 +564,57 @@ DistributionSample sample_engine(const ConformanceCase& c,
     if (run.violation.has_value() && !sample.violation.has_value()) {
       sample.violation = run.violation;
     }
-    sample.interactions.push_back(
-        static_cast<double>(run.result.interactions));
+    sample.interactions.push_back(static_cast<double>(
+        run.result.stabilized ? run.result.interactions : c.budget));
     sample.effective.push_back(static_cast<double>(run.result.effective));
   }
   return sample;
+}
+
+/// KS-compares two engines' samples on both axes, with the confirm-on-fail
+/// rerun; appends a kDistribution divergence attributed to `blamed` when a
+/// shift survives confirmation.  `what` names the reference in the detail
+/// line ("the agent reference", "the per-draw counterpart").
+void compare_distributions(const ConformanceCase& c, const CaseContext& ctx,
+                           const Reference& ref, ConformanceEngine reference,
+                           ConformanceEngine blamed,
+                           const DistributionSample& ref_sample,
+                           const DistributionSample& blamed_sample,
+                           const char* what, const ConformanceOptions& options,
+                           ConformanceReport* report) {
+  struct Axis {
+    const char* name;
+    std::vector<double> DistributionSample::* field;
+  };
+  constexpr Axis kAxes[] = {
+      {"stabilization-time", &DistributionSample::interactions},
+      {"effective-count", &DistributionSample::effective},
+  };
+  for (const Axis& axis : kAxes) {
+    const std::vector<double>& a = ref_sample.*axis.field;
+    const std::vector<double>& b = blamed_sample.*axis.field;
+    const double d = ks_statistic(a, b);
+    if (d < ks_threshold(a.size(), b.size())) continue;
+    // Confirm on an independent stream with twice the trials before
+    // declaring: a single KS exceedance at alpha = 0.001 can still be
+    // sampling noise across a long fuzz campaign.
+    const DistributionSample ref2 = sample_engine(
+        c, ctx, ref, reference, kPurposeConfirm, 2 * c.trials);
+    const DistributionSample blamed2 =
+        sample_engine(c, ctx, ref, blamed, kPurposeConfirm, 2 * c.trials);
+    const std::vector<double>& a2 = ref2.*axis.field;
+    const std::vector<double>& b2 = blamed2.*axis.field;
+    const double d2 = ks_statistic(a2, b2);
+    const double threshold2 = ks_threshold(a2.size(), b2.size());
+    if (d2 < threshold2) continue;
+    std::ostringstream detail;
+    detail << axis.name << " distribution diverges from " << what << ": KS D="
+           << d << " (confirm D=" << d2 << " > " << threshold2
+           << " at alpha=0.001, " << 2 * c.trials << " trials/side)";
+    add_divergence(report, options,
+                   Divergence{ConformanceCheck::kDistribution, blamed, 0,
+                              detail.str()});
+  }
 }
 
 }  // namespace
@@ -483,7 +640,11 @@ const std::vector<ConformanceEngine>& all_conformance_engines() {
       ConformanceEngine::kJump,           ConformanceEngine::kBatchAuto,
       ConformanceEngine::kBatchForced,    ConformanceEngine::kThinForced,
       ConformanceEngine::kGraphComplete,  ConformanceEngine::kAdversarialEps1,
-      ConformanceEngine::kChurnNoFaults,
+      ConformanceEngine::kChurnNoFaults,  ConformanceEngine::kGraphRing,
+      ConformanceEngine::kGraphStar,      ConformanceEngine::kGraphPath,
+      ConformanceEngine::kGraphEr,        ConformanceEngine::kLiveEdgeComplete,
+      ConformanceEngine::kLiveEdgeRing,   ConformanceEngine::kLiveEdgeStar,
+      ConformanceEngine::kLiveEdgePath,   ConformanceEngine::kLiveEdgeEr,
   };
   return kAll;
 }
@@ -639,6 +800,10 @@ ConformanceReport check_conformance(const ConformanceCase& c,
   }
 
   // --- Distribution net ----------------------------------------------------
+  // Complete-graph engines against the agent reference.  Sparse-topology
+  // rows realize a different stochastic process (the scheduler is
+  // restricted to the graph) and are excluded here; they are pinned by the
+  // sparse-pair net below instead.
   const bool has_agent =
       std::find(engines.begin(), engines.end(), ConformanceEngine::kAgent) !=
       engines.end();
@@ -652,6 +817,7 @@ ConformanceReport check_conformance(const ConformanceCase& c,
     }
     for (const ConformanceEngine engine : engines) {
       if (engine == ConformanceEngine::kAgent) continue;
+      if (is_sparse_topology(engine)) continue;
       const DistributionSample xs = sample_engine(
           c, ctx, ref, engine, kPurposeDistribution, c.trials);
       ++report.checks_run;
@@ -659,45 +825,41 @@ ConformanceReport check_conformance(const ConformanceCase& c,
         add_violation(&report, options, engine, *xs.violation);
         continue;
       }
-      struct Axis {
-        const char* name;
-        const std::vector<double>& a;
-        const std::vector<double>& b;
-      };
-      const Axis axes[] = {
-          {"stabilization-time", agent.interactions, xs.interactions},
-          {"effective-count", agent.effective, xs.effective},
-      };
-      for (const Axis& axis : axes) {
-        const double d = ks_statistic(axis.a, axis.b);
-        if (d < ks_threshold(axis.a.size(), axis.b.size())) continue;
-        // Confirm on an independent stream with twice the trials before
-        // declaring: a single KS exceedance at alpha = 0.001 can still be
-        // sampling noise across a long fuzz campaign.
-        const DistributionSample agent2 =
-            sample_engine(c, ctx, ref, ConformanceEngine::kAgent,
-                          kPurposeConfirm, 2 * c.trials);
-        const DistributionSample xs2 = sample_engine(
-            c, ctx, ref, engine, kPurposeConfirm, 2 * c.trials);
-        const std::vector<double>& a2 =
-            axis.a == agent.interactions ? agent2.interactions
-                                         : agent2.effective;
-        const std::vector<double>& b2 =
-            axis.a == agent.interactions ? xs2.interactions : xs2.effective;
-        const double d2 = ks_statistic(a2, b2);
-        const double threshold2 = ks_threshold(a2.size(), b2.size());
-        if (d2 < threshold2) continue;
-        std::ostringstream detail;
-        detail << axis.name << " distribution diverges from the agent "
-               << "reference: KS D=" << d << " (confirm D=" << d2
-               << " > " << threshold2 << " at alpha=0.001, "
-               << 2 * c.trials << " trials/side)";
-        add_divergence(&report, options,
-                       Divergence{ConformanceCheck::kDistribution, engine, 0,
-                                  detail.str()});
-      }
+      compare_distributions(c, ctx, ref, ConformanceEngine::kAgent, engine,
+                            agent, xs, "the agent reference", options,
+                            &report);
       if (report.divergences.size() >= options.max_divergences) return report;
     }
+  }
+
+  // --- Sparse-pair distribution net ----------------------------------------
+  // Each live-edge row against the per-draw GraphSimulator on the *same*
+  // graph: the exact geometric null-skip must realize the identical
+  // conditional law, so stabilization times (censored at the budget) and
+  // effective counts are KS-compared engine-to-engine.  The counterpart is
+  // sampled directly -- it need not be in the case's engine list, which
+  // keeps shrunken repros (restricted to agent + the diverging engine)
+  // replayable.
+  for (const ConformanceEngine engine : engines) {
+    const auto counterpart = per_draw_counterpart(engine);
+    if (!counterpart.has_value()) continue;
+    const DistributionSample per_draw = sample_engine(
+        c, ctx, ref, *counterpart, kPurposeDistribution, c.trials);
+    const DistributionSample live_edge =
+        sample_engine(c, ctx, ref, engine, kPurposeDistribution, c.trials);
+    ++report.checks_run;
+    if (per_draw.violation.has_value()) {
+      add_violation(&report, options, *counterpart, *per_draw.violation);
+      continue;
+    }
+    if (live_edge.violation.has_value()) {
+      add_violation(&report, options, engine, *live_edge.violation);
+      continue;
+    }
+    compare_distributions(c, ctx, ref, *counterpart, engine, per_draw,
+                          live_edge, "the per-draw counterpart", options,
+                          &report);
+    if (report.divergences.size() >= options.max_divergences) return report;
   }
 
   return report;

@@ -8,6 +8,12 @@
 // specialized to unrestricted parameters (GraphSimulator on the complete
 // graph, AdversarialSimulator with epsilon = 1, ChurnSimulator with an
 // empty fault schedule).  Any future sharding or parallelism PR adds more.
+// Sparse topologies are covered too: the per-draw GraphSimulator and the
+// live-edge GraphJumpSimulator each run on the ring, star, path and a
+// seeded G(n, 0.5), and every live-edge row is pinned against its per-draw
+// counterpart by a dedicated distribution net (the two engines realize the
+// same conditional law on the same graph; neither matches the complete
+// -graph agent reference, so sparse rows are excluded from that net).
 // Each engine is pinned by four independent nets:
 //
 //  1. kTrajectory     same seed => bit-identical oracle-visible trajectory
@@ -69,6 +75,21 @@ enum class ConformanceEngine : std::uint8_t {
   kGraphComplete,
   kAdversarialEps1,
   kChurnNoFaults,
+  // Sparse-topology rows.  graph-X is the per-draw GraphSimulator on
+  // topology X; live-edge-X is GraphJumpSimulator on the same graph
+  // (G(n, 0.5) rows share one seeded graph derived from the case seed, so
+  // a pair sees the identical topology).  live-edge-complete runs against
+  // the agent reference like graph-complete does; the sparse rows are
+  // checked pairwise against their per-draw counterpart instead.
+  kGraphRing,
+  kGraphStar,
+  kGraphPath,
+  kGraphEr,
+  kLiveEdgeComplete,
+  kLiveEdgeRing,
+  kLiveEdgeStar,
+  kLiveEdgePath,
+  kLiveEdgeEr,
   kModel,
 };
 

@@ -19,6 +19,7 @@
 #include "pp/agent_simulator.hpp"
 #include "pp/batch_simulator.hpp"
 #include "pp/count_simulator.hpp"
+#include "pp/graph_jump_simulator.hpp"
 #include "pp/graph_simulator.hpp"
 #include "pp/interaction_graph.hpp"
 #include "pp/jump_simulator.hpp"
@@ -209,6 +210,42 @@ TEST(ObsMetrics, SinkCountersMatchEngineTotals) {
         return sim.run(*oracle);
       },
       "adversarial");
+  check(
+      [&](ObsSink& sink) {
+        ppk::pp::GraphJumpSimulator sim(
+            table, ppk::pp::InteractionGraph::complete(n),
+            ppk::pp::Population(initial), 11);
+        sim.set_obs_sink(&sink);
+        auto oracle = ppk::core::stable_pattern_oracle(protocol, n);
+        return sim.run(*oracle);
+      },
+      "live-edge");
+}
+
+TEST(ObsMetrics, LiveEdgeSinkSeesBudgetClampAndNullSkips) {
+  // The live-edge engine advances by geometric null-skips; both the skip
+  // path and the budget-clamp path (a truncated null run parked at the
+  // boundary) must account every drawn interaction to the sink.  A sparse
+  // ring makes nulls plentiful.
+  if (!kHooksCompiled) GTEST_SKIP() << "observability compiled out";
+  const KPartitionProtocol protocol(4);
+  const ppk::pp::TransitionTable table(protocol);
+  const std::uint32_t n = 24;
+  ppk::pp::Counts initial(protocol.num_states(), 0);
+  initial[protocol.initial_state()] = n;
+
+  MetricsRegistry registry;
+  ObsSink sink(registry);
+  ppk::pp::GraphJumpSimulator sim(table, ppk::pp::InteractionGraph::ring(n),
+                                  ppk::pp::Population(initial), 5);
+  sim.set_obs_sink(&sink);
+  auto oracle = ppk::core::stable_pattern_oracle(protocol, n);
+  const auto result = sim.run(*oracle, 777);
+  EXPECT_LE(result.interactions, 777u);
+  EXPECT_GT(result.interactions, result.effective);  // nulls were skipped
+  EXPECT_EQ(registry.counter("sim.interactions").value(),
+            result.interactions);
+  EXPECT_EQ(registry.counter("sim.effective").value(), result.effective);
 }
 
 TEST(ObsMetrics, JumpSinkSeesBudgetClampExactly) {

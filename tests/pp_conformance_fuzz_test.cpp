@@ -70,6 +70,34 @@ TEST(Conformance, CandidateProtocolCaseIsConformant) {
   EXPECT_TRUE(report.ok()) << report.summary();
 }
 
+TEST(Conformance, SparseTopologyRowsAreConformantAndTerminate) {
+  // n = 12, k = 4 wedges readily on the ring and path (builders walled in
+  // by committed neighbours), so this case exercises the stall path of
+  // every sparse row: the live-edge engine must prove the dead end and
+  // stop, the chunked driver must not spin on a stalled engine (the drive
+  // loop used to re-grant forever), and the live-edge rows must match
+  // their per-draw counterparts in law on the censored axes.
+  ConformanceCase c;
+  c.protocol.family = ConformanceProtocol::Family::kKPartition;
+  c.protocol.k = 4;
+  c.n = 12;
+  c.seed = 20260806;
+  c.trials = 16;
+  c.budget = 60'000;
+  c.engines = {ConformanceEngine::kAgent,        ConformanceEngine::kGraphRing,
+               ConformanceEngine::kGraphStar,    ConformanceEngine::kGraphPath,
+               ConformanceEngine::kGraphEr,      ConformanceEngine::kLiveEdgeRing,
+               ConformanceEngine::kLiveEdgeStar, ConformanceEngine::kLiveEdgePath,
+               ConformanceEngine::kLiveEdgeEr,
+               ConformanceEngine::kLiveEdgeComplete};
+  const ConformanceReport report = check_conformance(c, fast_options());
+  EXPECT_TRUE(report.ok()) << report.summary();
+  // 10 trajectory nets + 10 chunked nets (all rows are pairwise) + 2
+  // vs-agent KS rows (live-edge-complete only sparse-excluded ones drop
+  // out) + 4 sparse-pair KS rows.
+  EXPECT_GE(report.checks_run, 24);
+}
+
 TEST(Conformance, DeterministicVerdict) {
   ConformanceCase c;
   c.protocol.k = 4;
@@ -125,6 +153,31 @@ TEST(ConformanceMutation, FlippedTransitionIsDetectedAndShrinks) {
   EXPECT_FALSE(replayed.ok());
   ASSERT_FALSE(replayed.divergences.empty());
   EXPECT_EQ(replayed.divergences.front().check, ConformanceCheck::kLemma1);
+}
+
+TEST(ConformanceMutation, FlippedTransitionIsDetectedThroughLiveEdgeEngine) {
+  // Same mutation smoke as above, but the only driven engine is the
+  // live-edge row on a sparse graph: its CheckingOracle must catch the
+  // Lemma 1 break exactly like the agent reference does -- the skip-ahead
+  // sampling must not skip past oracle-visible transitions.
+  const core::KPartitionProtocol protocol(3);
+  ConformanceCase c;
+  c.protocol.k = 3;
+  c.mutation = TableMutation{core::KPartitionProtocol::kInitial,
+                             core::KPartitionProtocol::kInitial,
+                             pp::Transition{protocol.g(1), protocol.g(1)}};
+  c.n = 12;
+  c.seed = 3;
+  c.trials = 12;
+  c.budget = 50'000;
+  c.engines = {ConformanceEngine::kLiveEdgeRing};
+
+  const ConformanceReport report = check_conformance(c, fast_options());
+  ASSERT_FALSE(report.ok())
+      << "live-edge engine failed to flag the mutated table";
+  const Divergence& d = report.divergences.front();
+  EXPECT_EQ(d.check, ConformanceCheck::kLemma1) << report.summary();
+  EXPECT_EQ(d.engine, ConformanceEngine::kLiveEdgeRing);
 }
 
 TEST(ConformanceMutation, ReproSerializationRoundTrips) {

@@ -24,6 +24,7 @@
 #include "pp/agent_simulator.hpp"
 #include "pp/batch_simulator.hpp"
 #include "pp/count_simulator.hpp"
+#include "pp/graph_jump_simulator.hpp"
 #include "pp/graph_simulator.hpp"
 #include "pp/interaction_graph.hpp"
 #include "pp/jump_simulator.hpp"
@@ -80,6 +81,10 @@ enum class EngineUnderTest {
   // both must match the agent reference in law.
   kGraphComplete,    // GraphSimulator on the complete graph
   kAdversarialEps1,  // AdversarialSimulator with a zero stall budget
+  // The live-edge skip-ahead engine on the complete graph: its geometric
+  // null-skip conditioned on the live set must realize exactly the uniform
+  // ordered-pair draw there.
+  kLiveEdgeComplete,
 };
 
 const char* engine_name(EngineUnderTest e) {
@@ -92,6 +97,7 @@ const char* engine_name(EngineUnderTest e) {
     case EngineUnderTest::kThinForced: return "thin-forced";
     case EngineUnderTest::kGraphComplete: return "graph-complete";
     case EngineUnderTest::kAdversarialEps1: return "adversarial-eps1";
+    case EngineUnderTest::kLiveEdgeComplete: return "live-edge-complete";
   }
   return "?";
 }
@@ -154,6 +160,14 @@ double one_trial(EngineUnderTest engine, const core::KPartitionProtocol& protoco
       result = sim.run(*oracle);
       break;
     }
+    case EngineUnderTest::kLiveEdgeComplete: {
+      GraphJumpSimulator sim(
+          table, InteractionGraph::complete(n),
+          Population(n, protocol.num_states(), protocol.initial_state()),
+          seed);
+      result = sim.run(*oracle);
+      break;
+    }
   }
   EXPECT_TRUE(result.stabilized);
   return static_cast<double>(result.interactions);
@@ -181,7 +195,8 @@ void expect_all_engines_match_agent(pp::GroupId k, std::uint32_t n,
        {EngineUnderTest::kCount, EngineUnderTest::kJump,
         EngineUnderTest::kBatchAuto, EngineUnderTest::kBatchForced,
         EngineUnderTest::kThinForced, EngineUnderTest::kGraphComplete,
-        EngineUnderTest::kAdversarialEps1}) {
+        EngineUnderTest::kAdversarialEps1,
+        EngineUnderTest::kLiveEdgeComplete}) {
     const std::vector<double> xs =
         sample_engine(engine, protocol, table, n, trials);
     const double d = ks_statistic(agent, xs);
@@ -216,6 +231,82 @@ TEST(EngineEquivalence, ModeratePopulationLargeK) {
   expect_all_engines_match_agent(8, 240, 60);
 }
 
+TEST(EngineEquivalence, LiveEdgeMatchesPerDrawOnSparseTopologies) {
+  // On a sparse graph neither engine matches the agent reference (the
+  // scheduler is a different process), but the live-edge engine's exact
+  // geometric null-skip must realize the *same* conditional law as the
+  // per-draw GraphSimulator on the same graph.  Stabilization times are
+  // censored at the budget: a wedged trial contributes `budget` whether
+  // the per-draw engine burned it or the live-edge engine proved the dead
+  // end early -- stall detection is an efficiency property, not a
+  // distributional one.  Effective counts need no censoring (both engines
+  // stop producing them at the same wedge).
+  const core::KPartitionProtocol protocol(4);
+  const TransitionTable table(protocol);
+  const std::uint32_t n = 16;
+  constexpr int kTrials = 200;
+  constexpr std::uint64_t kBudget = 100'000;
+
+  struct Topology {
+    const char* name;
+    InteractionGraph graph;
+  };
+  const Topology topologies[] = {
+      {"ring", InteractionGraph::ring(n)},
+      {"star", InteractionGraph::star(n)},
+      {"path", InteractionGraph::path(n)},
+      {"er", InteractionGraph::erdos_renyi(n, 0.5, 99)},
+  };
+  for (std::size_t topo = 0; topo < std::size(topologies); ++topo) {
+    std::vector<double> draw_time;
+    std::vector<double> draw_effective;
+    std::vector<double> live_time;
+    std::vector<double> live_effective;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      {
+        GraphSimulator sim(
+            table, topologies[topo].graph,
+            Population(n, protocol.num_states(), protocol.initial_state()),
+            derive_stream_seed(500 + topo, static_cast<std::uint64_t>(trial)));
+        auto oracle = core::stable_pattern_oracle(protocol, n);
+        const SimResult r = sim.run(*oracle, kBudget);
+        draw_time.push_back(
+            static_cast<double>(r.stabilized ? r.interactions : kBudget));
+        draw_effective.push_back(static_cast<double>(r.effective));
+      }
+      {
+        GraphJumpSimulator sim(
+            table, topologies[topo].graph,
+            Population(n, protocol.num_states(), protocol.initial_state()),
+            derive_stream_seed(600 + topo, static_cast<std::uint64_t>(trial)));
+        auto oracle = core::stable_pattern_oracle(protocol, n);
+        const SimResult r = sim.run(*oracle, kBudget);
+        live_time.push_back(
+            static_cast<double>(r.stabilized ? r.interactions : kBudget));
+        live_effective.push_back(static_cast<double>(r.effective));
+      }
+    }
+    struct Axis {
+      const char* name;
+      const std::vector<double>& a;
+      const std::vector<double>& b;
+    };
+    const Axis axes[] = {
+        {"stabilization-time", draw_time, live_time},
+        {"effective-count", draw_effective, live_effective},
+    };
+    for (const Axis& axis : axes) {
+      const double d = ks_statistic(axis.a, axis.b);
+      const double threshold = ks_threshold(axis.a.size(), axis.b.size());
+      EXPECT_LT(d, threshold)
+          << "topology=" << topologies[topo].name << " axis=" << axis.name
+          << ": KS D=" << d << " exceeds the alpha=0.01 critical value "
+          << threshold
+          << " -- the live-edge engine's conditional law is off.";
+    }
+  }
+}
+
 TEST(EngineEquivalence, EveryEngineIsBitReproducible) {
   const core::KPartitionProtocol protocol(5);
   const TransitionTable table(protocol);
@@ -224,8 +315,8 @@ TEST(EngineEquivalence, EveryEngineIsBitReproducible) {
        {EngineUnderTest::kAgent, EngineUnderTest::kCount,
         EngineUnderTest::kJump, EngineUnderTest::kBatchAuto,
         EngineUnderTest::kBatchForced, EngineUnderTest::kThinForced,
-        EngineUnderTest::kGraphComplete,
-        EngineUnderTest::kAdversarialEps1}) {
+        EngineUnderTest::kGraphComplete, EngineUnderTest::kAdversarialEps1,
+        EngineUnderTest::kLiveEdgeComplete}) {
     const double first = one_trial(engine, protocol, table, n, 7);
     const double second = one_trial(engine, protocol, table, n, 7);
     EXPECT_EQ(first, second) << engine_name(engine);

@@ -61,6 +61,51 @@ TEST(InteractionGraph, ErdosRenyiDensityTracksP) {
               expected * 0.2);
 }
 
+TEST(InteractionGraph, ErdosRenyiSubThresholdReportsFailureInsteadOfAborting) {
+  // Regression: the bounded resample loop used to end in PPK_ASSERT(false)
+  // -- a process abort -- with an unreachable complete-graph fallback
+  // behind it that would have silently substituted a different topology
+  // had the assert ever been compiled out.  Sub-threshold p must surface
+  // as a recoverable outcome instead.
+  const auto graph = InteractionGraph::try_erdos_renyi(64, 0.005, 3, 25);
+  EXPECT_FALSE(graph.has_value());
+  EXPECT_THROW(InteractionGraph::erdos_renyi(64, 0.005, 3),
+               std::runtime_error);
+}
+
+TEST(InteractionGraph, ErdosRenyiSparseDensityAndConnectivity) {
+  // The geometric-skip generator must hit the same G(n, p) law as the old
+  // per-pair coin flips: check edge density in the sparse regime it was
+  // built for (p far below the dense grid the other tests use).
+  const std::uint32_t n = 2000;
+  const double p = 0.01;  // ~2.6x the ln(n)/n connectivity threshold
+  const auto graph = InteractionGraph::erdos_renyi(n, p, 77);
+  EXPECT_TRUE(graph.is_connected());
+  const double expected =
+      p * static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
+  EXPECT_NEAR(static_cast<double>(graph.edges().size()), expected,
+              expected * 0.05);
+  // Still deterministic in the seed.
+  const auto again = InteractionGraph::erdos_renyi(n, p, 77);
+  EXPECT_EQ(graph.edges(), again.edges());
+}
+
+TEST(InteractionGraph, ErdosRenyiMillionAgentsNearThreshold) {
+  // The acceptance bar for the O(m) generator: a connected G(n, p) at
+  // n = 10^6 near the connectivity threshold, which the old O(n^2) scan
+  // (half a trillion coin flips per attempt) could not produce at all.
+  const std::uint32_t n = 1'000'000;
+  const double p = 2.0 * std::log(static_cast<double>(n)) /
+                   static_cast<double>(n);  // c = 2: connected w.h.p.
+  const auto graph = InteractionGraph::try_erdos_renyi(n, p, 2026, 4);
+  ASSERT_TRUE(graph.has_value());
+  EXPECT_EQ(graph->num_agents(), n);
+  const double expected =
+      p * static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
+  EXPECT_NEAR(static_cast<double>(graph->edges().size()), expected,
+              expected * 0.02);
+}
+
 TEST(GraphSimulator, CompleteGraphMatchesAgentSimulatorStatistically) {
   // On the complete graph the edge+orientation draw is the uniform ordered
   // pair draw, so stabilization statistics must match AgentSimulator's.

@@ -259,6 +259,152 @@ TEST_F(MonteCarloTest, WallClockLimitDoesNotAffectConvergentRuns) {
   }
 }
 
+TEST_F(MonteCarloTest, GraphEnginesStabilizeOnCompleteTopology) {
+  // Both graph engines (and kAuto, which resolves to the live-edge engine
+  // when a topology is set) must stabilize like the complete-graph engines
+  // when the topology *is* the complete graph.
+  for (const Engine engine :
+       {Engine::kGraph, Engine::kGraphJump, Engine::kAuto}) {
+    MonteCarloOptions options;
+    options.trials = 6;
+    options.engine = engine;
+    options.graph = [](std::uint64_t) { return InteractionGraph::complete(12); };
+    const auto result =
+        run_monte_carlo(protocol_, table_, 12, oracle_factory(12), options);
+    EXPECT_EQ(result.stabilized_count(), 6u)
+        << "engine=" << static_cast<int>(engine);
+  }
+}
+
+TEST_F(MonteCarloTest, RandomizedTopologyTrialsAreThreadInvariant) {
+  // Per-trial randomized topologies draw their seed from the trial stream,
+  // so results are a pure function of (master_seed, trial) regardless of
+  // the thread count.
+  MonteCarloOptions serial;
+  serial.trials = 8;
+  serial.master_seed = 2026;
+  serial.engine = Engine::kGraphJump;
+  // On sparse topologies a trial may cycle forever (free agents keep
+  // flipping while walled-in builders block the pattern), so bound the
+  // budget: invariance is about equal outcomes, not stabilization.
+  serial.max_interactions = 500'000;
+  serial.graph = [](std::uint64_t seed) {
+    return InteractionGraph::erdos_renyi(12, 0.5, seed);
+  };
+  MonteCarloOptions parallel = serial;
+  parallel.threads = 4;
+  const auto a =
+      run_monte_carlo(protocol_, table_, 12, oracle_factory(12), serial);
+  const auto b =
+      run_monte_carlo(protocol_, table_, 12, oracle_factory(12), parallel);
+  for (std::size_t t = 0; t < a.trials.size(); ++t) {
+    EXPECT_EQ(a.trials[t].interactions, b.trials[t].interactions);
+    EXPECT_EQ(a.trials[t].effective, b.trials[t].effective);
+    EXPECT_EQ(a.trials[t].stabilized, b.trials[t].stabilized);
+  }
+}
+
+TEST_F(MonteCarloTest, AutoWithTopologyResolvesToLiveEdge) {
+  EXPECT_EQ(resolve_engine(Engine::kAuto, 100, false, true),
+            Engine::kGraphJump);
+  EXPECT_EQ(resolve_engine(Engine::kAuto, 1'000'000, true, true),
+            Engine::kGraphJump);
+  EXPECT_EQ(resolve_engine(Engine::kGraph, 100, false, true), Engine::kGraph);
+}
+
+TEST_F(MonteCarloTest, GraphEngineTopologyMismatchFailsFast) {
+  // A graph engine with no topology, or a topology feeding a non-graph
+  // engine, is a configuration error -- not a silently different
+  // experiment.
+  MonteCarloOptions no_graph;
+  no_graph.trials = 1;
+  no_graph.engine = Engine::kGraphJump;
+  EXPECT_DEATH(
+      run_monte_carlo(protocol_, table_, 12, oracle_factory(12), no_graph),
+      "precondition");
+
+  MonteCarloOptions stray_graph;
+  stray_graph.trials = 1;
+  stray_graph.engine = Engine::kAgentArray;
+  stray_graph.graph = [](std::uint64_t) {
+    return InteractionGraph::complete(12);
+  };
+  EXPECT_DEATH(
+      run_monte_carlo(protocol_, table_, 12, oracle_factory(12), stray_graph),
+      "precondition");
+}
+
+TEST_F(MonteCarloTest, WrongSizeTopologyFailsFast) {
+  MonteCarloOptions options;
+  options.trials = 1;
+  options.engine = Engine::kGraphJump;
+  options.graph = [](std::uint64_t) { return InteractionGraph::complete(13); };
+  EXPECT_DEATH(
+      run_monte_carlo(protocol_, table_, 12, oracle_factory(12), options),
+      "precondition");
+}
+
+TEST_F(MonteCarloTest, WatchOnPerDrawGraphEngineFailsFast) {
+  // GraphSimulator has no watch hook; the live-edge engine does.  Forcing
+  // the per-draw engine with a watch set must fail fast.
+  MonteCarloOptions options;
+  options.trials = 1;
+  options.engine = Engine::kGraph;
+  options.watch_state = protocol_.g(4);
+  options.graph = [](std::uint64_t) { return InteractionGraph::complete(14); };
+  EXPECT_DEATH(
+      run_monte_carlo(protocol_, table_, 14, oracle_factory(14), options),
+      "precondition");
+}
+
+TEST_F(MonteCarloTest, WatchMarksOnLiveEdgeTopologyEngine) {
+  MonteCarloOptions options;
+  options.trials = 6;
+  options.engine = Engine::kGraphJump;
+  options.watch_state = protocol_.g(4);
+  options.graph = [](std::uint64_t) { return InteractionGraph::complete(14); };
+  const std::uint32_t n = 14;  // floor(14/4) = 3 groupings
+  const auto result =
+      run_monte_carlo(protocol_, table_, n, oracle_factory(n), options);
+  for (const auto& trial : result.trials) {
+    ASSERT_TRUE(trial.stabilized);
+    ASSERT_EQ(trial.watch_marks.size(), 3u);
+    for (std::size_t i = 1; i < trial.watch_marks.size(); ++i) {
+      EXPECT_GT(trial.watch_marks[i], trial.watch_marks[i - 1]);
+    }
+    EXPECT_LE(trial.watch_marks.back(), trial.interactions);
+  }
+}
+
+TEST_F(MonteCarloTest, DeadTopologyReportsStalledOnLiveEdgeEngine) {
+  // All-g1 is silent under Algorithm 1 (every ordered pair is null), so a
+  // ring carries zero live edges.  The live-edge engine proves the wedge at
+  // interaction zero and reports a stall; the per-draw engine cannot see it
+  // and exhausts the budget like the agent engine does on the complete
+  // graph.
+  Counts stuck(protocol_.num_states(), 0);
+  stuck[protocol_.g(1)] = 12;
+
+  MonteCarloOptions options;
+  options.trials = 1;
+  options.max_interactions = 100'000;
+  options.engine = Engine::kGraphJump;
+  options.graph = [](std::uint64_t) { return InteractionGraph::ring(12); };
+  const auto live = run_monte_carlo(table_, stuck, oracle_factory(12), options);
+  ASSERT_EQ(live.trials.size(), 1u);
+  EXPECT_TRUE(live.trials[0].stalled);
+  EXPECT_FALSE(live.trials[0].stabilized);
+  EXPECT_EQ(live.trials[0].interactions, 0u);
+
+  options.engine = Engine::kGraph;
+  const auto draw = run_monte_carlo(table_, stuck, oracle_factory(12), options);
+  ASSERT_EQ(draw.trials.size(), 1u);
+  EXPECT_FALSE(draw.trials[0].stalled);
+  EXPECT_FALSE(draw.trials[0].stabilized);
+  EXPECT_EQ(draw.trials[0].interactions, 100'000u);
+  EXPECT_EQ(draw.trials[0].effective, 0u);
+}
+
 TEST_F(MonteCarloTest, SummaryStatisticsAreConsistent) {
   MonteCarloOptions options;
   options.trials = 20;
