@@ -35,7 +35,6 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <fstream>
 #include <string>
 #include <vector>
 
@@ -217,6 +216,7 @@ int main(int argc, char** argv) {
   auto git_rev = cli.flag<std::string>(
       "git-rev", "unknown", "source revision recorded in the JSON report");
   cli.parse(argc, argv);
+  ppk::bench::install_sigint_handler();
 
   const double cap = *seconds > 0.0 ? *seconds : (*smoke ? 0.5 : 2.0);
 
@@ -251,9 +251,13 @@ int main(int argc, char** argv) {
   };
   std::vector<Row> rows;
   for (const Case& c : cases) {
+    // Ctrl-C: the in-flight point finishes, the sweep stops here, and the
+    // report below is still written (flagged interrupted) atomically.
+    if (ppk::bench::interrupted()) break;
     const ppk::core::KPartitionProtocol protocol(c.k);
     const ppk::pp::TransitionTable transitions(protocol);
     for (const auto engine : engines) {
+      if (ppk::bench::interrupted()) break;
       const auto seed = static_cast<std::uint64_t>(*common.seed);
       // Same seed every rep: the work is identical, so the best rate is a
       // pure timer-noise floor, not a different trajectory.  Interference
@@ -302,17 +306,18 @@ int main(int argc, char** argv) {
       "honest per-engine averages over the trajectory each one executes.\n");
 
   if (!common.json->empty()) {
-    std::ofstream file(*common.json);
-    if (!file.is_open()) {
-      std::fprintf(stderr, "cannot open %s\n", common.json->c_str());
-      return 1;
-    }
-    ppk::io::JsonWriter json(file);
+    // Atomic (temp + rename): an interrupted run cannot leave a truncated
+    // report where the regression gate expects a baseline.
+    ppk::io::AtomicFileWriter file(*common.json);
+    ppk::io::JsonWriter json(file.stream());
     json.begin_object();
     json.member("schema", "ppk-bench-engines-v1");
     json.member("bench", "batch_throughput");
     json.member("git_rev", *git_rev);
     json.member("smoke", *smoke);
+    // True when SIGINT cut the sweep short: the results array only covers
+    // the points that completed, and gates must not treat it as a baseline.
+    json.member("interrupted", ppk::bench::interrupted());
     json.member("wall_cap_seconds", cap);
     json.member("seed", static_cast<std::int64_t>(*common.seed));
     json.member("reps", std::max(1, *reps));
@@ -348,7 +353,17 @@ int main(int argc, char** argv) {
     }
     json.end_array();
     json.end_object();
+    std::string error;
+    if (!file.commit(&error)) {
+      std::fprintf(stderr, "cannot write report: %s\n", error.c_str());
+      return 1;
+    }
     std::printf("\nwrote %s\n", common.json->c_str());
+  }
+  if (ppk::bench::interrupted()) {
+    std::printf("\ninterrupted: %zu point(s) completed before SIGINT\n",
+                rows.size());
+    return 130;
   }
   return 0;
 }

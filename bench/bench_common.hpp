@@ -4,8 +4,9 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstdio>
-#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -17,6 +18,7 @@
 
 #include "analysis/experiment.hpp"
 #include "analysis/table.hpp"
+#include "io/atomic_file.hpp"
 #include "io/csv.hpp"
 #include "io/json.hpp"
 #include "obs/metrics.hpp"
@@ -68,23 +70,25 @@ struct CommonFlags {
   }
 
   /// Writes the aggregated metrics bundle to --metrics-out (no-op when the
-  /// flag is unset).  Call once, after the sweep.
+  /// flag is unset).  Call once, after the sweep.  The write is atomic
+  /// (temp + rename): an interrupted bench leaves the previous report, if
+  /// any, intact instead of a truncated one.
   void write_metrics(const char* bench_name) const {
     if (metrics_out->empty()) return;
-    std::ofstream out(*metrics_out);
-    if (!out) {
-      std::fprintf(stderr, "cannot write metrics to %s\n",
-                   metrics_out->c_str());
+    io::AtomicFileWriter out(*metrics_out);
+    io::JsonWriter writer(out.stream());
+    writer.begin_object();
+    writer.member("schema", "ppk-metrics-v1");
+    writer.member("bench", bench_name);
+    writer.key("metrics");
+    metrics.write_json(writer);
+    writer.end_object();
+    out.stream() << '\n';
+    std::string error;
+    if (!out.commit(&error)) {
+      std::fprintf(stderr, "cannot write metrics: %s\n", error.c_str());
       return;
     }
-    io::JsonWriter json(out);
-    json.begin_object();
-    json.member("schema", "ppk-metrics-v1");
-    json.member("bench", bench_name);
-    json.key("metrics");
-    metrics.write_json(json);
-    json.end_object();
-    out << '\n';
     std::printf("metrics written to %s\n", metrics_out->c_str());
   }
 };
@@ -114,6 +118,24 @@ inline void write_machine_metadata(io::JsonWriter& json) {
 #endif
   json.end_object();
 }
+
+/// Latched by the SIGINT handler installed below.  Sweep loops poll
+/// interrupted() between points so Ctrl-C finishes the in-flight
+/// measurement, flushes the (atomic) report with whatever completed, and
+/// exits cleanly instead of dying mid-write.
+inline std::atomic<bool>& sigint_flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+/// Installs the latching SIGINT handler.  Call once at the top of main().
+inline void install_sigint_handler() {
+  sigint_flag().store(false);
+  std::signal(SIGINT, [](int) { sigint_flag().store(true); });
+}
+
+/// True once SIGINT has been received.
+[[nodiscard]] inline bool interrupted() { return sigint_flag().load(); }
 
 inline void print_header(const char* figure, const char* what) {
   std::printf("=== %s: %s ===\n", figure, what);

@@ -4,7 +4,6 @@
 // every group size by one) and the long plateau while the last builders
 // find their free agents.
 
-#include <fstream>
 #include <optional>
 
 #include "analysis/timeseries.hpp"
@@ -76,8 +75,15 @@ int main(int argc, char** argv) {
               series.max_spread_since(result.interactions));
 
   if (!common.csv->empty()) {
-    std::ofstream csv(*common.csv);
-    series.write_csv(csv);
+    // Atomic (temp + rename): an interrupted run leaves any previous
+    // trajectory file intact instead of a truncated one.
+    ppk::io::AtomicFileWriter csv(*common.csv);
+    series.write_csv(csv.stream());
+    std::string error;
+    if (!csv.commit(&error)) {
+      std::fprintf(stderr, "cannot write trajectory: %s\n", error.c_str());
+      return 1;
+    }
     std::printf("full trajectory written to %s (%zu samples)\n",
                 common.csv->c_str(), rows.size());
   }

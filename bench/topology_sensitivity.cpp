@@ -44,7 +44,6 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
-#include <fstream>
 #include <functional>
 #include <optional>
 #include <string>
@@ -307,6 +306,7 @@ int main(int argc, char** argv) {
   auto git_rev = cli.flag<std::string>(
       "git-rev", "unknown", "source revision recorded in the JSON report");
   cli.parse(argc, argv);
+  ppk::bench::install_sigint_handler();
 
   const auto n = static_cast<std::uint32_t>(*n_flag);
   const int trials = *common.paper ? 100 : (*smoke ? 8 : *common.trials);
@@ -361,6 +361,9 @@ int main(int argc, char** argv) {
 
   std::vector<SweepRow> sweep;
   for (ppk::pp::GroupId k : {ppk::pp::GroupId{3}, ppk::pp::GroupId{4}}) {
+    // Ctrl-C: the in-flight point finishes, the sweep stops here, and the
+    // report below is still written (flagged interrupted) atomically.
+    if (ppk::bench::interrupted()) break;
     const ppk::core::KPartitionProtocol protocol(k);
     const ppk::pp::TransitionTable table(protocol);
     std::printf("--- k = %d, n = %u ---\n", int{k}, n);
@@ -368,11 +371,13 @@ int main(int argc, char** argv) {
                               "stabilized rate", "stalled rate",
                               "mean interactions (stabilized runs)"});
     for (const Topology& topology : topologies) {
+      if (ppk::bench::interrupted()) break;
       // Representative instance for the degree column only (randomized
       // topologies resample per trial inside the driver).
       const double avg_degree =
           topology.make(ppk::derive_stream_seed(seed, 0)).average_degree();
       for (const auto engine : engines) {
+        if (ppk::bench::interrupted()) break;
         SweepRow row = run_sweep_point(protocol, table, n, topology.make,
                                        engine, trials, seed, budget, threads);
         row.k = int{k};
@@ -402,36 +407,46 @@ int main(int argc, char** argv) {
       "by construction: it cannot tell dead from slow); the live-edge\n"
       "engine's stalled rate is the measured wedge rate, detected exactly.\n\n");
 
-  const SpeedupReport speedup =
-      measure_wedged_ring_speedup(wedged_n, wedged_budget, seed, *reps);
-  std::printf(
-      "Wedged ring, n = %u, k = %d: per-draw engine burns %.2fs over %llu\n"
-      "budgeted draws; live-edge proves the wedge in %.2fms per trial\n"
-      "(construction included) -- %.0fx, understated since the per-draw\n"
-      "cost scales with whatever budget is granted.\n\n",
-      speedup.n, speedup.k, speedup.graph_seconds,
-      static_cast<unsigned long long>(speedup.graph_budget),
-      speedup.live_seconds * 1e3, speedup.speedup);
-
-  const ErGenerationReport er = measure_er_generation(er_n, seed, *reps);
-  std::printf(
-      "Connected G(n = %u, p = 2ln(n)/n): %llu edges in %.2fs, connected:\n"
-      "%s (geometric-skip sampler, expected O(n + m)).\n",
-      er.n, static_cast<unsigned long long>(er.edges), er.seconds,
-      er.connected ? "yes" : "NO");
+  // After SIGINT the wedged-ring and ER rows are skipped entirely (they
+  // are the expensive tail); the report still carries the sweep points
+  // that completed, flagged interrupted below.
+  SpeedupReport speedup;
+  ErGenerationReport er;
+  if (!ppk::bench::interrupted()) {
+    speedup = measure_wedged_ring_speedup(wedged_n, wedged_budget, seed,
+                                          *reps);
+    std::printf(
+        "Wedged ring, n = %u, k = %d: per-draw engine burns %.2fs over %llu\n"
+        "budgeted draws; live-edge proves the wedge in %.2fms per trial\n"
+        "(construction included) -- %.0fx, understated since the per-draw\n"
+        "cost scales with whatever budget is granted.\n\n",
+        speedup.n, speedup.k, speedup.graph_seconds,
+        static_cast<unsigned long long>(speedup.graph_budget),
+        speedup.live_seconds * 1e3, speedup.speedup);
+  }
+  if (!ppk::bench::interrupted()) {
+    er = measure_er_generation(er_n, seed, *reps);
+    std::printf(
+        "Connected G(n = %u, p = 2ln(n)/n): %llu edges in %.2fs, connected:\n"
+        "%s (geometric-skip sampler, expected O(n + m)).\n",
+        er.n, static_cast<unsigned long long>(er.edges), er.seconds,
+        er.connected ? "yes" : "NO");
+  }
 
   if (!common.json->empty()) {
-    std::ofstream file(*common.json);
-    if (!file.is_open()) {
-      std::fprintf(stderr, "cannot open %s\n", common.json->c_str());
-      return 1;
-    }
-    ppk::io::JsonWriter json(file);
+    // Atomic (temp + rename): an interrupted run cannot leave a truncated
+    // report where the regression gate expects a baseline.
+    ppk::io::AtomicFileWriter file(*common.json);
+    ppk::io::JsonWriter json(file.stream());
     json.begin_object();
     json.member("schema", "ppk-bench-topology-v1");
     json.member("bench", "topology_sensitivity");
     json.member("git_rev", *git_rev);
     json.member("smoke", *smoke);
+    // True when SIGINT cut the run short: only the completed sweep points
+    // are present, the wedged/ER rows are zeroed, and gates must not treat
+    // the report as a baseline.
+    json.member("interrupted", ppk::bench::interrupted());
     json.member("seed", static_cast<std::int64_t>(*common.seed));
     json.member("reps", std::max(1, *reps));
     json.member("sweep_n", static_cast<std::uint64_t>(n));
@@ -479,7 +494,17 @@ int main(int argc, char** argv) {
     json.member("rep_spread", er.rep_spread);
     json.end_object();
     json.end_object();
+    std::string error;
+    if (!file.commit(&error)) {
+      std::fprintf(stderr, "cannot write report: %s\n", error.c_str());
+      return 1;
+    }
     std::printf("\nwrote %s\n", common.json->c_str());
+  }
+  if (ppk::bench::interrupted()) {
+    std::printf("\ninterrupted: %zu sweep point(s) completed before SIGINT\n",
+                sweep.size());
+    return 130;
   }
   return 0;
 }

@@ -22,6 +22,11 @@
 # The committed reports are the regression baselines checked by
 # scripts/check_bench_regression.py; regenerate them with a full
 # (non-smoke) run on a quiet machine.
+#
+# Both benches write their JSON atomically (temp + rename) and latch
+# SIGINT, so Ctrl-C here finishes the in-flight point, flushes a complete
+# report flagged "interrupted": true, and exits 130 (which aborts this
+# script before it announces the report as written).
 
 set -euo pipefail
 

@@ -1,0 +1,883 @@
+#include "core/campaign.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+#include "io/atomic_file.hpp"
+#include "io/json.hpp"
+#include "io/json_reader.hpp"
+#include "io/snapshot_io.hpp"
+#include "obs/sink.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ppk::core {
+
+std::uint32_t CampaignResult::completed_count() const {
+  std::uint32_t count = 0;
+  for (const auto& t : trials) count += t.censored ? 0u : 1u;
+  return count;
+}
+
+std::uint32_t CampaignResult::retried_count() const {
+  std::uint32_t count = 0;
+  for (const auto& t : trials) count += t.retries > 0 ? 1u : 0u;
+  return count;
+}
+
+std::uint32_t CampaignResult::failed_count() const {
+  std::uint32_t count = 0;
+  for (const auto& t : trials) count += t.failed ? 1u : 0u;
+  return count;
+}
+
+std::uint32_t CampaignResult::censored_count() const {
+  std::uint32_t count = 0;
+  for (const auto& t : trials) count += t.censored ? 1u : 0u;
+  return count;
+}
+
+namespace {
+
+using pp::Counts;
+using pp::Engine;
+using pp::MonteCarloOptions;
+using pp::StateId;
+
+/// Sub-stream of a trial's seed that seeds retry attempt r (offset by r),
+/// keeping retries independent of the original attempt yet pure functions
+/// of (master_seed, trial, retry).
+constexpr std::uint64_t kRetryStream = 0x7265'7472ULL;  // "retr"
+
+/// Largest log2-histogram bucket index accepted from a checkpoint file; a
+/// sub_bits = 8 histogram over the full uint64 range stays well below it.
+constexpr std::uint64_t kMaxLogBucket = 1ULL << 16;
+
+/// Interaction budget of retry attempt `retry`: the base budget scaled by
+/// backoff^retry, saturating at UINT64_MAX.  Double arithmetic is IEEE-
+/// deterministic, so every process computes identical budgets.
+std::uint64_t attempt_budget(std::uint64_t base, double backoff,
+                             std::uint32_t retry) {
+  double budget = static_cast<double>(base);
+  for (std::uint32_t i = 0; i < retry; ++i) budget *= backoff;
+  if (budget >= 1.8e19) return UINT64_MAX;
+  return static_cast<std::uint64_t>(budget);
+}
+
+// --- metrics registry (de)serialization ------------------------------------
+//
+// The registry's own write_json emits bucket *bounds* (doubles) for human
+// consumption; exact restoration needs bucket *indices*, so checkpoints
+// carry their own registry encoding: counters and gauges as exact integer
+// tokens, histograms as (layout parameters, [bucket index, count] pairs).
+
+void write_registry(io::JsonWriter& json, const obs::MetricsRegistry& reg) {
+  json.begin_object();
+  json.key("counters");
+  json.begin_object();
+  for (const auto& [name, c] : reg.counters()) json.member(name, c.value());
+  json.end_object();
+  json.key("gauges");
+  json.begin_object();
+  for (const auto& [name, g] : reg.gauges()) {
+    json.key(name);
+    json.begin_object();
+    json.member("set", g.present());
+    json.member("value", static_cast<std::int64_t>(g.value()));
+    json.end_object();
+  }
+  json.end_object();
+  json.key("histograms");
+  json.begin_object();
+  for (const auto& [name, h] : reg.histograms()) {
+    json.key(name);
+    json.begin_object();
+    if (h.layout() == obs::Histogram::Layout::kLinear) {
+      json.member("layout", "linear");
+      json.member("lo", h.linear_lo());
+      json.member("hi", h.linear_hi());
+      json.member("nbuckets", static_cast<std::uint64_t>(h.counts().size()));
+    } else {
+      json.member("layout", "log2");
+      json.member("sub_bits", h.sub_bits());
+    }
+    json.key("buckets");
+    json.begin_array();
+    const auto& counts = h.counts();
+    for (std::size_t b = 0; b < counts.size(); ++b) {
+      if (counts[b] == 0) continue;
+      json.begin_array();
+      json.value(static_cast<std::uint64_t>(b));
+      json.value(counts[b]);
+      json.end_array();
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_object();
+  json.end_object();
+}
+
+bool read_registry(const io::JsonValue& v, obs::MetricsRegistry* reg,
+                   std::string* error) {
+  const auto fail = [&](const std::string& reason) {
+    if (error != nullptr) *error = "metrics: " + reason;
+    return false;
+  };
+  if (!v.is_object()) return fail("not an object");
+  const io::JsonValue* counters = v.find("counters");
+  const io::JsonValue* gauges = v.find("gauges");
+  const io::JsonValue* histograms = v.find("histograms");
+  if (counters == nullptr || !counters->is_object() || gauges == nullptr ||
+      !gauges->is_object() || histograms == nullptr ||
+      !histograms->is_object()) {
+    return fail("missing section");
+  }
+  for (std::size_t i = 0; i < counters->keys.size(); ++i) {
+    const auto value = counters->items[i].as_u64();
+    if (!value) return fail("bad counter " + counters->keys[i]);
+    reg->counter(counters->keys[i]).inc(*value);
+  }
+  for (std::size_t i = 0; i < gauges->keys.size(); ++i) {
+    const io::JsonValue& g = gauges->items[i];
+    const io::JsonValue* set = g.find("set");
+    const io::JsonValue* value = g.find("value");
+    if (set == nullptr || !set->is_bool() || value == nullptr) {
+      return fail("bad gauge " + gauges->keys[i]);
+    }
+    const auto v64 = value->as_i64();
+    if (!v64) return fail("bad gauge value " + gauges->keys[i]);
+    obs::Gauge& gauge = reg->gauge(gauges->keys[i]);
+    if (set->as_bool()) gauge.set(*v64);
+  }
+  for (std::size_t i = 0; i < histograms->keys.size(); ++i) {
+    const std::string& name = histograms->keys[i];
+    const io::JsonValue& h = histograms->items[i];
+    const io::JsonValue* layout = h.find("layout");
+    const io::JsonValue* buckets = h.find("buckets");
+    if (layout == nullptr || !layout->is_string() || buckets == nullptr ||
+        !buckets->is_array()) {
+      return fail("bad histogram " + name);
+    }
+    obs::Histogram* target = nullptr;
+    std::uint64_t nbuckets = 0;
+    if (layout->as_string() == "linear") {
+      const io::JsonValue* lo = h.find("lo");
+      const io::JsonValue* hi = h.find("hi");
+      const io::JsonValue* nb = h.find("nbuckets");
+      const auto lov = lo != nullptr ? lo->as_double() : std::nullopt;
+      const auto hiv = hi != nullptr ? hi->as_double() : std::nullopt;
+      const auto nbv = nb != nullptr ? nb->as_u64() : std::nullopt;
+      if (!lov || !hiv || !nbv) return fail("bad linear layout in " + name);
+      const double lo_value = *lov;
+      const double hi_value = *hiv;
+      const std::uint64_t buckets_n = *nbv;
+      if (buckets_n == 0 || buckets_n > kMaxLogBucket ||
+          !(hi_value > lo_value)) {
+        return fail("bad linear layout in " + name);
+      }
+      nbuckets = buckets_n;
+      target = &reg->histogram(
+          name, obs::Histogram::linear(lo_value, hi_value,
+                                       static_cast<std::size_t>(buckets_n)));
+    } else if (layout->as_string() == "log2") {
+      const io::JsonValue* sub = h.find("sub_bits");
+      const auto subv = sub != nullptr ? sub->as_u64() : std::nullopt;
+      target = &reg->histogram(name);
+      if (!subv || *subv != target->sub_bits()) {
+        return fail("unsupported log2 sub_bits in " + name);
+      }
+      nbuckets = kMaxLogBucket;
+    } else {
+      return fail("unknown layout in " + name);
+    }
+    for (const io::JsonValue& pair : buckets->items) {
+      if (!pair.is_array() || pair.items.size() != 2) {
+        return fail("bad bucket in " + name);
+      }
+      const auto bucket = pair.items[0].as_u64();
+      const auto count = pair.items[1].as_u64();
+      if (!bucket || !count || *bucket >= nbuckets) {
+        return fail("bad bucket in " + name);
+      }
+      target->add_bucket_count(static_cast<std::size_t>(*bucket), *count);
+    }
+  }
+  return true;
+}
+
+// --- trial (de)serialization -----------------------------------------------
+
+void write_marks(io::JsonWriter& json, const std::vector<std::uint64_t>& marks) {
+  json.begin_array();
+  for (const std::uint64_t mark : marks) json.value(mark);
+  json.end_array();
+}
+
+bool read_u64_array(const io::JsonValue* v, std::vector<std::uint64_t>* out) {
+  if (v == nullptr || !v->is_array()) return false;
+  out->clear();
+  out->reserve(v->items.size());
+  for (const io::JsonValue& item : v->items) {
+    const auto value = item.as_u64();
+    if (!value) return false;
+    out->push_back(*value);
+  }
+  return true;
+}
+
+void write_completed(io::JsonWriter& json, const CompletedTrial& t) {
+  json.begin_object();
+  json.member("trial", t.trial);
+  json.member("interactions", t.data.result.interactions);
+  json.member("effective", t.data.result.effective);
+  json.member("stabilized", t.data.result.stabilized);
+  json.member("timed_out", t.data.result.timed_out);
+  json.member("stalled", t.data.result.stalled);
+  json.member("failed", t.data.failed);
+  json.member("retries", t.data.retries);
+  json.key("watch_marks");
+  write_marks(json, t.data.result.watch_marks);
+  json.end_object();
+}
+
+bool read_completed(const io::JsonValue& v, CompletedTrial* out,
+                    std::string* error) {
+  const auto fail = [&](const char* reason) {
+    if (error != nullptr) *error = std::string("completed trial: ") + reason;
+    return false;
+  };
+  const auto u64 = [&](const char* key) {
+    const io::JsonValue* f = v.find(key);
+    return f != nullptr ? f->as_u64() : std::nullopt;
+  };
+  const auto boolean = [&](const char* key) -> std::optional<bool> {
+    const io::JsonValue* f = v.find(key);
+    if (f == nullptr || !f->is_bool()) return std::nullopt;
+    return f->as_bool();
+  };
+  const auto trial = u64("trial");
+  const auto interactions = u64("interactions");
+  const auto effective = u64("effective");
+  const auto retries = u64("retries");
+  const auto stabilized = boolean("stabilized");
+  const auto timed_out = boolean("timed_out");
+  const auto stalled = boolean("stalled");
+  const auto failed = boolean("failed");
+  if (!trial || *trial > UINT32_MAX || !interactions || !effective ||
+      !retries || *retries > UINT32_MAX || !stabilized || !timed_out ||
+      !stalled || !failed) {
+    return fail("missing or malformed field");
+  }
+  out->trial = static_cast<std::uint32_t>(*trial);
+  out->data.result.interactions = *interactions;
+  out->data.result.effective = *effective;
+  out->data.result.stabilized = *stabilized;
+  out->data.result.timed_out = *timed_out;
+  out->data.result.stalled = *stalled;
+  out->data.failed = *failed;
+  out->data.retries = static_cast<std::uint32_t>(*retries);
+  if (!read_u64_array(v.find("watch_marks"), &out->data.result.watch_marks)) {
+    return fail("bad watch_marks");
+  }
+  return true;
+}
+
+void write_inflight(io::JsonWriter& json, const InFlightTrial& t) {
+  json.begin_object();
+  json.member("trial", t.trial);
+  json.member("retry", t.retry);
+  json.member("consumed", t.consumed);
+  json.member("interactions", t.interactions);
+  json.member("effective", t.effective);
+  json.member("snapshot", io::serialize_snapshot(t.snapshot));
+  json.key("oracle");
+  write_marks(json, t.oracle_state);
+  json.key("counts");
+  json.begin_array();
+  for (const std::uint32_t c : t.counts) json.value(c);
+  json.end_array();
+  json.key("watch_marks");
+  write_marks(json, t.watch_marks);
+  json.key("metrics");
+  write_registry(json, t.metrics);
+  json.end_object();
+}
+
+bool read_inflight(const io::JsonValue& v, InFlightTrial* out,
+                   std::string* error) {
+  const auto fail = [&](const std::string& reason) {
+    if (error != nullptr) *error = "in-flight trial: " + reason;
+    return false;
+  };
+  const auto u64 = [&](const char* key) {
+    const io::JsonValue* f = v.find(key);
+    return f != nullptr ? f->as_u64() : std::nullopt;
+  };
+  const auto trial = u64("trial");
+  const auto retry = u64("retry");
+  const auto consumed = u64("consumed");
+  const auto interactions = u64("interactions");
+  const auto effective = u64("effective");
+  if (!trial || *trial > UINT32_MAX || !retry || *retry > UINT32_MAX ||
+      !consumed || !interactions || !effective) {
+    return fail("missing or malformed field");
+  }
+  out->trial = static_cast<std::uint32_t>(*trial);
+  out->retry = static_cast<std::uint32_t>(*retry);
+  out->consumed = *consumed;
+  out->interactions = *interactions;
+  out->effective = *effective;
+  const io::JsonValue* snapshot = v.find("snapshot");
+  if (snapshot == nullptr || !snapshot->is_string()) {
+    return fail("missing snapshot");
+  }
+  std::string snap_error;
+  auto snap = io::parse_snapshot(snapshot->as_string(), &snap_error);
+  if (!snap) return fail(snap_error);
+  out->snapshot = std::move(*snap);
+  if (!read_u64_array(v.find("oracle"), &out->oracle_state)) {
+    return fail("bad oracle state");
+  }
+  std::vector<std::uint64_t> counts;
+  if (!read_u64_array(v.find("counts"), &counts)) return fail("bad counts");
+  out->counts.clear();
+  out->counts.reserve(counts.size());
+  for (const std::uint64_t c : counts) {
+    if (c > UINT32_MAX) return fail("bad counts");
+    out->counts.push_back(static_cast<std::uint32_t>(c));
+  }
+  if (!read_u64_array(v.find("watch_marks"), &out->watch_marks)) {
+    return fail("bad watch_marks");
+  }
+  const io::JsonValue* metrics = v.find("metrics");
+  std::string metrics_error;
+  if (metrics == nullptr ||
+      !read_registry(*metrics, &out->metrics, &metrics_error)) {
+    return fail(metrics_error.empty() ? "missing metrics" : metrics_error);
+  }
+  return true;
+}
+
+// --- engine dispatch -------------------------------------------------------
+
+/// The engine's live configuration, engine-shape agnostic.
+template <typename Sim>
+Counts engine_counts(const Sim& sim) {
+  if constexpr (requires { sim.counts(); }) {
+    return sim.counts();
+  } else {
+    return sim.population().counts();
+  }
+}
+
+/// Installs watch-mark recording on engines that support it (set_watch on
+/// the count-shaped engines, an observer on the agent engine).
+template <typename Sim>
+void attach_watch(Sim& sim, StateId watched,
+                  std::vector<std::uint64_t>* marks) {
+  if constexpr (requires { sim.set_watch(watched, marks); }) {
+    sim.set_watch(watched, marks);
+  } else if constexpr (requires {
+                         sim.set_observer(
+                             std::function<void(const pp::SimEvent&)>{});
+                       }) {
+    sim.set_observer([marks, watched](const pp::SimEvent& event) {
+      const int delta = (event.p_next == watched ? 1 : 0) +
+                        (event.q_next == watched ? 1 : 0) -
+                        (event.p == watched ? 1 : 0) -
+                        (event.q == watched ? 1 : 0);
+      for (int i = 0; i < delta; ++i) marks->push_back(event.interaction);
+    });
+  }
+}
+
+/// Constructs the resolved engine for one attempt and invokes `fn` on it.
+/// Mirrors the Monte-Carlo runner's per-trial construction exactly
+/// (including the topology sub-stream), so a campaign trial's trajectory
+/// is the chunk-driven version of the corresponding Monte-Carlo trial.
+template <typename Fn>
+auto with_engine(const pp::TransitionTable& table, const Counts& initial,
+                 const MonteCarloOptions& mc, std::uint64_t n, Engine engine,
+                 std::uint64_t seed, Fn&& fn) {
+  switch (engine) {
+    case Engine::kGraph:
+    case Engine::kGraphJump: {
+      pp::InteractionGraph graph =
+          mc.graph(derive_stream_seed(seed, pp::kGraphTopologyStream));
+      PPK_EXPECTS(graph.num_agents() == n);
+      if (engine == Engine::kGraph) {
+        pp::GraphSimulator sim(table, std::move(graph), pp::Population(initial),
+                               seed);
+        return fn(sim);
+      }
+      pp::GraphJumpSimulator sim(table, std::move(graph),
+                                 pp::Population(initial), seed);
+      return fn(sim);
+    }
+    case Engine::kCountVector: {
+      pp::CountSimulator sim(table, initial, seed);
+      return fn(sim);
+    }
+    case Engine::kJump: {
+      pp::JumpSimulator sim(table, initial, seed);
+      return fn(sim);
+    }
+    case Engine::kBatch: {
+      pp::BatchSimulator sim(table, initial, seed);
+      return fn(sim);
+    }
+    case Engine::kAgentArray:
+    case Engine::kAuto:
+      break;
+  }
+  pp::AgentSimulator sim(table, pp::Population(initial), seed);
+  return fn(sim);
+}
+
+// --- the runner ------------------------------------------------------------
+
+enum class AttemptEnd { kStabilized, kStalled, kBudget, kTimedOut, kCensored };
+
+struct Shared {
+  std::mutex mutex;
+  const CampaignOptions* options = nullptr;
+  std::string fingerprint;
+  std::vector<CampaignTrial> trials;
+  std::vector<char> done;
+  std::map<std::uint32_t, InFlightTrial> inflight;
+  obs::MetricsRegistry merged;
+  std::uint32_t events = 0;
+  bool halted = false;
+  Stopwatch clock;
+};
+
+/// True once the campaign should wind down (stop flag or global
+/// deadline); latches so every worker agrees.
+bool halt_locked(Shared& s) {
+  if (s.halted) return true;
+  const CampaignOptions& o = *s.options;
+  if ((o.stop != nullptr && o.stop->load(std::memory_order_relaxed)) ||
+      (o.campaign_deadline_seconds &&
+       s.clock.seconds() >= *o.campaign_deadline_seconds)) {
+    s.halted = true;
+  }
+  return s.halted;
+}
+
+void write_checkpoint_locked(Shared& s) {
+  CampaignCheckpoint ckpt;
+  ckpt.fingerprint = s.fingerprint;
+  for (std::uint32_t t = 0; t < s.done.size(); ++t) {
+    if (s.done[t] != 0) ckpt.completed.push_back({t, s.trials[t]});
+  }
+  for (const auto& [trial, entry] : s.inflight) ckpt.in_flight.push_back(entry);
+  ckpt.metrics = s.merged;
+  const Stopwatch watch;
+  std::string error;
+  if (!io::write_file_atomic(s.options->checkpoint_path,
+                             serialize_campaign_checkpoint(ckpt), &error)) {
+    std::fprintf(stderr, "ppk: campaign checkpoint write failed: %s\n",
+                 error.c_str());
+    if (s.options->runtime_metrics != nullptr) {
+      s.options->runtime_metrics->counter("campaign.checkpoint.errors").inc();
+    }
+    return;
+  }
+  if (s.options->runtime_metrics != nullptr) {
+    s.options->runtime_metrics->counter("campaign.checkpoints").inc();
+    s.options->runtime_metrics->histogram("campaign.checkpoint.write_us")
+        .record(static_cast<std::uint64_t>(watch.seconds() * 1e6));
+  }
+}
+
+/// Counts one progress event and writes a checkpoint when the cadence is
+/// reached.
+void maybe_checkpoint_locked(Shared& s) {
+  if (s.options->checkpoint_path.empty()) return;
+  if (++s.events < s.options->checkpoint_every_chunks) return;
+  s.events = 0;
+  write_checkpoint_locked(s);
+}
+
+struct TrialCtx {
+  Shared* shared = nullptr;
+  std::uint32_t trial = 0;
+  CampaignTrial* out = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// Chunk-boundary bookkeeping: captures the engine + oracle into the
+/// shared in-flight table (the state a checkpoint would persist), counts
+/// the progress event, and reports whether the campaign is halting.
+template <typename Sim>
+bool at_boundary(TrialCtx& ctx, Sim& sim, pp::StabilityOracle& oracle,
+                 std::uint32_t retry, std::uint64_t consumed) {
+  Shared& s = *ctx.shared;
+  InFlightTrial entry;
+  entry.trial = ctx.trial;
+  entry.retry = retry;
+  entry.consumed = consumed;
+  entry.interactions = ctx.out->result.interactions;
+  entry.effective = ctx.out->result.effective;
+  entry.snapshot = sim.snapshot();
+  entry.oracle_state = oracle.save_state();
+  entry.counts = engine_counts(sim);
+  entry.watch_marks = ctx.out->result.watch_marks;
+  entry.metrics = *ctx.metrics;
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  s.inflight[ctx.trial] = std::move(entry);
+  maybe_checkpoint_locked(s);
+  return halt_locked(s);
+}
+
+/// Drives one attempt in fixed chunks, optionally continuing from a
+/// checkpointed capture.  The grant sequence depends only on (budget,
+/// chunk, consumed-at-restore), so a restored attempt and the
+/// uninterrupted attempt issue identical grants -- the precondition of
+/// the snapshot bit-identity contract.
+template <typename Sim>
+AttemptEnd run_attempt(Sim& sim, pp::StabilityOracle& oracle, TrialCtx& ctx,
+                       std::uint32_t retry, std::uint64_t budget,
+                       const InFlightTrial* from) {
+  const CampaignOptions& o = *ctx.shared->options;
+  std::uint64_t consumed = 0;
+  bool first = true;
+  if (from != nullptr) {
+    sim.restore(from->snapshot);
+    oracle.reset(from->counts);
+    oracle.restore_state(from->oracle_state);
+    consumed = from->consumed;
+    first = false;
+  }
+  const Stopwatch attempt_clock;  // deadline runs from (re)start
+  while (true) {
+    const std::uint64_t grant =
+        std::min(o.chunk_interactions, budget - consumed);
+    const pp::SimResult r =
+        first ? sim.run(oracle, grant) : sim.resume(oracle, grant);
+    first = false;
+    consumed += r.interactions;
+    ctx.out->result.interactions += r.interactions;
+    ctx.out->result.effective += r.effective;
+    if (r.stabilized) return AttemptEnd::kStabilized;
+    if (r.interactions < grant) return AttemptEnd::kStalled;
+    if (consumed >= budget) return AttemptEnd::kBudget;
+    if (at_boundary(ctx, sim, oracle, retry, consumed)) {
+      return AttemptEnd::kCensored;
+    }
+    if (o.trial_deadline_seconds &&
+        attempt_clock.seconds() >= *o.trial_deadline_seconds) {
+      return AttemptEnd::kTimedOut;
+    }
+  }
+}
+
+/// Per-trial outcome instruments, mirroring the Monte-Carlo runner's names
+/// plus the supervision verdicts.
+void stamp_outcome(obs::MetricsRegistry& metrics, const CampaignTrial& t) {
+  metrics.counter("trials").inc();
+  if (t.result.stabilized) metrics.counter("trials.stabilized").inc();
+  if (t.result.timed_out) metrics.counter("trials.timed_out").inc();
+  if (t.result.stalled) metrics.counter("trials.stalled").inc();
+  if (t.failed) metrics.counter("trials.failed").inc();
+  if (t.retries > 0) {
+    metrics.counter("trials.retried").inc();
+    metrics.counter("trial.retries").inc(t.retries);
+  }
+  metrics.histogram("trial.interactions").record(t.result.interactions);
+  metrics.histogram("trial.effective").record(t.result.effective);
+}
+
+void run_trial(Shared& s, const pp::TransitionTable& table,
+               const Counts& initial, const pp::OracleFactory& make_oracle,
+               Engine engine, std::uint64_t n, std::uint32_t idx) {
+  const CampaignOptions& o = *s.options;
+  std::optional<InFlightTrial> start;
+  {
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    if (halt_locked(s)) {
+      s.trials[idx].censored = true;
+      return;
+    }
+    const auto it = s.inflight.find(idx);
+    if (it != s.inflight.end()) start = it->second;
+  }
+
+  CampaignTrial out;
+  obs::MetricsRegistry trial_metrics;
+  std::uint32_t attempt = 0;
+  if (start) {
+    attempt = start->retry;
+    out.retries = start->retry;
+    out.result.interactions = start->interactions;
+    out.result.effective = start->effective;
+    out.result.watch_marks = start->watch_marks;
+    trial_metrics = start->metrics;
+  }
+
+  const std::uint64_t trial_seed = derive_stream_seed(o.mc.master_seed, idx);
+  TrialCtx ctx{&s, idx, &out, &trial_metrics};
+  while (true) {
+    const std::uint64_t seed =
+        attempt == 0 ? trial_seed
+                     : derive_stream_seed(trial_seed, kRetryStream + attempt);
+    const std::uint64_t budget =
+        attempt_budget(o.mc.max_interactions, o.retry_backoff, attempt);
+    auto oracle = make_oracle();
+    PPK_ASSERT(oracle != nullptr);
+    std::optional<obs::ObsSink> sink;
+    if (o.collect_metrics) sink.emplace(trial_metrics);
+    const AttemptEnd end = with_engine(
+        table, initial, o.mc, n, engine, seed, [&](auto& sim) {
+          if (sink) sim.set_obs_sink(&*sink);
+          if (o.mc.watch_state) {
+            attach_watch(sim, *o.mc.watch_state, &out.result.watch_marks);
+          }
+          return run_attempt(sim, *oracle, ctx, attempt, budget,
+                             start ? &*start : nullptr);
+        });
+    start.reset();
+    if (end == AttemptEnd::kStabilized) {
+      out.result.stabilized = true;
+      break;
+    }
+    if (end == AttemptEnd::kTimedOut) {
+      out.result.timed_out = true;
+      break;
+    }
+    if (end == AttemptEnd::kCensored) {
+      out.censored = true;
+      break;
+    }
+    // Stalled or budget-exhausted: retry with a backed-off budget, or give
+    // up with a failed verdict.
+    if (attempt >= o.max_retries) {
+      out.failed = true;
+      out.result.stalled = end == AttemptEnd::kStalled;
+      break;
+    }
+    ++attempt;
+    ++out.retries;
+    out.result.watch_marks.clear();  // marks describe the final attempt
+    if (o.runtime_metrics != nullptr) {
+      const std::lock_guard<std::mutex> lock(s.mutex);
+      o.runtime_metrics->counter("campaign.retries").inc();
+    }
+  }
+
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  s.trials[idx] = out;
+  if (out.censored) return;  // the in-flight capture stays resumable
+  s.done[idx] = 1;
+  s.inflight.erase(idx);
+  if (o.collect_metrics) {
+    stamp_outcome(trial_metrics, out);
+    s.merged.merge(trial_metrics);
+  }
+  maybe_checkpoint_locked(s);
+}
+
+}  // namespace
+
+std::string campaign_fingerprint(const pp::Counts& initial,
+                                 const CampaignOptions& options) {
+  std::ostringstream out;
+  out << kCampaignSchema << " trials=" << options.mc.trials
+      << " seed=" << options.mc.master_seed
+      << " budget=" << options.mc.max_interactions
+      << " engine=" << static_cast<int>(options.mc.engine)
+      << " graph=" << (options.mc.graph ? 1 : 0) << " watch="
+      << (options.mc.watch_state ? static_cast<int>(*options.mc.watch_state)
+                                 : -1)
+      << " chunk=" << options.chunk_interactions
+      << " retries=" << options.max_retries
+      << " metrics=" << (options.collect_metrics ? 1 : 0);
+  char backoff[32];
+  std::snprintf(backoff, sizeof backoff, "%.17g", options.retry_backoff);
+  out << " backoff=" << backoff << " counts=";
+  for (std::size_t i = 0; i < initial.size(); ++i) {
+    out << (i == 0 ? "" : ",") << initial[i];
+  }
+  return out.str();
+}
+
+std::string serialize_campaign_checkpoint(const CampaignCheckpoint& checkpoint) {
+  std::ostringstream out;
+  {
+    io::JsonWriter json(out);
+    json.begin_object();
+    json.member("schema", kCampaignSchema);
+    json.member("fingerprint", checkpoint.fingerprint);
+    json.key("completed");
+    json.begin_array();
+    for (const CompletedTrial& t : checkpoint.completed) {
+      write_completed(json, t);
+    }
+    json.end_array();
+    json.key("in_flight");
+    json.begin_array();
+    for (const InFlightTrial& t : checkpoint.in_flight) {
+      write_inflight(json, t);
+    }
+    json.end_array();
+    json.key("metrics");
+    write_registry(json, checkpoint.metrics);
+    json.end_object();
+  }
+  return out.str();
+}
+
+std::optional<CampaignCheckpoint> parse_campaign_checkpoint(
+    std::string_view text, std::string* error) {
+  const auto fail = [&](const std::string& reason) {
+    if (error != nullptr) *error = "checkpoint: " + reason;
+    return std::nullopt;
+  };
+  std::string json_error;
+  const auto root = io::parse_json(text, &json_error);
+  if (!root) return fail(json_error);
+  if (!root->is_object()) return fail("not an object");
+  const io::JsonValue* schema = root->find("schema");
+  if (schema == nullptr || !schema->is_string()) return fail("missing schema");
+  if (schema->as_string() != kCampaignSchema) return fail("unknown schema");
+  const io::JsonValue* fingerprint = root->find("fingerprint");
+  if (fingerprint == nullptr || !fingerprint->is_string()) {
+    return fail("missing fingerprint");
+  }
+  const io::JsonValue* completed = root->find("completed");
+  const io::JsonValue* in_flight = root->find("in_flight");
+  const io::JsonValue* metrics = root->find("metrics");
+  if (completed == nullptr || !completed->is_array() || in_flight == nullptr ||
+      !in_flight->is_array() || metrics == nullptr) {
+    return fail("missing section");
+  }
+  CampaignCheckpoint result;
+  result.fingerprint = fingerprint->as_string();
+  std::string section_error;
+  for (const io::JsonValue& item : completed->items) {
+    CompletedTrial t;
+    if (!read_completed(item, &t, &section_error)) return fail(section_error);
+    result.completed.push_back(std::move(t));
+  }
+  for (const io::JsonValue& item : in_flight->items) {
+    InFlightTrial t;
+    if (!read_inflight(item, &t, &section_error)) return fail(section_error);
+    result.in_flight.push_back(std::move(t));
+  }
+  if (!read_registry(*metrics, &result.metrics, &section_error)) {
+    return fail(section_error);
+  }
+  return result;
+}
+
+CampaignResult run_campaign(const pp::TransitionTable& table,
+                            const pp::Counts& initial,
+                            const pp::OracleFactory& make_oracle,
+                            const CampaignOptions& options) {
+  PPK_EXPECTS(options.mc.trials > 0);
+  PPK_EXPECTS(options.mc.metrics == nullptr);
+  PPK_EXPECTS(!options.mc.wall_clock_limit_seconds);
+  PPK_EXPECTS(options.chunk_interactions >= 1);
+  PPK_EXPECTS(options.checkpoint_every_chunks >= 1);
+  PPK_EXPECTS(options.max_retries == 0 || options.retry_backoff >= 1.0);
+
+  std::uint64_t n = 0;
+  for (const std::uint32_t c : initial) n += c;
+  const Engine engine =
+      pp::resolve_engine(options.mc.engine, n,
+                         options.mc.watch_state.has_value(),
+                         static_cast<bool>(options.mc.graph));
+  PPK_EXPECTS(!(engine == Engine::kBatch && options.mc.watch_state));
+  const bool graph_engine =
+      engine == Engine::kGraph || engine == Engine::kGraphJump;
+  PPK_EXPECTS(graph_engine == static_cast<bool>(options.mc.graph));
+  PPK_EXPECTS(engine != Engine::kGraph || !options.mc.watch_state);
+
+  CampaignResult result;
+  Shared s;
+  s.options = &options;
+  s.fingerprint = campaign_fingerprint(initial, options);
+  s.trials.resize(options.mc.trials);
+  s.done.assign(options.mc.trials, 0);
+
+  if (!options.checkpoint_path.empty()) {
+    std::ifstream file(options.checkpoint_path);
+    if (file) {
+      std::ostringstream buffer;
+      buffer << file.rdbuf();
+      std::string error;
+      const auto ckpt = parse_campaign_checkpoint(buffer.str(), &error);
+      if (!ckpt) {
+        result.error = options.checkpoint_path + ": " + error;
+        return result;
+      }
+      if (ckpt->fingerprint != s.fingerprint) {
+        result.error = options.checkpoint_path +
+                       ": checkpoint was written by a different campaign "
+                       "configuration";
+        return result;
+      }
+      for (const CompletedTrial& t : ckpt->completed) {
+        if (t.trial >= options.mc.trials) {
+          result.error = options.checkpoint_path + ": trial index out of range";
+          return result;
+        }
+        s.trials[t.trial] = t.data;
+        s.done[t.trial] = 1;
+      }
+      for (const InFlightTrial& t : ckpt->in_flight) {
+        if (t.trial >= options.mc.trials || s.done[t.trial] != 0) {
+          result.error = options.checkpoint_path + ": bad in-flight trial";
+          return result;
+        }
+        s.inflight[t.trial] = t;
+      }
+      s.merged = ckpt->metrics;
+      result.resumed = true;
+    }
+  }
+
+  const auto body = [&](std::size_t idx) {
+    if (s.done[idx] != 0) return;  // set only before the pool starts
+    run_trial(s, table, initial, make_oracle, engine, n,
+              static_cast<std::uint32_t>(idx));
+  };
+  if (options.mc.threads == 1 || options.mc.trials == 1) {
+    for (std::size_t t = 0; t < options.mc.trials; ++t) body(t);
+  } else {
+    ThreadPool pool(options.mc.threads);
+    pool.parallel_for_index(options.mc.trials, body);
+  }
+
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  if (!options.checkpoint_path.empty()) write_checkpoint_locked(s);
+  result.trials = std::move(s.trials);
+  result.metrics = std::move(s.merged);
+  result.complete = true;
+  for (const char done : s.done) result.complete = result.complete && done != 0;
+  if (options.runtime_metrics != nullptr) {
+    options.runtime_metrics->gauge("campaign.trials.censored")
+        .set(static_cast<std::int64_t>(result.censored_count()));
+    options.runtime_metrics->gauge("campaign.trials.failed")
+        .set(static_cast<std::int64_t>(result.failed_count()));
+  }
+  return result;
+}
+
+CampaignResult run_campaign(const pp::Protocol& protocol,
+                            const pp::TransitionTable& table, std::uint32_t n,
+                            const pp::OracleFactory& make_oracle,
+                            const CampaignOptions& options) {
+  Counts initial(protocol.num_states(), 0);
+  initial[protocol.initial_state()] = n;
+  return run_campaign(table, initial, make_oracle, options);
+}
+
+}  // namespace ppk::core

@@ -1,0 +1,250 @@
+// Crash-safe Monte-Carlo campaigns (docs/campaigns.md).
+//
+// A campaign is a repeated-trial run (pp/monte_carlo.hpp) hardened for
+// unattended execution:
+//
+//  - Checkpointing.  The runner periodically persists a versioned
+//    `ppk-campaign-v1` checkpoint -- completed trial results, engine
+//    snapshots of in-flight trials (pp/snapshot.hpp), and the merged
+//    observability metrics -- via an atomic write-temp-then-rename
+//    (io/atomic_file.hpp).  A campaign killed at any instant (SIGKILL
+//    included) resumes from its checkpoint with no completed trial lost,
+//    and the finished statistics are bit-identical to an uninterrupted
+//    run at any thread count.
+//
+//  - Supervision.  Per-trial wall-clock deadlines, stalled/timeout
+//    classification, bounded retry with exponential interaction-budget
+//    backoff, and graceful degradation past a global deadline with
+//    completed/retried/failed/censored accounting.
+//
+// Determinism model: every trial is driven in fixed interaction chunks
+// (run(chunk), resume(chunk), ...), so an interrupted trial restored from
+// its snapshot sees exactly the grant sequence the uninterrupted trial
+// would have seen -- the engines' snapshot contract then guarantees a
+// bit-identical trajectory for every engine, including the jump and batch
+// engines whose sampling depends on grant boundaries.  Wall-clock
+// supervision (deadlines, stop flag) only decides *whether* a trial keeps
+// running; it never alters the trajectory of a trial that completes.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "pp/monte_carlo.hpp"
+#include "pp/snapshot.hpp"
+
+namespace ppk::core {
+
+/// Schema tag of the checkpoint file format.
+inline constexpr std::string_view kCampaignSchema = "ppk-campaign-v1";
+
+/// Default per-grant chunk size: large enough that chunking cost is noise,
+/// small enough that checkpoints and deadline checks stay responsive
+/// (matches the Monte-Carlo runner's wall-clock check cadence).
+inline constexpr std::uint64_t kDefaultChunkInteractions = 1ULL << 22;
+
+/// Campaign configuration: a base Monte-Carlo configuration plus the
+/// checkpointing and supervision knobs.
+struct CampaignOptions {
+  /// Base trial configuration (trials, seed, budget, engine, threads,
+  /// watch state, topology).  Two fields are owned by the campaign and
+  /// must stay at their defaults: `metrics` (the campaign manages
+  /// per-trial registries; see CampaignResult::metrics) and
+  /// `wall_clock_limit_seconds` (superseded by trial_deadline_seconds).
+  pp::MonteCarloOptions mc;
+
+  /// Checkpoint file path; empty disables checkpointing.  run() resumes
+  /// from this file when it exists and its fingerprint matches.
+  std::string checkpoint_path;
+
+  /// Interactions granted per run()/resume() call.  Part of the trial's
+  /// deterministic identity: a checkpoint records results for one chunk
+  /// size and resuming requires the same value.
+  std::uint64_t chunk_interactions = kDefaultChunkInteractions;
+
+  /// Checkpoint write cadence, counted in progress events (completed
+  /// chunks and completed trials) across all workers.
+  std::uint32_t checkpoint_every_chunks = 16;
+
+  /// Retry budget for trials that end stalled or budget-exhausted without
+  /// stabilizing.  Each retry re-runs the trial from the initial
+  /// configuration with a fresh derived seed and a backed-off budget.
+  std::uint32_t max_retries = 0;
+
+  /// Interaction-budget multiplier per retry (attempt r runs with
+  /// mc.max_interactions * retry_backoff^r, saturating at UINT64_MAX).
+  double retry_backoff = 2.0;
+
+  /// Per-attempt wall-clock deadline, checked at chunk boundaries.  An
+  /// attempt past it stops with a timed_out verdict (no retry: the wall
+  /// clock, unlike the interaction budget, does not back off).
+  std::optional<double> trial_deadline_seconds;
+
+  /// Campaign-wide wall-clock deadline, checked at chunk boundaries.
+  /// Past it, in-flight trials are captured and censored, pending trials
+  /// never start, and run() returns with complete = false; the final
+  /// checkpoint keeps everything resumable.
+  std::optional<double> campaign_deadline_seconds;
+
+  /// Cooperative cancellation (e.g. a SIGINT handler's flag): when it
+  /// becomes true the campaign winds down exactly as if the campaign
+  /// deadline had passed.
+  const std::atomic<bool>* stop = nullptr;
+
+  /// Collect per-trial observability metrics into CampaignResult::metrics
+  /// (and into checkpoints).  Off, trials run without a sink attached.
+  bool collect_metrics = true;
+
+  /// Operational (non-deterministic) campaign metrics: checkpoint write
+  /// durations (campaign.checkpoint.write_us), checkpoint count
+  /// (campaign.checkpoints), retries (campaign.retries) and final
+  /// censored/failed gauges (campaign.trials.censored/.failed).  Kept out
+  /// of the deterministic merged registry on purpose.  Must outlive run().
+  obs::MetricsRegistry* runtime_metrics = nullptr;
+};
+
+/// Outcome of one supervised trial.
+struct CampaignTrial {
+  /// The trial verdict.  interactions/effective accumulate across retries
+  /// (total work spent on the trial); stabilized/timed_out/stalled and
+  /// watch_marks describe the final attempt.
+  pp::TrialResult result;
+
+  /// Retries consumed (0 = first attempt sufficed).
+  std::uint32_t retries = 0;
+
+  /// True iff every attempt ended stalled or budget-exhausted: the trial
+  /// has a final verdict, and it is "did not stabilize".
+  bool failed = false;
+
+  /// True iff supervision cut the trial off (global deadline or stop
+  /// flag) before a verdict; a checkpointed campaign resumes it later.
+  bool censored = false;
+};
+
+/// Everything run() knows when it returns.
+struct CampaignResult {
+  /// Per-trial outcomes, indexed by trial number.
+  std::vector<CampaignTrial> trials;
+
+  /// Merged observability metrics over *completed* trials (censored
+  /// trials' partial registries live only in the checkpoint).  The merge
+  /// is commutative, so this is bit-identical across thread counts and
+  /// across kill/resume boundaries once the campaign completes.
+  obs::MetricsRegistry metrics;
+
+  /// True iff every trial reached a verdict (stabilized, timed out, or
+  /// failed after retries).
+  bool complete = false;
+
+  /// True iff this run started from an existing checkpoint.
+  bool resumed = false;
+
+  /// Non-empty iff run() refused to start: the checkpoint file exists but
+  /// is malformed or was written by a different configuration.  Nothing
+  /// ran and `trials` is empty in that case.
+  std::string error;
+
+  /// Trials with a verdict.
+  [[nodiscard]] std::uint32_t completed_count() const;
+  /// Trials that needed at least one retry.
+  [[nodiscard]] std::uint32_t retried_count() const;
+  /// Trials whose verdict is failed.
+  [[nodiscard]] std::uint32_t failed_count() const;
+  /// Trials cut off without a verdict.
+  [[nodiscard]] std::uint32_t censored_count() const;
+};
+
+/// Checkpointed state of one in-flight trial: enough to restore the
+/// engine mid-attempt and continue bit-identically.
+struct InFlightTrial {
+  /// Trial number.
+  std::uint32_t trial = 0;
+  /// Retry index of the attempt the snapshot belongs to.
+  std::uint32_t retry = 0;
+  /// Interactions consumed within this attempt (a multiple of the chunk
+  /// size; snapshots are taken at chunk boundaries only).
+  std::uint64_t consumed = 0;
+  /// Trial-accumulated interaction total at the snapshot (across
+  /// attempts).
+  std::uint64_t interactions = 0;
+  /// Trial-accumulated effective-interaction total at the snapshot.
+  std::uint64_t effective = 0;
+  /// Engine state at the snapshot (pp/snapshot.hpp).
+  pp::Snapshot snapshot;
+  /// Oracle progress at the snapshot (StabilityOracle::save_state()).
+  std::vector<std::uint64_t> oracle_state;
+  /// Configuration at the snapshot; restore passes it to oracle.reset()
+  /// before restore_state().
+  pp::Counts counts;
+  /// Watch marks recorded so far in this attempt.
+  std::vector<std::uint64_t> watch_marks;
+  /// The attempt's partial observability registry.
+  obs::MetricsRegistry metrics;
+};
+
+/// One completed trial as stored in a checkpoint.
+struct CompletedTrial {
+  /// Trial number.
+  std::uint32_t trial = 0;
+  /// Its verdict.
+  CampaignTrial data;
+};
+
+/// Parsed form of a `ppk-campaign-v1` checkpoint file.
+struct CampaignCheckpoint {
+  /// Configuration fingerprint (campaign_fingerprint()); resume refuses a
+  /// checkpoint whose fingerprint differs from the running configuration.
+  std::string fingerprint;
+  /// Trials with a verdict.
+  std::vector<CompletedTrial> completed;
+  /// Trials captured mid-attempt.
+  std::vector<InFlightTrial> in_flight;
+  /// Merged registry over the completed trials.
+  obs::MetricsRegistry metrics;
+};
+
+/// Deterministic one-line description of everything that shapes trial
+/// trajectories (trials, seed, budget, engine, chunk size, retry policy,
+/// watch state, initial configuration).  Stored in checkpoints and
+/// compared verbatim on resume.  The topology factory cannot be
+/// fingerprinted; resuming with a different factory than the one that
+/// wrote the checkpoint is a caller error.
+[[nodiscard]] std::string campaign_fingerprint(const pp::Counts& initial,
+                                               const CampaignOptions& options);
+
+/// Serializes a checkpoint to its JSON file form.
+[[nodiscard]] std::string serialize_campaign_checkpoint(
+    const CampaignCheckpoint& checkpoint);
+
+/// Parses serialize_campaign_checkpoint() output.  nullopt (and a
+/// one-line reason in `error` when non-null) on malformed input --
+/// checkpoint files come from disk, so parsing is soft-fail.
+[[nodiscard]] std::optional<CampaignCheckpoint> parse_campaign_checkpoint(
+    std::string_view text, std::string* error = nullptr);
+
+/// Runs a supervised, checkpointed campaign.  Resumes from
+/// `options.checkpoint_path` when the file exists; writes a final
+/// checkpoint (when checkpointing is enabled) before returning, so an
+/// interrupted campaign can be re-run with the same arguments until
+/// complete.
+[[nodiscard]] CampaignResult run_campaign(const pp::TransitionTable& table,
+                                          const pp::Counts& initial,
+                                          const pp::OracleFactory& make_oracle,
+                                          const CampaignOptions& options);
+
+/// Convenience overload: n agents, all in the protocol's designated
+/// initial state.
+[[nodiscard]] CampaignResult run_campaign(const pp::Protocol& protocol,
+                                          const pp::TransitionTable& table,
+                                          std::uint32_t n,
+                                          const pp::OracleFactory& make_oracle,
+                                          const CampaignOptions& options);
+
+}  // namespace ppk::core

@@ -1,0 +1,95 @@
+// Crash-safe file output: write to a temporary file in the destination
+// directory, fsync, then rename over the target.
+//
+// POSIX rename() is atomic, so a reader (or a process resuming after
+// SIGKILL) sees either the previous complete file or the new complete file,
+// never a truncated mix -- the failure mode that used to poison committed
+// bench baselines when a --json run was interrupted mid-write.  All
+// checkpoint and report writers in the tree route through this helper.
+
+#pragma once
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace ppk::io {
+
+/// Atomically replaces `path` with `content`.  Returns false (and fills
+/// `error` when non-null) on any I/O failure; the previous file, if any, is
+/// left untouched in that case.
+inline bool write_file_atomic(const std::string& path,
+                              std::string_view content,
+                              std::string* error = nullptr) {
+  const auto fail = [&](const char* what) {
+    if (error != nullptr) {
+      *error = path + ": " + what + ": " + std::strerror(errno);
+    }
+    return false;
+  };
+  const std::string temp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return fail("open");
+  const char* data = content.data();
+  std::size_t left = content.size();
+  while (left > 0) {
+    const ::ssize_t wrote = ::write(fd, data, left);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(temp.c_str());
+      return fail("write");
+    }
+    data += wrote;
+    left -= static_cast<std::size_t>(wrote);
+  }
+  // Flush file data before the rename publishes it: otherwise a crash could
+  // atomically install an empty file.
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(temp.c_str());
+    return fail("fsync");
+  }
+  if (::close(fd) != 0) {
+    ::unlink(temp.c_str());
+    return fail("close");
+  }
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    ::unlink(temp.c_str());
+    return fail("rename");
+  }
+  return true;
+}
+
+/// Buffering adapter for streaming writers (JsonWriter, CSV): stream into
+/// memory, then commit() performs one atomic write_file_atomic.  If commit()
+/// is never called (e.g. an early error path) nothing touches the target.
+class AtomicFileWriter {
+ public:
+  explicit AtomicFileWriter(std::string path) : path_(std::move(path)) {}
+
+  /// The in-memory stream to write through.
+  [[nodiscard]] std::ostream& stream() noexcept { return buffer_; }
+
+  /// Atomically publishes everything streamed so far.  Returns false and
+  /// leaves the target untouched on failure.
+  [[nodiscard]] bool commit(std::string* error = nullptr) {
+    return write_file_atomic(path_, buffer_.str(), error);
+  }
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  std::ostringstream buffer_;
+};
+
+}  // namespace ppk::io

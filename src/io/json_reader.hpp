@@ -1,0 +1,370 @@
+// Minimal recursive-descent JSON reader: the load-side counterpart of
+// json.hpp's JsonWriter, added for campaign checkpoint resume (there is
+// still no JSON library in the toolchain image).
+//
+// Two deliberate deviations from a general-purpose parser:
+//  - numbers keep their raw source token instead of being folded to double,
+//    so 64-bit counters written as decimal strings or number tokens round
+//    -trip exactly (a double only carries 53 bits);
+//  - parse failures are soft (nullopt + one-line reason) because checkpoint
+//    files come from disk, but *accessor* misuse on a parsed value is a
+//    contract violation like everywhere else in the tree.
+
+#pragma once
+
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace ppk::io {
+
+/// One parsed JSON value.  Objects keep member order; lookup is linear,
+/// which is fine for the small documents (checkpoints, bench reports) this
+/// reader exists for.
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  /// kString: the decoded string.  kNumber: the raw source token.
+  std::string scalar;
+  /// kArray: the elements.  kObject: the member values (parallel to keys).
+  std::vector<JsonValue> items;
+  std::vector<std::string> keys;
+
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind == Kind::kObject;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind == Kind::kString;
+  }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind == Kind::kNumber;
+  }
+  [[nodiscard]] bool is_bool() const noexcept { return kind == Kind::kBool; }
+
+  /// Object member lookup; nullptr when absent (or not an object -- callers
+  /// validating foreign files chain find() without pre-checking the kind).
+  [[nodiscard]] const JsonValue* find(std::string_view key) const noexcept {
+    if (kind != Kind::kObject) return nullptr;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (keys[i] == key) return &items[i];
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] const std::string& as_string() const {
+    PPK_EXPECTS(kind == Kind::kString);
+    return scalar;
+  }
+
+  [[nodiscard]] bool as_bool() const {
+    PPK_EXPECTS(kind == Kind::kBool);
+    return bool_value;
+  }
+
+  /// Exact unsigned 64-bit read from a number token or a decimal/0x-hex
+  /// string (checkpoints write u64 counters as strings).  nullopt on sign,
+  /// fraction, exponent, overflow or garbage.
+  [[nodiscard]] std::optional<std::uint64_t> as_u64() const {
+    if (kind != Kind::kNumber && kind != Kind::kString) return std::nullopt;
+    const std::string& token = scalar;
+    if (token.empty() || token[0] == '-') return std::nullopt;
+    int base = 10;
+    const char* begin = token.c_str();
+    if (token.size() > 2 && token[0] == '0' &&
+        (token[1] == 'x' || token[1] == 'X')) {
+      base = 16;
+      begin += 2;
+      if (*begin == '\0') return std::nullopt;
+    }
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(begin, &end, base);
+    if (errno != 0 || end == begin || *end != '\0') return std::nullopt;
+    return static_cast<std::uint64_t>(v);
+  }
+
+  /// Exact signed 64-bit read from a decimal number token or string.
+  /// nullopt on fraction, exponent, overflow or garbage.
+  [[nodiscard]] std::optional<std::int64_t> as_i64() const {
+    if (kind != Kind::kNumber && kind != Kind::kString) return std::nullopt;
+    if (scalar.empty()) return std::nullopt;
+    errno = 0;
+    char* end = nullptr;
+    const long long v = std::strtoll(scalar.c_str(), &end, 10);
+    if (errno != 0 || end == scalar.c_str() || *end != '\0') {
+      return std::nullopt;
+    }
+    return static_cast<std::int64_t>(v);
+  }
+
+  [[nodiscard]] std::optional<double> as_double() const {
+    if (kind != Kind::kNumber && kind != Kind::kString) return std::nullopt;
+    if (scalar.empty()) return std::nullopt;
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(scalar.c_str(), &end);
+    if (errno != 0 || end == scalar.c_str() || *end != '\0') {
+      return std::nullopt;
+    }
+    return v;
+  }
+};
+
+namespace detail {
+
+class JsonParser {
+ public:
+  JsonParser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  std::optional<JsonValue> run() {
+    skip_ws();
+    JsonValue root;
+    if (!parse_value(root, 0)) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      return fail("trailing characters after document");
+    }
+    return root;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  std::optional<JsonValue> fail(const std::string& reason) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = "json: " + reason + " at offset " + std::to_string(pos_);
+    }
+    return std::nullopt;
+  }
+
+  bool fail_bool(const std::string& reason) {
+    (void)fail(reason);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
+
+  bool expect(char c) {
+    if (at_end() || text_[pos_] != c) {
+      return fail_bool(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool parse_value(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return fail_bool("nesting too deep");
+    if (at_end()) return fail_bool("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return parse_object(out, depth);
+      case '[':
+        return parse_array(out, depth);
+      case '"':
+        out.kind = JsonValue::Kind::kString;
+        return parse_string(out.scalar);
+      case 't':
+      case 'f':
+        return parse_bool(out);
+      case 'n':
+        return parse_literal("null") &&
+               (out.kind = JsonValue::Kind::kNull, true);
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return fail_bool("bad literal");
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parse_bool(JsonValue& out) {
+    out.kind = JsonValue::Kind::kBool;
+    if (text_[pos_] == 't') {
+      out.bool_value = true;
+      return parse_literal("true");
+    }
+    out.bool_value = false;
+    return parse_literal("false");
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (!at_end() && text_[pos_] == '-') ++pos_;
+    while (!at_end() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail_bool("expected a value");
+    out.kind = JsonValue::Kind::kNumber;
+    out.scalar.assign(text_.substr(start, pos_ - start));
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!expect('"')) return false;
+    out.clear();
+    while (true) {
+      if (at_end()) return fail_bool("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (at_end()) return fail_bool("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (!parse_unicode_escape(out)) return false;
+          break;
+        }
+        default:
+          return fail_bool("unknown escape");
+      }
+    }
+  }
+
+  bool parse_unicode_escape(std::string& out) {
+    if (pos_ + 4 > text_.size()) return fail_bool("short \\u escape");
+    std::uint32_t cp = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      cp <<= 4;
+      if (h >= '0' && h <= '9') {
+        cp |= static_cast<std::uint32_t>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        cp |= static_cast<std::uint32_t>(h - 'a' + 10);
+      } else if (h >= 'A' && h <= 'F') {
+        cp |= static_cast<std::uint32_t>(h - 'A' + 10);
+      } else {
+        return fail_bool("bad \\u escape");
+      }
+    }
+    if (cp >= 0xD800 && cp <= 0xDFFF) {
+      // Surrogate pairs never occur in the files this reader targets (our
+      // own writer only emits \u00XX control escapes).
+      return fail_bool("surrogate \\u escape unsupported");
+    }
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+    return true;
+  }
+
+  bool parse_array(JsonValue& out, int depth) {
+    out.kind = JsonValue::Kind::kArray;
+    if (!expect('[')) return false;
+    skip_ws();
+    if (!at_end() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue item;
+      if (!parse_value(item, depth + 1)) return false;
+      out.items.push_back(std::move(item));
+      skip_ws();
+      if (at_end()) return fail_bool("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        skip_ws();
+        continue;
+      }
+      return expect(']');
+    }
+  }
+
+  bool parse_object(JsonValue& out, int depth) {
+    out.kind = JsonValue::Kind::kObject;
+    if (!expect('{')) return false;
+    skip_ws();
+    if (!at_end() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!expect(':')) return false;
+      skip_ws();
+      JsonValue item;
+      if (!parse_value(item, depth + 1)) return false;
+      out.keys.push_back(std::move(key));
+      out.items.push_back(std::move(item));
+      skip_ws();
+      if (at_end()) return fail_bool("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        skip_ws();
+        continue;
+      }
+      return expect('}');
+    }
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace detail
+
+/// Parses one JSON document.  nullopt (and a one-line reason in `error`
+/// when non-null) on malformed input.
+[[nodiscard]] inline std::optional<JsonValue> parse_json(
+    std::string_view text, std::string* error = nullptr) {
+  if (error != nullptr) error->clear();
+  return detail::JsonParser(text, error).run();
+}
+
+}  // namespace ppk::io

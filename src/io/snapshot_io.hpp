@@ -1,0 +1,70 @@
+// Text serialization of engine snapshots (pp/snapshot.hpp).
+//
+// Format (one line, space separated, hex payload):
+//
+//   ppk-snapshot-v1 <engine> <nwords> <word0> <word1> ...
+//
+// The format is deliberately trivial: a snapshot is an opaque word vector
+// plus an engine tag, and the conformance snapshot net round-trips every
+// snapshot through this encoding to prove serialization loses nothing.
+// Campaign checkpoints embed the line verbatim as a JSON string.
+
+#pragma once
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "pp/snapshot.hpp"
+
+namespace ppk::io {
+
+inline constexpr std::string_view kSnapshotSchema = "ppk-snapshot-v1";
+
+/// One-line text form of a snapshot.
+[[nodiscard]] inline std::string serialize_snapshot(const pp::Snapshot& snap) {
+  std::ostringstream out;
+  out << kSnapshotSchema << ' ' << snap.engine << ' ' << snap.words.size();
+  char buffer[20];
+  for (const std::uint64_t word : snap.words) {
+    std::snprintf(buffer, sizeof buffer, "%" PRIx64, word);
+    out << ' ' << buffer;
+  }
+  return out.str();
+}
+
+/// Parses serialize_snapshot output.  nullopt (and a one-line reason in
+/// `error` when non-null) on malformed input; the engine tag is not
+/// validated here -- restore() checks it against the receiving engine.
+[[nodiscard]] inline std::optional<pp::Snapshot> parse_snapshot(
+    std::string_view text, std::string* error = nullptr) {
+  const auto fail = [&](const char* reason) {
+    if (error != nullptr) *error = std::string("snapshot: ") + reason;
+    return std::nullopt;
+  };
+  std::istringstream in{std::string(text)};
+  std::string schema;
+  pp::Snapshot snap;
+  std::uint64_t nwords = 0;
+  if (!(in >> schema >> snap.engine >> nwords)) return fail("short header");
+  if (schema != kSnapshotSchema) return fail("unknown schema");
+  if (nwords > (1ULL << 32)) return fail("implausible word count");
+  snap.words.reserve(nwords);
+  std::string token;
+  for (std::uint64_t i = 0; i < nwords; ++i) {
+    if (!(in >> token)) return fail("truncated payload");
+    std::uint64_t word = 0;
+    const auto parsed =
+        std::sscanf(token.c_str(), "%" SCNx64, &word);
+    if (parsed != 1) return fail("bad payload word");
+    snap.words.push_back(word);
+  }
+  if (in >> token) return fail("trailing payload");
+  return snap;
+}
+
+}  // namespace ppk::io

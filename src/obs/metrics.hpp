@@ -160,6 +160,33 @@ class Histogram {
     ++total_;
   }
 
+  /// Bulk-restores `count` samples directly into bucket `bucket` --
+  /// checkpoint deserialization, the inverse of reading counts().  Exact by
+  /// construction (no re-bucketing of a representative value).  The bucket
+  /// must exist in the linear layout; log2 buckets materialize on demand.
+  void add_bucket_count(std::size_t bucket, std::uint64_t count) {
+    if (layout_ == Layout::kLinear) {
+      PPK_EXPECTS(bucket < counts_.size());
+    } else if (bucket >= counts_.size()) {
+      counts_.resize(bucket + 1, 0);
+    }
+    counts_[bucket] += count;
+    total_ += count;
+  }
+
+  /// Log2-layout sub-bucket bits (meaningful only for that layout); with
+  /// the layout this fully determines the bucketing, which is what
+  /// checkpoint serialization persists.
+  [[nodiscard]] unsigned sub_bits() const noexcept { return sub_bits_; }
+
+  /// Linear-layout inclusive lower range bound (meaningful only for that
+  /// layout).
+  [[nodiscard]] double linear_lo() const noexcept { return lo_; }
+
+  /// Linear-layout exclusive upper range bound (meaningful only for that
+  /// layout).
+  [[nodiscard]] double linear_hi() const noexcept { return hi_; }
+
   /// Number of recorded samples.
   [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
 

@@ -23,6 +23,7 @@
 #include "pp/population.hpp"
 #include "pp/protocol.hpp"
 #include "pp/sim_result.hpp"
+#include "pp/snapshot.hpp"
 #include "pp/stability.hpp"
 #include "pp/transition_table.hpp"
 #include "util/rng.hpp"
@@ -111,6 +112,32 @@ class AdversarialSimulator {
     result.effective = effective_ - start_effective;
     result.stabilized = oracle.stable();
     return result;
+  }
+
+  /// Serializable mid-run state: per-agent states, RNG position and
+  /// interaction counters (contract in pp/snapshot.hpp).  Epsilon is a
+  /// constructor argument, not dynamic state.
+  [[nodiscard]] Snapshot snapshot() const {
+    SnapshotWriter w("adversarial");
+    w.rng(rng_);
+    w.u64(interactions_);
+    w.u64(effective_);
+    w.states(population_.states());
+    return std::move(w).take();
+  }
+
+  /// Restores a snapshot() taken from an engine constructed with the same
+  /// arguments; resuming afterwards is bit-identical to the snapshotted
+  /// engine under the same resume() grants.
+  void restore(const Snapshot& snap) {
+    SnapshotReader r(snap, "adversarial");
+    r.rng(rng_);
+    interactions_ = r.u64();
+    effective_ = r.u64();
+    auto states = r.states(table_->num_states());
+    r.finish();
+    PPK_EXPECTS(states.size() == population_.size());
+    population_.restore_states(std::move(states));
   }
 
   [[nodiscard]] const Population& population() const noexcept {

@@ -57,6 +57,26 @@ SimResult AgentSimulator::resume(StabilityOracle& oracle,
   return result;
 }
 
+Snapshot AgentSimulator::snapshot() const {
+  SnapshotWriter w("agent");
+  w.rng(rng_);
+  w.u64(interactions_);
+  w.u64(effective_);
+  w.states(population_.states());
+  return std::move(w).take();
+}
+
+void AgentSimulator::restore(const Snapshot& snap) {
+  SnapshotReader r(snap, "agent");
+  r.rng(rng_);
+  interactions_ = r.u64();
+  effective_ = r.u64();
+  auto states = r.states(table_->num_states());
+  r.finish();
+  PPK_EXPECTS(states.size() == population_.size());
+  population_.restore_states(std::move(states));
+}
+
 std::uint64_t AgentSimulator::replay(
     const std::vector<std::pair<std::uint32_t, std::uint32_t>>& schedule) {
   std::uint64_t effective_count = 0;

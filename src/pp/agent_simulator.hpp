@@ -14,6 +14,7 @@
 
 #include "pp/population.hpp"
 #include "pp/sim_result.hpp"
+#include "pp/snapshot.hpp"
 #include "pp/stability.hpp"
 #include "pp/transition_table.hpp"
 #include "util/rng.hpp"
@@ -62,6 +63,15 @@ class AgentSimulator {
   /// of effective interactions.
   std::uint64_t replay(
       const std::vector<std::pair<std::uint32_t, std::uint32_t>>& schedule);
+
+  /// Serializable mid-run state: per-agent states, RNG position and
+  /// interaction counters (contract in pp/snapshot.hpp).
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Restores a snapshot() taken from an engine constructed with the same
+  /// arguments; resuming afterwards is bit-identical to the snapshotted
+  /// engine under the same resume() grants.
+  void restore(const Snapshot& snap);
 
   [[nodiscard]] const Population& population() const noexcept {
     return population_;

@@ -50,6 +50,33 @@ bool BatchSimulator::step(StabilityOracle& oracle) {
   return advance(oracle, UINT64_MAX) > 0;
 }
 
+Snapshot BatchSimulator::snapshot() const {
+  SnapshotWriter w("batch");
+  w.rng(rng_);
+  w.u64(interactions_);
+  w.u64(effective_);
+  w.u64(static_cast<std::uint64_t>(mode_));
+  w.counts(counts_);
+  return std::move(w).take();
+}
+
+void BatchSimulator::restore(const Snapshot& snap) {
+  SnapshotReader r(snap, "batch");
+  r.rng(rng_);
+  interactions_ = r.u64();
+  effective_ = r.u64();
+  const std::uint64_t mode = r.u64();
+  PPK_EXPECTS(mode <= static_cast<std::uint64_t>(BatchMode::kForceThin));
+  Counts counts = r.counts();
+  r.finish();
+  PPK_EXPECTS(counts.size() == counts_.size());
+  std::uint64_t n = 0;
+  for (const std::uint32_t c : counts) n += c;
+  PPK_EXPECTS(n == n_);
+  counts_ = std::move(counts);
+  mode_ = static_cast<BatchMode>(mode);
+}
+
 SimResult BatchSimulator::run(StabilityOracle& oracle,
                               std::uint64_t max_interactions) {
   oracle.reset(counts_);

@@ -65,6 +65,7 @@
 
 #include "pp/population.hpp"
 #include "pp/sim_result.hpp"
+#include "pp/snapshot.hpp"
 #include "pp/stability.hpp"
 #include "pp/transition_table.hpp"
 #include "util/rng.hpp"
@@ -118,6 +119,18 @@ class BatchSimulator {
   /// and each thin-regime null run / effective pair exactly; it must
   /// outlive the simulator.
   void set_obs_sink(obs::ObsSink* sink) noexcept { obs_ = sink; }
+
+  /// Serializable mid-run state: counts, RNG position, interaction counters
+  /// and the batch mode (contract in pp/snapshot.hpp).  Batches never carry
+  /// state across advances (each one merges into the count vector at its
+  /// collision boundary), so nothing else needs saving; the lgamma table
+  /// and scratch buffers are rebuilt/retained by the receiving engine.
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Restores a snapshot() taken from an engine constructed with the same
+  /// arguments; resuming afterwards is bit-identical to the snapshotted
+  /// engine under the same resume() grants.
+  void restore(const Snapshot& snap);
 
   [[nodiscard]] BatchMode batch_mode() const noexcept { return mode_; }
 

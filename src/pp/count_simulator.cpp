@@ -38,6 +38,28 @@ bool CountSimulator::step(StabilityOracle& oracle) {
   return true;
 }
 
+Snapshot CountSimulator::snapshot() const {
+  SnapshotWriter w("count");
+  w.rng(rng_);
+  w.u64(interactions_);
+  w.u64(effective_);
+  w.counts(counts_);
+  return std::move(w).take();
+}
+
+void CountSimulator::restore(const Snapshot& snap) {
+  SnapshotReader r(snap, "count");
+  r.rng(rng_);
+  interactions_ = r.u64();
+  effective_ = r.u64();
+  Counts counts = r.counts();
+  r.finish();
+  PPK_EXPECTS(counts.size() == counts_.size());
+  counts_ = std::move(counts);
+  fenwick_.assign(counts_);
+  PPK_EXPECTS(fenwick_.total() == n_);
+}
+
 SimResult CountSimulator::run(StabilityOracle& oracle,
                               std::uint64_t max_interactions) {
   oracle.reset(counts_);

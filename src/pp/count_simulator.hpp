@@ -24,6 +24,7 @@
 
 #include "pp/population.hpp"
 #include "pp/sim_result.hpp"
+#include "pp/snapshot.hpp"
 #include "pp/stability.hpp"
 #include "pp/transition_table.hpp"
 #include "util/fenwick.hpp"
@@ -75,6 +76,17 @@ class CountSimulator {
   /// sink is notified after every drawn interaction (null or effective)
   /// and must outlive the simulator.  Totals count from attachment.
   void set_obs_sink(obs::ObsSink* sink) noexcept { obs_ = sink; }
+
+  /// Serializable mid-run state: counts, RNG position and interaction
+  /// counters (contract in pp/snapshot.hpp).  The Fenwick mirror is derived
+  /// state and rebuilt by restore().
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Restores a snapshot() taken from an engine constructed with the same
+  /// arguments; resuming afterwards is bit-identical to the snapshotted
+  /// engine under the same resume() grants.  Watch hooks are not part of a
+  /// snapshot -- re-attach them after restoring.
+  void restore(const Snapshot& snap);
 
   [[nodiscard]] const Counts& counts() const noexcept { return counts_; }
 

@@ -244,6 +244,42 @@ bool ChurnSimulator::step(StabilityOracle& oracle) {
   return true;
 }
 
+Snapshot ChurnSimulator::snapshot() const {
+  SnapshotWriter w("churn");
+  w.rng(pair_rng_);
+  w.rng(fault_rng_);
+  w.u64(interactions_);
+  w.u64(effective_);
+  w.u64(next_event_);
+  w.u64(default_join_state_);
+  w.states(population_.states());
+  w.u64(sleep_until_.size());
+  for (const std::uint64_t until : sleep_until_) w.u64(until);
+  return std::move(w).take();
+}
+
+void ChurnSimulator::restore(const Snapshot& snap) {
+  SnapshotReader r(snap, "churn");
+  r.rng(pair_rng_);
+  r.rng(fault_rng_);
+  interactions_ = r.u64();
+  effective_ = r.u64();
+  const std::uint64_t next_event = r.u64();
+  PPK_EXPECTS(next_event <= schedule_.size());
+  const std::uint64_t join_state = r.u64();
+  PPK_EXPECTS(join_state < table_->num_states());
+  auto states = r.states(table_->num_states());
+  const std::uint64_t sleep_len = r.u64();
+  PPK_EXPECTS(sleep_len == states.size());
+  std::vector<std::uint64_t> sleep_until(sleep_len, 0);
+  for (auto& until : sleep_until) until = r.u64();
+  r.finish();
+  next_event_ = next_event;
+  default_join_state_ = static_cast<StateId>(join_state);
+  population_.restore_states(std::move(states));
+  sleep_until_ = std::move(sleep_until);
+}
+
 SimResult ChurnSimulator::run(StabilityOracle& oracle,
                               std::uint64_t max_interactions) {
   oracle.reset(population_.counts());

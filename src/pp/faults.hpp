@@ -35,6 +35,7 @@
 
 #include "pp/population.hpp"
 #include "pp/sim_result.hpp"
+#include "pp/snapshot.hpp"
 #include "pp/stability.hpp"
 #include "pp/transition_table.hpp"
 #include "util/rng.hpp"
@@ -191,6 +192,19 @@ class ChurnSimulator {
   /// Recovery-layer write: sets an agent's state, recorded as kReset.
   void overwrite_state(std::uint32_t agent, StateId state,
                        StabilityOracle* oracle);
+
+  /// Serializable mid-run state: per-agent states, both RNG streams, the
+  /// sleep table, the schedule cursor, the default join state and the
+  /// interaction counters (contract in pp/snapshot.hpp).  The schedule
+  /// itself is a constructor-time input -- reinstall it via set_schedule()
+  /// before restoring -- and the fault trace is an audit log, not replayed
+  /// state: a restored engine records faults from the restore point on.
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Restores a snapshot() taken from an engine with the same table and the
+  /// same installed schedule; resuming afterwards is bit-identical to the
+  /// snapshotted engine under the same resume() grants.
+  void restore(const Snapshot& snap);
 
   // --- Accessors ----------------------------------------------------------
 

@@ -41,14 +41,74 @@ GraphJumpSimulator::GraphJumpSimulator(const TransitionTable& table,
     adj_edge_[cursor[edges[e].second]++] = e;
   }
 
-  pos_.assign(edges.size() * 2, kNoPos);
   live_.reserve(edges.size());
+  rebuild_live();
+}
+
+void GraphJumpSimulator::rebuild_live() {
+  const auto& edges = graph_.edges();
+  live_.clear();
+  pos_.assign(edges.size() * 2, kNoPos);
   for (std::uint32_t e = 0; e < edges.size(); ++e) {
     const auto& [a, b] = edges[e];
     const StateId sa = population_.state_of(a);
     const StateId sb = population_.state_of(b);
     set_live(2 * e, table_->effective(sa, sb));
     set_live(2 * e + 1, table_->effective(sb, sa));
+  }
+}
+
+Snapshot GraphJumpSimulator::snapshot() const {
+  SnapshotWriter w("graph-jump");
+  w.rng(rng_);
+  w.u64(interactions_);
+  w.u64(effective_);
+  w.u64(has_pending_ ? 1 : 0);
+  w.u64(pending_nulls_);
+  w.states(population_.states());
+  // The live list's *order* is sampling state, not a derived cache: draws
+  // index into it uniformly, and swap-removal makes the order history
+  // -dependent, so a canonical rebuild would redirect the next draw and
+  // break restore()'s bit-identity contract.  Serialize it verbatim.
+  w.u64(live_.size());
+  for (const std::uint32_t d : live_) w.u64(d);
+  return std::move(w).take();
+}
+
+void GraphJumpSimulator::restore(const Snapshot& snap) {
+  SnapshotReader r(snap, "graph-jump");
+  r.rng(rng_);
+  interactions_ = r.u64();
+  effective_ = r.u64();
+  const std::uint64_t pending_flag = r.u64();
+  PPK_EXPECTS(pending_flag <= 1);
+  has_pending_ = pending_flag == 1;
+  pending_nulls_ = r.u64();
+  auto states = r.states(table_->num_states());
+  const std::uint64_t num_directed = graph_.edges().size() * 2;
+  const std::uint64_t num_live = r.u64();
+  PPK_EXPECTS(num_live <= num_directed);
+  std::vector<std::uint32_t> live(num_live, 0);
+  for (auto& d : live) d = r.u32();
+  r.finish();
+  PPK_EXPECTS(states.size() == population_.size());
+  population_.restore_states(std::move(states));
+  live_ = std::move(live);
+  pos_.assign(num_directed, kNoPos);
+  for (std::uint32_t i = 0; i < live_.size(); ++i) {
+    const std::uint32_t d = live_[i];
+    PPK_EXPECTS(d < num_directed && pos_[d] == kNoPos);
+    pos_[d] = i;
+  }
+  // The serialized order is trusted; the *membership* is not -- it must be
+  // exactly the set of effective directed edges under the restored states.
+  const auto& edges = graph_.edges();
+  for (std::uint32_t e = 0; e < edges.size(); ++e) {
+    const auto& [a, b] = edges[e];
+    const StateId sa = population_.state_of(a);
+    const StateId sb = population_.state_of(b);
+    PPK_EXPECTS((pos_[2 * e] != kNoPos) == table_->effective(sa, sb));
+    PPK_EXPECTS((pos_[2 * e + 1] != kNoPos) == table_->effective(sb, sa));
   }
 }
 

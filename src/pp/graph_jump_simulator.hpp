@@ -55,6 +55,7 @@
 #include "pp/interaction_graph.hpp"
 #include "pp/population.hpp"
 #include "pp/sim_result.hpp"
+#include "pp/snapshot.hpp"
 #include "pp/stability.hpp"
 #include "pp/transition_table.hpp"
 #include "util/rng.hpp"
@@ -108,6 +109,20 @@ class GraphJumpSimulator {
   /// interaction; it must outlive the simulator.
   void set_obs_sink(obs::ObsSink* sink) noexcept { obs_ = sink; }
 
+  /// Serializable mid-run state: per-agent states, RNG position,
+  /// interaction counters, the parked null-run remainder, and the live
+  /// list *in its current order* (draws index into it and swap-removal
+  /// makes the order history-dependent, so it is sampling state, not a
+  /// rebuildable cache; contract in pp/snapshot.hpp).  The topology is a
+  /// constructor argument.
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Restores a snapshot() taken from an engine constructed with the same
+  /// arguments (same graph); resuming afterwards is bit-identical to the
+  /// snapshotted engine under the same resume() grants.  Watch hooks are
+  /// not part of a snapshot -- re-attach them after restoring.
+  void restore(const Snapshot& snap);
+
   [[nodiscard]] const Population& population() const noexcept {
     return population_;
   }
@@ -143,6 +158,10 @@ class GraphJumpSimulator {
   /// Inserts/removes directed edge d in the live set (swap-delete; no-op
   /// if already in the requested status).
   void set_live(std::uint32_t d, bool live);
+
+  /// Recomputes the live set from the current per-agent states (used by
+  /// the constructor and by restore()).
+  void rebuild_live();
 
   const TransitionTable* table_;
   InteractionGraph graph_;

@@ -144,6 +144,30 @@ bool JumpSimulator::step_within(StabilityOracle& oracle, std::uint64_t budget) {
   return true;
 }
 
+Snapshot JumpSimulator::snapshot() const {
+  SnapshotWriter w("jump");
+  w.rng(rng_);
+  w.u64(interactions_);
+  w.u64(effective_);
+  w.counts(counts_);
+  return std::move(w).take();
+}
+
+void JumpSimulator::restore(const Snapshot& snap) {
+  SnapshotReader r(snap, "jump");
+  r.rng(rng_);
+  interactions_ = r.u64();
+  effective_ = r.u64();
+  Counts counts = r.counts();
+  r.finish();
+  PPK_EXPECTS(counts.size() == counts_.size());
+  counts_ = std::move(counts);
+  std::uint64_t n = 0;
+  for (const std::uint32_t c : counts_) n += c;
+  PPK_EXPECTS(n == n_);
+  rebuild_weights();
+}
+
 SimResult JumpSimulator::run(StabilityOracle& oracle,
                              std::uint64_t max_interactions) {
   oracle.reset(counts_);

@@ -42,6 +42,7 @@
 
 #include "pp/population.hpp"
 #include "pp/sim_result.hpp"
+#include "pp/snapshot.hpp"
 #include "pp/stability.hpp"
 #include "pp/transition_table.hpp"
 #include "util/rng.hpp"
@@ -99,6 +100,19 @@ class JumpSimulator {
   /// timeline samples inside the run are exact) and each effective
   /// interaction; it must outlive the simulator.
   void set_obs_sink(obs::ObsSink* sink) noexcept { obs_ = sink; }
+
+  /// Serializable mid-run state: counts, RNG position and interaction
+  /// counters (contract in pp/snapshot.hpp).  The weight caches are derived
+  /// state and rebuilt by restore().  This engine carries no null-run
+  /// remainder across advances (truncation relies on the geometric's
+  /// memorylessness), so nothing else needs saving.
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Restores a snapshot() taken from an engine constructed with the same
+  /// arguments; resuming afterwards is bit-identical to the snapshotted
+  /// engine under the same resume() grants.  Watch hooks are not part of a
+  /// snapshot -- re-attach them after restoring.
+  void restore(const Snapshot& snap);
 
   [[nodiscard]] const Counts& counts() const noexcept { return counts_; }
 

@@ -39,10 +39,6 @@ std::uint32_t MonteCarloResult::stabilized_count() const {
 
 namespace {
 
-/// Sub-stream (of a trial's stream seed) that seeds randomized topology
-/// generation, keeping it independent of the interaction draws.
-constexpr std::uint64_t kGraphTopologyStream = 0x6772'6170'68ULL;  // "graph"
-
 /// Runs one engine to stability under both limits.  Without a wall-clock
 /// limit this is a single run() call; with one, the budget is granted in
 /// chunks so the clock is consulted without touching the engines' hot

@@ -63,6 +63,12 @@ enum class Engine {
 [[nodiscard]] Engine resolve_engine(Engine engine, std::uint64_t n,
                                     bool watch, bool graph = false);
 
+/// Sub-stream (of a trial's stream seed) that seeds randomized topology
+/// generation, keeping it independent of the interaction draws.  Shared
+/// with the campaign runner (core/campaign.hpp) so both drivers derive
+/// identical per-trial topologies from identical seeds.
+inline constexpr std::uint64_t kGraphTopologyStream = 0x6772'6170'68ULL;
+
 /// Default per-trial interaction budget.  The most expensive configuration
 /// in the paper's evaluation (n = 960, k = 8) stabilizes in ~7e8
 /// interactions, so legitimate runs never come near this, yet a

@@ -101,6 +101,23 @@ class Population {
     ++counts_[s];
   }
 
+  /// Replaces the whole configuration with an explicit per-agent state
+  /// array (snapshot restore).  Unlike the Counts constructor, which orders
+  /// agents low-state-first, this preserves the given agent order -- churn
+  /// swap-removals and graph engines make the order significant.  The
+  /// state-count vector keeps its current length; every restored state must
+  /// fit it.
+  void restore_states(std::vector<StateId> states) {
+    PPK_EXPECTS(states.size() >= 2);
+    Counts counts(counts_.size(), 0);
+    for (const StateId s : states) {
+      PPK_EXPECTS(s < counts.size());
+      ++counts[s];
+    }
+    states_ = std::move(states);
+    counts_ = std::move(counts);
+  }
+
   /// Group-size vector under a protocol's output map.
   [[nodiscard]] std::vector<std::uint32_t> group_sizes(
       const Protocol& protocol) const {

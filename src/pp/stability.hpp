@@ -79,6 +79,23 @@ class StabilityOracle {
   /// True once an external change has invalidated this oracle.
   [[nodiscard]] bool is_stale() const noexcept { return stale_; }
 
+  /// Serializes oracle-internal *history* for engine snapshots (see
+  /// pp/snapshot.hpp).  An oracle whose verdict is a pure function of the
+  /// current configuration carries none -- restoring it is just
+  /// reset(counts) -- so the default returns an empty payload.
+  /// History-keeping oracles (QuiescenceOracle's lull counter) override
+  /// both hooks.
+  [[nodiscard]] virtual std::vector<std::uint64_t> save_state() const {
+    return {};
+  }
+
+  /// Restores a save_state() payload.  Call reset() with the snapshotted
+  /// configuration first, then this; afterwards the oracle continues
+  /// exactly where the snapshotted one left off.
+  virtual void restore_state(const std::vector<std::uint64_t>& state) {
+    PPK_EXPECTS(state.empty());
+  }
+
  protected:
   /// Subclasses whose targets depend on the population call this from
   /// stable(): using a stale oracle is a programming error, not a
@@ -301,6 +318,19 @@ class QuiescenceOracle final : public StabilityOracle {
 
   [[nodiscard]] bool stable() const override {
     return unchanged_ >= window_;
+  }
+
+  /// The lull counter is history a reset cannot reconstruct, so it is the
+  /// one piece of oracle state engine snapshots must carry.
+  [[nodiscard]] std::vector<std::uint64_t> save_state() const override {
+    return {unchanged_};
+  }
+
+  /// Restores a save_state() payload (after reset() from the snapshotted
+  /// counts, which rebuilds the group-size vector).
+  void restore_state(const std::vector<std::uint64_t>& state) override {
+    PPK_EXPECTS(state.size() == 1);
+    unchanged_ = state[0];
   }
 
   /// The output vector being watched for quiescence: current agents per

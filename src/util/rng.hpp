@@ -260,6 +260,19 @@ class Xoshiro256 {
                           [](double x) { return std::lgamma(x + 1.0); });
   }
 
+  /// The full 256-bit generator state, for snapshot/restore.  Restoring a
+  /// saved state resumes the stream at exactly the draw where it was saved.
+  [[nodiscard]] const std::array<std::uint64_t, 4>& state() const noexcept {
+    return state_;
+  }
+
+  /// Restores a state previously obtained from state().  The all-zero state
+  /// is a fixed point of xoshiro256** and therefore rejected.
+  void set_state(const std::array<std::uint64_t, 4>& state) noexcept {
+    PPK_EXPECTS((state[0] | state[1] | state[2] | state[3]) != 0);
+    state_ = state;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int s) noexcept {
     return (x << s) | (x >> (64 - s));

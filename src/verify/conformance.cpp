@@ -9,6 +9,7 @@
 
 #include "core/invariants.hpp"
 #include "core/kpartition.hpp"
+#include "io/snapshot_io.hpp"
 #include "pp/adversarial.hpp"
 #include "pp/agent_simulator.hpp"
 #include "pp/batch_simulator.hpp"
@@ -66,6 +67,7 @@ struct CheckName {
 constexpr CheckName kCheckNames[] = {
     {ConformanceCheck::kTrajectory, "trajectory"},
     {ConformanceCheck::kChunkedResume, "chunked-resume"},
+    {ConformanceCheck::kSnapshotResume, "snapshot-resume"},
     {ConformanceCheck::kDistribution, "distribution"},
     {ConformanceCheck::kLemma1, "lemma1"},
     {ConformanceCheck::kGroundTruth, "ground-truth"},
@@ -165,6 +167,16 @@ class CheckingOracle final : public pp::StabilityOracle {
 
   [[nodiscard]] const std::optional<Violation>& violation() const noexcept {
     return violation_;
+  }
+
+  /// Continues a fingerprint stream across a snapshot/restore boundary:
+  /// seeds the accumulator, event ordinal and tracked configuration from
+  /// the pre-snapshot oracle so the resumed half's fingerprint is directly
+  /// comparable against an uninterrupted run's.
+  void adopt(std::uint64_t hash, std::uint64_t events, pp::Counts counts) {
+    hash_ = hash;
+    events_ = events;
+    counts_ = std::move(counts);
   }
 
  private:
@@ -353,6 +365,100 @@ struct TrialRun {
   bool counts_consistent = true;  // engine state == oracle-tracked state
 };
 
+/// Constructs the simulator a conformance row denotes (fresh engine, RNG
+/// stream from `seed`) and invokes `fn` on it.  Shared by the trial driver
+/// and the snapshot net: the latter must rebuild a *new* engine with
+/// constructor arguments identical to the snapshotted one's, and routing
+/// both through one visitor makes that equality structural.
+template <typename Fn>
+void with_engine(ConformanceEngine engine, const CaseContext& ctx,
+                 std::uint64_t seed, Fn&& fn) {
+  const pp::StateId num_states = ctx.true_protocol->num_states();
+  const pp::StateId initial_state = ctx.true_protocol->initial_state();
+  const pp::TransitionTable& table = *ctx.engine_table;
+  switch (engine) {
+    case ConformanceEngine::kAgent: {
+      pp::AgentSimulator sim(table,
+                             pp::Population(ctx.n, num_states, initial_state),
+                             seed);
+      fn(sim);
+      return;
+    }
+    case ConformanceEngine::kCount: {
+      pp::CountSimulator sim(table, ctx.initial, seed);
+      fn(sim);
+      return;
+    }
+    case ConformanceEngine::kJump: {
+      pp::JumpSimulator sim(table, ctx.initial, seed);
+      fn(sim);
+      return;
+    }
+    case ConformanceEngine::kBatchAuto:
+    case ConformanceEngine::kBatchForced:
+    case ConformanceEngine::kThinForced: {
+      pp::BatchSimulator sim(table, ctx.initial, seed);
+      sim.set_batch_mode(engine == ConformanceEngine::kBatchAuto
+                             ? pp::BatchMode::kAuto
+                             : (engine == ConformanceEngine::kBatchForced
+                                    ? pp::BatchMode::kForceBatch
+                                    : pp::BatchMode::kForceThin));
+      fn(sim);
+      return;
+    }
+    case ConformanceEngine::kGraphComplete:
+    case ConformanceEngine::kGraphRing:
+    case ConformanceEngine::kGraphStar:
+    case ConformanceEngine::kGraphPath:
+    case ConformanceEngine::kGraphEr: {
+      pp::GraphSimulator sim(table, topology_for(engine, ctx),
+                             pp::Population(ctx.n, num_states, initial_state),
+                             seed);
+      fn(sim);
+      return;
+    }
+    case ConformanceEngine::kLiveEdgeComplete:
+    case ConformanceEngine::kLiveEdgeRing:
+    case ConformanceEngine::kLiveEdgeStar:
+    case ConformanceEngine::kLiveEdgePath:
+    case ConformanceEngine::kLiveEdgeEr: {
+      pp::GraphJumpSimulator sim(
+          table, topology_for(engine, ctx),
+          pp::Population(ctx.n, num_states, initial_state), seed);
+      fn(sim);
+      return;
+    }
+    case ConformanceEngine::kAdversarialEps1: {
+      pp::AdversarialSimulator sim(
+          *ctx.engine_protocol, table,
+          pp::Population(ctx.n, num_states, initial_state), 1.0, seed);
+      fn(sim);
+      return;
+    }
+    case ConformanceEngine::kChurnNoFaults: {
+      pp::ChurnSimulator sim(table,
+                             pp::Population(ctx.n, num_states, initial_state),
+                             seed);
+      fn(sim);
+      return;
+    }
+    case ConformanceEngine::kModel:
+      PPK_ASSERT(false);  // not an engine
+      return;
+  }
+  PPK_ASSERT(false);  // unreachable: all enumerators handled above
+}
+
+/// Final configuration, whichever of the two engine surfaces exposes it.
+template <typename Sim>
+[[nodiscard]] pp::Counts final_counts_of(const Sim& sim) {
+  if constexpr (requires { sim.population(); }) {
+    return sim.population().counts();
+  } else {
+    return sim.counts();
+  }
+}
+
 /// Runs one trial of `engine` with the given seed; chunk = 0 runs the whole
 /// budget in one grant, otherwise the budget is granted `chunk` pairs at a
 /// time through run()+resume().
@@ -387,89 +493,11 @@ TrialRun run_engine_trial(ConformanceEngine engine, const CaseContext& ctx,
     }
   };
 
-  const pp::StateId num_states = ctx.true_protocol->num_states();
-  const pp::StateId initial_state = ctx.true_protocol->initial_state();
-  const pp::TransitionTable& table = *ctx.engine_table;
-
   TrialRun run;
-  switch (engine) {
-    case ConformanceEngine::kAgent: {
-      pp::AgentSimulator sim(table,
-                             pp::Population(ctx.n, num_states, initial_state),
-                             seed);
-      run.result = drive(sim);
-      run.final_counts = sim.population().counts();
-      break;
-    }
-    case ConformanceEngine::kCount: {
-      pp::CountSimulator sim(table, ctx.initial, seed);
-      run.result = drive(sim);
-      run.final_counts = sim.counts();
-      break;
-    }
-    case ConformanceEngine::kJump: {
-      pp::JumpSimulator sim(table, ctx.initial, seed);
-      run.result = drive(sim);
-      run.final_counts = sim.counts();
-      break;
-    }
-    case ConformanceEngine::kBatchAuto:
-    case ConformanceEngine::kBatchForced:
-    case ConformanceEngine::kThinForced: {
-      pp::BatchSimulator sim(table, ctx.initial, seed);
-      sim.set_batch_mode(engine == ConformanceEngine::kBatchAuto
-                             ? pp::BatchMode::kAuto
-                             : (engine == ConformanceEngine::kBatchForced
-                                    ? pp::BatchMode::kForceBatch
-                                    : pp::BatchMode::kForceThin));
-      run.result = drive(sim);
-      run.final_counts = sim.counts();
-      break;
-    }
-    case ConformanceEngine::kGraphComplete:
-    case ConformanceEngine::kGraphRing:
-    case ConformanceEngine::kGraphStar:
-    case ConformanceEngine::kGraphPath:
-    case ConformanceEngine::kGraphEr: {
-      pp::GraphSimulator sim(table, topology_for(engine, ctx),
-                             pp::Population(ctx.n, num_states, initial_state),
-                             seed);
-      run.result = drive(sim);
-      run.final_counts = sim.population().counts();
-      break;
-    }
-    case ConformanceEngine::kLiveEdgeComplete:
-    case ConformanceEngine::kLiveEdgeRing:
-    case ConformanceEngine::kLiveEdgeStar:
-    case ConformanceEngine::kLiveEdgePath:
-    case ConformanceEngine::kLiveEdgeEr: {
-      pp::GraphJumpSimulator sim(
-          table, topology_for(engine, ctx),
-          pp::Population(ctx.n, num_states, initial_state), seed);
-      run.result = drive(sim);
-      run.final_counts = sim.population().counts();
-      break;
-    }
-    case ConformanceEngine::kAdversarialEps1: {
-      pp::AdversarialSimulator sim(
-          *ctx.engine_protocol, table,
-          pp::Population(ctx.n, num_states, initial_state), 1.0, seed);
-      run.result = drive(sim);
-      run.final_counts = sim.population().counts();
-      break;
-    }
-    case ConformanceEngine::kChurnNoFaults: {
-      pp::ChurnSimulator sim(table,
-                             pp::Population(ctx.n, num_states, initial_state),
-                             seed);
-      run.result = drive(sim);
-      run.final_counts = sim.population().counts();
-      break;
-    }
-    case ConformanceEngine::kModel:
-      PPK_ASSERT(false);  // not an engine
-      break;
-  }
+  with_engine(engine, ctx, seed, [&](auto& sim) {
+    run.result = drive(sim);
+    run.final_counts = final_counts_of(sim);
+  });
   run.fingerprint = oracle.fingerprint();
   run.violation = oracle.violation();
   run.counts_consistent = run.final_counts == oracle.tracked_counts();
@@ -488,6 +516,7 @@ constexpr std::uint64_t kPurposeTrajectory = 1;
 constexpr std::uint64_t kPurposeChunked = 2;
 constexpr std::uint64_t kPurposeDistribution = 3;
 constexpr std::uint64_t kPurposeConfirm = 4;
+constexpr std::uint64_t kPurposeSnapshot = 5;
 
 // ---------------------------------------------------------------------------
 // Kolmogorov-Smirnov machinery (two-sample, tie-aware)
@@ -536,6 +565,113 @@ void add_violation(ConformanceReport* report,
                    const Violation& v) {
   add_divergence(report, options, Divergence{v.check, engine, v.event,
                                              v.detail});
+}
+
+/// Snapshot/restore net.  Drives the engine to a deterministic cut, round
+/// -trips its snapshot through the text serialization, restores it into a
+/// freshly constructed engine (same constructor arguments, via the shared
+/// with_engine visitor) with a freshly constructed oracle rebuilt through
+/// reset() + restore_state(), and resumes.  The resumed run must be bit
+/// -identical -- trajectory fingerprint, final configuration, totals -- to
+/// an uninterrupted engine driven with the same grant sequence (run(cut) +
+/// resume(budget - cut)).  This holds for *every* engine, aggregated ones
+/// included, because both sides see the same grant boundaries; it is the
+/// contract the crash-safe campaign runner (core/campaign.hpp) rests on.
+void check_snapshot_resume(const ConformanceCase& c, const CaseContext& ctx,
+                           const Reference& ref, ConformanceEngine engine,
+                           const ConformanceOptions& options,
+                           ConformanceReport* report) {
+  if (c.budget < 2) return;  // no interior cut exists
+  const std::uint64_t seed = trial_seed(c, engine, kPurposeSnapshot, 0);
+  // The cut is a pure function of the case seed, interior to the budget.
+  const std::uint64_t cut =
+      1 + derive_stream_seed(c.seed, 0x736e'6170ULL) % (c.budget - 1);
+
+  // --- Uninterrupted baseline, same grant sequence as the restored run.
+  // The quiescence oracle is deliberate: it carries mutable state (the
+  // unchanged-streak counter) across the cut, so a save_state()/
+  // restore_state() hole shows up as a divergence too.
+  auto base_inner = make_oracle(ctx, OracleKind::kQuiescence);
+  CheckingOracle base(*base_inner, ref);
+  pp::SimResult base_total;
+  pp::Counts base_counts;
+  with_engine(engine, ctx, seed, [&](auto& sim) {
+    base_total = sim.run(base, cut);
+    if (!base_total.stabilized && base_total.interactions == cut) {
+      const pp::SimResult r2 = sim.resume(base, c.budget - cut);
+      base_total.interactions += r2.interactions;
+      base_total.effective += r2.effective;
+      base_total.stabilized = r2.stabilized;
+    }
+    base_counts = final_counts_of(sim);
+  });
+
+  // --- Interrupted run: identical first phase, then snapshot -> bytes ->
+  // parse -> restore into a fresh engine -> resume.
+  auto inner_a = make_oracle(ctx, OracleKind::kQuiescence);
+  CheckingOracle oracle_a(*inner_a, ref);
+  pp::SimResult first_phase;
+  std::optional<pp::Snapshot> restored;
+  std::string roundtrip_error;
+  with_engine(engine, ctx, seed, [&](auto& sim) {
+    first_phase = sim.run(oracle_a, cut);
+    const std::string bytes = io::serialize_snapshot(sim.snapshot());
+    restored = io::parse_snapshot(bytes, &roundtrip_error);
+  });
+  ++report->checks_run;
+  if (!restored.has_value()) {
+    add_divergence(
+        report, options,
+        Divergence{ConformanceCheck::kSnapshotResume, engine,
+                   first_phase.interactions,
+                   "snapshot failed to round-trip through its text "
+                   "serialization: " +
+                       roundtrip_error});
+    return;
+  }
+
+  pp::SimResult total = first_phase;
+  pp::Counts final_counts;
+  std::uint64_t fingerprint = 0;
+  with_engine(engine, ctx, seed, [&](auto& sim) {
+    sim.restore(*restored);
+    auto inner_b = make_oracle(ctx, OracleKind::kQuiescence);
+    inner_b->reset(oracle_a.tracked_counts());
+    inner_b->restore_state(inner_a->save_state());
+    CheckingOracle oracle_b(*inner_b, ref);
+    oracle_b.adopt(oracle_a.fingerprint(), oracle_a.events(),
+                   oracle_a.tracked_counts());
+    if (!first_phase.stabilized && first_phase.interactions == cut) {
+      const pp::SimResult r2 = sim.resume(oracle_b, c.budget - cut);
+      total.interactions += r2.interactions;
+      total.effective += r2.effective;
+      total.stabilized = r2.stabilized;
+    }
+    final_counts = final_counts_of(sim);
+    fingerprint = oracle_b.fingerprint();
+  });
+
+  if (base.violation().has_value()) {
+    add_violation(report, options, engine, *base.violation());
+  }
+  if (fingerprint != base.fingerprint() || final_counts != base_counts ||
+      total.interactions != base_total.interactions ||
+      total.effective != base_total.effective ||
+      total.stabilized != base_total.stabilized) {
+    std::ostringstream detail;
+    detail << "restore()+resume() diverges from the uninterrupted run after "
+           << "a snapshot at pair " << cut << " (baseline: "
+           << base_total.interactions << " pairs, "
+           << (base_total.stabilized ? "stable" : "unstable")
+           << ", fingerprint " << base.fingerprint() << "; restored: "
+           << total.interactions << " pairs, "
+           << (total.stabilized ? "stable" : "unstable") << ", fingerprint "
+           << fingerprint << ") -- snapshot() or restore() is losing engine "
+           << "or oracle state";
+    add_divergence(report, options,
+                   Divergence{ConformanceCheck::kSnapshotResume, engine, cut,
+                              detail.str()});
+  }
 }
 
 struct DistributionSample {
@@ -796,6 +932,11 @@ ConformanceReport check_conformance(const ConformanceCase& c,
                                   detail.str()});
       }
     }
+
+    // Snapshot -> serialize -> restore -> resume must be bit-identical to
+    // the uninterrupted run for every engine (same grant boundaries on
+    // both sides, so even the aggregated engines are held to it).
+    check_snapshot_resume(c, ctx, ref, engine, options, &report);
     if (report.divergences.size() >= options.max_divergences) return report;
   }
 
@@ -1323,10 +1464,13 @@ FuzzResult fuzz_conformance(const FuzzOptions& options) {
         std::chrono::steady_clock::now() - start;
     return elapsed.count() >= options.deadline_seconds;
   };
+  auto stop_requested = [&] {
+    return options.stop != nullptr && options.stop->load();
+  };
 
   for (int i = 0;
        (options.deadline_seconds > 0.0 || i < options.num_cases) &&
-       !out_of_time();
+       !out_of_time() && !stop_requested();
        ++i) {
     ConformanceCase c;
     c.seed = rng();

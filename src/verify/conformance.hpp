@@ -14,7 +14,7 @@
 // counterpart by a dedicated distribution net (the two engines realize the
 // same conditional law on the same graph; neither matches the complete
 // -graph agent reference, so sparse rows are excluded from that net).
-// Each engine is pinned by four independent nets:
+// Each engine is pinned by five independent nets:
 //
 //  1. kTrajectory     same seed => bit-identical oracle-visible trajectory
 //                     (rerun determinism), and the oracle-tracked counts
@@ -26,12 +26,22 @@
 //                     their RNG streams differently under truncation and
 //                     are covered in distribution instead).  This is the
 //                     oracle-reset bug class fixed in PR 1.
-//  3. kDistribution   engines that only agree in law are compared by
+//  3. kSnapshotResume a run interrupted at a deterministic cut, its
+//                     snapshot round-tripped through the text serialization
+//                     (io/snapshot_io.hpp) and restored into a *freshly
+//                     constructed* engine, must resume to a bit-identical
+//                     trajectory, final configuration and totals versus an
+//                     uninterrupted run driven with the same grant
+//                     sequence.  Applies to every engine (the aggregated
+//                     engines re-draw at grant boundaries, but both sides
+//                     see identical boundaries); this is the crash-safe
+//                     -campaign contract of core/campaign.hpp.
+//  4. kDistribution   engines that only agree in law are compared by
 //                     two-sample Kolmogorov-Smirnov tests on stabilization
 //                     times and effective-interaction counts, with a
 //                     confirm-on-fail rerun so a fuzz session's many tests
 //                     do not trip over the significance level.
-//  4. kLemma1 / kGroundTruth
+//  5. kLemma1 / kGroundTruth
 //                     protocol-semantics references that do not depend on
 //                     any engine: the paper's Lemma 1 counting invariant is
 //                     checked at every oracle callback, and for small n the
@@ -47,6 +57,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -147,6 +158,7 @@ struct ConformanceCase {
 enum class ConformanceCheck : std::uint8_t {
   kTrajectory,
   kChunkedResume,
+  kSnapshotResume,
   kDistribution,
   kLemma1,
   kGroundTruth,
@@ -255,6 +267,11 @@ struct FuzzOptions {
   /// Fraction of cases drawn from the 3-state symmetric candidate space
   /// (the protocol_search generators) instead of the k-partition family.
   double candidate_fraction = 0.35;
+  /// Optional cooperative-stop latch, polled between cases: when the
+  /// pointee becomes true the in-flight case finishes normally and the
+  /// session returns with whatever it has (conformance_fuzz wires SIGINT
+  /// here so Ctrl-C flushes partial results instead of dying mid-case).
+  const std::atomic<bool>* stop = nullptr;
   ConformanceOptions check{};
 };
 

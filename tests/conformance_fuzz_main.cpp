@@ -15,16 +15,24 @@
 // Replays a repro file and exits 0 iff the recorded verdict still holds
 // (expect pass => conformant, expect fail => still diverges).
 
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 
+#include "io/atomic_file.hpp"
 #include "util/cli.hpp"
 #include "verify/conformance.hpp"
 
 namespace {
+
+// Latched by the SIGINT handler: fuzz_conformance polls it between cases,
+// so Ctrl-C finishes the in-flight case, reports what ran, and exits
+// cleanly (130) instead of dying mid-check.
+std::atomic<bool> g_interrupted{false};
 
 int replay_file(const std::string& path) {
   std::ifstream in(path);
@@ -71,7 +79,10 @@ int main(int argc, char** argv) {
 
   if (!replay->empty()) return replay_file(*replay);
 
+  std::signal(SIGINT, [](int) { g_interrupted.store(true); });
+
   ppk::verify::FuzzOptions options;
+  options.stop = &g_interrupted;
   options.seed = static_cast<std::uint64_t>(*seed);
   if (options.seed == 0) {
     options.seed = static_cast<std::uint64_t>(
@@ -95,14 +106,24 @@ int main(int argc, char** argv) {
       ppk::verify::fuzz_conformance(options);
   std::cout << "cases run: " << result.cases_run << '\n';
   if (!result.failure.has_value()) {
+    if (g_interrupted.load()) {
+      std::cout << "interrupted: session stopped early, all cases run so "
+                   "far conformant\n";
+      return 130;
+    }
     std::cout << "all conformant\n";
     return 0;
   }
 
   const std::string text = ppk::verify::serialize_repro(*result.failure);
   std::cout << "DIVERGENCE (shrunk):\n" << text;
-  std::ofstream file(*out);
-  file << text;
+  // Atomic (temp + rename): a crash or second Ctrl-C mid-write cannot
+  // leave a truncated repro for CI to upload.
+  std::string error;
+  if (!ppk::io::write_file_atomic(*out, text, &error)) {
+    std::cerr << "cannot write repro: " << error << '\n';
+    return 1;
+  }
   std::cout << "repro written to " << *out << '\n';
   return 1;
 }

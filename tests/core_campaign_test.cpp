@@ -1,0 +1,282 @@
+// Crash-safe campaign layer (core/campaign.hpp): checkpoint round trips,
+// interrupt/resume bit-identity, thread-count invariance, retry/backoff
+// supervision, and the refusal paths.  The SIGKILL version of the resume
+// story lives in scripts/test_crash_resume.py; these tests drive the same
+// machinery in-process where every step is assertable.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/campaign.hpp"
+#include "core/invariants.hpp"
+#include "core/kpartition.hpp"
+#include "io/json.hpp"
+#include "obs/metrics.hpp"
+#include "pp/transition_table.hpp"
+
+namespace {
+
+using ppk::core::CampaignCheckpoint;
+using ppk::core::CampaignOptions;
+using ppk::core::CampaignResult;
+using ppk::core::KPartitionProtocol;
+using ppk::obs::MetricsRegistry;
+
+std::string registry_json(const MetricsRegistry& registry) {
+  std::ostringstream out;
+  ppk::io::JsonWriter json(out);
+  registry.write_json(json);
+  return out.str();
+}
+
+std::uint64_t counter_value(const MetricsRegistry& registry,
+                            const std::string& name) {
+  const auto it = registry.counters().find(name);
+  return it != registry.counters().end() ? it->second.value() : 0;
+}
+
+/// Trial verdicts as one comparable string (everything the report carries).
+std::string verdicts(const CampaignResult& result) {
+  std::ostringstream out;
+  for (const auto& t : result.trials) {
+    out << t.result.interactions << '/' << t.result.effective << '/'
+        << t.result.stabilized << t.result.timed_out << t.result.stalled
+        << t.failed << t.censored << '/' << t.retries;
+    for (const std::uint64_t m : t.result.watch_marks) out << ',' << m;
+    out << '\n';
+  }
+  return out.str();
+}
+
+class CampaignTest : public ::testing::Test {
+ protected:
+  CampaignTest() : protocol_(3), table_(protocol_) {}
+
+  [[nodiscard]] CampaignOptions base_options() const {
+    CampaignOptions options;
+    options.mc.trials = 8;
+    options.mc.master_seed = 99;
+    options.mc.max_interactions = 200'000;
+    options.chunk_interactions = 512;
+    options.checkpoint_every_chunks = 2;
+    return options;
+  }
+
+  [[nodiscard]] CampaignResult run(const CampaignOptions& options) const {
+    return ppk::core::run_campaign(
+        protocol_, table_, kN,
+        [&] { return ppk::core::stable_pattern_oracle(protocol_, kN); },
+        options);
+  }
+
+  [[nodiscard]] std::string temp_checkpoint(const char* tag) const {
+    const auto path = std::filesystem::temp_directory_path() /
+                      (std::string("ppk_campaign_test_") + tag + ".json");
+    std::filesystem::remove(path);
+    return path.string();
+  }
+
+  static constexpr std::uint32_t kN = 40;
+  KPartitionProtocol protocol_;
+  ppk::pp::TransitionTable table_;
+};
+
+TEST_F(CampaignTest, CompletesAndCountsVerdicts) {
+  const CampaignResult result = run(base_options());
+  EXPECT_TRUE(result.complete);
+  EXPECT_TRUE(result.error.empty());
+  EXPECT_FALSE(result.resumed);
+  EXPECT_EQ(result.trials.size(), 8u);
+  EXPECT_EQ(result.completed_count(), 8u);
+  EXPECT_EQ(result.failed_count(), 0u);
+  EXPECT_EQ(result.censored_count(), 0u);
+  for (const auto& t : result.trials) EXPECT_TRUE(t.result.stabilized);
+  EXPECT_EQ(counter_value(result.metrics, "trials"), 8u);
+  EXPECT_EQ(counter_value(result.metrics, "trials.stabilized"), 8u);
+}
+
+TEST_F(CampaignTest, ResultIsThreadCountInvariant) {
+  CampaignOptions options = base_options();
+  const CampaignResult one = run(options);
+  options.mc.threads = 4;
+  const CampaignResult four = run(options);
+  EXPECT_EQ(verdicts(one), verdicts(four));
+  EXPECT_EQ(registry_json(one.metrics), registry_json(four.metrics));
+}
+
+TEST_F(CampaignTest, CheckpointSerializationRoundTripsExactly) {
+  // Run half the campaign (tiny deadline halts at the first chunk
+  // boundaries), parse the checkpoint it wrote, re-serialize, and demand
+  // the identical bytes: every field, including in-flight snapshots and
+  // histogram buckets, must survive.
+  CampaignOptions options = base_options();
+  options.checkpoint_path = temp_checkpoint("roundtrip");
+  options.campaign_deadline_seconds = 1e-9;
+  const CampaignResult partial = run(options);
+  EXPECT_FALSE(partial.complete);
+  EXPECT_GT(partial.censored_count(), 0u);
+
+  std::ifstream file(options.checkpoint_path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  std::string error;
+  const auto ckpt =
+      ppk::core::parse_campaign_checkpoint(buffer.str(), &error);
+  ASSERT_TRUE(ckpt.has_value()) << error;
+  EXPECT_EQ(ppk::core::serialize_campaign_checkpoint(*ckpt), buffer.str());
+  std::filesystem::remove(options.checkpoint_path);
+}
+
+TEST_F(CampaignTest, InterruptedCampaignResumesBitIdentically) {
+  const CampaignResult reference = run(base_options());
+  ASSERT_TRUE(reference.complete);
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    CampaignOptions options = base_options();
+    options.mc.threads = threads;
+    options.checkpoint_path = temp_checkpoint("resume");
+    options.campaign_deadline_seconds = 1e-9;  // halt at the first boundary
+    const CampaignResult partial = run(options);
+    EXPECT_FALSE(partial.complete);
+
+    options.campaign_deadline_seconds.reset();
+    const CampaignResult resumed = run(options);
+    EXPECT_TRUE(resumed.resumed);
+    ASSERT_TRUE(resumed.complete) << "threads=" << threads;
+    EXPECT_EQ(verdicts(resumed), verdicts(reference))
+        << "threads=" << threads;
+    EXPECT_EQ(registry_json(resumed.metrics),
+              registry_json(reference.metrics))
+        << "threads=" << threads;
+    std::filesystem::remove(options.checkpoint_path);
+  }
+}
+
+TEST_F(CampaignTest, StopFlagCensorsAndKeepsTheCampaignResumable) {
+  CampaignOptions options = base_options();
+  options.checkpoint_path = temp_checkpoint("stop");
+  const std::atomic<bool> stop{true};
+  options.stop = &stop;
+  const CampaignResult halted = run(options);
+  EXPECT_FALSE(halted.complete);
+  EXPECT_EQ(halted.censored_count(), options.mc.trials);
+
+  options.stop = nullptr;
+  const CampaignResult resumed = run(options);
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_EQ(verdicts(resumed), verdicts(run(base_options())));
+  std::filesystem::remove(options.checkpoint_path);
+}
+
+TEST_F(CampaignTest, RetryBacksOffTheBudgetUntilStabilization) {
+  CampaignOptions options = base_options();
+  options.mc.trials = 4;
+  options.mc.max_interactions = 40;  // far too small for n = 40
+  options.max_retries = 12;
+  options.retry_backoff = 2.0;
+  MetricsRegistry runtime;
+  options.runtime_metrics = &runtime;
+  const CampaignResult result = run(options);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.failed_count(), 0u);
+  EXPECT_GT(result.retried_count(), 0u);
+  for (const auto& t : result.trials) {
+    EXPECT_TRUE(t.result.stabilized);
+    EXPECT_GT(t.retries, 0u);
+    // Accumulated work spans every attempt, so it exceeds the base budget.
+    EXPECT_GT(t.result.interactions, options.mc.max_interactions);
+  }
+  EXPECT_GT(runtime.counter("campaign.retries").value(), 0u);
+  EXPECT_EQ(runtime.gauge("campaign.trials.failed").value(), 0);
+}
+
+TEST_F(CampaignTest, ExhaustedRetriesFailTheTrial) {
+  CampaignOptions options = base_options();
+  options.mc.trials = 2;
+  options.mc.max_interactions = 10;
+  options.max_retries = 1;
+  options.retry_backoff = 1.0;  // no growth: it can never stabilize
+  const CampaignResult result = run(options);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.failed_count(), 2u);
+  for (const auto& t : result.trials) {
+    EXPECT_TRUE(t.failed);
+    EXPECT_FALSE(t.result.stabilized);
+    EXPECT_EQ(t.retries, 1u);
+  }
+  EXPECT_EQ(counter_value(result.metrics, "trials.failed"), 2u);
+}
+
+TEST_F(CampaignTest, RefusesACheckpointFromADifferentConfiguration) {
+  CampaignOptions options = base_options();
+  options.checkpoint_path = temp_checkpoint("fingerprint");
+  const CampaignResult first = run(options);
+  ASSERT_TRUE(first.complete);
+
+  options.mc.master_seed = 100;  // different campaign, same file
+  const CampaignResult refused = run(options);
+  EXPECT_FALSE(refused.error.empty());
+  EXPECT_TRUE(refused.trials.empty());
+  std::filesystem::remove(options.checkpoint_path);
+}
+
+TEST_F(CampaignTest, RefusesAMalformedCheckpointFile) {
+  CampaignOptions options = base_options();
+  options.checkpoint_path = temp_checkpoint("malformed");
+  {
+    std::ofstream file(options.checkpoint_path);
+    file << "{\"schema\":\"ppk-campaign-v1\",\"garbage\":true}";
+  }
+  const CampaignResult refused = run(options);
+  EXPECT_FALSE(refused.error.empty());
+  EXPECT_TRUE(refused.trials.empty());
+  std::filesystem::remove(options.checkpoint_path);
+}
+
+TEST_F(CampaignTest, RuntimeMetricsRecordCheckpointWrites) {
+  CampaignOptions options = base_options();
+  options.checkpoint_path = temp_checkpoint("runtime");
+  MetricsRegistry runtime;
+  options.runtime_metrics = &runtime;
+  const CampaignResult result = run(options);
+  EXPECT_TRUE(result.complete);
+  EXPECT_GT(runtime.counter("campaign.checkpoints").value(), 0u);
+  EXPECT_EQ(runtime.histogram("campaign.checkpoint.write_us").total(),
+            runtime.counter("campaign.checkpoints").value());
+  EXPECT_EQ(runtime.gauge("campaign.trials.censored").value(), 0);
+  EXPECT_EQ(runtime.gauge("campaign.trials.failed").value(), 0);
+  std::filesystem::remove(options.checkpoint_path);
+}
+
+TEST_F(CampaignTest, FingerprintCoversTheTrajectoryShapingKnobs) {
+  const CampaignOptions base = base_options();
+  ppk::pp::Counts initial(protocol_.num_states(), 0);
+  initial[protocol_.initial_state()] = kN;
+  const std::string fp = ppk::core::campaign_fingerprint(initial, base);
+
+  CampaignOptions changed = base;
+  changed.chunk_interactions = 1024;
+  EXPECT_NE(ppk::core::campaign_fingerprint(initial, changed), fp);
+  changed = base;
+  changed.mc.master_seed = 7;
+  EXPECT_NE(ppk::core::campaign_fingerprint(initial, changed), fp);
+  changed = base;
+  changed.max_retries = 3;
+  EXPECT_NE(ppk::core::campaign_fingerprint(initial, changed), fp);
+
+  // Supervision-only knobs deliberately stay out: they never change a
+  // completed trial's trajectory, so resuming across them is sound.
+  changed = base;
+  changed.campaign_deadline_seconds = 5.0;
+  changed.checkpoint_every_chunks = 99;
+  EXPECT_EQ(ppk::core::campaign_fingerprint(initial, changed), fp);
+}
+
+}  // namespace

@@ -1,0 +1,144 @@
+// JSON reader (io/json_reader.hpp) and atomic file plumbing
+// (io/atomic_file.hpp): writer -> reader round trips, exact 64-bit number
+// handling, soft parse failures, and the write-temp-then-rename contract
+// that checkpoints and bench reports rely on.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "io/atomic_file.hpp"
+#include "io/json.hpp"
+#include "io/json_reader.hpp"
+
+namespace {
+
+using ppk::io::JsonValue;
+using ppk::io::parse_json;
+
+TEST(JsonReader, ParsesScalarsAndStructure) {
+  std::string error;
+  const auto v = parse_json(
+      R"({"name":"x","on":true,"off":false,"none":null,)"
+      R"("list":[1,2,3],"nested":{"deep":"yes"}})",
+      &error);
+  ASSERT_TRUE(v.has_value()) << error;
+  ASSERT_TRUE(v->is_object());
+  EXPECT_EQ(v->find("name")->as_string(), "x");
+  EXPECT_TRUE(v->find("on")->as_bool());
+  EXPECT_FALSE(v->find("off")->as_bool());
+  EXPECT_EQ(v->find("none")->kind, JsonValue::Kind::kNull);
+  ASSERT_TRUE(v->find("list")->is_array());
+  EXPECT_EQ(v->find("list")->items.size(), 3u);
+  EXPECT_EQ(v->find("nested")->find("deep")->as_string(), "yes");
+  EXPECT_EQ(v->find("missing"), nullptr);
+}
+
+TEST(JsonReader, U64RoundTripsExactlyFromNumbersAndStrings) {
+  // 2^64 - 1 is not representable in a double; the reader must keep the
+  // raw token so checkpoint counters survive.
+  std::string error;
+  const auto v = parse_json(
+      R"({"num":18446744073709551615,"str":"18446744073709551615",)"
+      R"("hex":"0xFFFFFFFFFFFFFFFF"})",
+      &error);
+  ASSERT_TRUE(v.has_value()) << error;
+  EXPECT_EQ(v->find("num")->as_u64(), UINT64_MAX);
+  EXPECT_EQ(v->find("str")->as_u64(), UINT64_MAX);
+  EXPECT_EQ(v->find("hex")->as_u64(), UINT64_MAX);
+}
+
+TEST(JsonReader, U64RejectsSignsFractionsAndOverflow) {
+  std::string error;
+  const auto v = parse_json(
+      R"({"neg":-1,"frac":1.5,"exp":1e3,"over":"18446744073709551616",)"
+      R"("junk":"12abc","flag":true})",
+      &error);
+  ASSERT_TRUE(v.has_value()) << error;
+  EXPECT_FALSE(v->find("neg")->as_u64().has_value());
+  EXPECT_FALSE(v->find("frac")->as_u64().has_value());
+  EXPECT_FALSE(v->find("exp")->as_u64().has_value());
+  EXPECT_FALSE(v->find("over")->as_u64().has_value());
+  EXPECT_FALSE(v->find("junk")->as_u64().has_value());
+  EXPECT_FALSE(v->find("flag")->as_u64().has_value());
+}
+
+TEST(JsonReader, I64HandlesTheFullSignedRange) {
+  std::string error;
+  const auto v = parse_json(
+      R"({"min":-9223372036854775808,"max":9223372036854775807,)"
+      R"("under":"-9223372036854775809"})",
+      &error);
+  ASSERT_TRUE(v.has_value()) << error;
+  EXPECT_EQ(v->find("min")->as_i64(), INT64_MIN);
+  EXPECT_EQ(v->find("max")->as_i64(), INT64_MAX);
+  EXPECT_FALSE(v->find("under")->as_i64().has_value());
+}
+
+TEST(JsonReader, DecodesEscapes) {
+  std::string error;
+  const auto v = parse_json(R"({"s":"a\"b\\c\ndAé"})", &error);
+  ASSERT_TRUE(v.has_value()) << error;
+  EXPECT_EQ(v->find("s")->as_string(), "a\"b\\c\nd"
+                                       "A\xC3\xA9");
+}
+
+TEST(JsonReader, SoftFailsWithAReason) {
+  for (const char* bad :
+       {"", "{", "[1,", R"({"a" 1})", "tru", "{\"a\":1}x", R"({"a":})"}) {
+    std::string error;
+    EXPECT_FALSE(parse_json(bad, &error).has_value()) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+TEST(JsonReader, RoundTripsTheWriterOutput) {
+  std::ostringstream out;
+  {
+    ppk::io::JsonWriter json(out);
+    json.begin_object();
+    json.member("schema", "test-v1");
+    json.member("count", std::uint64_t{1234567890123456789ULL});
+    json.key("rows");
+    json.begin_array();
+    json.value(std::uint64_t{1});
+    json.value(std::uint64_t{2});
+    json.end_array();
+    json.end_object();
+  }
+  std::string error;
+  const auto v = parse_json(out.str(), &error);
+  ASSERT_TRUE(v.has_value()) << error;
+  EXPECT_EQ(v->find("schema")->as_string(), "test-v1");
+  EXPECT_EQ(v->find("count")->as_u64(), 1234567890123456789ULL);
+  EXPECT_EQ(v->find("rows")->items.size(), 2u);
+}
+
+TEST(AtomicFile, WriteReplacesTheTargetCompletely) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "ppk_atomic_file_test.txt";
+  std::string error;
+  ASSERT_TRUE(ppk::io::write_file_atomic(path.string(), "first\n", &error))
+      << error;
+  ASSERT_TRUE(ppk::io::write_file_atomic(path.string(), "second\n", &error))
+      << error;
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "second\n");
+  std::filesystem::remove(path);
+}
+
+TEST(AtomicFile, CommitFailsIntoTheErrorString) {
+  ppk::io::AtomicFileWriter writer("/nonexistent-dir/nope/file.json");
+  writer.stream() << "data";
+  std::string error;
+  EXPECT_FALSE(writer.commit(&error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace

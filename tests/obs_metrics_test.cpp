@@ -6,10 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <filesystem>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "core/campaign.hpp"
 #include "core/invariants.hpp"
 #include "core/kpartition.hpp"
 #include "io/json.hpp"
@@ -327,6 +329,50 @@ TEST(ObsMetrics, MonteCarloTrialCountersAddUp) {
   EXPECT_EQ(registry.counter("sim.interactions").value(), interactions);
   EXPECT_EQ(registry.counter("sim.effective").value(), effective);
   EXPECT_EQ(registry.histogram("trial.interactions").total(), 6u);
+}
+
+TEST(ObsMetrics, CampaignRuntimeMetricsCoverCheckpointsAndSupervision) {
+  // The campaign layer splits its instrumentation in two: deterministic
+  // per-trial metrics merge into CampaignResult::metrics (thread-count
+  // invariant, checkpoint-persisted), while operational ones -- checkpoint
+  // write durations, retries, final verdict gauges -- land in the caller's
+  // runtime registry and deliberately stay out of the merged aggregate.
+  const KPartitionProtocol protocol(3);
+  const ppk::pp::TransitionTable table(protocol);
+  const std::uint32_t n = 40;
+
+  ppk::core::CampaignOptions options;
+  options.mc.trials = 6;
+  options.mc.master_seed = 0xFEED;
+  options.mc.max_interactions = 60;  // forces retries at n = 40
+  options.chunk_interactions = 512;
+  options.checkpoint_every_chunks = 1;
+  options.max_retries = 12;
+  options.retry_backoff = 2.0;
+  options.checkpoint_path =
+      (std::filesystem::temp_directory_path() / "ppk_obs_campaign.json")
+          .string();
+  std::filesystem::remove(options.checkpoint_path);
+  MetricsRegistry runtime;
+  options.runtime_metrics = &runtime;
+  const auto result = ppk::core::run_campaign(
+      protocol, table, n,
+      [&] { return ppk::core::stable_pattern_oracle(protocol, n); }, options);
+  std::filesystem::remove(options.checkpoint_path);
+
+  ASSERT_TRUE(result.complete);
+  EXPECT_GT(runtime.counter("campaign.checkpoints").value(), 0u);
+  EXPECT_EQ(runtime.histogram("campaign.checkpoint.write_us").total(),
+            runtime.counter("campaign.checkpoints").value());
+  EXPECT_GT(runtime.counter("campaign.retries").value(), 0u);
+  EXPECT_EQ(runtime.gauge("campaign.trials.censored").value(), 0);
+  EXPECT_EQ(runtime.gauge("campaign.trials.failed").value(), 0);
+
+  // The deterministic aggregate carries the trial-facing views instead.
+  const std::string merged = registry_json(result.metrics);
+  EXPECT_NE(merged.find("\"trials.retried\""), std::string::npos);
+  EXPECT_NE(merged.find("\"trial.retries\""), std::string::npos);
+  EXPECT_EQ(merged.find("\"campaign."), std::string::npos);
 }
 
 }  // namespace
