@@ -32,10 +32,19 @@
 // The JSON report carries machine metadata and (via --git-rev, filled in
 // by scripts/run_benchmarks.sh) the source revision, so committed baselines
 // are auditable.
+//
+// Beyond the grid, the v2 report adds two blocks for the sharded engine:
+// "sampler_setup" (cold shared log-factorial build vs warm engine
+// construction -- a hard in-bench assertion that per-engine sampler setup
+// is amortized out) and "sharded_scale" (one deep exact-budget trial at
+// n = 10^8 -- 4x10^6 in smoke mode -- batch baseline vs sharded at worker
+// counts 1/2/4/8, each row carrying a verdict fingerprint that must match
+// across reps and thread counts; the bench exits nonzero if not).
 
 #include <algorithm>
 #include <cstdio>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -43,12 +52,15 @@
 #include "core/kpartition.hpp"
 #include "obs/sink.hpp"
 #include "pp/agent_simulator.hpp"
+#include "pp/batch_sharded_simulator.hpp"
 #include "pp/batch_simulator.hpp"
 #include "pp/count_simulator.hpp"
 #include "pp/jump_simulator.hpp"
 #include "pp/monte_carlo.hpp"
 #include "pp/transition_table.hpp"
+#include "util/log_fact.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 #include "util/stopwatch.hpp"
 
 namespace {
@@ -183,6 +195,10 @@ Measurement measure_engine(ppk::pp::Engine engine,
       return measure_repeated<ppk::pp::JumpSimulator>(
           [&] { return ppk::pp::JumpSimulator(table, initial, seed); },
           protocol, n, wall_cap_seconds);
+    case ppk::pp::Engine::kBatchSharded:
+      return measure_repeated<ppk::pp::BatchShardedSimulator>(
+          [&] { return ppk::pp::BatchShardedSimulator(table, initial, seed); },
+          protocol, n, wall_cap_seconds);
     default:
       return measure_repeated<ppk::pp::BatchSimulator>(
           [&] { return ppk::pp::BatchSimulator(table, initial, seed); },
@@ -195,9 +211,119 @@ const char* engine_name(ppk::pp::Engine e) {
     case ppk::pp::Engine::kAgentArray: return "agent";
     case ppk::pp::Engine::kCountVector: return "count";
     case ppk::pp::Engine::kJump: return "jump";
+    case ppk::pp::Engine::kBatchSharded: return "sharded";
     default: return "batch";
   }
 }
+
+// ---------------------------------------------------------------------------
+// Sampler-setup amortization (the hoisted log-factorial table)
+
+/// FNV-1a over the final configuration and totals: the row's verdict.
+/// Trajectories are pure functions of the seed, so two rows of the same
+/// (n, k, seed, budget) must fingerprint identically no matter the thread
+/// count or SIMD dispatch -- the property the scale gate pins.
+std::uint64_t verdict_fingerprint(const ppk::pp::Counts& counts,
+                                  std::uint64_t interactions,
+                                  std::uint64_t effective) {
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(interactions);
+  mix(effective);
+  for (const std::uint32_t c : counts) mix(c);
+  return h;
+}
+
+struct SamplerSetup {
+  double cold_table_seconds = 0.0;  // first shared log-factorial build
+  double warm_engine_seconds = 0.0; // per-engine construction, table hot
+  double warm_fraction = 0.0;       // warm / cold
+};
+
+/// Must run before anything touches the shared table: the first call pays
+/// the full lgamma fill (the "cold" cost the singleton exists to amortize),
+/// after which engine construction only allocates tiles.  The bench
+/// asserts the amortization (warm construction well under the cold build)
+/// so a regression that re-derives the table per engine -- the exact cost
+/// the hoist removed -- fails loudly rather than just benching slower.
+SamplerSetup measure_sampler_setup() {
+  SamplerSetup s;
+  {
+    const ppk::Stopwatch clock;
+    const ppk::LogFact cold(ppk::kLogFactTableSize - 1);
+    s.cold_table_seconds = clock.seconds();
+    g_calibration_sink = static_cast<std::uint64_t>(cold(1000.0));
+  }
+  const ppk::core::KPartitionProtocol protocol(3);
+  const ppk::pp::TransitionTable table(protocol);
+  const std::uint32_t n = 2'000'000;
+  ppk::pp::Counts initial(protocol.num_states(), 0);
+  initial[protocol.initial_state()] = n;
+  constexpr int kWarmEngines = 8;
+  const ppk::Stopwatch clock;
+  for (int i = 0; i < kWarmEngines; ++i) {
+    ppk::pp::BatchShardedSimulator sim(table, initial, 1);
+    g_calibration_sink = sim.population_size();
+  }
+  s.warm_engine_seconds = clock.seconds() / kWarmEngines;
+  s.warm_fraction = s.cold_table_seconds > 0.0
+                        ? s.warm_engine_seconds / s.cold_table_seconds
+                        : 1.0;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// The sharded-scale block: single trial at n = 10^8
+
+/// Budget-bounded chunked measurement (exact interaction count, so the
+/// verdict fingerprint is comparable across rows), with the same
+/// interleaved calibration slices as the wall-capped grid rows.
+template <typename Sim>
+Measurement measure_budget(Sim& sim, ppk::pp::StabilityOracle& oracle,
+                           std::uint64_t budget) {
+  constexpr std::uint64_t kChunk = 1ULL << 22;
+  constexpr double kCalibrateEvery = 0.02;
+  Measurement m;
+  double since_calibration = 0.0;
+  bool first = true;
+  std::uint64_t remaining = budget;
+  while (remaining > 0) {
+    const std::uint64_t grant = std::min<std::uint64_t>(kChunk, remaining);
+    const ppk::Stopwatch chunk_clock;
+    const ppk::pp::SimResult r =
+        first ? sim.run(oracle, grant) : sim.resume(oracle, grant);
+    const double chunk_seconds = chunk_clock.seconds();
+    m.seconds += chunk_seconds;
+    since_calibration += chunk_seconds;
+    first = false;
+    m.interactions += r.interactions;
+    m.effective += r.effective;
+    remaining -= r.interactions;
+    const bool done = r.stabilized || r.interactions < grant || remaining == 0;
+    if (r.stabilized) m.stabilized = true;
+    if (since_calibration >= kCalibrateEvery || done) {
+      m.calibration_seconds += calibration_slice(&m.calibration_draws);
+      since_calibration = 0.0;
+    }
+    if (done && remaining > 0) break;  // stabilized or silent before budget
+  }
+  return m;
+}
+
+struct ScaleRow {
+  const char* engine;
+  std::size_t threads;
+  Measurement m;
+  double rate = 0.0;
+  double calibration = 0.0;
+  double rep_spread = 0.0;
+  std::uint64_t fingerprint = 0;
+};
 
 }  // namespace
 
@@ -223,6 +349,22 @@ int main(int argc, char** argv) {
   ppk::bench::print_header("Engine throughput",
                            "interactions per wall-second, per engine");
 
+  // Runs first, while the shared log-factorial table is genuinely cold.
+  const SamplerSetup setup = measure_sampler_setup();
+  std::printf(
+      "sampler setup: cold table %.2f ms, warm engine %.3f ms per "
+      "construction (%.2f%% of cold)\n",
+      setup.cold_table_seconds * 1e3, setup.warm_engine_seconds * 1e3,
+      setup.warm_fraction * 100.0);
+  if (setup.warm_fraction >= 0.5) {
+    std::fprintf(stderr,
+                 "sampler-setup regression: warm engine construction costs "
+                 "%.0f%% of the cold log-factorial build -- the shared table "
+                 "is not being reused across engines\n",
+                 setup.warm_fraction * 100.0);
+    return 1;
+  }
+
   struct Case {
     ppk::pp::GroupId k;
     std::uint32_t n;
@@ -236,7 +378,8 @@ int main(int argc, char** argv) {
   }
   const std::vector<ppk::pp::Engine> engines = {
       ppk::pp::Engine::kAgentArray, ppk::pp::Engine::kCountVector,
-      ppk::pp::Engine::kJump, ppk::pp::Engine::kBatch};
+      ppk::pp::Engine::kJump, ppk::pp::Engine::kBatch,
+      ppk::pp::Engine::kBatchSharded};
 
   ppk::analysis::Table table({"k", "n", "engine", "interactions", "seconds",
                               "stabilized", "M interactions/s"});
@@ -302,8 +445,114 @@ int main(int argc, char** argv) {
   std::printf(
       "\nReading: agent/count pay per drawn pair, so they are clock-capped\n"
       "mid-trajectory at large n; jump skips null runs; batch additionally\n"
-      "aggregates the dense phase in collision-free groups.  Rates are\n"
-      "honest per-engine averages over the trajectory each one executes.\n");
+      "aggregates the dense phase in collision-free groups; sharded is the\n"
+      "SoA/SIMD rebuild of batch.  Rates are honest per-engine averages over\n"
+      "the trajectory each one executes.\n");
+
+  // -- Sharded-scale: one deep trial at large n under an exact budget -------
+  //
+  // The regime the sharded engine exists for.  One trajectory, fixed
+  // interaction budget (so every row does literally the same work), batch
+  // baseline plus sharded at worker counts 1/2/4/8 with the production
+  // parallel grain.  Each row's verdict fingerprint (final counts + totals)
+  // must agree across reps AND across thread counts -- bit-determinism is
+  // checked here in the shipping binary, not just in unit tests.
+  const std::uint32_t scale_n = *smoke ? 4'000'000u : 100'000'000u;
+  const std::uint64_t scale_budget = *smoke ? (1ULL << 25) : (1ULL << 28);
+  constexpr ppk::pp::GroupId kScaleK = 3;
+  std::vector<ScaleRow> scale_rows;
+  bool scale_deterministic = true;
+  if (!ppk::bench::interrupted()) {
+    std::printf("\nsharded scale: k=%d n=%u budget=%llu simd=%s\n",
+                int{kScaleK}, scale_n,
+                static_cast<unsigned long long>(scale_budget),
+                ppk::simd::active_name());
+    const ppk::core::KPartitionProtocol protocol(kScaleK);
+    const ppk::pp::TransitionTable transitions(protocol);
+    ppk::pp::Counts initial(protocol.num_states(), 0);
+    initial[protocol.initial_state()] = scale_n;
+    const auto seed = static_cast<std::uint64_t>(*common.seed);
+    const auto run_row = [&](const char* name, std::size_t threads,
+                             auto make_sim) {
+      ScaleRow row;
+      row.engine = name;
+      row.threads = threads;
+      double norm_lo = 0.0;
+      double norm_hi = 0.0;
+      bool have_row = false;
+      for (int rep = 0; rep < std::max(1, *reps); ++rep) {
+        if (ppk::bench::interrupted()) return;
+        const auto oracle =
+            ppk::core::stable_pattern_oracle(protocol, scale_n);
+        auto sim = make_sim();
+        const Measurement candidate =
+            measure_budget(sim, *oracle, scale_budget);
+        const std::uint64_t fp = verdict_fingerprint(
+            sim.counts(), sim.interactions(), candidate.effective);
+        if (rep == 0) {
+          row.fingerprint = fp;
+        } else if (row.fingerprint != fp) {
+          std::fprintf(
+              stderr,
+              "determinism violation: %s threads=%zu rep %d fingerprint "
+              "%016llx != rep 0 %016llx\n",
+              name, threads, rep, static_cast<unsigned long long>(fp),
+              static_cast<unsigned long long>(row.fingerprint));
+          scale_deterministic = false;
+        }
+        const double candidate_rate =
+            candidate.seconds > 0
+                ? static_cast<double>(candidate.interactions) /
+                      candidate.seconds
+                : 0.0;
+        if (rep == 0 || candidate_rate > row.rate) {
+          row.m = candidate;
+          row.rate = candidate_rate;
+        }
+        row.calibration =
+            std::max(row.calibration, candidate.calibration_rate());
+        const double normalized =
+            candidate_rate / candidate.calibration_rate();
+        norm_lo = rep == 0 ? normalized : std::min(norm_lo, normalized);
+        norm_hi = rep == 0 ? normalized : std::max(norm_hi, normalized);
+        have_row = true;
+      }
+      if (!have_row) return;
+      row.rep_spread = norm_hi > 0.0 ? 1.0 - norm_lo / norm_hi : 0.0;
+      scale_rows.push_back(row);
+      std::printf("  %-8s threads=%zu  %8.1f M/s  spread %.3f  verdict %016llx\n",
+                  row.engine, row.threads, row.rate / 1e6, row.rep_spread,
+                  static_cast<unsigned long long>(row.fingerprint));
+    };
+    run_row("batch", 1, [&] {
+      return ppk::pp::BatchSimulator(transitions, initial, seed);
+    });
+    for (const std::size_t t : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                                std::size_t{8}}) {
+      if (ppk::bench::interrupted()) break;
+      run_row("sharded", t, [&] {
+        return ppk::pp::BatchShardedSimulator(transitions, initial, seed, t);
+      });
+    }
+    // Thread invariance: every completed sharded row must reach the same
+    // verdict; workers decide when shard work runs, never what it draws.
+    const ScaleRow* first_sharded = nullptr;
+    for (const ScaleRow& r : scale_rows) {
+      if (std::string_view(r.engine) != "sharded") continue;
+      if (first_sharded == nullptr) {
+        first_sharded = &r;
+      } else if (r.fingerprint != first_sharded->fingerprint) {
+        std::fprintf(
+            stderr,
+            "determinism violation: sharded threads=%zu verdict %016llx != "
+            "threads=%zu verdict %016llx\n",
+            r.threads, static_cast<unsigned long long>(r.fingerprint),
+            first_sharded->threads,
+            static_cast<unsigned long long>(first_sharded->fingerprint));
+        scale_deterministic = false;
+      }
+    }
+  }
 
   if (!common.json->empty()) {
     // Atomic (temp + rename): an interrupted run cannot leave a truncated
@@ -311,10 +560,14 @@ int main(int argc, char** argv) {
     ppk::io::AtomicFileWriter file(*common.json);
     ppk::io::JsonWriter json(file.stream());
     json.begin_object();
-    json.member("schema", "ppk-bench-engines-v1");
+    json.member("schema", "ppk-bench-engines-v2");
     json.member("bench", "batch_throughput");
     json.member("git_rev", *git_rev);
     json.member("smoke", *smoke);
+    // Which sampler kernels ran: "avx2" or "scalar" (runtime dispatch; the
+    // forced-scalar CI leg sets PPK_NO_SIMD=1).  Verdict fingerprints are
+    // bit-identical across dispatch, so this is provenance, not a gate key.
+    json.member("simd", ppk::simd::active_name());
     // True when SIGINT cut the sweep short: the results array only covers
     // the points that completed, and gates must not treat it as a baseline.
     json.member("interrupted", ppk::bench::interrupted());
@@ -331,6 +584,16 @@ int main(int argc, char** argv) {
     json.end_object();
     json.key("machine");
     ppk::bench::write_machine_metadata(json);
+    // Sampler-setup amortization evidence: the shared log-factorial table
+    // is built once (cold) and engine construction afterwards must be a
+    // small fraction of it.  The bench already hard-fails on >= 0.5; the
+    // gate re-checks the recorded number so a baseline can't hide it.
+    json.key("sampler_setup");
+    json.begin_object();
+    json.member("cold_table_seconds", setup.cold_table_seconds);
+    json.member("warm_engine_seconds", setup.warm_engine_seconds);
+    json.member("warm_fraction", setup.warm_fraction);
+    json.end_object();
     json.key("results");
     json.begin_array();
     for (const Row& r : rows) {
@@ -352,6 +615,38 @@ int main(int argc, char** argv) {
       json.end_object();
     }
     json.end_array();
+    // The deep single-trial block: exact-budget rows, so rates are
+    // comparable across engines/threads within the report, and the verdict
+    // fingerprints pin bit-determinism (hex strings -- JSON doubles cannot
+    // carry 64 bits).
+    json.key("sharded_scale");
+    json.begin_object();
+    json.member("k", int{kScaleK});
+    json.member("n", static_cast<std::uint64_t>(scale_n));
+    json.member("budget", scale_budget);
+    json.member("seed", static_cast<std::int64_t>(*common.seed));
+    json.member("deterministic", scale_deterministic);
+    json.key("rows");
+    json.begin_array();
+    for (const ScaleRow& r : scale_rows) {
+      char verdict[17];
+      std::snprintf(verdict, sizeof verdict, "%016llx",
+                    static_cast<unsigned long long>(r.fingerprint));
+      json.begin_object();
+      json.member("engine", r.engine);
+      json.member("threads", static_cast<std::uint64_t>(r.threads));
+      json.member("interactions", r.m.interactions);
+      json.member("effective", r.m.effective);
+      json.member("seconds", r.m.seconds);
+      json.member("stabilized", r.m.stabilized);
+      json.member("interactions_per_second", r.rate);
+      json.member("calibration_rate", r.calibration);
+      json.member("rep_spread", r.rep_spread);
+      json.member("fingerprint", verdict);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
     json.end_object();
     std::string error;
     if (!file.commit(&error)) {
@@ -364,6 +659,10 @@ int main(int argc, char** argv) {
     std::printf("\ninterrupted: %zu point(s) completed before SIGINT\n",
                 rows.size());
     return 130;
+  }
+  if (!scale_deterministic) {
+    std::fprintf(stderr, "sharded-scale determinism check FAILED\n");
+    return 1;
   }
   return 0;
 }

@@ -3,16 +3,19 @@
 
 Dispatches on the new report's schema:
 
- - ppk-bench-engines-v1  (bench/batch_throughput):   engine-throughput
-   gates, baseline BENCH_ENGINES.json -- see below.
+ - ppk-bench-engines-v1/-v2 (bench/batch_throughput): engine-throughput
+   gates, baseline BENCH_ENGINES.json -- see below.  v2 adds the
+   "sharded" engine to the grid plus the "sampler_setup" and
+   "sharded_scale" blocks; v1 reports (older baselines) are still
+   accepted, skipping the v2-only gates.
  - ppk-bench-topology-v1 (bench/topology_sensitivity): topology gates,
    baseline BENCH_TOPOLOGY.json -- see check_topology().
 
 Engine-throughput gates.  Validates a fresh report and compares it
 against the committed baseline:
 
- 1. Schema: required top-level keys, well-formed result rows, all four
-    engines present for every (k, n) point.
+ 1. Schema: required top-level keys, well-formed result rows, the
+    schema's full engine set present for every (k, n) point.
  2. Claim: the batch engine sustains at least MIN_BATCH_SPEEDUP x the
     count engine's interactions/second at every measured point with
     k == 3 and n >= 1e5 (the headline o(1)-amortized claim; generous
@@ -44,6 +47,21 @@ against the committed baseline:
     branch, so a drop beyond noise means a hook leaked onto a hot path.
     Cross-machine comparisons skip this gate (throughput is not
     comparable); use --reps >= 3 when generating reports for it.
+ 5. Sampler setup (v2): warm engine construction costs less than
+    MAX_WARM_FRACTION of the cold shared log-factorial table build --
+    the hoisted-table amortization the bench also hard-asserts.
+ 6. Sharded scale (v2): the deep exact-budget block at n = 1e8 must
+    contain the batch baseline row and sharded rows at worker counts
+    1/2/4/8; every sharded row's verdict fingerprint must be identical
+    (bit-determinism across thread counts -- the report itself records
+    per-rep determinism in "deterministic"); and the SLOWEST sharded
+    row must sustain at least MIN_SHARDED_SPEEDUP x the batch row's
+    rate.  The speedup is a same-run ratio over identical budgets, so
+    machine frequency cancels without calibration.  Against a baseline
+    with the same (k, n, budget, seed): calibrated per-thread-row
+    regression gates, and -- same machine only, because the shared
+    table's lgamma values are libm-specific -- fingerprint equality
+    with the baseline's rows.
 
  Calibration and noise.  Machines -- especially shared/virtualized
  ones -- drift in effective speed under sustained load, by far more
@@ -72,13 +90,20 @@ import json
 import sys
 from pathlib import Path
 
-SCHEMA = "ppk-bench-engines-v1"
+SCHEMA_V1 = "ppk-bench-engines-v1"
+SCHEMA_V2 = "ppk-bench-engines-v2"
+ENGINE_SCHEMAS = (SCHEMA_V1, SCHEMA_V2)
 TOPOLOGY_SCHEMA = "ppk-bench-topology-v1"
-ENGINES = {"agent", "count", "jump", "batch"}
+ENGINES_V1 = {"agent", "count", "jump", "batch"}
+ENGINES_V2 = ENGINES_V1 | {"sharded"}
 REQUIRED_TOP = {"schema", "bench", "git_rev", "smoke", "wall_cap_seconds",
                 "seed", "machine", "results"}
+REQUIRED_TOP_V2 = REQUIRED_TOP | {"sampler_setup", "sharded_scale"}
 REQUIRED_ROW = {"engine", "k", "n", "interactions", "effective", "seconds",
                 "stabilized", "interactions_per_second"}
+REQUIRED_SCALE_ROW = {"engine", "threads", "interactions", "effective",
+                      "seconds", "interactions_per_second",
+                      "calibration_rate", "rep_spread", "fingerprint"}
 MIN_BATCH_SPEEDUP = 5.0       # vs count engine, at k == SPEEDUP_K, n >= ...
 SPEEDUP_K = 3
 SPEEDUP_MIN_N = 100_000
@@ -87,6 +112,11 @@ MAX_OBS_OVERHEAD = 0.02       # dormant observability hooks: <= 2% drop
 OBS_GATED_ENGINES = ("count", "batch")  # hot pairwise path + hot batch path
 MACHINE_KEYS = ("hardware_threads", "compiler", "assertions_disabled",
                 "os", "arch")
+
+# v2 sharded gates.
+MIN_SHARDED_SPEEDUP = 1.25    # slowest sharded row vs batch, same budget
+MAX_WARM_FRACTION = 0.5       # warm engine ctor vs cold log-fact build
+SHARDED_THREADS = (1, 2, 4, 8)
 
 # Topology-report gates (schema ppk-bench-topology-v1).
 MIN_WEDGE_SPEEDUP = 50.0      # live-edge vs per-draw on the wedged ring
@@ -114,29 +144,80 @@ def load(path):
         fail(f"{path}: {err}")
 
 
+def engine_set(doc):
+    return ENGINES_V2 if doc.get("schema") == SCHEMA_V2 else ENGINES_V1
+
+
 def validate_schema(doc, path):
-    missing = REQUIRED_TOP - doc.keys()
+    if doc.get("schema") not in ENGINE_SCHEMAS:
+        fail(f"{path}: schema {doc.get('schema')!r}, expected one of "
+             f"{list(ENGINE_SCHEMAS)}")
+    required = REQUIRED_TOP_V2 if doc["schema"] == SCHEMA_V2 else REQUIRED_TOP
+    missing = required - doc.keys()
     if missing:
         fail(f"{path}: missing top-level keys {sorted(missing)}")
-    if doc["schema"] != SCHEMA:
-        fail(f"{path}: schema {doc['schema']!r}, expected {SCHEMA!r}")
     if not isinstance(doc["results"], list) or not doc["results"]:
         fail(f"{path}: results must be a non-empty array")
+    engines = engine_set(doc)
     points = {}
     for i, row in enumerate(doc["results"]):
         missing = REQUIRED_ROW - row.keys()
         if missing:
             fail(f"{path}: results[{i}] missing {sorted(missing)}")
-        if row["engine"] not in ENGINES:
+        if row["engine"] not in engines:
             fail(f"{path}: results[{i}] unknown engine {row['engine']!r}")
         if row["seconds"] <= 0 or row["interactions_per_second"] <= 0:
             fail(f"{path}: results[{i}] non-positive measurement")
         points.setdefault((row["k"], row["n"]), {})[row["engine"]] = row
     for (k, n), rows in points.items():
-        if set(rows) != ENGINES:
+        if set(rows) != engines:
             fail(f"{path}: point (k={k}, n={n}) has engines {sorted(rows)}, "
-                 f"expected all of {sorted(ENGINES)}")
+                 f"expected all of {sorted(engines)}")
+    if doc["schema"] == SCHEMA_V2:
+        validate_sharded_scale(doc, path)
     return points
+
+
+def validate_sharded_scale(doc, path):
+    """Structural checks on the v2 deep-trial block: every expected row
+    present and well-formed.  Gating happens in check_sharded_scale()."""
+    scale = doc["sharded_scale"]
+    for key in ("k", "n", "budget", "seed", "deterministic", "rows"):
+        if key not in scale:
+            fail(f"{path}: sharded_scale missing {key!r}")
+    if not scale["deterministic"]:
+        fail(f"{path}: sharded_scale reports deterministic=false (a rep "
+             f"reproduced a different verdict fingerprint)")
+    rows = scale["rows"]
+    if not isinstance(rows, list) or not rows:
+        fail(f"{path}: sharded_scale.rows must be a non-empty array")
+    sharded = {}
+    batch = None
+    for i, row in enumerate(rows):
+        missing = REQUIRED_SCALE_ROW - row.keys()
+        if missing:
+            fail(f"{path}: sharded_scale.rows[{i}] missing {sorted(missing)}")
+        if row["seconds"] <= 0 or row["interactions_per_second"] <= 0:
+            fail(f"{path}: sharded_scale.rows[{i}] non-positive measurement")
+        if row["engine"] == "batch":
+            batch = row
+        elif row["engine"] == "sharded":
+            sharded[row["threads"]] = row
+        else:
+            fail(f"{path}: sharded_scale.rows[{i}] unknown engine "
+                 f"{row['engine']!r}")
+    if batch is None:
+        fail(f"{path}: sharded_scale has no batch baseline row")
+    missing_threads = set(SHARDED_THREADS) - sharded.keys()
+    if missing_threads:
+        fail(f"{path}: sharded_scale missing sharded rows at thread "
+             f"counts {sorted(missing_threads)}")
+    verdicts = {row["fingerprint"] for row in sharded.values()}
+    if len(verdicts) != 1:
+        fail(f"{path}: sharded_scale verdict fingerprints differ across "
+             f"thread counts: {sorted(verdicts)} -- the sharded engine "
+             f"must be bit-identical at 1/2/4/8 workers")
+    return batch, sharded
 
 
 def calibration_scales(new_row, base_row):
@@ -383,6 +464,88 @@ def check_topology(new_doc, base_doc, new_path, base_path):
               f"n={base_er['n']}; costs not comparable)")
 
 
+def check_sampler_setup(new_doc):
+    """Gate 5: per-engine sampler setup stays amortized out."""
+    if new_doc["schema"] != SCHEMA_V2:
+        print("skip: sampler-setup gate (v1 report)")
+        return
+    setup = new_doc["sampler_setup"]
+    fraction = setup.get("warm_fraction")
+    if fraction is None:
+        fail("sampler_setup block lacks warm_fraction")
+    if fraction >= MAX_WARM_FRACTION:
+        fail(f"sampler setup: warm engine construction costs {fraction:.0%} "
+             f"of the cold log-factorial build (>= {MAX_WARM_FRACTION:.0%}); "
+             f"the shared table is not being reused across engines")
+    print(f"ok: sampler setup amortized (warm/cold {fraction:.2%}, "
+          f"gate < {MAX_WARM_FRACTION:.0%})")
+
+
+def check_sharded_scale(new_doc, base_doc, new_path, base_path):
+    """Gate 6: the deep-trial block's speedup, determinism and (when the
+    baseline ran the identical configuration) regression gates."""
+    if new_doc["schema"] != SCHEMA_V2:
+        print("skip: sharded-scale gate (v1 report)")
+        return
+    scale = new_doc["sharded_scale"]
+    batch, sharded = validate_sharded_scale(new_doc, new_path)
+
+    # The committed claim: even the slowest sharded row beats batch by the
+    # committed multiple.  Same run, same exact budget -- machine frequency
+    # cancels in the ratio, no calibration needed.
+    slowest = min(sharded.values(), key=lambda r: r["interactions_per_second"])
+    speedup = (slowest["interactions_per_second"] /
+               batch["interactions_per_second"])
+    if speedup < MIN_SHARDED_SPEEDUP:
+        fail(f"sharded_scale (k={scale['k']}, n={scale['n']}): slowest "
+             f"sharded row (threads={slowest['threads']}) is only "
+             f"{speedup:.2f}x the batch baseline; the gate requires "
+             f">= {MIN_SHARDED_SPEEDUP}x")
+    print(f"ok: sharded_scale (k={scale['k']}, n={scale['n']}) slowest "
+          f"sharded/batch speedup {speedup:.2f}x "
+          f"(>= {MIN_SHARDED_SPEEDUP}x)")
+
+    if base_doc["schema"] != SCHEMA_V2:
+        print("skip: sharded-scale baseline comparison (v1 baseline)")
+        return
+    base_scale = base_doc["sharded_scale"]
+    same_config = all(base_scale.get(key) == scale.get(key)
+                      for key in ("k", "n", "budget", "seed"))
+    if not same_config:
+        print(f"skip: sharded-scale baseline comparison (configuration "
+              f"differs: n={scale['n']}/budget={scale['budget']} vs baseline "
+              f"n={base_scale.get('n')}/budget={base_scale.get('budget')})")
+        return
+    base_batch, base_sharded = validate_sharded_scale(base_doc, base_path)
+    for threads in SHARDED_THREADS:
+        row, base_row = sharded[threads], base_sharded[threads]
+        gate_rate_drop(
+            f"sharded_scale (n={scale['n']}, threads={threads})",
+            row["interactions_per_second"], row.get("calibration_rate", 0),
+            row.get("rep_spread", 0.0),
+            base_row["interactions_per_second"],
+            base_row.get("calibration_rate", 0),
+            base_row.get("rep_spread", 0.0))
+    # Verdict fingerprints hash the final configuration, whose trajectory
+    # runs through shared-table lgamma values below the table bound; those
+    # are libm-specific, so equality with the baseline is only a claim on
+    # the same machine.
+    if same_machine(new_doc, base_doc):
+        for threads in SHARDED_THREADS:
+            new_fp = sharded[threads]["fingerprint"]
+            base_fp = base_sharded[threads]["fingerprint"]
+            if new_fp != base_fp:
+                fail(f"sharded_scale (threads={threads}): verdict "
+                     f"fingerprint {new_fp} != baseline {base_fp} on the "
+                     f"same machine and configuration -- the trajectory is "
+                     f"no longer bit-reproducible")
+        print(f"ok: sharded_scale verdict fingerprints match the baseline "
+              f"({sharded[SHARDED_THREADS[0]]['fingerprint']})")
+    else:
+        print("skip: sharded-scale fingerprint-vs-baseline check (machine "
+              "differs; shared-table lgamma values are libm-specific)")
+
+
 def check_engines(new_doc, base_doc, new_path, base_path):
     new_points = validate_schema(new_doc, new_path)
     base_points = validate_schema(base_doc, base_path)
@@ -399,28 +562,36 @@ def check_engines(new_doc, base_doc, new_path, base_path):
                  f"requires >= {MIN_BATCH_SPEEDUP}x")
         print(f"ok: (k={k}, n={n}) batch/count speedup {speedup:.1f}x")
 
+    # Both the batch engine and (when both reports carry it) its sharded
+    # rebuild are regression-gated against the baseline grid.
+    gated_engines = tuple(e for e in ("batch", "sharded")
+                          if e in engine_set(new_doc) & engine_set(base_doc))
     compared = 0
     for (k, n), rows in sorted(new_points.items()):
         base = base_points.get((k, n))
         if base is None:
             print(f"skip: (k={k}, n={n}) not in baseline grid")
             continue
-        metric, new_tp, base_tp = comparable_rate(rows["batch"],
-                                                  base["batch"])
-        drop = 1.0 - new_tp / base_tp
-        allowed = MAX_REGRESSION + noise_margin(rows["batch"], base["batch"])
-        if drop > allowed:
-            fail(f"(k={k}, n={n}): batch {metric} dropped "
-                 f"{drop:.0%} vs baseline ({new_tp:.3g} vs {base_tp:.3g}); "
-                 f"the gate allows {allowed:.0%} ({MAX_REGRESSION:.0%} "
-                 f"budget + measured rep spread)")
-        print(f"ok: (k={k}, n={n}) batch {metric} {new_tp:.3g} "
-              f"({-drop:+.0%} vs baseline)")
-        compared += 1
+        for engine in gated_engines:
+            metric, new_tp, base_tp = comparable_rate(rows[engine],
+                                                      base[engine])
+            drop = 1.0 - new_tp / base_tp
+            allowed = MAX_REGRESSION + noise_margin(rows[engine],
+                                                    base[engine])
+            if drop > allowed:
+                fail(f"(k={k}, n={n}): {engine} {metric} dropped "
+                     f"{drop:.0%} vs baseline ({new_tp:.3g} vs "
+                     f"{base_tp:.3g}); the gate allows {allowed:.0%} "
+                     f"({MAX_REGRESSION:.0%} budget + measured rep spread)")
+            print(f"ok: (k={k}, n={n}) {engine} {metric} {new_tp:.3g} "
+                  f"({-drop:+.0%} vs baseline)")
+            compared += 1
     if compared == 0:
         fail("no (k, n) point overlapped the baseline -- nothing was gated")
 
     check_obs_overhead(new_doc, base_doc, new_points, base_points)
+    check_sampler_setup(new_doc)
+    check_sharded_scale(new_doc, base_doc, new_path, base_path)
 
 
 def main(argv):

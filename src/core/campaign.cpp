@@ -433,6 +433,10 @@ auto with_engine(const pp::TransitionTable& table, const Counts& initial,
       pp::BatchSimulator sim(table, initial, seed);
       return fn(sim);
     }
+    case Engine::kBatchSharded: {
+      pp::BatchShardedSimulator sim(table, initial, seed, mc.engine_threads);
+      return fn(sim);
+    }
     case Engine::kAgentArray:
     case Engine::kAuto:
       break;

@@ -4,6 +4,7 @@
 
 #include "obs/sink.hpp"
 #include "util/assert.hpp"
+#include "util/log_fact.hpp"
 
 namespace ppk::pp {
 
@@ -28,12 +29,7 @@ BatchSimulator::BatchSimulator(const TransitionTable& table, Counts initial,
   touched_.resize(num_states);
   count_delta_.resize(num_states);
 
-  if (n_ <= kLogFactTableMax) {
-    log_fact_.resize(n_ + 1);
-    for (std::uint64_t i = 0; i <= n_; ++i) {
-      log_fact_[i] = std::lgamma(static_cast<double>(i) + 1.0);
-    }
-  }
+  if (n_ <= kLogFactTableMax) log_fact_ = LogFactTable::shared(n_);
 }
 
 std::uint64_t BatchSimulator::effective_weight() const {

@@ -61,6 +61,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "pp/population.hpp"
@@ -163,14 +164,15 @@ class BatchSimulator {
 
   /// log(x!) for the integral-valued double x.  Every hypergeometric draw
   /// needs several of these; for populations up to kLogFactTableMax the
-  /// constructor tables the exact lgamma values (8 bytes/agent), which is
-  /// the dominant speedup of the batch path and bit-identical to calling
-  /// lgamma live.  Larger populations fall back to lgamma -- their batches
-  /// amortize over more interactions anyway.
+  /// constructor borrows the process-wide shared lgamma table
+  /// (util/log_fact.hpp; values bit-identical to calling lgamma live, and
+  /// the fill cost is paid once per process instead of once per engine).
+  /// Larger populations fall back to live lgamma, exactly as before the
+  /// table was hoisted -- the sharded engine owns the fast large-n path.
   [[nodiscard]] double log_fact(double x) const {
-    return log_fact_.empty()
+    return log_fact_ == nullptr
                ? std::lgamma(x + 1.0)
-               : log_fact_[static_cast<std::size_t>(x)];
+               : (*log_fact_)[static_cast<std::size_t>(x)];
   }
 
   static constexpr std::uint64_t kLogFactTableMax = 1ULL << 20;
@@ -184,7 +186,8 @@ class BatchSimulator {
   BatchMode mode_ = BatchMode::kAuto;
   obs::ObsSink* obs_ = nullptr;
   double sqrt_n_ = 0.0;
-  std::vector<double> log_fact_;  // log(i!) for i <= n, when n is tabulable
+  /// Shared table of log(i!) for i <= n when n is tabulable, else null.
+  std::shared_ptr<const std::vector<double>> log_fact_;
 
   /// Effective cells (p, q) in deterministic (row-major) order; the thin
   /// regime's weight scans and the silence check iterate these.

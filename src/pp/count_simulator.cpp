@@ -52,11 +52,9 @@ void CountSimulator::restore(const Snapshot& snap) {
   r.rng(rng_);
   interactions_ = r.u64();
   effective_ = r.u64();
-  Counts counts = r.counts();
+  r.counts_into(counts_);
   r.finish();
-  PPK_EXPECTS(counts.size() == counts_.size());
-  counts_ = std::move(counts);
-  fenwick_.assign(counts_);
+  fenwick_.rebuild(counts_);
   PPK_EXPECTS(fenwick_.total() == n_);
 }
 

@@ -113,11 +113,13 @@ TrialResult run_one_trial(const TransitionTable& table, const Counts& initial,
   const Engine engine =
       resolve_engine(options.engine, n, options.watch_state.has_value(),
                      static_cast<bool>(options.graph));
-  // The batch engine aggregates draws; it cannot produce per-interaction
+  // The batch engines aggregate draws; they cannot produce per-interaction
   // watch marks, and quietly returning none would corrupt downstream
-  // statistics.  kAuto never picks it with a watch set, so reaching this
+  // statistics.  kAuto never picks them with a watch set, so reaching this
   // combination means the caller forced it.
-  PPK_EXPECTS(!(engine == Engine::kBatch && options.watch_state));
+  PPK_EXPECTS(!((engine == Engine::kBatch ||
+                 engine == Engine::kBatchSharded) &&
+                options.watch_state));
   // A topology that no engine consults (or a graph engine with no
   // topology) is a configuration error, not a silently different
   // experiment.
@@ -180,6 +182,13 @@ TrialResult run_one_trial(const TransitionTable& table, const Counts& initial,
     if (trial_metrics != nullptr) record_trial_metrics(*trial_metrics, result);
     return result;
   }
+  if (engine == Engine::kBatchSharded) {
+    BatchShardedSimulator sim(table, initial, seed, options.engine_threads);
+    if (sink) sim.set_obs_sink(&*sink);
+    run_bounded(sim, *oracle, options, &result);
+    if (trial_metrics != nullptr) record_trial_metrics(*trial_metrics, result);
+    return result;
+  }
 
   AgentSimulator sim(table, Population(initial), seed);
   if (sink) sim.set_obs_sink(&*sink);
@@ -221,7 +230,11 @@ Engine resolve_engine(Engine engine, std::uint64_t n, bool watch,
   // The agent array's O(1) steps win while the population is small enough
   // that batching overhead (O(|Q|^2) RNG work per ~sqrt(n) interactions)
   // dominates; beyond that the batch engine's amortized cost vanishes.
-  return n < 1024 ? Engine::kAgentArray : Engine::kBatch;
+  // Past the log-factorial table bound the plain batch engine degrades to
+  // live lgamma per hypergeometric probe; the sharded SoA engine keeps the
+  // shared table + Stirling tail and takes over (docs/engines.md).
+  if (n < 1024) return Engine::kAgentArray;
+  return n > kShardedCrossover ? Engine::kBatchSharded : Engine::kBatch;
 }
 
 MonteCarloResult run_monte_carlo(const TransitionTable& table,

@@ -16,6 +16,7 @@
 
 #include "pp/agent_simulator.hpp"
 #include "pp/batch_simulator.hpp"
+#include "pp/batch_sharded_simulator.hpp"
 #include "pp/count_simulator.hpp"
 #include "pp/graph_jump_simulator.hpp"
 #include "pp/graph_simulator.hpp"
@@ -42,10 +43,17 @@ enum class Engine {
   kCountVector,
   kJump,
   kBatch,
+  kBatchSharded,
   kGraph,
   kGraphJump,
   kAuto,
 };
+
+/// Population size above which kAuto prefers kBatchSharded over kBatch:
+/// the batch engine's log-factorial table stops at 2^20 agents, so past it
+/// every hypergeometric draw pays live lgamma while the sharded engine's
+/// shared-table + Stirling sampler keeps amortizing (docs/engines.md).
+inline constexpr std::uint64_t kShardedCrossover = 1ULL << 20;
 
 /// The engine kAuto resolves to for a population of n agents with (or
 /// without) watch-mark instrumentation:
@@ -59,7 +67,9 @@ enum class Engine {
 ///    indices) and is never chosen here.
 ///  - otherwise: agent while the population fits comfortably in cache
 ///    (n < 1024 -- batching overhead beats O(1) array steps only past
-///    that), batch above.
+///    that), batch above, and the sharded SoA batch engine past
+///    kShardedCrossover (where the plain batch engine falls off its
+///    log-factorial table).
 [[nodiscard]] Engine resolve_engine(Engine engine, std::uint64_t n,
                                     bool watch, bool graph = false);
 
@@ -85,6 +95,12 @@ struct MonteCarloOptions {
   Engine engine = Engine::kAgentArray;
   /// 0 = one thread per hardware core.
   std::size_t threads = 1;
+  /// Worker threads *inside* one trial's engine (currently consumed by
+  /// kBatchSharded's sharded matching; other engines ignore it).  Results
+  /// are bit-identical for every value -- the sharded engine's draws are a
+  /// pure function of the seed -- so this is a throughput knob, not an
+  /// experiment parameter.  0 = one worker per hardware core.
+  std::size_t engine_threads = 1;
   /// If set, every time the count of this state increases, the current
   /// interaction index is recorded (the paper's NI_i grouping marks).
   /// Supported by the agent (observer hook), count and jump engines;

@@ -109,6 +109,16 @@ class SnapshotReader {
     return result;
   }
 
+  /// In-place variant of counts(): reads the length-prefixed vector into
+  /// `out`, whose size must match the stored length (the engine knows its
+  /// state-space size from construction, so a mismatch is a wrong-engine
+  /// pairing).  Keeps restore() allocation-free.
+  void counts_into(Counts& out) {
+    const std::uint64_t len = u64();
+    PPK_EXPECTS(len == out.size());
+    for (auto& c : out) c = u32();
+  }
+
   [[nodiscard]] std::vector<StateId> states(StateId num_states) {
     const std::uint64_t len = u64();
     std::vector<StateId> result(len, 0);

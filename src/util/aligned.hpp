@@ -1,0 +1,57 @@
+// Cache-line-aligned vectors for the structure-of-arrays engine tiles.
+//
+// The sharded batch engine keeps its per-state count mirrors, pair-cell
+// index arrays and per-shard delta tiles in 64-byte-aligned storage:
+// aligned loads let the SIMD kernels use full-width moves without peeling,
+// and the per-shard scratch blocks start on their own cache line so worker
+// threads never false-share a line during a parallel matching phase.  The
+// allocator over-allocates by alignment and is otherwise a plain minimal
+// std allocator; AlignedVector<T> is the only intended spelling.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace ppk {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+template <typename T, std::size_t Alignment = kCacheLineBytes>
+struct AlignedAllocator {
+  using value_type = T;
+  static_assert(Alignment >= alignof(T));
+  static_assert((Alignment & (Alignment - 1)) == 0, "power of two");
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  explicit AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t count) {
+    if (count == 0) return nullptr;
+    void* p = ::operator new(count * sizeof(T), std::align_val_t{Alignment});
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+/// A std::vector whose data() is 64-byte aligned.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace ppk

@@ -1,0 +1,139 @@
+// Blocked mode-centered hypergeometric sampler -- the SIMD-friendly
+// counterpart of Xoshiro256::hypergeometric, built for the sharded batch
+// engine's hot path.
+//
+// The reference sampler (util/rng.hpp) walks the pmf recurrence outward
+// from the mode one term at a time; each step carries a floating-point
+// division on the loop's critical path, and at n = 10^8 the walk runs
+// O(stddev) ~ tens to hundreds of steps per draw.  This variant evaluates
+// the walk four steps at a time: the per-step ratio numerators and
+// denominators (each a product of two linear factors) are assembled
+// scalar-side, then simd::hyper_block4 turns them into four pmf terms with
+// one packed divide -- the division leaves the dependency chain, and the
+// scalar fallback performs the identical operation tree so results are
+// bit-identical under either dispatch (the contract in util/simd.hpp).
+//
+// Law: identical to the reference sampler up to floating-point rounding of
+// the pmf partial sums (~1e-13 relative, the repo-wide sampler tolerance;
+// the two walk the same pmf in a different accumulation order, so a given
+// uniform can map to a different value only within that rounding sliver).
+// The engines that must stay distribution-identical to their pairwise
+// references are pinned by the conformance KS net, not bit-wise.
+//
+// RNG discipline: exactly one uniform is consumed per non-trivial call and
+// none for the trivial cases (m == 0, marked == 0, marked == total,
+// m == total) -- the same consumption profile as the reference, which the
+// sharded engine's empty-shard determinism argument relies on.
+
+#pragma once
+
+#include <cstdint>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/simd.hpp"
+
+namespace ppk {
+
+/// Hypergeometric draw (marked items in a uniform without-replacement
+/// sample of `m` from `total` items of which `marked` are marked) via the
+/// blocked mode-centered inversion.  `log_fact(x)` must return log(x!) for
+/// integral-valued doubles (util/log_fact.hpp's LogFact is the intended
+/// argument).
+template <typename LogFactFn>
+std::uint64_t hypergeometric_blocked(Xoshiro256& rng, std::uint64_t total,
+                                     std::uint64_t marked, std::uint64_t m,
+                                     const LogFactFn& log_fact) noexcept {
+  PPK_EXPECTS(marked <= total && m <= total);
+  if (m == 0 || marked == 0) return 0;
+  if (marked == total) return m;
+  if (m == total) return marked;
+  // Symmetries: sample the complement when it is smaller (mirrors the
+  // reference reductions; at most two levels deep).
+  if (m > total / 2) {
+    return marked -
+           hypergeometric_blocked(rng, total, marked, total - m, log_fact);
+  }
+  if (marked > total / 2) {
+    return m -
+           hypergeometric_blocked(rng, total, total - marked, m, log_fact);
+  }
+  const double nd = static_cast<double>(total);
+  const double kd = static_cast<double>(marked);
+  const double md = static_cast<double>(m);
+  const std::uint64_t x_min = m + marked > total ? m + marked - total : 0;
+  const std::uint64_t x_max = marked < m ? marked : m;
+  auto mode = static_cast<std::uint64_t>((md + 1.0) * (kd + 1.0) /
+                                         (nd + 2.0));
+  if (mode < x_min) mode = x_min;
+  if (mode > x_max) mode = x_max;
+  const auto log_choose = [&log_fact](double a, double b) {
+    return log_fact(a) - log_fact(b) - log_fact(a - b);
+  };
+  const double log_pmf_mode =
+      log_choose(kd, static_cast<double>(mode)) +
+      log_choose(nd - kd, md - static_cast<double>(mode)) -
+      log_choose(nd, md);
+  const double u = rng.uniform01();
+  const double pmf_mode = std::exp(log_pmf_mode);
+  double cdf = pmf_mode;
+  if (u < cdf) return mode;
+
+  // Outward walk, four pmf terms per side per round.  Down-step x -> x-1
+  // multiplies by x*(N-K-M+x) / ((K-x+1)(M-x+1)); up-step x -> x+1 by
+  // (K-x)(M-x) / ((x+1)(N-K-M+x+1)).  Unused block lanes are padded with
+  // ratio 1 and never consumed.
+  const double rest = nd - kd - md;
+  double num[4];
+  double den[4];
+  double out[4];
+  std::uint64_t lo = mode;
+  std::uint64_t hi = mode;
+  double lo_pmf = pmf_mode;
+  double hi_pmf = pmf_mode;
+  while (lo > x_min || hi < x_max) {
+    if (lo > x_min) {
+      const std::uint64_t steps = lo - x_min < 4 ? lo - x_min : 4;
+      for (std::uint64_t j = 0; j < 4; ++j) {
+        if (j < steps) {
+          const double x = static_cast<double>(lo - j);
+          num[j] = x * (rest + x);
+          den[j] = (kd - x + 1.0) * (md - x + 1.0);
+        } else {
+          num[j] = 1.0;
+          den[j] = 1.0;
+        }
+      }
+      simd::hyper_block4(num, den, lo_pmf, out);
+      for (std::uint64_t j = 0; j < steps; ++j) {
+        cdf += out[j];
+        --lo;
+        if (u < cdf) return lo;
+      }
+      lo_pmf = out[steps - 1];
+    }
+    if (hi < x_max) {
+      const std::uint64_t steps = x_max - hi < 4 ? x_max - hi : 4;
+      for (std::uint64_t j = 0; j < 4; ++j) {
+        if (j < steps) {
+          const double x = static_cast<double>(hi + j);
+          num[j] = (kd - x) * (md - x);
+          den[j] = (x + 1.0) * (rest + x + 1.0);
+        } else {
+          num[j] = 1.0;
+          den[j] = 1.0;
+        }
+      }
+      simd::hyper_block4(num, den, hi_pmf, out);
+      for (std::uint64_t j = 0; j < steps; ++j) {
+        cdf += out[j];
+        ++hi;
+        if (u < cdf) return hi;
+      }
+      hi_pmf = out[steps - 1];
+    }
+  }
+  return mode;  // cdf rounding sliver; return the mode (as the reference)
+}
+
+}  // namespace ppk

@@ -12,6 +12,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -30,7 +31,17 @@ class FenwickTree {
   /// Rebuilds the tree over `weights` in O(size).
   void assign(const std::vector<std::uint32_t>& weights) {
     size_ = weights.size();
-    tree_.assign(size_ + 1, 0);
+    tree_.resize(size_ + 1);
+    rebuild(weights);
+  }
+
+  /// As assign(), but requires `weights.size() == size()` and never touches
+  /// the tree's allocation.  Restore paths call this so a checkpointed
+  /// resume loop (core/campaign.hpp restarts, the conformance snapshot net)
+  /// rebuilds in place instead of reallocating per restore.
+  void rebuild(const std::vector<std::uint32_t>& weights) {
+    PPK_EXPECTS(weights.size() == size_);
+    std::fill(tree_.begin(), tree_.end(), 0);
     total_ = 0;
     for (std::size_t i = 0; i < size_; ++i) {
       total_ += weights[i];

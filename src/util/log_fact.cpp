@@ -1,0 +1,44 @@
+#include "util/log_fact.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+namespace ppk {
+
+namespace {
+
+struct SharedState {
+  std::mutex mutex;
+  std::shared_ptr<const LogFactTable::Table> table;
+};
+
+SharedState& shared_state() {
+  static SharedState state;
+  return state;
+}
+
+}  // namespace
+
+std::shared_ptr<const LogFactTable::Table> LogFactTable::shared(
+    std::uint64_t limit) {
+  const std::size_t want = static_cast<std::size_t>(
+      std::min<std::uint64_t>(limit, kLogFactTableSize - 1) + 1);
+  SharedState& state = shared_state();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  if (state.table != nullptr && state.table->size() >= want) {
+    return state.table;
+  }
+  // Grow by copying the existing prefix: lgamma values are pure, so the
+  // extension is bit-identical to a from-scratch fill, and readers holding
+  // the old snapshot are unaffected.
+  auto grown = std::make_shared<Table>();
+  grown->reserve(want);
+  if (state.table != nullptr) *grown = *state.table;
+  for (std::size_t i = grown->size(); i < want; ++i) {
+    grown->push_back(std::lgamma(static_cast<double>(i) + 1.0));
+  }
+  state.table = std::move(grown);
+  return state.table;
+}
+
+}  // namespace ppk

@@ -1,0 +1,106 @@
+// Shared log-factorial table + deterministic large-argument tail.
+//
+// Every hypergeometric draw in the aggregated engines evaluates log(x!)
+// several times; the batch engine used to build a private lgamma table per
+// engine instance, which (a) re-touches ~8 MB of cold memory on every
+// construction -- measurable when Monte-Carlo pools or conformance nets
+// construct thousands of short-lived engines -- and (b) silently degrades
+// to live std::lgamma calls for populations past the table bound, which is
+// exactly where the n = 10^8 regimes live.  This header fixes both:
+//
+//  - LogFactTable::shared(n) hands out one process-wide immutable table of
+//    std::lgamma(i + 1.0) values (bit-identical to what every engine tabled
+//    privately before), grown monotonically and shared by reference count,
+//    so constructing the thousandth engine costs two atomic loads.
+//  - log_fact_tail(x) evaluates log(x!) for arguments beyond the table by a
+//    fixed-degree Stirling series: pure arithmetic on doubles, deterministic
+//    across runs, threads and SIMD dispatch (no libm lgamma, whose exact
+//    rounding is libc-specific), with relative error < 1e-14 for
+//    x >= kLogFactTableSize - 1 -- far below the ~1e-13 rounding the exact
+//    samplers already tolerate (see util/rng.hpp).
+//
+// The split point is kLogFactTableSize: engines call LogFact::operator(),
+// which reads the table below it and the Stirling tail at or above it.
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace ppk {
+
+/// Entries in the shared table: log(i!) for i < kLogFactTableSize.  8 MB
+/// resident once per process; chosen to match the batch engine's historical
+/// per-instance bound (1 << 20) so existing populations see bit-identical
+/// values through the shared table.
+inline constexpr std::uint64_t kLogFactTableSize = (1ULL << 20) + 1;
+
+/// log(x!) for an integral-valued double x >= kLogFactTableSize - 1, by the
+/// Stirling series for lgamma(x + 1).  Deterministic: a fixed sequence of
+/// IEEE double operations (one std::log call plus polynomial arithmetic),
+/// identical on every thread and under every SIMD dispatch decision.
+[[nodiscard]] inline double log_fact_tail(double x) {
+  // lgamma(z) = (z - 1/2) log z - z + log(2 pi)/2 + 1/(12 z) - 1/(360 z^3)
+  //             + 1/(1260 z^5) - ...   with z = x + 1.
+  // For z > 2^20 the 1/(360 z^3) term is already below 1e-18 absolute;
+  // keeping three correction terms leaves the truncation error far under
+  // the double rounding floor of the leading terms.
+  constexpr double kHalfLog2Pi = 0.91893853320467274178;  // log(2 pi) / 2
+  const double z = x + 1.0;
+  const double inv = 1.0 / z;
+  const double inv2 = inv * inv;
+  const double series =
+      inv * (1.0 / 12.0 + inv2 * (-1.0 / 360.0 + inv2 * (1.0 / 1260.0)));
+  return (z - 0.5) * std::log(z) - z + kHalfLog2Pi + series;
+}
+
+/// Process-wide shared table of log(i!) values.  shared(limit) returns an
+/// immutable vector covering at least [0, min(limit, kLogFactTableSize - 1)];
+/// the first caller pays the lgamma fill, later callers share it.
+class LogFactTable {
+ public:
+  using Table = std::vector<double>;
+
+  /// A shared immutable table with entries log(i!) for
+  /// i <= min(limit, kLogFactTableSize - 1).  Thread-safe; the table only
+  /// ever grows, and a returned pointer keeps its snapshot alive
+  /// independently of later growth.
+  [[nodiscard]] static std::shared_ptr<const Table> shared(
+      std::uint64_t limit);
+
+ private:
+  LogFactTable() = default;
+};
+
+/// The lookup object engines hold: table below kLogFactTableSize, Stirling
+/// tail above.  Copyable and cheap (one shared_ptr); call sites pass it to
+/// Xoshiro256::hypergeometric as the LogFact callable.
+class LogFact {
+ public:
+  /// Covers arguments up to `max_arg` exactly-as-before: values below the
+  /// table bound come from the shared lgamma table, larger ones from the
+  /// deterministic Stirling tail.
+  explicit LogFact(std::uint64_t max_arg)
+      : table_(LogFactTable::shared(max_arg)) {}
+
+  [[nodiscard]] double operator()(double x) const {
+    const auto i = static_cast<std::size_t>(x);
+    return i < table_->size() ? (*table_)[i] : log_fact_tail(x);
+  }
+
+  /// The shared table backing this lookup (tests assert reuse across
+  /// instances by pointer identity).
+  [[nodiscard]] const std::shared_ptr<const LogFactTable::Table>& table()
+      const noexcept {
+    return table_;
+  }
+
+ private:
+  std::shared_ptr<const LogFactTable::Table> table_;
+};
+
+}  // namespace ppk

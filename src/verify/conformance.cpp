@@ -12,6 +12,7 @@
 #include "io/snapshot_io.hpp"
 #include "pp/adversarial.hpp"
 #include "pp/agent_simulator.hpp"
+#include "pp/batch_sharded_simulator.hpp"
 #include "pp/batch_simulator.hpp"
 #include "pp/count_simulator.hpp"
 #include "pp/faults.hpp"
@@ -44,6 +45,7 @@ constexpr EngineName kEngineNames[] = {
     {ConformanceEngine::kBatchAuto, "batch-auto"},
     {ConformanceEngine::kBatchForced, "batch-forced"},
     {ConformanceEngine::kThinForced, "thin-forced"},
+    {ConformanceEngine::kBatchSharded, "batch-sharded"},
     {ConformanceEngine::kGraphComplete, "graph-complete"},
     {ConformanceEngine::kAdversarialEps1, "adversarial-eps1"},
     {ConformanceEngine::kChurnNoFaults, "churn-nofaults"},
@@ -403,6 +405,16 @@ void with_engine(ConformanceEngine engine, const CaseContext& ctx,
                              : (engine == ConformanceEngine::kBatchForced
                                     ? pp::BatchMode::kForceBatch
                                     : pp::BatchMode::kForceThin));
+      fn(sim);
+      return;
+    }
+    case ConformanceEngine::kBatchSharded: {
+      // Two workers with the parallel grain forced to zero: every batch
+      // takes the pool-dispatched sharded path, so the conformance nets
+      // exercise exactly the machinery whose determinism the engine claims.
+      pp::BatchShardedSimulator sim(table, ctx.initial, seed,
+                                    /*threads=*/2);
+      sim.set_parallel_grain(0);
       fn(sim);
       return;
     }
@@ -775,7 +787,8 @@ const std::vector<ConformanceEngine>& all_conformance_engines() {
       ConformanceEngine::kAgent,          ConformanceEngine::kCount,
       ConformanceEngine::kJump,           ConformanceEngine::kBatchAuto,
       ConformanceEngine::kBatchForced,    ConformanceEngine::kThinForced,
-      ConformanceEngine::kGraphComplete,  ConformanceEngine::kAdversarialEps1,
+      ConformanceEngine::kBatchSharded,   ConformanceEngine::kGraphComplete,
+      ConformanceEngine::kAdversarialEps1,
       ConformanceEngine::kChurnNoFaults,  ConformanceEngine::kGraphRing,
       ConformanceEngine::kGraphStar,      ConformanceEngine::kGraphPath,
       ConformanceEngine::kGraphEr,        ConformanceEngine::kLiveEdgeComplete,

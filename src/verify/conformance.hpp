@@ -83,6 +83,13 @@ enum class ConformanceEngine : std::uint8_t {
   kBatchAuto,
   kBatchForced,
   kThinForced,
+  // The sharded SoA batch engine (pp/batch_sharded_simulator.hpp), run with
+  // pool dispatch forced (grain 0, 2 workers) so conformance exercises the
+  // parallel path: sharding must be invisible to every net.  Like the batch
+  // rows it is excluded from the pairwise chunked-resume net (budget
+  // truncation legitimately moves RNG consumption) and covered by the
+  // distribution net instead.
+  kBatchSharded,
   kGraphComplete,
   kAdversarialEps1,
   kChurnNoFaults,

@@ -22,6 +22,7 @@
 #include "core/kpartition.hpp"
 #include "pp/adversarial.hpp"
 #include "pp/agent_simulator.hpp"
+#include "pp/batch_sharded_simulator.hpp"
 #include "pp/batch_simulator.hpp"
 #include "pp/count_simulator.hpp"
 #include "pp/graph_jump_simulator.hpp"
@@ -76,6 +77,12 @@ enum class EngineUnderTest {
   kBatchAuto,
   kBatchForced,
   kThinForced,
+  // The sharded SoA batch engine, single-worker and with pool dispatch
+  // forced (grain 0, 4 workers): both rows must match the agent reference
+  // in law, and the threaded row doubles as a distribution-level pin that
+  // sharded parallelism is invisible.
+  kSharded,
+  kShardedThreads4,
   // Restricted-scheduler simulators specialized to unrestricted parameters
   // (this PR): both claim to degenerate to the uniform-random scheduler, so
   // both must match the agent reference in law.
@@ -95,6 +102,8 @@ const char* engine_name(EngineUnderTest e) {
     case EngineUnderTest::kBatchAuto: return "batch-auto";
     case EngineUnderTest::kBatchForced: return "batch-forced";
     case EngineUnderTest::kThinForced: return "thin-forced";
+    case EngineUnderTest::kSharded: return "sharded";
+    case EngineUnderTest::kShardedThreads4: return "sharded-threads4";
     case EngineUnderTest::kGraphComplete: return "graph-complete";
     case EngineUnderTest::kAdversarialEps1: return "adversarial-eps1";
     case EngineUnderTest::kLiveEdgeComplete: return "live-edge-complete";
@@ -139,6 +148,15 @@ double one_trial(EngineUnderTest engine, const core::KPartitionProtocol& protoco
                              : (engine == EngineUnderTest::kBatchForced
                                     ? BatchMode::kForceBatch
                                     : BatchMode::kForceThin));
+      result = sim.run(*oracle);
+      break;
+    }
+    case EngineUnderTest::kSharded:
+    case EngineUnderTest::kShardedThreads4: {
+      const bool threaded = engine == EngineUnderTest::kShardedThreads4;
+      BatchShardedSimulator sim(table, all_initial(protocol, n), seed,
+                                threaded ? 4 : 1);
+      if (threaded) sim.set_parallel_grain(0);
       result = sim.run(*oracle);
       break;
     }
@@ -194,7 +212,8 @@ void expect_all_engines_match_agent(pp::GroupId k, std::uint32_t n,
   for (const EngineUnderTest engine :
        {EngineUnderTest::kCount, EngineUnderTest::kJump,
         EngineUnderTest::kBatchAuto, EngineUnderTest::kBatchForced,
-        EngineUnderTest::kThinForced, EngineUnderTest::kGraphComplete,
+        EngineUnderTest::kThinForced, EngineUnderTest::kSharded,
+        EngineUnderTest::kShardedThreads4, EngineUnderTest::kGraphComplete,
         EngineUnderTest::kAdversarialEps1,
         EngineUnderTest::kLiveEdgeComplete}) {
     const std::vector<double> xs =
@@ -315,6 +334,7 @@ TEST(EngineEquivalence, EveryEngineIsBitReproducible) {
        {EngineUnderTest::kAgent, EngineUnderTest::kCount,
         EngineUnderTest::kJump, EngineUnderTest::kBatchAuto,
         EngineUnderTest::kBatchForced, EngineUnderTest::kThinForced,
+        EngineUnderTest::kSharded, EngineUnderTest::kShardedThreads4,
         EngineUnderTest::kGraphComplete, EngineUnderTest::kAdversarialEps1,
         EngineUnderTest::kLiveEdgeComplete}) {
     const double first = one_trial(engine, protocol, table, n, 7);

@@ -22,6 +22,7 @@
 #include "io/snapshot_io.hpp"
 #include "pp/adversarial.hpp"
 #include "pp/agent_simulator.hpp"
+#include "pp/batch_sharded_simulator.hpp"
 #include "pp/batch_simulator.hpp"
 #include "pp/count_simulator.hpp"
 #include "pp/faults.hpp"
@@ -137,6 +138,18 @@ TEST_F(SnapshotTest, JumpSimulatorRoundTrips) {
 TEST_F(SnapshotTest, BatchSimulatorRoundTrips) {
   expect_roundtrip(
       [&] { return ppk::pp::BatchSimulator(table_, initial(200), kSeed); });
+}
+
+TEST_F(SnapshotTest, BatchShardedSimulatorRoundTrips) {
+  // Pool dispatch forced (grain 0, 2 workers): the snapshot must capture
+  // dynamic state only, so restoring while the parallel path runs still
+  // round-trips bit-identically.
+  expect_roundtrip(
+      [&] {
+        return ppk::pp::BatchShardedSimulator(table_, initial(200), kSeed,
+                                              /*threads=*/2);
+      },
+      [](auto& sim) { sim.set_parallel_grain(0); });
 }
 
 TEST_F(SnapshotTest, GraphSimulatorRoundTrips) {

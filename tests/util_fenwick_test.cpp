@@ -63,6 +63,22 @@ TEST(FenwickTree, SampleMatchesLinearScanAfterUpdates) {
   }
 }
 
+TEST(FenwickTree, RebuildEqualsAssignWithoutReallocating) {
+  std::vector<std::uint32_t> first = {3, 0, 7, 1, 4, 9, 2};
+  std::vector<std::uint32_t> second = {1, 5, 0, 8, 2, 2, 6};
+  FenwickTree via_assign(second);
+  FenwickTree via_rebuild(first);
+  via_rebuild.rebuild(second);
+  EXPECT_EQ(via_rebuild.size(), via_assign.size());
+  EXPECT_EQ(via_rebuild.total(), via_assign.total());
+  for (std::size_t i = 0; i <= second.size(); ++i) {
+    EXPECT_EQ(via_rebuild.prefix_sum(i), via_assign.prefix_sum(i)) << i;
+  }
+  for (std::uint64_t u = 0; u < via_assign.total(); ++u) {
+    EXPECT_EQ(via_rebuild.sample(u), via_assign.sample(u)) << "u=" << u;
+  }
+}
+
 TEST(FenwickTree, NonPowerOfTwoSizesCoverEveryIndex) {
   for (std::size_t size : {1u, 2u, 3u, 5u, 7u, 9u, 16u, 17u, 31u}) {
     std::vector<std::uint32_t> weights(size, 2);
