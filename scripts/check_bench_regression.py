@@ -10,6 +10,12 @@ Dispatches on the new report's schema:
    accepted, skipping the v2-only gates.
  - ppk-bench-topology-v1 (bench/topology_sensitivity): topology gates,
    baseline BENCH_TOPOLOGY.json -- see check_topology().
+ - ppk-bench-fairness-v1 (bench/fairness_matrix): the three-families
+   trade-off gates, baseline BENCH_FAIRNESS.json -- see
+   check_fairness().  Every gated figure there is an interaction COUNT
+   (the model's own time unit), so this branch needs no calibration:
+   complete-graph probe counts are pinned to EXACT equality against the
+   baseline on any machine, live-edge probes on the same machine only.
 
 Engine-throughput gates.  Validates a fresh report and compares it
 against the committed baseline:
@@ -117,6 +123,36 @@ MACHINE_KEYS = ("hardware_threads", "compiler", "assertions_disabled",
 MIN_SHARDED_SPEEDUP = 1.25    # slowest sharded row vs batch, same budget
 MAX_WARM_FRACTION = 0.5       # warm engine ctor vs cold log-fact build
 SHARDED_THREADS = (1, 2, 4, 8)
+
+# Fairness-report gates (schema ppk-bench-fairness-v1).
+FAIRNESS_SCHEMA = "ppk-bench-fairness-v1"
+FAIRNESS_FAMILIES = {"kpartition", "weak-kpartition", "graph-bipartition"}
+FAIRNESS_POLICIES = {"uniform-random", "epsilon-fair", "weak-round-robin"}
+# The families' state counts as a function of k -- the trade-off table's
+# first column, machine-checked against the protocol objects.
+FAMILY_STATES = {
+    "kpartition": lambda k: 3 * k - 2,
+    "weak-kpartition": lambda k: 3 * k + 1,
+    "graph-bipartition": lambda k: 5,
+}
+# The exhaustive weak-fairness ground truth (verify/weak_fairness.hpp):
+# only the weak family survives weak fairness.
+EXPECTED_WEAK_VERDICT = {
+    "kpartition": False,
+    "weak-kpartition": True,
+    "graph-bipartition": False,
+}
+REQUIRED_FAIRNESS_TOP = {"schema", "bench", "git_rev", "smoke", "interrupted",
+                         "seed", "machine", "tradeoff", "matrix", "topology",
+                         "verifier"}
+REQUIRED_FAIRNESS_ROW = {"family", "k", "n", "states", "policy", "epsilon",
+                         "topology", "engine", "trials", "budget",
+                         "stabilized_rate", "stalled_rate",
+                         "mean_interactions_stabilized", "probe_interactions",
+                         "probe_stabilized"}
+REQUIRED_VERDICT_ROW = {"family", "k", "n", "fairness", "solves",
+                        "exploration_complete", "reachable_configs",
+                        "bottom_sccs"}
 
 # Topology-report gates (schema ppk-bench-topology-v1).
 MIN_WEDGE_SPEEDUP = 50.0      # live-edge vs per-draw on the wedged ring
@@ -464,6 +500,159 @@ def check_topology(new_doc, base_doc, new_path, base_path):
               f"n={base_er['n']}; costs not comparable)")
 
 
+def validate_fairness_schema(doc, path):
+    """Structural checks on a ppk-bench-fairness-v1 report; returns the
+    rows of the three measured blocks keyed for baseline matching."""
+    if doc.get("schema") != FAIRNESS_SCHEMA:
+        fail(f"{path}: schema {doc.get('schema')!r}, expected "
+             f"{FAIRNESS_SCHEMA!r}")
+    missing = REQUIRED_FAIRNESS_TOP - doc.keys()
+    if missing:
+        fail(f"{path}: missing top-level keys {sorted(missing)}")
+    if doc["interrupted"]:
+        fail(f"{path}: report flagged interrupted; partial sweeps cannot "
+             f"be gated or become baselines")
+    rows = {}
+    for block in ("tradeoff", "matrix", "topology"):
+        if not isinstance(doc[block], list) or not doc[block]:
+            fail(f"{path}: {block} must be a non-empty array")
+        for i, row in enumerate(doc[block]):
+            missing = REQUIRED_FAIRNESS_ROW - row.keys()
+            if missing:
+                fail(f"{path}: {block}[{i}] missing {sorted(missing)}")
+            if row["family"] not in FAIRNESS_FAMILIES:
+                fail(f"{path}: {block}[{i}] unknown family "
+                     f"{row['family']!r}")
+            if row["policy"] not in FAIRNESS_POLICIES:
+                fail(f"{path}: {block}[{i}] unknown policy "
+                     f"{row['policy']!r}")
+            for rate in ("stabilized_rate", "stalled_rate"):
+                if not 0.0 <= row[rate] <= 1.0:
+                    fail(f"{path}: {block}[{i}] {rate} outside [0, 1]")
+            expected_states = FAMILY_STATES[row["family"]](row["k"])
+            if row["states"] != expected_states:
+                fail(f"{path}: {block}[{i}] {row['family']} (k={row['k']}) "
+                     f"reports {row['states']} states, the family formula "
+                     f"says {expected_states}")
+            key = (block, row["family"], row["k"], row["n"], row["policy"],
+                   row["epsilon"], row["topology"], row["engine"],
+                   row["budget"])
+            if key in rows:
+                fail(f"{path}: duplicate {block} row {key}")
+            rows[key] = row
+    if not isinstance(doc["verifier"], list) or not doc["verifier"]:
+        fail(f"{path}: verifier must be a non-empty array")
+    for i, row in enumerate(doc["verifier"]):
+        missing = REQUIRED_VERDICT_ROW - row.keys()
+        if missing:
+            fail(f"{path}: verifier[{i}] missing {sorted(missing)}")
+    return rows
+
+
+def check_fairness(new_doc, base_doc, new_path, base_path):
+    """Gates for the fairness report (schema ppk-bench-fairness-v1):
+
+     1. Schema: all four blocks present and well-formed; every row's
+        state count matches its family's formula (3k-2 / 3k+1 / 5) --
+        the trade-off table's state column, machine-checked.
+     2. Trade-off block: every family stabilizes every trial on its
+        common ground (complete graph, uniform-random scheduler).
+     3. Fairness matrix: every cell stabilizes -- including the
+        global-fairness families under the weak-round-robin adversary.
+        That is the methodology pin (docs/fairness.md): greedy
+        simulation cannot refute a fairness assumption, so a matrix
+        where some cell suddenly livelocks means the scheduler changed,
+        not the theory.
+     4. Topology block: graph-bipartition stabilizes every trial on
+        EVERY topology (its paper's claim); the complete-graph
+        k-partition protocol fails some trials on each sparse topology
+        (the negative control -- if it stops failing, the sweep is not
+        exercising sparse graphs at all).
+     5. Verifier block: the exhaustive weak-fairness verdicts match the
+        ground truth (only weak-kpartition solves), each from a
+        complete exploration.
+     6. Probe regression vs the committed BENCH_FAIRNESS.json: every
+        row's probe_interactions (trial 0's drawn-pair count, a pure
+        function of the seed) must EXACTLY equal the baseline's on
+        matching rows.  Counts are the model's own time unit --
+        machine-independent for the complete-graph engines, so this
+        pins bit-reproducibility across machines; live-edge rows are
+        pinned on the same machine only (the skip-ahead sampler calls
+        libm).  Rows whose configuration differs from the baseline
+        (different seed, budget or grid) are skipped.
+    """
+    new_rows = validate_fairness_schema(new_doc, new_path)
+    validate_fairness_schema(base_doc, base_path)
+
+    for (block, family, k, n, policy, *_), row in sorted(new_rows.items()):
+        where = f"{block} ({family}, k={k}, n={n}, {policy}, " \
+                f"{row['topology']})"
+        if block == "tradeoff" and row["stabilized_rate"] != 1.0:
+            fail(f"{where}: stabilized only {row['stabilized_rate']:.0%} of "
+                 f"trials on the family's home ground")
+        if block == "matrix" and row["stabilized_rate"] != 1.0:
+            fail(f"{where}: stabilized only {row['stabilized_rate']:.0%}; "
+                 f"every matrix cell must stabilize (simulation cannot "
+                 f"refute -- see docs/fairness.md)")
+        if block == "topology":
+            if (family == "graph-bipartition"
+                    and row["stabilized_rate"] != 1.0):
+                fail(f"{where}: graph-bipartition stabilized only "
+                     f"{row['stabilized_rate']:.0%}; its paper claims every "
+                     f"connected topology")
+            if (family == "kpartition" and row["topology"] != "complete"
+                    and row["stabilized_rate"] >= 1.0):
+                fail(f"{where}: the complete-graph protocol stabilized every "
+                     f"trial on a sparse topology -- the negative control "
+                     f"stopped failing")
+    print(f"ok: all {len(new_rows)} measured rows satisfy their family's "
+          f"stabilization claims (state counts match the formulas)")
+
+    for row in new_doc["verifier"]:
+        expected = EXPECTED_WEAK_VERDICT.get(row["family"])
+        if expected is None:
+            fail(f"verifier row for unknown family {row['family']!r}")
+        if not row["exploration_complete"]:
+            fail(f"verifier ({row['family']}, n={row['n']}): exploration "
+                 f"incomplete; the verdict is not ground truth")
+        if row["solves"] != expected:
+            fail(f"verifier ({row['family']}, n={row['n']}): solves="
+                 f"{row['solves']} under weak fairness, ground truth says "
+                 f"{expected}")
+    print(f"ok: {len(new_doc['verifier'])} exhaustive weak-fairness "
+          f"verdicts match the ground truth (only weak-kpartition solves)")
+
+    if new_doc.get("seed") != base_doc.get("seed"):
+        print(f"skip: probe regression (seed {new_doc.get('seed')} vs "
+              f"baseline {base_doc.get('seed')}; probes not comparable)")
+        return
+    base_rows = validate_fairness_schema(base_doc, base_path)
+    on_same_machine = same_machine(new_doc, base_doc)
+    pinned = 0
+    for key, row in sorted(new_rows.items()):
+        base = base_rows.get(key)
+        block, family, k, n, policy = key[:5]
+        where = f"{block} ({family}, k={k}, n={n}, {policy}, " \
+                f"{row['topology']})"
+        if base is None:
+            print(f"skip: {where} not in baseline grid")
+            continue
+        if row["engine"] == "live-edge" and not on_same_machine:
+            print(f"skip: {where} live-edge probe (machine differs; the "
+                  f"skip-ahead sampler's libm calls are platform-specific)")
+            continue
+        if row["probe_interactions"] != base["probe_interactions"]:
+            fail(f"{where}: probe interactions {row['probe_interactions']} "
+                 f"!= baseline {base['probe_interactions']} -- trial 0 is a "
+                 f"pure function of the seed, so the schedule is no longer "
+                 f"bit-reproducible")
+        pinned += 1
+    if pinned == 0:
+        fail("no fairness row overlapped the baseline -- nothing was pinned")
+    print(f"ok: {pinned} probe count(s) exactly match the baseline "
+          f"(bit-reproducible schedules)")
+
+
 def check_sampler_setup(new_doc):
     """Gate 5: per-engine sampler setup stays amortized out."""
     if new_doc["schema"] != SCHEMA_V2:
@@ -600,14 +789,20 @@ def main(argv):
         return 2
     new_path = Path(argv[1])
     new_doc = load(new_path)
-    is_topology = new_doc.get("schema") == TOPOLOGY_SCHEMA
-    default_baseline = ("BENCH_TOPOLOGY.json" if is_topology
-                        else "BENCH_ENGINES.json")
+    schema = new_doc.get("schema")
+    if schema == TOPOLOGY_SCHEMA:
+        default_baseline = "BENCH_TOPOLOGY.json"
+    elif schema == FAIRNESS_SCHEMA:
+        default_baseline = "BENCH_FAIRNESS.json"
+    else:
+        default_baseline = "BENCH_ENGINES.json"
     base_path = (Path(argv[2]) if len(argv) == 3 else
                  Path(__file__).resolve().parent.parent / default_baseline)
     base_doc = load(base_path)
-    if is_topology:
+    if schema == TOPOLOGY_SCHEMA:
         check_topology(new_doc, base_doc, new_path, base_path)
+    elif schema == FAIRNESS_SCHEMA:
+        check_fairness(new_doc, base_doc, new_path, base_path)
     else:
         check_engines(new_doc, base_doc, new_path, base_path)
     print("all benchmark gates passed")

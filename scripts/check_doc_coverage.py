@@ -19,8 +19,12 @@ language.
 Usage:
   scripts/check_doc_coverage.py [HEADER...]
 
-With no arguments, checks src/obs/*.hpp, src/pp/stability.hpp, and
-src/core/campaign.hpp.
+With no arguments, checks src/obs/*.hpp, src/pp/stability.hpp,
+src/core/campaign.hpp, the fairness axis (src/pp/fairness.hpp,
+src/pp/adversarial.hpp), the two protocol families it carries
+(src/core/weak_kpartition.hpp, src/core/graph_bipartition.hpp), and the
+per-agent verifier behind them (src/verify/agent_graph.hpp,
+src/verify/weak_fairness.hpp).
 Exits non-zero listing every undocumented symbol.  Stdlib only.
 """
 
@@ -32,6 +36,13 @@ REPO = Path(__file__).resolve().parent.parent
 DEFAULT_TARGETS = sorted((REPO / "src" / "obs").glob("*.hpp")) + [
     REPO / "src" / "pp" / "stability.hpp",
     REPO / "src" / "core" / "campaign.hpp",
+    # The fairness-policy axis and the protocol families riding on it.
+    REPO / "src" / "pp" / "fairness.hpp",
+    REPO / "src" / "pp" / "adversarial.hpp",
+    REPO / "src" / "core" / "weak_kpartition.hpp",
+    REPO / "src" / "core" / "graph_bipartition.hpp",
+    REPO / "src" / "verify" / "agent_graph.hpp",
+    REPO / "src" / "verify" / "weak_fairness.hpp",
 ]
 
 # Lines that introduce a documentable symbol.  Matched against a line with

@@ -4,6 +4,7 @@
 #
 #   BENCH_ENGINES.json   (bench/batch_throughput,     ppk-bench-engines-v2)
 #   BENCH_TOPOLOGY.json  (bench/topology_sensitivity, ppk-bench-topology-v1)
+#   BENCH_FAIRNESS.json  (bench/fairness_matrix,      ppk-bench-fairness-v1)
 #
 # The engines report covers the {n, k} throughput grid for all five
 # engines (agent/count/jump/batch/sharded), the sampler-setup
@@ -12,9 +13,10 @@
 # bit-determinism across worker counts 1/2/4/8.
 #
 # Usage:
-#   scripts/run_benchmarks.sh [--smoke] [--only engines|topology]
+#   scripts/run_benchmarks.sh [--smoke] [--only engines|topology|fairness]
 #                             [--reps N] [--build-dir DIR]
 #                             [--out FILE] [--topology-out FILE]
+#                             [--fairness-out FILE]
 #
 #   --smoke         small grids + short budgets (CI-sized, ~seconds)
 #   --only WHICH    run just one report (default: both)
@@ -24,6 +26,11 @@
 #                   (default: ./build, configured+built if missing)
 #   --out           engines JSON path (default: BENCH_ENGINES.json)
 #   --topology-out  topology JSON path (default: BENCH_TOPOLOGY.json)
+#   --fairness-out  fairness JSON path (default: BENCH_FAIRNESS.json)
+#
+# The fairness report gates interaction COUNTS, not wall-clock times, so
+# --reps does not apply to it and any machine can regenerate the
+# complete-graph rows bit-identically (live-edge rows are libm-specific).
 #
 # The committed reports are the regression baselines checked by
 # scripts/check_bench_regression.py; regenerate them with a full
@@ -40,6 +47,7 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${repo_root}/build"
 out="${repo_root}/BENCH_ENGINES.json"
 topology_out="${repo_root}/BENCH_TOPOLOGY.json"
+fairness_out="${repo_root}/BENCH_FAIRNESS.json"
 smoke=""
 reps="1"
 only="both"
@@ -52,12 +60,14 @@ while [[ $# -gt 0 ]]; do
     --build-dir) build_dir="$2"; shift 2 ;;
     --out) out="$2"; shift 2 ;;
     --topology-out) topology_out="$2"; shift 2 ;;
+    --fairness-out) fairness_out="$2"; shift 2 ;;
     *) echo "unknown flag: $1" >&2; exit 2 ;;
   esac
 done
 case "${only}" in
-  both|engines|topology) ;;
-  *) echo "--only must be 'engines' or 'topology', got '${only}'" >&2; exit 2 ;;
+  both|engines|topology|fairness) ;;
+  *) echo "--only must be 'engines', 'topology' or 'fairness', got '${only}'" >&2
+     exit 2 ;;
 esac
 
 ensure_built() {
@@ -85,4 +95,15 @@ if [[ "${only}" == "both" || "${only}" == "topology" ]]; then
   "${build_dir}/bench/topology_sensitivity" ${smoke} --reps "${reps}" \
     --threads 0 --json "${topology_out}" --git-rev "${git_rev}"
   echo "== wrote ${topology_out} (git ${git_rev}) =="
+fi
+
+if [[ "${only}" == "both" || "${only}" == "fairness" ]]; then
+  ensure_built fairness_matrix
+  # --threads 0 = one worker per hardware core: the livelock rows (the
+  # negative controls) burn their full interaction budget every trial and
+  # parallelize perfectly.  No --reps: every gated figure is an
+  # interaction count, not a time, so one measurement is exact.
+  "${build_dir}/bench/fairness_matrix" ${smoke} --threads 0 \
+    --json "${fairness_out}" --git-rev "${git_rev}"
+  echo "== wrote ${fairness_out} (git ${git_rev}) =="
 fi

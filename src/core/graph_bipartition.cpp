@@ -1,0 +1,84 @@
+#include "core/graph_bipartition.hpp"
+
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace ppk::core {
+
+std::optional<pp::Transition> GraphBipartitionProtocol::rule(
+    pp::StateId p, pp::StateId q) const {
+  // Rule 1: pair.
+  if (p == kInitial && q == kInitial) {
+    return pp::Transition{kR, kB};
+  }
+  // Rule 2: deposit -- the initiator settles red, parks a signal on the
+  // settled neighbour (colour preserved).
+  if (p == kInitial && q == kR) return pp::Transition{kR, kRSig};
+  if (p == kInitial && q == kB) return pp::Transition{kR, kBSig};
+  // Rule 3: clear -- a signal pays for a blue settlement.
+  if (p == kInitial && q == kRSig) return pp::Transition{kB, kR};
+  if (p == kInitial && q == kBSig) return pp::Transition{kB, kB};
+  // Rule 5: cancel -- needs a red host to flip; (b^, b^) stays null.
+  if (p == kRSig && has_signal(q)) {
+    return pp::Transition{kB, q == kRSig ? kR : kB};
+  }
+  if (p == kBSig && q == kRSig) return pp::Transition{kB, kB};
+  // Rule 4: hop -- the signal moves initiator -> responder; both hosts
+  // keep their colour (and hence their output).
+  if (p == kRSig && q == kR) return pp::Transition{kR, kRSig};
+  if (p == kRSig && q == kB) return pp::Transition{kR, kBSig};
+  if (p == kBSig && q == kR) return pp::Transition{kB, kRSig};
+  if (p == kBSig && q == kB) return pp::Transition{kB, kBSig};
+  return std::nullopt;
+}
+
+pp::Transition GraphBipartitionProtocol::delta(pp::StateId p,
+                                               pp::StateId q) const {
+  PPK_EXPECTS(p < num_states() && q < num_states());
+  if (auto t = rule(p, q)) return *t;
+  if (auto t = rule(q, p)) return pp::Transition{t->responder, t->initiator};
+  return pp::Transition{p, q};  // null interaction
+}
+
+pp::GroupId GraphBipartitionProtocol::group(pp::StateId s) const {
+  PPK_EXPECTS(s < num_states());
+  return (s == kB || s == kBSig) ? 1 : 0;
+}
+
+std::string GraphBipartitionProtocol::state_name(pp::StateId s) const {
+  PPK_EXPECTS(s < num_states());
+  switch (s) {
+    case kInitial:
+      return "initial";
+    case kR:
+      return "r";
+    case kB:
+      return "b";
+    case kRSig:
+      return "r^";
+    default:
+      return "b^";
+  }
+}
+
+std::unique_ptr<pp::StabilityOracle> graph_bipartition_stable_oracle(
+    const GraphBipartitionProtocol& protocol, std::uint64_t n) {
+  PPK_EXPECTS(n >= 2);
+  PPK_EXPECTS(n <= std::numeric_limits<std::uint32_t>::max());
+  // Classes: 0 = initial (must empty), 1 = signal carriers (must hold
+  // exactly the red surplus, n mod 2), 2 = settled r/b (the rest).
+  std::vector<std::uint16_t> state_class(protocol.num_states());
+  state_class[GraphBipartitionProtocol::kInitial] = 0;
+  state_class[GraphBipartitionProtocol::kRSig] = 1;
+  state_class[GraphBipartitionProtocol::kBSig] = 1;
+  state_class[GraphBipartitionProtocol::kR] = 2;
+  state_class[GraphBipartitionProtocol::kB] = 2;
+  const auto parity = static_cast<std::uint32_t>(n % 2);
+  std::vector<std::uint32_t> target = {
+      0, parity, static_cast<std::uint32_t>(n) - parity};
+  return std::make_unique<pp::CountPatternOracle>(std::move(state_class),
+                                                  std::move(target));
+}
+
+}  // namespace ppk::core

@@ -1,0 +1,102 @@
+// Uniform bipartition on ARBITRARY connected interaction graphs under
+// global fairness.
+//
+// The repo's 4-state `BipartitionProtocol` (bipartition.hpp) silently
+// assumes a complete interaction graph: two `initial` agents that are not
+// neighbours can never pair, so on a star with >= 3 leaves the leaves can
+// never all leave `initial` and the protocol fails (machine-checked by the
+// arbitrary-graph verifier as the negative control).  The follow-up paper
+// *Uniform Bipartition with Arbitrary Communication Graphs* (Yasumi-
+// Ooshita-Inoue, arXiv:2011.08366) closes that gap; this file implements
+// the repo's arbitrary-graph family in that paper's spirit: constant state
+// count, asymmetric rules, designated-initial-state model, correctness on
+// every connected graph under global fairness.
+//
+// Construction ("signal relay"), 5 states:
+//   initial         f = red    -- designated initial state
+//   r, b            f = red/blue, settled colour, no signal
+//   r^, b^          f = red/blue, settled colour CARRYING one signal
+//
+// A signal means "one red surplus is in flight".  Rules (written
+// orientation; mirrored):
+//   1. pair     (initial, initial) -> (r, b)
+//   2. deposit  (initial, r) -> (r, r^)     the initiator settles red and
+//              (initial, b) -> (r, b^)      parks a signal on its neighbour
+//   3. clear    (initial, r^) -> (b, r)     the signal pays for a blue
+//              (initial, b^) -> (b, b)      settlement and disappears
+//   4. hop      (x^, y) -> (x, y^)          signals random-walk along edges
+//                                           (colour of both hosts unchanged)
+//   5. cancel   (r^, x^) -> (b, x)          two signals meeting on an edge
+//                                           cancel by recolouring an r host
+//                                           ((b^, b^) is null: no r to flip)
+//
+// Invariants: #r - #b == #signals, and #initial + #signals == n (mod 2).
+// A configuration with #initial == 0 and #signals == n mod 2 is stable:
+// with at most one signal left no cancel or clear can ever fire again, and
+// hops preserve both hosts' outputs.  The converse holds with exactly one
+// exception: on odd n the configuration {one initial, #r == #b, no signal}
+// is already output-stable (its only effective rules are deposits, which
+// preserve every output and land in the pattern one interaction later).
+// The count pattern is therefore a sound stopping rule that every fair
+// execution reaches, measuring convergence to the canonical stable pattern
+// -- at most one effective interaction after output stabilization.  Signals
+// keep hopping forever in the stable regime, so every agent's OUTPUT
+// stabilizes even though states do not (the bottom SCCs of the per-agent
+// configuration graph are output-constant and uniform; the arbitrary-graph
+// verifier checks exactly this).
+//
+// Under weak fairness this protocol is NOT correct even on the complete
+// graph -- an adversary can park the odd signals on b hosts and schedule
+// every pair at null moments (see docs/fairness.md); it needs the global
+// fairness its source paper assumes.
+
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "pp/protocol.hpp"
+#include "pp/stability.hpp"
+
+namespace ppk::core {
+
+/// The 5-state signal-relay bipartition family for arbitrary connected
+/// graphs (header comment has the construction and invariants).
+class GraphBipartitionProtocol final : public pp::Protocol {
+ public:
+  GraphBipartitionProtocol() = default;
+
+  [[nodiscard]] std::string name() const override {
+    return "graph-bipartition";
+  }
+  [[nodiscard]] pp::StateId num_states() const override { return 5; }
+  [[nodiscard]] pp::StateId initial_state() const override { return kInitial; }
+  [[nodiscard]] pp::Transition delta(pp::StateId p,
+                                     pp::StateId q) const override;
+  [[nodiscard]] pp::GroupId group(pp::StateId s) const override;
+  [[nodiscard]] pp::GroupId num_groups() const override { return 2; }
+  [[nodiscard]] std::string state_name(pp::StateId s) const override;
+
+  static constexpr pp::StateId kInitial = 0;
+  static constexpr pp::StateId kR = 1;       // settled red
+  static constexpr pp::StateId kB = 2;       // settled blue
+  static constexpr pp::StateId kRSig = 3;    // red host carrying a signal
+  static constexpr pp::StateId kBSig = 4;    // blue host carrying a signal
+
+  [[nodiscard]] static bool has_signal(pp::StateId s) noexcept {
+    return s == kRSig || s == kBSig;
+  }
+
+ private:
+  [[nodiscard]] std::optional<pp::Transition> rule(pp::StateId p,
+                                                   pp::StateId q) const;
+};
+
+/// Exact stopping rule for GraphBipartitionProtocol on a population of n
+/// agents: stable iff #initial == 0 and #{r^, b^} == n mod 2 (the settled
+/// states r/b absorb the rest).  Count-level, so it works on every engine.
+[[nodiscard]] std::unique_ptr<pp::StabilityOracle>
+graph_bipartition_stable_oracle(const GraphBipartitionProtocol& protocol,
+                                std::uint64_t n);
+
+}  // namespace ppk::core

@@ -1,0 +1,121 @@
+#include "core/weak_kpartition.hpp"
+
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace ppk::core {
+
+WeakKPartitionProtocol::WeakKPartitionProtocol(pp::GroupId k) : k_(k) {
+  PPK_EXPECTS(k >= 2);
+  // State layout: [initial, released, g1..gk, b1..bk, d1..d(k-1)].
+  PPK_EXPECTS(2 + 3 * static_cast<std::uint32_t>(k) - 1 <=
+              std::numeric_limits<pp::StateId>::max());
+}
+
+std::string WeakKPartitionProtocol::name() const {
+  return "weak-k-partition(k=" + std::to_string(k_) + ")";
+}
+
+pp::StateId WeakKPartitionProtocol::num_states() const {
+  return static_cast<pp::StateId>(3 * k_ + 1);
+}
+
+pp::StateId WeakKPartitionProtocol::g(pp::GroupId x) const {
+  PPK_EXPECTS(x >= 1 && x <= k_);
+  return static_cast<pp::StateId>(2 + (x - 1));
+}
+
+pp::StateId WeakKPartitionProtocol::b(pp::GroupId p) const {
+  PPK_EXPECTS(p >= 1 && p <= k_);
+  return static_cast<pp::StateId>(2 + k_ + (p - 1));
+}
+
+pp::StateId WeakKPartitionProtocol::d(pp::GroupId q) const {
+  PPK_EXPECTS(q >= 1 && q <= k_ - 1);
+  return static_cast<pp::StateId>(2 + 2 * k_ + (q - 1));
+}
+
+bool WeakKPartitionProtocol::is_g(pp::StateId s) const noexcept {
+  return s >= 2 && s < 2 + k_;
+}
+
+bool WeakKPartitionProtocol::is_b(pp::StateId s) const noexcept {
+  return s >= 2 + k_ && s < 2 + 2 * k_;
+}
+
+bool WeakKPartitionProtocol::is_d(pp::StateId s) const noexcept {
+  return s >= 2 + 2 * k_ && s < 3 * k_ + 1;
+}
+
+pp::GroupId WeakKPartitionProtocol::index_of(pp::StateId s) const {
+  PPK_EXPECTS(!is_free(s));
+  if (is_g(s)) return static_cast<pp::GroupId>(s - 2 + 1);
+  if (is_b(s)) return static_cast<pp::GroupId>(s - (2 + k_) + 1);
+  return static_cast<pp::GroupId>(s - (2 + 2 * k_) + 1);
+}
+
+std::optional<pp::Transition> WeakKPartitionProtocol::rule(
+    pp::StateId p, pp::StateId q) const {
+  // Rule 1: bootstrap.  The initiator commits to group 1; the responder
+  // becomes the cyclic builder with group 2 up next.  (Asymmetric on the
+  // diagonal -- that is the point: a symmetric rule here reintroduces the
+  // flip livelock.)
+  if (p == kInitial && q == kInitial) {
+    return pp::Transition{g(1), b(2)};
+  }
+  // Rule 2: assignment.  A builder meeting a free agent (initial or
+  // released) commits it to the builder's current group and advances the
+  // builder cyclically.
+  if (is_b(p) && is_free(q)) {
+    const pp::GroupId cur = index_of(p);
+    const pp::GroupId next = static_cast<pp::GroupId>(cur % k_ + 1);
+    return pp::Transition{b(next), g(cur)};
+  }
+  // Rule 3: builder merge.  The initiator survives unchanged; the loser
+  // turns into a demolisher that must undo its current (partial) lap:
+  // groups q-1, q-2, ..., 1 each gained one member since its last wrap.
+  if (is_b(p) && is_b(q)) {
+    const pp::GroupId loser = index_of(q);
+    const pp::StateId demoted = loser >= 2 ? d(loser - 1) : kReleased;
+    return pp::Transition{p, demoted};
+  }
+  // Rule 4: demolition.  d_j frees one member of group j and steps down;
+  // d_1 frees one member of group 1 and retires.
+  if (is_d(p) && is_g(q) && index_of(p) == index_of(q)) {
+    const pp::GroupId j = index_of(p);
+    const pp::StateId down = j >= 2 ? d(j - 1) : kReleased;
+    return pp::Transition{down, kReleased};
+  }
+  return std::nullopt;
+}
+
+pp::Transition WeakKPartitionProtocol::delta(pp::StateId p,
+                                             pp::StateId q) const {
+  PPK_EXPECTS(p < num_states() && q < num_states());
+  if (auto t = rule(p, q)) return *t;
+  if (auto t = rule(q, p)) return pp::Transition{t->responder, t->initiator};
+  return pp::Transition{p, q};  // null interaction
+}
+
+pp::GroupId WeakKPartitionProtocol::group(pp::StateId s) const {
+  PPK_EXPECTS(s < num_states());
+  // Free agents and demolishers are counted in group 1 until committed;
+  // a builder b_p outputs its next assignment target p.  At silence the
+  // free/demolisher states are gone and exactly one builder remains, so
+  // only g and b outputs shape the final partition.
+  if (is_g(s) || is_b(s)) return static_cast<pp::GroupId>(index_of(s) - 1);
+  return 0;
+}
+
+std::string WeakKPartitionProtocol::state_name(pp::StateId s) const {
+  PPK_EXPECTS(s < num_states());
+  if (s == kInitial) return "initial";
+  if (s == kReleased) return "released";
+  const auto idx = std::to_string(index_of(s));
+  if (is_g(s)) return "g" + idx;
+  if (is_b(s)) return "b" + idx;
+  return "d" + idx;
+}
+
+}  // namespace ppk::core

@@ -1,0 +1,110 @@
+// Uniform k-partition under WEAK fairness (every pair of agents interacts
+// infinitely often, but no guarantee about which configurations recur).
+//
+// The source paper's 3k-2 protocol needs global fairness: its symmetric
+// pairing trick (initial <-> initial' flips) admits a weakly fair execution
+// that flips free pairs forever without ever committing a group, and its
+// mutual-demolition rule (m_i, m_j) -> (d_(i-1), d_(j-1)) lets a weakly
+// fair adversary rebuild and demolish blocks in a cycle.  The follow-up
+// paper by the same group (Yasumi-Ooshita-Inoue, arXiv:1911.04678) studies
+// exactly this gap; this file implements the repo's weak-fairness family in
+// that paper's spirit, engineered so the repo's exhaustive weak-fairness
+// verifier (verify/weak_fairness.hpp) can machine-check it on small (n, k).
+//
+// Construction ("cyclic builder with loser demolition"), 3k+1 states:
+//   I = {initial}                  -- designated initial state, f = 1
+//   R = {released}                 -- freed by demolition; cannot re-pair
+//   G = {g1..gk}                   -- committed members, f(gi) = i
+//   B = {b1..bk}                   -- cyclic builders, f(bp) = p
+//   D = {d1..d(k-1)}               -- demolishers, f(dj) = 1
+//
+// Rules (asymmetric; the written orientation below is mirrored):
+//   1. (initial, initial) -> (g1, b2)      bootstrap: initiator commits to
+//                                          group 1, responder starts building
+//   2. (bp, free)         -> (bp(+)1, gp)  free in {initial, released}; the
+//                                          builder assigns groups cyclically
+//                                          (p(+)1 = p mod k + 1)
+//   3. (bp, bq)           -> (bp, dq-1)    builder merge: the initiator
+//                                          survives; the loser must undo its
+//                                          current lap (q = 1 -> released)
+//   4. (dj, gj)           -> (dj-1, released), and (d1, g1) -> (released,
+//                             released): the demolisher frees exactly one
+//                             member of each group j, j-1, ..., 1
+//
+// Why this is weak-fairness correct (machine-checked; proof sketch):
+//   - #initial never increases (releases produce `released`, which cannot
+//     pair), so bootstraps are finite; builders die only by losing a merge,
+//     so once one exists, one exists forever, and weak fairness forces
+//     coexisting builders to meet: eventually exactly one builder.
+//   - Every demolisher's pending releases are funded by its loser's
+//     current-lap assignments, so (dj, gj) can always fire and every
+//     demolisher terminates; all effective rules strictly consume a finite
+//     resource, so every execution -- under ANY scheduling -- reaches
+//     silence after finitely many effective interactions.
+//   - A silent configuration is one cyclic builder bp plus committed
+//     members whose counts are "full laps + the prefix 1..p-1"; with
+//     f(bp) = p that is exactly a uniform k-partition.
+//
+// The trade-off against the global-fairness protocol (documented in
+// docs/protocols.md): 3k+1 states instead of 3k-2, and the protocol is
+// asymmetric (rule 1 breaks the tie by role), which is how it escapes the
+// flip livelock -- under weak fairness symmetric pairing cannot work.
+
+#pragma once
+
+#include <optional>
+
+#include "pp/protocol.hpp"
+
+namespace ppk::core {
+
+/// The weak-fairness uniform k-partition family (3k+1 states; header
+/// comment has the construction and correctness argument).
+class WeakKPartitionProtocol final : public pp::Protocol {
+ public:
+  /// Requires k >= 2.
+  explicit WeakKPartitionProtocol(pp::GroupId k);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] pp::StateId num_states() const override;
+  [[nodiscard]] pp::StateId initial_state() const override { return kInitial; }
+  [[nodiscard]] pp::Transition delta(pp::StateId p,
+                                     pp::StateId q) const override;
+  [[nodiscard]] pp::GroupId group(pp::StateId s) const override;
+  [[nodiscard]] pp::GroupId num_groups() const override { return k_; }
+  [[nodiscard]] std::string state_name(pp::StateId s) const override;
+
+  /// The number of groups the instance partitions into.
+  [[nodiscard]] pp::GroupId k() const noexcept { return k_; }
+
+  // --- State encoding (public so tests and the verifier can name states) ---
+  static constexpr pp::StateId kInitial = 0;   // "initial"
+  static constexpr pp::StateId kReleased = 1;  // "released"
+
+  /// g_x for x in 1..k.
+  [[nodiscard]] pp::StateId g(pp::GroupId x) const;
+  /// b_p for p in 1..k (the cyclic builder about to assign group p).
+  [[nodiscard]] pp::StateId b(pp::GroupId p) const;
+  /// d_q for q in 1..k-1 (a demolisher owing releases for groups q..1).
+  [[nodiscard]] pp::StateId d(pp::GroupId q) const;
+
+  /// True for the two unassigned states (initial, released).
+  [[nodiscard]] bool is_free(pp::StateId s) const noexcept { return s <= 1; }
+  /// True iff s is a committed member g_x.
+  [[nodiscard]] bool is_g(pp::StateId s) const noexcept;
+  /// True iff s is a cyclic builder b_p.
+  [[nodiscard]] bool is_b(pp::StateId s) const noexcept;
+  /// True iff s is a demolisher d_q.
+  [[nodiscard]] bool is_d(pp::StateId s) const noexcept;
+  /// Inverse of g()/b()/d(): the index x/p/q of a committed state.
+  [[nodiscard]] pp::GroupId index_of(pp::StateId s) const;
+
+ private:
+  /// The rule set in its written orientation; nullopt = no rule.
+  [[nodiscard]] std::optional<pp::Transition> rule(pp::StateId p,
+                                                   pp::StateId q) const;
+
+  pp::GroupId k_;
+};
+
+}  // namespace ppk::core

@@ -16,6 +16,8 @@
 
 #pragma once
 
+#include <cstdint>
+#include <limits>
 #include <string>
 #include <utility>
 
@@ -28,12 +30,21 @@ enum class ProductOutput { kFirst, kSecond, kPair };
 
 class ProductProtocol final : public Protocol {
  public:
-  /// Both protocols must stay small enough that |Qa| * |Qb| fits StateId.
+  /// Both protocols must stay small enough that |Qa| * |Qb| fits StateId
+  /// (and, for kPair output, the group product fits GroupId).  The bounds
+  /// follow the id types -- widening StateId widens the admissible
+  /// compositions with no change here.
   ProductProtocol(const Protocol& a, const Protocol& b, ProductOutput output)
       : a_(&a), b_(&b), output_(output) {
-    const std::uint32_t product = static_cast<std::uint32_t>(a.num_states()) *
-                                  static_cast<std::uint32_t>(b.num_states());
-    PPK_EXPECTS(product <= UINT16_MAX);
+    const std::uint64_t product = static_cast<std::uint64_t>(a.num_states()) *
+                                  static_cast<std::uint64_t>(b.num_states());
+    PPK_EXPECTS(product <= std::numeric_limits<StateId>::max());
+    if (output == ProductOutput::kPair) {
+      const std::uint64_t groups =
+          static_cast<std::uint64_t>(a.num_groups()) *
+          static_cast<std::uint64_t>(b.num_groups());
+      PPK_EXPECTS(groups <= std::numeric_limits<GroupId>::max());
+    }
   }
 
   [[nodiscard]] std::string name() const override {

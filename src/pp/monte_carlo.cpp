@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "obs/metrics.hpp"
+#include "pp/adversarial.hpp"
 #include "obs/sink.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
@@ -101,7 +102,8 @@ void record_trial_metrics(obs::MetricsRegistry& metrics,
 TrialResult run_one_trial(const TransitionTable& table, const Counts& initial,
                           const OracleFactory& make_oracle,
                           const MonteCarloOptions& options, std::uint64_t seed,
-                          obs::MetricsRegistry* trial_metrics) {
+                          obs::MetricsRegistry* trial_metrics,
+                          const Protocol* protocol) {
   TrialResult result;
   auto oracle = make_oracle();
   PPK_ASSERT(oracle != nullptr);
@@ -110,6 +112,29 @@ TrialResult run_one_trial(const TransitionTable& table, const Counts& initial,
 
   std::uint64_t n = 0;
   for (auto c : initial) n += c;
+
+  if (options.fairness.needs_adversarial_engine()) {
+    // Only the agent-level scheduler can realize a non-uniform fairness
+    // policy; it needs the protocol's group map for its adversary probes.
+    PPK_EXPECTS(protocol != nullptr);
+    PPK_EXPECTS(!options.watch_state);
+    PPK_EXPECTS(options.engine == Engine::kAuto ||
+                options.engine == Engine::kAgentArray);
+    std::optional<InteractionGraph> graph;
+    if (options.graph) {
+      graph.emplace(
+          options.graph(derive_stream_seed(seed, kGraphTopologyStream)));
+      PPK_EXPECTS(graph->num_agents() == n);
+    }
+    AdversarialSimulator sim(*protocol, table, Population(initial),
+                             options.fairness, seed,
+                             graph ? &*graph : nullptr);
+    if (sink) sim.set_obs_sink(&*sink);
+    run_bounded(sim, *oracle, options, &result);
+    if (trial_metrics != nullptr) record_trial_metrics(*trial_metrics, result);
+    return result;
+  }
+
   const Engine engine =
       resolve_engine(options.engine, n, options.watch_state.has_value(),
                      static_cast<bool>(options.graph));
@@ -237,10 +262,13 @@ Engine resolve_engine(Engine engine, std::uint64_t n, bool watch,
   return n > kShardedCrossover ? Engine::kBatchSharded : Engine::kBatch;
 }
 
-MonteCarloResult run_monte_carlo(const TransitionTable& table,
-                                 const Counts& initial,
-                                 const OracleFactory& make_oracle,
-                                 const MonteCarloOptions& options) {
+namespace {
+
+MonteCarloResult run_monte_carlo_impl(const TransitionTable& table,
+                                      const Counts& initial,
+                                      const OracleFactory& make_oracle,
+                                      const MonteCarloOptions& options,
+                                      const Protocol* protocol) {
   PPK_EXPECTS(options.trials > 0);
   MonteCarloResult result;
   result.trials.resize(options.trials);
@@ -249,8 +277,8 @@ MonteCarloResult run_monte_carlo(const TransitionTable& table,
   auto body = [&](std::size_t trial) {
     const std::uint64_t seed = derive_stream_seed(options.master_seed, trial);
     if (options.metrics == nullptr) {
-      result.trials[trial] =
-          run_one_trial(table, initial, make_oracle, options, seed, nullptr);
+      result.trials[trial] = run_one_trial(table, initial, make_oracle,
+                                           options, seed, nullptr, protocol);
       return;
     }
     // Each trial fills a private registry; folding into the shared one is
@@ -258,7 +286,7 @@ MonteCarloResult run_monte_carlo(const TransitionTable& table,
     // is bit-identical no matter which trial's merge wins a race.
     obs::MetricsRegistry trial_metrics;
     result.trials[trial] = run_one_trial(table, initial, make_oracle, options,
-                                         seed, &trial_metrics);
+                                         seed, &trial_metrics, protocol);
     const std::lock_guard<std::mutex> lock(metrics_mutex);
     options.metrics->merge(trial_metrics);
   };
@@ -272,13 +300,23 @@ MonteCarloResult run_monte_carlo(const TransitionTable& table,
   return result;
 }
 
+}  // namespace
+
+MonteCarloResult run_monte_carlo(const TransitionTable& table,
+                                 const Counts& initial,
+                                 const OracleFactory& make_oracle,
+                                 const MonteCarloOptions& options) {
+  return run_monte_carlo_impl(table, initial, make_oracle, options, nullptr);
+}
+
 MonteCarloResult run_monte_carlo(const Protocol& protocol,
                                  const TransitionTable& table, std::uint32_t n,
                                  const OracleFactory& make_oracle,
                                  const MonteCarloOptions& options) {
   Counts initial(protocol.num_states(), 0);
   initial[protocol.initial_state()] = n;
-  return run_monte_carlo(table, initial, make_oracle, options);
+  return run_monte_carlo_impl(table, initial, make_oracle, options,
+                              &protocol);
 }
 
 }  // namespace ppk::pp

@@ -16,6 +16,7 @@
 
 #include "pp/agent_simulator.hpp"
 #include "pp/batch_simulator.hpp"
+#include "pp/fairness.hpp"
 #include "pp/batch_sharded_simulator.hpp"
 #include "pp/count_simulator.hpp"
 #include "pp/graph_jump_simulator.hpp"
@@ -123,6 +124,17 @@ struct MonteCarloOptions {
   /// complete-graph engines; setting it while forcing a non-graph engine
   /// is a precondition violation.
   std::function<InteractionGraph(std::uint64_t seed)> graph;
+  /// Scheduling guarantee for the trials (pp/fairness.hpp).  The default
+  /// uniform-random policy is what every count-based engine implements;
+  /// kEpsilonFair (epsilon < 1) and kWeakRoundRobin route each trial to
+  /// the agent-level AdversarialSimulator instead -- composed with `graph`
+  /// when a topology factory is set, so fairness x topology is one
+  /// scenario.  The adversarial scheduler needs the protocol's group map
+  /// (to probe for non-progressing pairs), so a non-default policy
+  /// requires the run_monte_carlo overload that takes a Protocol; it also
+  /// excludes watch_state and forced count/batch engines (precondition
+  /// violations -- those engines cannot realize the policy).
+  FairnessSpec fairness{};
   /// If non-null, every trial runs with an observability sink writing into
   /// a private per-trial registry; the driver folds the trial registries
   /// into this one as trials finish (mutex-guarded -- the merge operations

@@ -1,0 +1,196 @@
+#include "verify/agent_graph.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <deque>
+
+#include "util/assert.hpp"
+
+namespace ppk::verify {
+
+AgentConfigGraph::AgentConfigGraph(const pp::Protocol& protocol,
+                                   const pp::TransitionTable& table,
+                                   std::uint32_t n, Options options)
+    : n_(n), table_(&table) {
+  PPK_EXPECTS(n >= 2);
+  PPK_EXPECTS(table.num_states() == protocol.num_states());
+  const auto num_states = static_cast<std::uint32_t>(table.num_states());
+  bits_ = std::max(1U, static_cast<std::uint32_t>(
+                           std::bit_width(num_states - 1)));
+  PPK_EXPECTS(static_cast<std::uint64_t>(n) * bits_ <= 64);
+  mask_ = (bits_ == 64) ? ~0ULL : ((1ULL << bits_) - 1);
+
+  if (options.topology != nullptr) {
+    PPK_EXPECTS(options.topology->num_agents() == n);
+    pairs_ = options.topology->edges();
+  } else {
+    pairs_.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+    for (std::uint32_t a = 0; a < n; ++a) {
+      for (std::uint32_t b = a + 1; b < n; ++b) pairs_.emplace_back(a, b);
+    }
+  }
+
+  std::uint64_t initial_key = 0;
+  const auto s0 = static_cast<std::uint64_t>(protocol.initial_state());
+  for (std::uint32_t a = 0; a < n; ++a) initial_key |= s0 << (a * bits_);
+
+  keys_.push_back(initial_key);
+  index_.emplace(initial_key, 0);
+  explore(table, options);
+  if (complete_) compute_sccs();
+}
+
+std::vector<pp::StateId> AgentConfigGraph::config(std::size_t index) const {
+  std::vector<pp::StateId> states(n_);
+  for (std::uint32_t a = 0; a < n_; ++a) states[a] = state_of(index, a);
+  return states;
+}
+
+std::uint32_t AgentConfigGraph::apply(std::size_t config, std::uint32_t i,
+                                      std::uint32_t j) const {
+  PPK_EXPECTS(i < n_ && j < n_ && i != j);
+  const pp::StateId p = state_of(config, i);
+  const pp::StateId q = state_of(config, j);
+  if (!table_->effective(p, q)) return static_cast<std::uint32_t>(config);
+  const pp::Transition& t = table_->apply(p, q);
+  std::uint64_t key = keys_[config];
+  key &= ~(mask_ << (i * bits_));
+  key &= ~(mask_ << (j * bits_));
+  key |= static_cast<std::uint64_t>(t.initiator) << (i * bits_);
+  key |= static_cast<std::uint64_t>(t.responder) << (j * bits_);
+  const auto it = index_.find(key);
+  PPK_ASSERT(it != index_.end());  // the graph is transition-closed
+  return it->second;
+}
+
+void AgentConfigGraph::explore(const pp::TransitionTable& table,
+                               const Options& options) {
+  std::deque<std::uint32_t> frontier;
+  frontier.push_back(0);
+
+  auto intern = [&](std::uint64_t key) -> std::uint32_t {
+    auto [it, inserted] =
+        index_.try_emplace(key, static_cast<std::uint32_t>(keys_.size()));
+    if (inserted) {
+      keys_.push_back(key);
+      frontier.push_back(it->second);
+    }
+    return it->second;
+  };
+
+  while (!frontier.empty()) {
+    if (keys_.size() > options.max_configs) {
+      complete_ = false;
+      return;
+    }
+    const std::uint32_t current = frontier.front();
+    frontier.pop_front();
+    const std::uint64_t key = keys_[current];
+
+    std::vector<std::uint32_t> out;
+    for (const auto& [a, b] : pairs_) {
+      const auto pa = static_cast<pp::StateId>((key >> (a * bits_)) & mask_);
+      const auto pb = static_cast<pp::StateId>((key >> (b * bits_)) & mask_);
+      // Both orientations of the meeting are schedulable.
+      for (int orient = 0; orient < 2; ++orient) {
+        const std::uint32_t i = orient == 0 ? a : b;
+        const std::uint32_t j = orient == 0 ? b : a;
+        const pp::StateId p = orient == 0 ? pa : pb;
+        const pp::StateId q = orient == 0 ? pb : pa;
+        if (!table.effective(p, q)) continue;
+        const pp::Transition& t = table.apply(p, q);
+        std::uint64_t next = key;
+        next &= ~(mask_ << (i * bits_));
+        next &= ~(mask_ << (j * bits_));
+        next |= static_cast<std::uint64_t>(t.initiator) << (i * bits_);
+        next |= static_cast<std::uint64_t>(t.responder) << (j * bits_);
+        out.push_back(intern(next));
+      }
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    if (succ_.size() <= current) succ_.resize(current + 1);
+    succ_[current] = std::move(out);
+  }
+  succ_.resize(keys_.size());
+}
+
+void AgentConfigGraph::compute_sccs() {
+  // Iterative Tarjan, identical in shape to ConfigGraph::compute_sccs();
+  // component ids come out in reverse topological order.
+  const auto n = static_cast<std::uint32_t>(keys_.size());
+  constexpr std::uint32_t kUnvisited = UINT32_MAX;
+
+  std::vector<std::uint32_t> disc(n, kUnvisited);
+  std::vector<std::uint32_t> low(n, 0);
+  std::vector<char> on_stack(n, 0);
+  std::vector<std::uint32_t> stack;
+  scc_of_.assign(n, kUnvisited);
+  std::uint32_t timer = 0;
+  num_sccs_ = 0;
+
+  struct Frame {
+    std::uint32_t node;
+    std::uint32_t edge_index;
+  };
+  std::vector<Frame> call_stack;
+
+  for (std::uint32_t root = 0; root < n; ++root) {
+    if (disc[root] != kUnvisited) continue;
+    call_stack.push_back(Frame{root, 0});
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      const std::uint32_t u = frame.node;
+      if (frame.edge_index == 0) {
+        disc[u] = low[u] = timer++;
+        stack.push_back(u);
+        on_stack[u] = 1;
+      }
+      bool descended = false;
+      while (frame.edge_index < succ_[u].size()) {
+        const std::uint32_t v = succ_[u][frame.edge_index];
+        ++frame.edge_index;
+        if (disc[v] == kUnvisited) {
+          call_stack.push_back(Frame{v, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[v]) low[u] = std::min(low[u], disc[v]);
+      }
+      if (descended) continue;
+      if (low[u] == disc[u]) {
+        for (;;) {
+          const std::uint32_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = 0;
+          scc_of_[w] = num_sccs_;
+          if (w == u) break;
+        }
+        ++num_sccs_;
+      }
+      call_stack.pop_back();
+      if (!call_stack.empty()) {
+        const std::uint32_t parent = call_stack.back().node;
+        low[parent] = std::min(low[parent], low[u]);
+      }
+    }
+  }
+
+  bottom_.assign(num_sccs_, 1);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (const std::uint32_t v : succ_[u]) {
+      if (scc_of_[v] != scc_of_[u]) bottom_[scc_of_[u]] = 0;
+    }
+  }
+}
+
+std::vector<std::uint32_t> AgentConfigGraph::members_of_scc(
+    std::uint32_t scc) const {
+  std::vector<std::uint32_t> members;
+  for (std::uint32_t c = 0; c < keys_.size(); ++c) {
+    if (scc_of_[c] == scc) members.push_back(c);
+  }
+  return members;
+}
+
+}  // namespace ppk::verify

@@ -7,8 +7,10 @@
 #include <set>
 #include <sstream>
 
+#include "core/graph_bipartition.hpp"
 #include "core/invariants.hpp"
 #include "core/kpartition.hpp"
+#include "core/weak_kpartition.hpp"
 #include "io/snapshot_io.hpp"
 #include "pp/adversarial.hpp"
 #include "pp/agent_simulator.hpp"
@@ -217,6 +219,8 @@ class CheckingOracle final : public pp::StabilityOracle {
 
 struct CaseContext {
   std::unique_ptr<core::KPartitionProtocol> kpartition;  // family-dependent
+  std::unique_ptr<core::WeakKPartitionProtocol> weak;
+  std::unique_ptr<core::GraphBipartitionProtocol> graphbip;
   std::unique_ptr<EnumeratedProtocol> candidate;
   const pp::Protocol* true_protocol = nullptr;
   std::unique_ptr<MutantProtocol> mutant;       // set iff case has mutation
@@ -232,12 +236,25 @@ struct CaseContext {
 
 CaseContext materialize(const ConformanceCase& c) {
   CaseContext ctx;
-  if (c.protocol.family == ConformanceProtocol::Family::kKPartition) {
-    ctx.kpartition = std::make_unique<core::KPartitionProtocol>(c.protocol.k);
-    ctx.true_protocol = ctx.kpartition.get();
-  } else {
-    ctx.candidate = std::make_unique<EnumeratedProtocol>(c.protocol.candidate);
-    ctx.true_protocol = ctx.candidate.get();
+  switch (c.protocol.family) {
+    case ConformanceProtocol::Family::kKPartition:
+      ctx.kpartition =
+          std::make_unique<core::KPartitionProtocol>(c.protocol.k);
+      ctx.true_protocol = ctx.kpartition.get();
+      break;
+    case ConformanceProtocol::Family::kWeakKPartition:
+      ctx.weak = std::make_unique<core::WeakKPartitionProtocol>(c.protocol.k);
+      ctx.true_protocol = ctx.weak.get();
+      break;
+    case ConformanceProtocol::Family::kGraphBipartition:
+      ctx.graphbip = std::make_unique<core::GraphBipartitionProtocol>();
+      ctx.true_protocol = ctx.graphbip.get();
+      break;
+    case ConformanceProtocol::Family::kCandidate:
+      ctx.candidate =
+          std::make_unique<EnumeratedProtocol>(c.protocol.candidate);
+      ctx.true_protocol = ctx.candidate.get();
+      break;
   }
   ctx.engine_protocol = ctx.true_protocol;
   if (c.mutation.has_value()) {
@@ -326,6 +343,10 @@ std::unique_ptr<pp::StabilityOracle> make_oracle(const CaseContext& ctx,
   if (ctx.kpartition != nullptr) {
     return core::stable_pattern_oracle(*ctx.kpartition, ctx.n);
   }
+  if (ctx.graphbip != nullptr) {
+    return core::graph_bipartition_stable_oracle(*ctx.graphbip, ctx.n);
+  }
+  // Weak k-partition and candidates: silence is the stopping rule.
   return std::make_unique<pp::SilenceOracle>(*ctx.engine_table);
 }
 
@@ -851,10 +872,14 @@ ConformanceReport check_conformance(const ConformanceCase& c,
       }
       ref.reachable = &reachable;
 
-      // Model checker ground truth.  For the k-partition family Theorem 1
-      // promises every (n, k): a refutation means the protocol (or a
-      // mutation the caller injected into the *reference*) is broken.
-      if (ctx.kpartition != nullptr) {
+      // Model checker ground truth.  Every named family promises uniform
+      // partition under global fairness on the complete graph (the paper's
+      // Theorem 1 for kpartition; the silence argument for the weak
+      // variant; the signal-conservation argument for the graph
+      // bipartition): a refutation means the protocol (or a mutation the
+      // caller injected into the *reference*) is broken.  Candidates make
+      // no such promise and are exempt.
+      if (ctx.candidate == nullptr) {
         const Verdict verdict = verify_uniform_partition(
             *ctx.true_protocol, *true_table, c.n, explore);
         ++report.checks_run;
@@ -863,7 +888,8 @@ ConformanceReport check_conformance(const ConformanceCase& c,
               &report, options,
               Divergence{ConformanceCheck::kGroundTruth,
                          ConformanceEngine::kModel, 0,
-                         "model checker refutes Theorem 1 at n=" +
+                         "model checker refutes the family's correctness "
+                         "theorem at n=" +
                              std::to_string(c.n) + ": " + verdict.failure});
         }
       }
@@ -916,6 +942,25 @@ ConformanceReport check_conformance(const ConformanceCase& c,
                                 "stabilized on " +
                                     counts_to_string(first.final_counts) +
                                     ", which is not the Lemma 4-6 pattern"});
+    }
+    // The weak and graph-bipartition families promise a *uniform* output
+    // partition at every stabilized configuration (silence resp. the
+    // count-pattern), judged by the true protocol's output map.
+    if ((ctx.weak != nullptr || ctx.graphbip != nullptr) &&
+        first.result.stabilized && !first.violation.has_value()) {
+      std::vector<std::uint32_t> sizes(ctx.true_protocol->num_groups(), 0);
+      for (pp::StateId s = 0; s < ctx.true_protocol->num_states(); ++s) {
+        sizes[ctx.true_protocol->group(s)] += first.final_counts[s];
+      }
+      if (!pp::is_uniform_partition(sizes)) {
+        add_divergence(
+            &report, options,
+            Divergence{ConformanceCheck::kGroundTruth, engine,
+                       first.result.effective,
+                       "stabilized on " +
+                           counts_to_string(first.final_counts) +
+                           ", whose output partition is not uniform"});
+      }
     }
 
     // Chunked run()+resume() must be bit-identical for pairwise engines.
@@ -1199,11 +1244,16 @@ ConformanceRepro shrink_failure(const ConformanceCase& failing,
     repro.shrunk.n = best;
   }
 
-  // --- Minimize k (k-partition family only) --------------------------------
+  // --- Minimize k (the k-parameterized families) ---------------------------
   if (repro.shrunk.protocol.family ==
-      ConformanceProtocol::Family::kKPartition) {
+          ConformanceProtocol::Family::kKPartition ||
+      repro.shrunk.protocol.family ==
+          ConformanceProtocol::Family::kWeakKPartition) {
+    const bool weak = repro.shrunk.protocol.family ==
+                      ConformanceProtocol::Family::kWeakKPartition;
     for (pp::GroupId k = 2; k < repro.shrunk.protocol.k; ++k) {
-      const auto num_states = static_cast<pp::StateId>(3 * k - 2);
+      const auto num_states =
+          static_cast<pp::StateId>(weak ? 3 * k + 1 : 3 * k - 2);
       if (repro.shrunk.mutation.has_value() &&
           (repro.shrunk.mutation->p >= num_states ||
            repro.shrunk.mutation->q >= num_states ||
@@ -1276,13 +1326,22 @@ std::string serialize_repro(const ConformanceRepro& repro) {
   std::ostringstream out;
   out << "ppk-conformance-repro-v1\n";
   const ConformanceCase& c = repro.shrunk;
-  if (c.protocol.family == ConformanceProtocol::Family::kKPartition) {
-    out << "protocol kpartition " << c.protocol.k << '\n';
-  } else {
-    out << "protocol candidate " << int{c.protocol.candidate.num_states}
-        << ' ' << c.protocol.candidate.delta_index << ' '
-        << int{c.protocol.candidate.initial} << ' '
-        << c.protocol.candidate.output_bits << '\n';
+  switch (c.protocol.family) {
+    case ConformanceProtocol::Family::kKPartition:
+      out << "protocol kpartition " << c.protocol.k << '\n';
+      break;
+    case ConformanceProtocol::Family::kWeakKPartition:
+      out << "protocol weak-kpartition " << c.protocol.k << '\n';
+      break;
+    case ConformanceProtocol::Family::kGraphBipartition:
+      out << "protocol graph-bipartition\n";
+      break;
+    case ConformanceProtocol::Family::kCandidate:
+      out << "protocol candidate " << int{c.protocol.candidate.num_states}
+          << ' ' << c.protocol.candidate.delta_index << ' '
+          << int{c.protocol.candidate.initial} << ' '
+          << c.protocol.candidate.output_bits << '\n';
+      break;
   }
   if (c.mutation.has_value()) {
     out << "mutation " << int{c.mutation->p} << ' ' << int{c.mutation->q}
@@ -1332,12 +1391,17 @@ std::optional<ConformanceRepro> parse_repro(const std::string& text,
     if (key == "protocol") {
       std::string family;
       fields >> family;
-      if (family == "kpartition") {
+      if (family == "kpartition" || family == "weak-kpartition") {
         repro.shrunk.protocol.family =
-            ConformanceProtocol::Family::kKPartition;
+            family == "kpartition"
+                ? ConformanceProtocol::Family::kKPartition
+                : ConformanceProtocol::Family::kWeakKPartition;
         unsigned k = 0;
         if (!(fields >> k) || k < 2) return fail("bad kpartition k");
         repro.shrunk.protocol.k = static_cast<pp::GroupId>(k);
+      } else if (family == "graph-bipartition") {
+        repro.shrunk.protocol.family =
+            ConformanceProtocol::Family::kGraphBipartition;
       } else if (family == "candidate") {
         repro.shrunk.protocol.family = ConformanceProtocol::Family::kCandidate;
         unsigned states = 0;
@@ -1500,7 +1564,16 @@ FuzzResult fuzz_conformance(const FuzzOptions& options) {
           3 + rng.below(std::max<std::uint32_t>(1, options.max_n / 2 - 2)));
       c.budget = options.candidate_budget;
     } else {
-      c.protocol.family = ConformanceProtocol::Family::kKPartition;
+      // Split the named-family mass: half the paper's protocol, a quarter
+      // each for the weak-fairness and arbitrary-graph variants.
+      const double which = rng.uniform01();
+      if (which < 0.5) {
+        c.protocol.family = ConformanceProtocol::Family::kKPartition;
+      } else if (which < 0.75) {
+        c.protocol.family = ConformanceProtocol::Family::kWeakKPartition;
+      } else {
+        c.protocol.family = ConformanceProtocol::Family::kGraphBipartition;
+      }
       c.protocol.k = static_cast<pp::GroupId>(
           2 + rng.below(std::max<pp::GroupId>(1, options.max_k - 1)));
       const std::uint32_t lo = std::max<std::uint32_t>(3, c.protocol.k);

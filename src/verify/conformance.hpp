@@ -124,9 +124,19 @@ enum class ConformanceEngine : std::uint8_t {
 
 /// Which protocol a conformance case runs.
 struct ConformanceProtocol {
-  enum class Family : std::uint8_t { kKPartition, kCandidate };
+  /// kKPartition is the paper's 3k-2-state protocol; kWeakKPartition the
+  /// 3k+1-state weak-fairness variant (core/weak_kpartition.hpp);
+  /// kGraphBipartition the 5-state arbitrary-graph bipartition
+  /// (core/graph_bipartition.hpp); kCandidate a randomized symmetric
+  /// protocol from the protocol_search enumeration space.
+  enum class Family : std::uint8_t {
+    kKPartition,
+    kCandidate,
+    kWeakKPartition,
+    kGraphBipartition,
+  };
   Family family = Family::kKPartition;
-  /// kKPartition: the number of groups (k >= 2).
+  /// kKPartition / kWeakKPartition: the number of groups (k >= 2).
   pp::GroupId k = 3;
   /// kCandidate: a randomized symmetric protocol from the protocol_search
   /// enumeration space.
@@ -272,7 +282,9 @@ struct FuzzOptions {
   std::uint64_t kpartition_budget = 250'000;
   std::uint64_t candidate_budget = 30'000;
   /// Fraction of cases drawn from the 3-state symmetric candidate space
-  /// (the protocol_search generators) instead of the k-partition family.
+  /// (the protocol_search generators) instead of the named families
+  /// (k-partition, weak k-partition, graph bipartition -- which share
+  /// kpartition_budget).
   double candidate_fraction = 0.35;
   /// Optional cooperative-stop latch, polled between cases: when the
   /// pointee becomes true the in-flight case finishes normally and the

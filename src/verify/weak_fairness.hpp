@@ -1,0 +1,72 @@
+// Decision procedures on the per-agent configuration graph: correctness
+// under WEAK fairness, and under global fairness on ARBITRARY topologies.
+//
+// Weak fairness: every (unordered) pair of agents interacts infinitely
+// often; the adversary chooses the interleaving and the orientation, and
+// null interactions count as interactions.  This is much weaker than
+// global fairness -- the adversary may schedule each pair only at moments
+// where the meeting is harmless.
+//
+// Theory (why maximal SCCs + a per-pair closure test decide it):  Let S be
+// the set of configurations a weakly fair execution visits infinitely
+// often.  Eventually the execution stays inside S, so S is strongly
+// connected (the execution provides the paths), and every pair {i, j} must
+// keep interacting inside S, so for every pair there is some c in S and an
+// orientation with apply(c, i, j) in S (null counts, trivially staying).
+// Call such a set *weakly closable*.  Conversely every weakly closable
+// strongly connected set supports a weakly fair execution trapped in it:
+// navigate to each pair's compatible configuration in round-robin.  Hence
+//
+//   P solves the problem under weak fairness  <=>  every reachable weakly
+//   closable strongly connected set is "good" (per-agent outputs constant
+//   across the set, and that output is a correct answer).
+//
+// Enumerating all strongly connected subsets is exponential, but checking
+// the MAXIMAL SCCs suffices: if a bad weakly closable S exists, its
+// enclosing maximal SCC M is weakly closable (S's witnesses live in M) and
+// bad (non-constant outputs in S stay non-constant in M; if M is output-
+// constant it agrees with S's non-uniform output).  And any bad weakly
+// closable maximal M is its own witness.  So the check is: explore the
+// per-agent graph, and fail iff some SCC is weakly closable and bad.
+//
+// A singleton SCC is weakly closable iff the configuration is silent
+// (every scheduled pair is null in both orientations) -- exactly the
+// stable-by-silence case.
+//
+// The same per-agent graph with an edge-restricted pair set decides global
+// fairness on an arbitrary topology: a globally fair execution is trapped
+// in a bottom SCC of the reachable graph, and every bottom SCC supports
+// one, so the protocol is correct iff every bottom SCC is good.  (The
+// count-vector verifier cannot answer this: on a star, hub and leaf are
+// different agents with equal states.)
+
+#pragma once
+
+#include "pp/interaction_graph.hpp"
+#include "pp/protocol.hpp"
+#include "pp/transition_table.hpp"
+#include "verify/agent_graph.hpp"
+#include "verify/global_fairness.hpp"
+
+namespace ppk::verify {
+
+/// Weak fairness on the complete interaction graph: starting from n agents
+/// in the designated initial state, does every weakly fair execution
+/// stabilize to a uniform partition into protocol.num_groups() groups?
+/// In the returned Verdict, `bottom_sccs` counts the weakly closable SCCs
+/// (the sets weakly fair adversaries can trap an execution in).
+Verdict verify_weak_uniform_partition(const pp::Protocol& protocol,
+                                      const pp::TransitionTable& table,
+                                      std::uint32_t n,
+                                      AgentConfigGraph::Options options = {});
+
+/// Global fairness on an arbitrary interaction topology: does every
+/// globally fair execution on `topology` stabilize every agent's output,
+/// with uniform group sizes?  `bottom_sccs` counts bottom SCCs of the
+/// per-agent graph.
+Verdict verify_graph_uniform_partition(const pp::Protocol& protocol,
+                                       const pp::TransitionTable& table,
+                                       const pp::InteractionGraph& topology,
+                                       AgentConfigGraph::Options options = {});
+
+}  // namespace ppk::verify

@@ -1,0 +1,146 @@
+#include "core/graph_bipartition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/invariants.hpp"
+#include "pp/agent_simulator.hpp"
+#include "pp/interaction_graph.hpp"
+#include "pp/monte_carlo.hpp"
+#include "pp/transition_table.hpp"
+
+namespace ppk::core {
+namespace {
+
+using G = GraphBipartitionProtocol;
+
+TEST(GraphBipartition, RulesAndOutputs) {
+  const G protocol;
+  EXPECT_EQ(protocol.num_states(), 5);
+  EXPECT_EQ(protocol.num_groups(), 2);
+  // Colours: r-side group 0, b-side group 1; the signal flag never changes
+  // the output.
+  EXPECT_EQ(protocol.group(G::kR), 0);
+  EXPECT_EQ(protocol.group(G::kRSig), 0);
+  EXPECT_EQ(protocol.group(G::kB), 1);
+  EXPECT_EQ(protocol.group(G::kBSig), 1);
+  // Pair.
+  const auto pair = protocol.delta(G::kInitial, G::kInitial);
+  EXPECT_EQ(pair.initiator, G::kR);
+  EXPECT_EQ(pair.responder, G::kB);
+  // Deposit: the initial settles red and parks a signal on the neighbour.
+  const auto deposit = protocol.delta(G::kInitial, G::kB);
+  EXPECT_EQ(deposit.initiator, G::kR);
+  EXPECT_EQ(deposit.responder, G::kBSig);
+  // Clear: a signal pays for a blue settlement.
+  const auto clear = protocol.delta(G::kInitial, G::kRSig);
+  EXPECT_EQ(clear.initiator, G::kB);
+  EXPECT_EQ(clear.responder, G::kR);
+  // Hop preserves both hosts' colours (mirror orientation too).
+  const auto hop = protocol.delta(G::kRSig, G::kB);
+  EXPECT_EQ(hop.initiator, G::kR);
+  EXPECT_EQ(hop.responder, G::kBSig);
+  const auto hop_mirror = protocol.delta(G::kB, G::kRSig);
+  EXPECT_EQ(hop_mirror.initiator, G::kBSig);
+  EXPECT_EQ(hop_mirror.responder, G::kR);
+  // Cancel flips a red host; two blue-hosted signals have no red to flip.
+  const auto cancel = protocol.delta(G::kRSig, G::kBSig);
+  EXPECT_EQ(cancel.initiator, G::kB);
+  EXPECT_EQ(cancel.responder, G::kB);
+  const auto blue_blue = protocol.delta(G::kBSig, G::kBSig);
+  EXPECT_EQ(blue_blue.initiator, G::kBSig);
+  EXPECT_EQ(blue_blue.responder, G::kBSig);
+
+  const pp::TransitionTable table(protocol);
+  EXPECT_FALSE(table.is_symmetric());  // (initial, initial) -> (r, b)
+  // The asymmetric pairing diagonal means the ordered realization is not
+  // swap-consistent (same situation as leader election); every off-diagonal
+  // rule is mirrored explicitly.
+  EXPECT_FALSE(table.is_swap_consistent());
+}
+
+TEST(GraphBipartition, OracleRequiresExactSignalParity) {
+  const G protocol;
+  // Even n: no signals may remain.  Odd n: exactly one.
+  const auto even = graph_bipartition_stable_oracle(protocol, 6);
+  pp::Counts counts(protocol.num_states(), 0);
+  counts[G::kR] = 3;
+  counts[G::kB] = 3;
+  even->reset(counts);
+  EXPECT_TRUE(even->stable());
+  counts[G::kR] = 2;
+  counts[G::kRSig] = 1;
+  even->reset(counts);
+  EXPECT_FALSE(even->stable());
+
+  const auto odd = graph_bipartition_stable_oracle(protocol, 7);
+  pp::Counts odd_counts(protocol.num_states(), 0);
+  odd_counts[G::kR] = 3;
+  odd_counts[G::kB] = 3;
+  odd_counts[G::kBSig] = 1;
+  odd->reset(odd_counts);
+  EXPECT_TRUE(odd->stable());
+  odd_counts[G::kInitial] = 1;
+  odd_counts[G::kB] = 2;
+  odd->reset(odd_counts);
+  EXPECT_FALSE(odd->stable());
+}
+
+TEST(GraphBipartition, StabilizesUniformOnCompleteGraph) {
+  const G protocol;
+  const pp::TransitionTable table(protocol);
+  for (const std::uint32_t n : {2u, 7u, 24u, 101u}) {
+    pp::AgentSimulator sim(
+        table,
+        pp::Population(n, protocol.num_states(), protocol.initial_state()),
+        1234 + n);
+    const auto oracle = graph_bipartition_stable_oracle(protocol, n);
+    ASSERT_TRUE(sim.run(*oracle, 100'000'000ULL).stabilized) << "n=" << n;
+    const auto sizes = sim.population().group_sizes(protocol);
+    EXPECT_TRUE(pp::is_uniform_partition(sizes)) << "n=" << n;
+  }
+}
+
+TEST(GraphBipartition, LiveEdgeEngineRunsSparseTopologies) {
+  // The arbitrary-graph protocol on the engine it was built for: the
+  // live-edge kGraphJump engine (kAuto resolves to it when a topology
+  // factory is set).  Ring, star and path must all stabilize to a uniform
+  // split; the count-pattern oracle is exact on every topology.
+  const G protocol;
+  const pp::TransitionTable table(protocol);
+  const auto run_on = [&](auto factory, std::uint32_t n, const char* what) {
+    pp::MonteCarloOptions options;
+    options.trials = 6;
+    options.master_seed = 99;
+    options.engine = pp::Engine::kAuto;
+    options.graph = [factory, n](std::uint64_t) { return factory(n); };
+    const auto result = pp::run_monte_carlo(
+        protocol, table, n,
+        [&] { return graph_bipartition_stable_oracle(protocol, n); },
+        options);
+    EXPECT_EQ(result.stabilized_count(), options.trials)
+        << what << " n=" << n;
+  };
+  run_on(pp::InteractionGraph::ring, 64, "ring");
+  run_on(pp::InteractionGraph::star, 33, "star");
+  run_on(pp::InteractionGraph::path, 17, "path");
+}
+
+TEST(GraphBipartition, FairnessAndTopologyAxesCompose) {
+  // epsilon-fair scheduling restricted to a ring: the adversarial engine
+  // consumes both options at once.
+  const G protocol;
+  const pp::TransitionTable table(protocol);
+  pp::MonteCarloOptions options;
+  options.trials = 4;
+  options.master_seed = 7;
+  options.engine = pp::Engine::kAuto;
+  options.fairness = pp::FairnessSpec::epsilon_fair(0.25);
+  options.graph = [](std::uint64_t) { return pp::InteractionGraph::ring(12); };
+  const auto result = pp::run_monte_carlo(
+      protocol, table, 12,
+      [&] { return graph_bipartition_stable_oracle(protocol, 12); }, options);
+  EXPECT_EQ(result.stabilized_count(), options.trials);
+}
+
+}  // namespace
+}  // namespace ppk::core

@@ -1,0 +1,147 @@
+#include "core/weak_kpartition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/invariants.hpp"
+#include "pp/agent_simulator.hpp"
+#include "pp/monte_carlo.hpp"
+#include "pp/stability.hpp"
+#include "pp/transition_table.hpp"
+
+namespace ppk::core {
+namespace {
+
+TEST(WeakKPartition, StateLayoutAndNames) {
+  const WeakKPartitionProtocol protocol(3);
+  EXPECT_EQ(protocol.num_states(), 10);  // 3k + 1
+  EXPECT_EQ(protocol.num_groups(), 3);
+  EXPECT_EQ(protocol.initial_state(), WeakKPartitionProtocol::kInitial);
+  EXPECT_EQ(protocol.state_name(WeakKPartitionProtocol::kInitial), "initial");
+  EXPECT_EQ(protocol.state_name(WeakKPartitionProtocol::kReleased),
+            "released");
+  EXPECT_EQ(protocol.state_name(protocol.g(2)), "g2");
+  EXPECT_EQ(protocol.state_name(protocol.b(3)), "b3");
+  EXPECT_EQ(protocol.state_name(protocol.d(1)), "d1");
+  // All state ids distinct and in range.
+  std::set<pp::StateId> seen;
+  seen.insert(WeakKPartitionProtocol::kInitial);
+  seen.insert(WeakKPartitionProtocol::kReleased);
+  for (pp::GroupId x = 1; x <= 3; ++x) {
+    seen.insert(protocol.g(x));
+    seen.insert(protocol.b(x));
+    if (x <= 2) seen.insert(protocol.d(x));
+  }
+  EXPECT_EQ(seen.size(), 10u);
+  // Outputs: committed members and builders carry their index's group;
+  // free agents and demolishers are parked in group 1.
+  EXPECT_EQ(protocol.group(protocol.g(2)), 1);
+  EXPECT_EQ(protocol.group(protocol.b(3)), 2);
+  EXPECT_EQ(protocol.group(WeakKPartitionProtocol::kInitial), 0);
+  EXPECT_EQ(protocol.group(protocol.d(2)), 0);
+}
+
+TEST(WeakKPartition, CoreRules) {
+  const WeakKPartitionProtocol protocol(3);
+  // Bootstrap is asymmetric on the diagonal: initiator commits, responder
+  // builds.
+  const auto boot = protocol.delta(WeakKPartitionProtocol::kInitial,
+                                   WeakKPartitionProtocol::kInitial);
+  EXPECT_EQ(boot.initiator, protocol.g(1));
+  EXPECT_EQ(boot.responder, protocol.b(2));
+  // The builder assigns its current group and advances cyclically...
+  const auto assign =
+      protocol.delta(protocol.b(3), WeakKPartitionProtocol::kInitial);
+  EXPECT_EQ(assign.initiator, protocol.b(1));  // wraps k -> 1
+  EXPECT_EQ(assign.responder, protocol.g(3));
+  // ...in either orientation (swap consistency), and released agents are
+  // assignable too.
+  const auto mirrored =
+      protocol.delta(WeakKPartitionProtocol::kReleased, protocol.b(2));
+  EXPECT_EQ(mirrored.initiator, protocol.g(2));
+  EXPECT_EQ(mirrored.responder, protocol.b(3));
+  // Builder merge: the initiator survives; the loser demolishes its lap.
+  const auto merge = protocol.delta(protocol.b(2), protocol.b(3));
+  EXPECT_EQ(merge.initiator, protocol.b(2));
+  EXPECT_EQ(merge.responder, protocol.d(2));
+  // A loser with an empty lap retires directly.
+  const auto retire = protocol.delta(protocol.b(2), protocol.b(1));
+  EXPECT_EQ(retire.responder, WeakKPartitionProtocol::kReleased);
+  // Demolition steps down and frees exactly one member per level.
+  const auto demolish = protocol.delta(protocol.d(2), protocol.g(2));
+  EXPECT_EQ(demolish.initiator, protocol.d(1));
+  EXPECT_EQ(demolish.responder, WeakKPartitionProtocol::kReleased);
+  const auto finish = protocol.delta(protocol.d(1), protocol.g(1));
+  EXPECT_EQ(finish.initiator, WeakKPartitionProtocol::kReleased);
+  EXPECT_EQ(finish.responder, WeakKPartitionProtocol::kReleased);
+  // A demolisher ignores other groups' members.
+  const auto null = protocol.delta(protocol.d(1), protocol.g(2));
+  EXPECT_EQ(null.initiator, protocol.d(1));
+  EXPECT_EQ(null.responder, protocol.g(2));
+}
+
+TEST(WeakKPartition, AsymmetricDiagonalButSwapConsistent) {
+  for (const pp::GroupId k : {pp::GroupId{2}, pp::GroupId{4}}) {
+    const WeakKPartitionProtocol protocol(k);
+    const pp::TransitionTable table(protocol);
+    // Rule 1 breaks the diagonal tie by role -- that is how the protocol
+    // escapes the symmetric flip livelock under weak fairness.  Like
+    // leader election, the asymmetric diagonal means the ordered rule set
+    // cannot be read as unordered rules.
+    EXPECT_FALSE(table.is_symmetric());
+    EXPECT_FALSE(table.is_swap_consistent());
+    // Asymmetric diagonals: bootstrap (two initials) plus builder merge at
+    // every index (two same-index builders -> one survives, one demolishes).
+    std::set<pp::StateId> expected{WeakKPartitionProtocol::kInitial};
+    for (pp::GroupId p = 1; p <= k; ++p) expected.insert(protocol.b(p));
+    const auto& diag = table.asymmetric_diagonal_states();
+    EXPECT_EQ(std::set<pp::StateId>(diag.begin(), diag.end()), expected);
+  }
+}
+
+TEST(WeakKPartition, EverySilentConfigurationReachedIsUniform) {
+  // Silence is the stopping rule: every execution runs out of effective
+  // interactions (initials never regenerate, merges strictly shrink the
+  // builder population, demolitions strictly shrink debt), and the silent
+  // configuration must be a uniform partition.  Exercise a grid of (n, k)
+  // under the uniform-random scheduler.
+  for (const pp::GroupId k : {pp::GroupId{2}, pp::GroupId{3}, pp::GroupId{5}}) {
+    const WeakKPartitionProtocol protocol(k);
+    const pp::TransitionTable table(protocol);
+    for (const std::uint32_t n : {2u, 5u, 16u, 33u}) {
+      pp::AgentSimulator sim(
+          table,
+          pp::Population(n, protocol.num_states(), protocol.initial_state()),
+          0xC0FFEE + n + k);
+      pp::SilenceOracle oracle(table);
+      const auto result = sim.run(oracle, 100'000'000ULL);
+      ASSERT_TRUE(result.stabilized) << "k=" << k << " n=" << n;
+      EXPECT_TRUE(
+          pp::is_uniform_partition(sim.population().group_sizes(protocol)))
+          << "k=" << k << " n=" << n;
+    }
+  }
+}
+
+TEST(WeakKPartition, MonteCarloFairnessAxisRoutesToWeakScheduler) {
+  // End-to-end through run_monte_carlo: a FairnessSpec in the options is
+  // all it takes to run trials under the weak-round-robin adversary.
+  const WeakKPartitionProtocol protocol(3);
+  const pp::TransitionTable table(protocol);
+  pp::MonteCarloOptions options;
+  options.trials = 8;
+  options.master_seed = 42;
+  options.engine = pp::Engine::kAuto;
+  options.fairness = pp::FairnessSpec::weak_round_robin();
+  const auto result = pp::run_monte_carlo(
+      protocol, table, 12,
+      [&] { return std::make_unique<pp::SilenceOracle>(table); }, options);
+  EXPECT_EQ(result.stabilized_count(), options.trials);
+  for (const auto& trial : result.trials) {
+    EXPECT_GT(trial.effective, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace ppk::core

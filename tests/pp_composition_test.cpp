@@ -6,8 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include "core/graph_bipartition.hpp"
 #include "core/invariants.hpp"
 #include "core/kpartition.hpp"
+#include "core/weak_kpartition.hpp"
 #include "pp/agent_simulator.hpp"
 #include "pp/transition_table.hpp"
 #include "protocols/epidemic.hpp"
@@ -119,6 +121,36 @@ TEST(ProductProtocol, SimulationStabilizesBothComponents) {
            core::matches_stable_pattern(b, n, cb);
   }
   EXPECT_TRUE(done);
+}
+
+TEST(ProductProtocol, ComposesTheNewFamiliesRegressionForHardCodedBound) {
+  // Regression: the constructor used to check the state product against a
+  // hard-coded UINT16_MAX with a 32-bit multiply instead of the StateId
+  // type's own limit.  The new families must compose with the paper's
+  // protocol: graph-bipartition x k-partition(3) (5 * 7 = 35 states) and
+  // weak-k-partition(4) x k-partition(3) (13 * 7 = 91 states).
+  const core::GraphBipartitionProtocol bip;
+  const core::WeakKPartitionProtocol weak(4);
+  const core::KPartitionProtocol paper(3);
+
+  const ProductProtocol graph_product(bip, paper, ProductOutput::kPair);
+  EXPECT_EQ(graph_product.num_states(), 35);
+  EXPECT_EQ(graph_product.num_groups(), 6);
+  const auto [ba, bb] = graph_product.decode(graph_product.initial_state());
+  EXPECT_EQ(ba, bip.initial_state());
+  EXPECT_EQ(bb, paper.initial_state());
+
+  const ProductProtocol weak_product(weak, paper, ProductOutput::kPair);
+  EXPECT_EQ(weak_product.num_states(), 13 * 7);
+  EXPECT_EQ(weak_product.num_groups(), 12);
+
+  // Both components still solve their own partition problem under global
+  // fairness, exhaustively at n = 6 (projected outputs).
+  const ProductProtocol projected(bip, paper, ProductOutput::kFirst);
+  const TransitionTable table(projected);
+  const auto verdict = verify::verify_uniform_partition(projected, table, 6);
+  ASSERT_TRUE(verdict.exploration_complete);
+  EXPECT_TRUE(verdict.solves) << verdict.failure;
 }
 
 TEST(ProductProtocol, StateNamesCombineComponents) {

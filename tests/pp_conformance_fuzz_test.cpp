@@ -70,6 +70,71 @@ TEST(Conformance, CandidateProtocolCaseIsConformant) {
   EXPECT_TRUE(report.ok()) << report.summary();
 }
 
+TEST(Conformance, WeakKPartitionCaseIsConformantAcrossAllEngines) {
+  // The weak-fairness family rides every net the paper's protocol does:
+  // silence is its stopping rule, and every stabilized configuration must
+  // be a uniform partition (the ground-truth uniformity check).
+  ConformanceCase c;
+  c.protocol.family = ConformanceProtocol::Family::kWeakKPartition;
+  c.protocol.k = 3;
+  c.n = 12;
+  c.seed = 20260808;
+  c.trials = 24;
+  c.budget = 200'000;
+  const ConformanceReport report = check_conformance(c, fast_options());
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_GE(report.checks_run, 20);
+}
+
+TEST(Conformance, WeakKPartitionSmallNEnablesGroundTruthNets) {
+  // n = 6 <= ground_truth_max_n: the reachable set (10 states at k = 3)
+  // and the global-fairness model checker both activate for the weak
+  // family.
+  ConformanceCase c;
+  c.protocol.family = ConformanceProtocol::Family::kWeakKPartition;
+  c.protocol.k = 2;
+  c.n = 6;
+  c.seed = 13;
+  c.trials = 16;
+  c.budget = 50'000;
+  const ConformanceReport report = check_conformance(c, fast_options());
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(Conformance, GraphBipartitionCaseIsConformantOnSparseRows) {
+  // The arbitrary-graph family on the rows it was designed for: the
+  // per-draw and live-edge engines over the ring, star, path and a seeded
+  // G(n, 0.5), pinned pairwise by the sparse distribution net, plus the
+  // complete-graph references.  Unlike the paper's protocol it must
+  // *stabilize* (not wedge) on every connected topology.
+  ConformanceCase c;
+  c.protocol.family = ConformanceProtocol::Family::kGraphBipartition;
+  c.n = 12;
+  c.seed = 20260808;
+  c.trials = 16;
+  c.budget = 60'000;
+  c.engines = {ConformanceEngine::kAgent,        ConformanceEngine::kGraphRing,
+               ConformanceEngine::kGraphStar,    ConformanceEngine::kGraphPath,
+               ConformanceEngine::kGraphEr,      ConformanceEngine::kLiveEdgeRing,
+               ConformanceEngine::kLiveEdgeStar, ConformanceEngine::kLiveEdgePath,
+               ConformanceEngine::kLiveEdgeEr,
+               ConformanceEngine::kLiveEdgeComplete};
+  const ConformanceReport report = check_conformance(c, fast_options());
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_GE(report.checks_run, 24);
+}
+
+TEST(Conformance, GraphBipartitionSmallNEnablesGroundTruthNets) {
+  ConformanceCase c;
+  c.protocol.family = ConformanceProtocol::Family::kGraphBipartition;
+  c.n = 7;  // odd n: the stable pattern carries exactly one parked signal
+  c.seed = 17;
+  c.trials = 16;
+  c.budget = 50'000;
+  const ConformanceReport report = check_conformance(c, fast_options());
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
 TEST(Conformance, SparseTopologyRowsAreConformantAndTerminate) {
   // n = 12, k = 4 wedges readily on the ring and path (builders walled in
   // by committed neighbours), so this case exercises the stall path of
@@ -232,6 +297,30 @@ TEST(ConformanceRepro, ParserRejectsMalformedInput) {
                            "engine warp-drive\ncheck lemma1\n",
                            &error)
                    .has_value());
+}
+
+TEST(ConformanceRepro, NewFamilyHeadersRoundTrip) {
+  ConformanceRepro weak;
+  weak.shrunk.protocol.family = ConformanceProtocol::Family::kWeakKPartition;
+  weak.shrunk.protocol.k = 4;
+  weak.engine = ConformanceEngine::kJump;
+  weak.check = ConformanceCheck::kTrajectory;
+  weak.expect_pass = true;
+  const auto weak_parsed = parse_repro(serialize_repro(weak), nullptr);
+  ASSERT_TRUE(weak_parsed.has_value());
+  EXPECT_EQ(weak_parsed->shrunk.protocol.family,
+            ConformanceProtocol::Family::kWeakKPartition);
+  EXPECT_EQ(weak_parsed->shrunk.protocol.k, 4u);
+
+  ConformanceRepro graph;
+  graph.shrunk.protocol.family =
+      ConformanceProtocol::Family::kGraphBipartition;
+  graph.engine = ConformanceEngine::kLiveEdgeStar;
+  graph.check = ConformanceCheck::kSnapshotResume;
+  const auto graph_parsed = parse_repro(serialize_repro(graph), nullptr);
+  ASSERT_TRUE(graph_parsed.has_value());
+  EXPECT_EQ(graph_parsed->shrunk.protocol.family,
+            ConformanceProtocol::Family::kGraphBipartition);
 }
 
 TEST(ConformanceNames, RoundTrip) {

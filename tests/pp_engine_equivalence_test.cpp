@@ -16,10 +16,14 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
+#include "core/graph_bipartition.hpp"
 #include "core/invariants.hpp"
 #include "core/kpartition.hpp"
+#include "core/weak_kpartition.hpp"
 #include "pp/adversarial.hpp"
 #include "pp/agent_simulator.hpp"
 #include "pp/batch_sharded_simulator.hpp"
@@ -111,15 +115,19 @@ const char* engine_name(EngineUnderTest e) {
   return "?";
 }
 
+/// Builds the stopping oracle a family row uses (fresh per trial).
+using OracleFactory = std::function<std::unique_ptr<StabilityOracle>()>;
+
 /// Stabilization interaction count of one trial on one engine.  Every
 /// engine gets its own independent RNG stream (stream id = engine tag) so
 /// no accidental coupling can mask a distributional difference.
-double one_trial(EngineUnderTest engine, const core::KPartitionProtocol& protocol,
-                 const TransitionTable& table, std::uint32_t n, int trial) {
+double one_trial(EngineUnderTest engine, const Protocol& protocol,
+                 const TransitionTable& table, std::uint32_t n,
+                 const OracleFactory& make_oracle, int trial) {
   const std::uint64_t seed = derive_stream_seed(
       100 + static_cast<std::uint64_t>(engine),
       static_cast<std::uint64_t>(trial));
-  auto oracle = core::stable_pattern_oracle(protocol, n);
+  auto oracle = make_oracle();
   SimResult result;
   switch (engine) {
     case EngineUnderTest::kAgent: {
@@ -192,23 +200,23 @@ double one_trial(EngineUnderTest engine, const core::KPartitionProtocol& protoco
 }
 
 std::vector<double> sample_engine(EngineUnderTest engine,
-                                  const core::KPartitionProtocol& protocol,
+                                  const Protocol& protocol,
                                   const TransitionTable& table, std::uint32_t n,
+                                  const OracleFactory& make_oracle,
                                   int trials) {
   std::vector<double> xs;
   xs.reserve(static_cast<std::size_t>(trials));
   for (int t = 0; t < trials; ++t) {
-    xs.push_back(one_trial(engine, protocol, table, n, t));
+    xs.push_back(one_trial(engine, protocol, table, n, make_oracle, t));
   }
   return xs;
 }
 
-void expect_all_engines_match_agent(pp::GroupId k, std::uint32_t n,
-                                    int trials) {
-  const core::KPartitionProtocol protocol(k);
-  const TransitionTable table(protocol);
-  const std::vector<double> agent =
-      sample_engine(EngineUnderTest::kAgent, protocol, table, n, trials);
+void expect_engines_match_agent(const Protocol& protocol,
+                                const TransitionTable& table, std::uint32_t n,
+                                const OracleFactory& make_oracle, int trials) {
+  const std::vector<double> agent = sample_engine(
+      EngineUnderTest::kAgent, protocol, table, n, make_oracle, trials);
   for (const EngineUnderTest engine :
        {EngineUnderTest::kCount, EngineUnderTest::kJump,
         EngineUnderTest::kBatchAuto, EngineUnderTest::kBatchForced,
@@ -217,16 +225,25 @@ void expect_all_engines_match_agent(pp::GroupId k, std::uint32_t n,
         EngineUnderTest::kAdversarialEps1,
         EngineUnderTest::kLiveEdgeComplete}) {
     const std::vector<double> xs =
-        sample_engine(engine, protocol, table, n, trials);
+        sample_engine(engine, protocol, table, n, make_oracle, trials);
     const double d = ks_statistic(agent, xs);
     const double threshold = ks_threshold(agent.size(), xs.size());
     EXPECT_LT(d, threshold)
-        << "k=" << k << " n=" << n << " engine=" << engine_name(engine)
-        << ": KS D=" << d << " exceeds the alpha=0.01 critical value "
-        << threshold
+        << "protocol=" << protocol.name() << " n=" << n
+        << " engine=" << engine_name(engine) << ": KS D=" << d
+        << " exceeds the alpha=0.01 critical value " << threshold
         << " against agent-array -- the engine's stabilization-time "
            "distribution is off.";
   }
+}
+
+void expect_all_engines_match_agent(pp::GroupId k, std::uint32_t n,
+                                    int trials) {
+  const core::KPartitionProtocol protocol(k);
+  const TransitionTable table(protocol);
+  expect_engines_match_agent(
+      protocol, table, n,
+      [&] { return core::stable_pattern_oracle(protocol, n); }, trials);
 }
 
 // The four-way grid from the issue: small and moderate populations, small
@@ -248,6 +265,30 @@ TEST(EngineEquivalence, ModeratePopulationSmallK) {
 
 TEST(EngineEquivalence, ModeratePopulationLargeK) {
   expect_all_engines_match_agent(8, 240, 60);
+}
+
+TEST(EngineEquivalence, WeakKPartitionFamilyMatchesAgentAcrossEngines) {
+  // The weak-fairness family through the same KS net: silence is its
+  // stopping rule, and every engine must realize the same stabilization
+  // -time law as the agent reference.
+  const core::WeakKPartitionProtocol protocol(3);
+  const TransitionTable table(protocol);
+  expect_engines_match_agent(
+      protocol, table, 48,
+      [&] { return std::make_unique<SilenceOracle>(table); }, 120);
+}
+
+TEST(EngineEquivalence, GraphBipartitionFamilyMatchesAgentAcrossEngines) {
+  // The arbitrary-graph family on the complete graph: the count-pattern
+  // oracle stops every engine, and all of them must agree in law.  n is
+  // odd so the stable pattern carries one parked signal.
+  const core::GraphBipartitionProtocol protocol;
+  const TransitionTable table(protocol);
+  const std::uint32_t n = 49;
+  expect_engines_match_agent(
+      protocol, table, n,
+      [&] { return core::graph_bipartition_stable_oracle(protocol, n); },
+      120);
 }
 
 TEST(EngineEquivalence, LiveEdgeMatchesPerDrawOnSparseTopologies) {
@@ -337,8 +378,11 @@ TEST(EngineEquivalence, EveryEngineIsBitReproducible) {
         EngineUnderTest::kSharded, EngineUnderTest::kShardedThreads4,
         EngineUnderTest::kGraphComplete, EngineUnderTest::kAdversarialEps1,
         EngineUnderTest::kLiveEdgeComplete}) {
-    const double first = one_trial(engine, protocol, table, n, 7);
-    const double second = one_trial(engine, protocol, table, n, 7);
+    const auto factory = [&] {
+      return core::stable_pattern_oracle(protocol, n);
+    };
+    const double first = one_trial(engine, protocol, table, n, factory, 7);
+    const double second = one_trial(engine, protocol, table, n, factory, 7);
     EXPECT_EQ(first, second) << engine_name(engine);
   }
 }

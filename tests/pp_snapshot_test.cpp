@@ -17,8 +17,10 @@
 #include <utility>
 #include <vector>
 
+#include "core/graph_bipartition.hpp"
 #include "core/invariants.hpp"
 #include "core/kpartition.hpp"
+#include "core/weak_kpartition.hpp"
 #include "io/snapshot_io.hpp"
 #include "pp/adversarial.hpp"
 #include "pp/agent_simulator.hpp"
@@ -171,6 +173,42 @@ TEST_F(SnapshotTest, AdversarialSimulatorRoundTrips) {
   expect_roundtrip([&] {
     return ppk::pp::AdversarialSimulator(protocol_, table_, population(24),
                                          1.0, kSeed);
+  });
+}
+
+TEST_F(SnapshotTest, WeakKPartitionFamilyRoundTrips) {
+  // The weak-fairness family through the snapshot contract: the agent
+  // engine (short cut -- the protocol goes silent quickly at this n), and
+  // the weak-round-robin scheduler whose snapshot carries the unscheduled
+  // remainder of the current round through the *text* serialization.
+  const ppk::core::WeakKPartitionProtocol protocol(3);
+  const ppk::pp::TransitionTable table(protocol);
+  const auto pop = [&](std::uint32_t n) {
+    return Population(n, protocol.num_states(), protocol.initial_state());
+  };
+  expect_roundtrip(
+      [&] { return ppk::pp::AgentSimulator(table, pop(30), kSeed); },
+      [](auto&) {}, /*cut=*/300, /*rest=*/5'000);
+  expect_roundtrip(
+      [&] {
+        return ppk::pp::AdversarialSimulator(
+            protocol, table, pop(24),
+            ppk::pp::FairnessSpec::weak_round_robin(), kSeed);
+      },
+      [](auto&) {}, /*cut=*/300, /*rest=*/2'000);
+}
+
+TEST_F(SnapshotTest, GraphBipartitionFamilyRoundTrips) {
+  // The arbitrary-graph family on its home engine (live-edge, sparse
+  // star).  n is odd, so one parked signal keeps hopping forever and the
+  // run never goes silent before the cut.
+  const ppk::core::GraphBipartitionProtocol protocol;
+  const ppk::pp::TransitionTable table(protocol);
+  expect_roundtrip([&] {
+    return ppk::pp::GraphJumpSimulator(
+        table, ppk::pp::InteractionGraph::star(25),
+        Population(25, protocol.num_states(), protocol.initial_state()),
+        kSeed);
   });
 }
 
