@@ -24,7 +24,8 @@ src/core/campaign.hpp, the fairness axis (src/pp/fairness.hpp,
 src/pp/adversarial.hpp), the two protocol families it carries
 (src/core/weak_kpartition.hpp, src/core/graph_bipartition.hpp), and the
 per-agent verifier behind them (src/verify/agent_graph.hpp,
-src/verify/weak_fairness.hpp).
+src/verify/weak_fairness.hpp), and the scenario-server surface
+(src/serve/scenario.hpp, src/serve/cache.hpp, src/serve/server.hpp).
 Exits non-zero listing every undocumented symbol.  Stdlib only.
 """
 
@@ -43,6 +44,10 @@ DEFAULT_TARGETS = sorted((REPO / "src" / "obs").glob("*.hpp")) + [
     REPO / "src" / "core" / "graph_bipartition.hpp",
     REPO / "src" / "verify" / "agent_graph.hpp",
     REPO / "src" / "verify" / "weak_fairness.hpp",
+    # The scenario-server surface (docs/ppkd.md).
+    REPO / "src" / "serve" / "scenario.hpp",
+    REPO / "src" / "serve" / "cache.hpp",
+    REPO / "src" / "serve" / "server.hpp",
 ]
 
 # Lines that introduce a documentable symbol.  Matched against a line with

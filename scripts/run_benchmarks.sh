@@ -13,13 +13,15 @@
 # bit-determinism across worker counts 1/2/4/8.
 #
 # Usage:
-#   scripts/run_benchmarks.sh [--smoke] [--only engines|topology|fairness]
+#   scripts/run_benchmarks.sh [--smoke] [--only engines|topology|fairness|serve]
 #                             [--reps N] [--build-dir DIR]
 #                             [--out FILE] [--topology-out FILE]
 #                             [--fairness-out FILE]
 #
 #   --smoke         small grids + short budgets (CI-sized, ~seconds)
-#   --only WHICH    run just one report (default: both)
+#   --only WHICH    run just one report (default: both); 'serve' runs the
+#                   ppkd end-to-end smoke (scripts/ppkd_smoke.py) instead
+#                   of a benchmark -- no JSON report, pass/fail only
 #   --reps N        measurements per point, best figure kept (default 1;
 #                   use >= 3 when regenerating a committed baseline)
 #   --build-dir     build tree holding the bench binaries
@@ -65,8 +67,9 @@ while [[ $# -gt 0 ]]; do
   esac
 done
 case "${only}" in
-  both|engines|topology|fairness) ;;
-  *) echo "--only must be 'engines', 'topology' or 'fairness', got '${only}'" >&2
+  both|engines|topology|fairness|serve) ;;
+  *) echo "--only must be 'engines', 'topology', 'fairness' or 'serve'," \
+          "got '${only}'" >&2
      exit 2 ;;
 esac
 
@@ -106,4 +109,18 @@ if [[ "${only}" == "both" || "${only}" == "fairness" ]]; then
   "${build_dir}/bench/fairness_matrix" ${smoke} --threads 0 \
     --json "${fairness_out}" --git-rev "${git_rev}"
   echo "== wrote ${fairness_out} (git ${git_rev}) =="
+fi
+
+if [[ "${only}" == "serve" ]]; then
+  # The daemon binaries live under tests/, not bench/.
+  if [[ ! -x "${build_dir}/tests/ppkd" ]]; then
+    echo "== ppkd not built; configuring ${build_dir} (Release) =="
+    cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+    cmake --build "${build_dir}" --target ppkd --target conformance_fuzz
+  fi
+  python3 "${repo_root}/scripts/ppkd_smoke.py" \
+    --daemon "${build_dir}/tests/ppkd" \
+    --fuzz "${build_dir}/tests/conformance_fuzz" \
+    ${smoke:+--quick}
+  echo "== ppkd smoke passed =="
 fi

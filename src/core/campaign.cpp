@@ -12,6 +12,7 @@
 #include "io/json_reader.hpp"
 #include "io/snapshot_io.hpp"
 #include "obs/sink.hpp"
+#include "pp/adversarial.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
@@ -400,12 +401,26 @@ void attach_watch(Sim& sim, StateId watched,
 
 /// Constructs the resolved engine for one attempt and invokes `fn` on it.
 /// Mirrors the Monte-Carlo runner's per-trial construction exactly
-/// (including the topology sub-stream), so a campaign trial's trajectory
-/// is the chunk-driven version of the corresponding Monte-Carlo trial.
+/// (including the topology sub-stream and the adversarial fairness
+/// route), so a campaign trial's trajectory is the chunk-driven version
+/// of the corresponding Monte-Carlo trial.
 template <typename Fn>
-auto with_engine(const pp::TransitionTable& table, const Counts& initial,
-                 const MonteCarloOptions& mc, std::uint64_t n, Engine engine,
-                 std::uint64_t seed, Fn&& fn) {
+auto with_engine(const pp::Protocol* protocol, const pp::TransitionTable& table,
+                 const Counts& initial, const MonteCarloOptions& mc,
+                 std::uint64_t n, Engine engine, std::uint64_t seed, Fn&& fn) {
+  if (mc.fairness.needs_adversarial_engine()) {
+    // Only the agent-level scheduler can realize a non-uniform fairness
+    // policy; it needs the protocol's group map for its adversary probes.
+    PPK_ASSERT(protocol != nullptr);
+    std::optional<pp::InteractionGraph> graph;
+    if (mc.graph) {
+      graph.emplace(mc.graph(derive_stream_seed(seed, pp::kGraphTopologyStream)));
+      PPK_EXPECTS(graph->num_agents() == n);
+    }
+    pp::AdversarialSimulator sim(*protocol, table, pp::Population(initial),
+                                 mc.fairness, seed, graph ? &*graph : nullptr);
+    return fn(sim);
+  }
   switch (engine) {
     case Engine::kGraph:
     case Engine::kGraphJump: {
@@ -599,9 +614,10 @@ void stamp_outcome(obs::MetricsRegistry& metrics, const CampaignTrial& t) {
   metrics.histogram("trial.effective").record(t.result.effective);
 }
 
-void run_trial(Shared& s, const pp::TransitionTable& table,
-               const Counts& initial, const pp::OracleFactory& make_oracle,
-               Engine engine, std::uint64_t n, std::uint32_t idx) {
+void run_trial(Shared& s, const pp::Protocol* protocol,
+               const pp::TransitionTable& table, const Counts& initial,
+               const pp::OracleFactory& make_oracle, Engine engine,
+               std::uint64_t n, std::uint32_t idx) {
   const CampaignOptions& o = *s.options;
   std::optional<InFlightTrial> start;
   {
@@ -639,7 +655,7 @@ void run_trial(Shared& s, const pp::TransitionTable& table,
     std::optional<obs::ObsSink> sink;
     if (o.collect_metrics) sink.emplace(trial_metrics);
     const AttemptEnd end = with_engine(
-        table, initial, o.mc, n, engine, seed, [&](auto& sim) {
+        protocol, table, initial, o.mc, n, engine, seed, [&](auto& sim) {
           if (sink) sim.set_obs_sink(&*sink);
           if (o.mc.watch_state) {
             attach_watch(sim, *o.mc.watch_state, &out.result.watch_marks);
@@ -678,6 +694,7 @@ void run_trial(Shared& s, const pp::TransitionTable& table,
 
   const std::lock_guard<std::mutex> lock(s.mutex);
   s.trials[idx] = out;
+  if (o.on_trial) o.on_trial(idx, out);
   if (out.censored) return;  // the in-flight capture stays resumable
   s.done[idx] = 1;
   s.inflight.erase(idx);
@@ -696,16 +713,26 @@ std::string campaign_fingerprint(const pp::Counts& initial,
   out << kCampaignSchema << " trials=" << options.mc.trials
       << " seed=" << options.mc.master_seed
       << " budget=" << options.mc.max_interactions
-      << " engine=" << static_cast<int>(options.mc.engine)
-      << " graph=" << (options.mc.graph ? 1 : 0) << " watch="
+      << " engine=" << static_cast<int>(options.mc.engine) << " topology="
+      << (options.topology_tag.empty()
+              ? (options.mc.graph ? "unnamed" : "complete")
+              : options.topology_tag)
+      << " watch="
       << (options.mc.watch_state ? static_cast<int>(*options.mc.watch_state)
                                  : -1)
       << " chunk=" << options.chunk_interactions
       << " retries=" << options.max_retries
       << " metrics=" << (options.collect_metrics ? 1 : 0);
-  char backoff[32];
-  std::snprintf(backoff, sizeof backoff, "%.17g", options.retry_backoff);
-  out << " backoff=" << backoff << " counts=";
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.17g", options.retry_backoff);
+  out << " backoff=" << buffer;
+  // The fairness spec shapes every trajectory the adversarial engine
+  // draws; a checkpoint written under one policy must refuse to resume
+  // under another (epsilon included: epsilon-fair trajectories differ
+  // per epsilon).
+  std::snprintf(buffer, sizeof buffer, "%.17g", options.mc.fairness.epsilon);
+  out << " fairness=" << pp::to_string(options.mc.fairness.policy) << ":eps="
+      << buffer << " counts=";
   for (std::size_t i = 0; i < initial.size(); ++i) {
     out << (i == 0 ? "" : ",") << initial[i];
   }
@@ -781,10 +808,13 @@ std::optional<CampaignCheckpoint> parse_campaign_checkpoint(
   return result;
 }
 
-CampaignResult run_campaign(const pp::TransitionTable& table,
-                            const pp::Counts& initial,
-                            const pp::OracleFactory& make_oracle,
-                            const CampaignOptions& options) {
+namespace {
+
+CampaignResult run_campaign_impl(const pp::Protocol* protocol,
+                                 const pp::TransitionTable& table,
+                                 const pp::Counts& initial,
+                                 const pp::OracleFactory& make_oracle,
+                                 const CampaignOptions& options) {
   PPK_EXPECTS(options.mc.trials > 0);
   PPK_EXPECTS(options.mc.metrics == nullptr);
   PPK_EXPECTS(!options.mc.wall_clock_limit_seconds);
@@ -794,15 +824,26 @@ CampaignResult run_campaign(const pp::TransitionTable& table,
 
   std::uint64_t n = 0;
   for (const std::uint32_t c : initial) n += c;
-  const Engine engine =
-      pp::resolve_engine(options.mc.engine, n,
-                         options.mc.watch_state.has_value(),
-                         static_cast<bool>(options.mc.graph));
-  PPK_EXPECTS(!(engine == Engine::kBatch && options.mc.watch_state));
-  const bool graph_engine =
-      engine == Engine::kGraph || engine == Engine::kGraphJump;
-  PPK_EXPECTS(graph_engine == static_cast<bool>(options.mc.graph));
-  PPK_EXPECTS(engine != Engine::kGraph || !options.mc.watch_state);
+  Engine engine = Engine::kAgentArray;
+  if (options.mc.fairness.needs_adversarial_engine()) {
+    // Adversarial fairness bypasses engine resolution entirely: only the
+    // agent-level scheduler realizes the policy, and it needs the
+    // protocol's group map (precondition documented on the counts-only
+    // run_campaign overload).
+    PPK_EXPECTS(protocol != nullptr);
+    PPK_EXPECTS(!options.mc.watch_state);
+    PPK_EXPECTS(options.mc.engine == Engine::kAuto ||
+                options.mc.engine == Engine::kAgentArray);
+  } else {
+    engine = pp::resolve_engine(options.mc.engine, n,
+                                options.mc.watch_state.has_value(),
+                                static_cast<bool>(options.mc.graph));
+    PPK_EXPECTS(!(engine == Engine::kBatch && options.mc.watch_state));
+    const bool graph_engine =
+        engine == Engine::kGraph || engine == Engine::kGraphJump;
+    PPK_EXPECTS(graph_engine == static_cast<bool>(options.mc.graph));
+    PPK_EXPECTS(engine != Engine::kGraph || !options.mc.watch_state);
+  }
 
   CampaignResult result;
   Shared s;
@@ -850,7 +891,7 @@ CampaignResult run_campaign(const pp::TransitionTable& table,
 
   const auto body = [&](std::size_t idx) {
     if (s.done[idx] != 0) return;  // set only before the pool starts
-    run_trial(s, table, initial, make_oracle, engine, n,
+    run_trial(s, protocol, table, initial, make_oracle, engine, n,
               static_cast<std::uint32_t>(idx));
   };
   if (options.mc.threads == 1 || options.mc.trials == 1) {
@@ -875,13 +916,31 @@ CampaignResult run_campaign(const pp::TransitionTable& table,
   return result;
 }
 
+}  // namespace
+
+CampaignResult run_campaign(const pp::TransitionTable& table,
+                            const pp::Counts& initial,
+                            const pp::OracleFactory& make_oracle,
+                            const CampaignOptions& options) {
+  PPK_EXPECTS(!options.mc.fairness.needs_adversarial_engine());
+  return run_campaign_impl(nullptr, table, initial, make_oracle, options);
+}
+
+CampaignResult run_campaign(const pp::Protocol& protocol,
+                            const pp::TransitionTable& table,
+                            const pp::Counts& initial,
+                            const pp::OracleFactory& make_oracle,
+                            const CampaignOptions& options) {
+  return run_campaign_impl(&protocol, table, initial, make_oracle, options);
+}
+
 CampaignResult run_campaign(const pp::Protocol& protocol,
                             const pp::TransitionTable& table, std::uint32_t n,
                             const pp::OracleFactory& make_oracle,
                             const CampaignOptions& options) {
   Counts initial(protocol.num_states(), 0);
   initial[protocol.initial_state()] = n;
-  return run_campaign(table, initial, make_oracle, options);
+  return run_campaign_impl(&protocol, table, initial, make_oracle, options);
 }
 
 }  // namespace ppk::core

@@ -30,6 +30,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -48,6 +49,8 @@ inline constexpr std::string_view kCampaignSchema = "ppk-campaign-v1";
 /// small enough that checkpoints and deadline checks stay responsive
 /// (matches the Monte-Carlo runner's wall-clock check cadence).
 inline constexpr std::uint64_t kDefaultChunkInteractions = 1ULL << 22;
+
+struct CampaignTrial;
 
 /// Campaign configuration: a base Monte-Carlo configuration plus the
 /// checkpointing and supervision knobs.
@@ -100,6 +103,20 @@ struct CampaignOptions {
   /// Collect per-trial observability metrics into CampaignResult::metrics
   /// (and into checkpoints).  Off, trials run without a sink attached.
   bool collect_metrics = true;
+
+  /// Stable name for the topology behind `mc.graph`, folded into the
+  /// configuration fingerprint (e.g. "ring", "erdos-renyi:p=0.1").  The
+  /// factory itself is a std::function and cannot be fingerprinted; an
+  /// empty tag falls back to a presence bit, which distinguishes
+  /// graph-from-no-graph but NOT ring-from-star -- callers that switch
+  /// topologies between runs must tag them.
+  std::string topology_tag;
+
+  /// Streaming hook: invoked once per trial verdict (completed, failed,
+  /// or censored) as trials finish, under the campaign lock -- callbacks
+  /// are serialized and must not re-enter the campaign.  Trials restored
+  /// as already-completed from a checkpoint are NOT re-announced.
+  std::function<void(std::uint32_t trial, const CampaignTrial&)> on_trial;
 
   /// Operational (non-deterministic) campaign metrics: checkpoint write
   /// durations (campaign.checkpoint.write_us), checkpoint count
@@ -211,11 +228,13 @@ struct CampaignCheckpoint {
 };
 
 /// Deterministic one-line description of everything that shapes trial
-/// trajectories (trials, seed, budget, engine, chunk size, retry policy,
-/// watch state, initial configuration).  Stored in checkpoints and
-/// compared verbatim on resume.  The topology factory cannot be
-/// fingerprinted; resuming with a different factory than the one that
-/// wrote the checkpoint is a caller error.
+/// trajectories (trials, seed, budget, engine, fairness policy + epsilon,
+/// chunk size, retry policy, watch state, topology tag, initial
+/// configuration).  Stored in checkpoints and compared verbatim on
+/// resume.  The topology factory itself cannot be fingerprinted: set
+/// `CampaignOptions::topology_tag` so distinct topologies refuse each
+/// other's checkpoints; with an empty tag only graph-vs-no-graph is
+/// distinguished and resuming with a different factory is a caller error.
 [[nodiscard]] std::string campaign_fingerprint(const pp::Counts& initial,
                                                const CampaignOptions& options);
 
@@ -234,7 +253,25 @@ struct CampaignCheckpoint {
 /// checkpoint (when checkpointing is enabled) before returning, so an
 /// interrupted campaign can be re-run with the same arguments until
 /// complete.
+///
+/// This counts-only overload cannot realize non-uniform fairness (the
+/// adversarial engine needs the protocol's group map to probe for
+/// non-progressing pairs) and fails fast -- PPK_EXPECTS -- when
+/// `options.mc.fairness.needs_adversarial_engine()`; use a
+/// protocol-taking overload for those specs.
 [[nodiscard]] CampaignResult run_campaign(const pp::TransitionTable& table,
+                                          const pp::Counts& initial,
+                                          const pp::OracleFactory& make_oracle,
+                                          const CampaignOptions& options);
+
+/// Full-axis overload: carries the protocol so `options.mc.fairness`
+/// specs that need the agent-level adversarial engine (weak round-robin,
+/// epsilon-fair with epsilon < 1) are routed to it, mirroring the
+/// Monte-Carlo runner.  Adversarial campaigns require engine kAuto or
+/// kAgentArray and no watch state; `mc.graph` composes as the scheduling
+/// topology.
+[[nodiscard]] CampaignResult run_campaign(const pp::Protocol& protocol,
+                                          const pp::TransitionTable& table,
                                           const pp::Counts& initial,
                                           const pp::OracleFactory& make_oracle,
                                           const CampaignOptions& options);

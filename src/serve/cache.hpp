@@ -1,0 +1,67 @@
+// Directory-backed result cache of the ppkd daemon (docs/ppkd.md).
+//
+// A scenario result is a pure function of the spec: simulate and
+// conformance results additionally depend on the master seed (it names the
+// trial streams), while verify and markov answers are exact and
+// seed-independent.  The cache key mirrors that split:
+//
+//   sim-<hash16>-<seed>.json     simulate / conformance results
+//   exact-<hash16>.json          verify / markov results
+//
+// where <hash16> is scenario_hash_hex() -- FNV-1a over the canonical spec
+// serialization with the seed masked -- so resubmitting a spec that
+// differs only in irrelevant formatting (or, for exact modes, in seed)
+// hits the same entry.  Entries store the daemon's single-line result
+// frame verbatim; a cache hit replays it byte-identically, which is what
+// the smoke test asserts.  Writes go through io/atomic_file.hpp so a
+// daemon killed mid-store never leaves a torn entry.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace ppk::serve {
+
+/// The (scenario-hash, seed) result cache.  Thread-compatible: the daemon
+/// serializes access through its job lock.
+class ResultCache {
+ public:
+  /// Entries live under `dir` (created on first store if missing).  An
+  /// empty dir disables the cache: lookups miss, stores drop.
+  explicit ResultCache(std::string dir);
+
+  /// Seed-dependent lookup (simulate / conformance).
+  [[nodiscard]] std::optional<std::string> find(const std::string& hash_hex,
+                                                std::uint64_t seed) const;
+  /// Seed-independent lookup (verify / markov).
+  [[nodiscard]] std::optional<std::string> find_exact(
+      const std::string& hash_hex) const;
+
+  /// Stores a result frame (overwrites; atomic).  Returns false when the
+  /// cache is disabled or the write failed -- callers treat a failed
+  /// store as a miss, never as an error.
+  bool store(const std::string& hash_hex, std::uint64_t seed,
+             const std::string& frame);
+  /// store() for the seed-independent entries (verify / markov).
+  bool store_exact(const std::string& hash_hex, const std::string& frame);
+
+  /// The cache directory ("" when disabled).
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+  /// False when constructed with an empty dir (cache off).
+  [[nodiscard]] bool enabled() const noexcept { return !dir_.empty(); }
+
+  /// Entry file path (exposed so tests and the smoke driver can inspect
+  /// the cache without duplicating the naming scheme).
+  [[nodiscard]] std::string entry_path(const std::string& hash_hex,
+                                       std::uint64_t seed) const;
+  /// entry_path() for the seed-independent entries.
+  [[nodiscard]] std::string exact_entry_path(
+      const std::string& hash_hex) const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace ppk::serve

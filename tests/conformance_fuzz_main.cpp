@@ -13,7 +13,10 @@
 //   conformance_fuzz --replay repro.txt
 //
 // Replays a repro file and exits 0 iff the recorded verdict still holds
-// (expect pass => conformant, expect fail => still diverges).
+// (expect pass => conformant, expect fail => still diverges).  --replay
+// also accepts a ppk-scenario-v1 JSON document (the ppkd request format,
+// docs/ppkd.md): the scenario is bridged to its equivalent conformance
+// case and must be conformant -- every server scenario is a fuzz case.
 
 #include <atomic>
 #include <chrono>
@@ -24,6 +27,7 @@
 #include <string>
 
 #include "io/atomic_file.hpp"
+#include "serve/scenario.hpp"
 #include "util/cli.hpp"
 #include "verify/conformance.hpp"
 
@@ -34,6 +38,30 @@ namespace {
 // cleanly (130) instead of dying mid-check.
 std::atomic<bool> g_interrupted{false};
 
+/// A ppk-scenario-v1 document replayed as its equivalent conformance case
+/// (serve/scenario.hpp bridge).  Exit 0 iff the case is conformant.
+int replay_scenario(const std::string& path, const std::string& text) {
+  std::string error;
+  const auto spec = ppk::serve::parse_scenario(text, &error);
+  if (!spec.has_value()) {
+    std::cerr << path << ": " << error << '\n';
+    return 2;
+  }
+  std::string why;
+  const auto c = ppk::serve::scenario_to_conformance(*spec, &why);
+  if (!c.has_value()) {
+    std::cerr << path << ": " << why << '\n';
+    return 2;
+  }
+  const ppk::verify::ConformanceReport report =
+      ppk::verify::check_conformance(*c);
+  std::cout << "replay " << path << " (scenario "
+            << ppk::serve::scenario_hash_hex(*spec)
+            << "): " << (report.ok() ? "conformant" : "divergent") << '\n';
+  if (!report.ok()) std::cout << report.summary();
+  return report.ok() ? 0 : 1;
+}
+
 int replay_file(const std::string& path) {
   std::ifstream in(path);
   if (!in.good()) {
@@ -42,8 +70,15 @@ int replay_file(const std::string& path) {
   }
   std::ostringstream text;
   text << in.rdbuf();
+  // Scenario documents are JSON objects; repro files are line-oriented with
+  // a leading schema comment.  Dispatch on the first non-space byte.
+  const std::string document = text.str();
+  const std::size_t first = document.find_first_not_of(" \t\r\n");
+  if (first != std::string::npos && document[first] == '{') {
+    return replay_scenario(path, document);
+  }
   std::string error;
-  const auto repro = ppk::verify::parse_repro(text.str(), &error);
+  const auto repro = ppk::verify::parse_repro(document, &error);
   if (!repro.has_value()) {
     std::cerr << path << ": " << error << '\n';
     return 2;

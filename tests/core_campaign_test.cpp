@@ -17,9 +17,15 @@
 #include "core/campaign.hpp"
 #include "core/invariants.hpp"
 #include "core/kpartition.hpp"
+#include "core/weak_kpartition.hpp"
 #include "io/json.hpp"
 #include "obs/metrics.hpp"
+#include "pp/fairness.hpp"
+#include "pp/stability.hpp"
 #include "pp/transition_table.hpp"
+
+#include <memory>
+#include <vector>
 
 namespace {
 
@@ -277,6 +283,159 @@ TEST_F(CampaignTest, FingerprintCoversTheTrajectoryShapingKnobs) {
   changed.campaign_deadline_seconds = 5.0;
   changed.checkpoint_every_chunks = 99;
   EXPECT_EQ(ppk::core::campaign_fingerprint(initial, changed), fp);
+}
+
+TEST_F(CampaignTest, FingerprintCoversFairnessAndTopology) {
+  const CampaignOptions base = base_options();
+  ppk::pp::Counts initial(protocol_.num_states(), 0);
+  initial[protocol_.initial_state()] = kN;
+  const std::string fp = ppk::core::campaign_fingerprint(initial, base);
+
+  // The fairness policy and its epsilon both shape every adversarial
+  // trajectory; each must change the fingerprint on its own.
+  CampaignOptions changed = base;
+  changed.mc.fairness.policy = ppk::pp::FairnessPolicy::kWeakRoundRobin;
+  EXPECT_NE(ppk::core::campaign_fingerprint(initial, changed), fp);
+  changed = base;
+  changed.mc.fairness.policy = ppk::pp::FairnessPolicy::kEpsilonFair;
+  changed.mc.fairness.epsilon = 0.25;
+  const std::string quarter = ppk::core::campaign_fingerprint(initial, changed);
+  EXPECT_NE(quarter, fp);
+  changed.mc.fairness.epsilon = 0.5;
+  EXPECT_NE(ppk::core::campaign_fingerprint(initial, changed), quarter);
+
+  // A caller-supplied topology tag distinguishes topologies the factory
+  // presence bit cannot (ring vs star).
+  changed = base;
+  changed.topology_tag = "ring";
+  const std::string ring = ppk::core::campaign_fingerprint(initial, changed);
+  EXPECT_NE(ring, fp);
+  changed.topology_tag = "star";
+  EXPECT_NE(ppk::core::campaign_fingerprint(initial, changed), ring);
+}
+
+TEST_F(CampaignTest, RefusesAFairnessMismatchedCheckpoint) {
+  // A checkpoint written under weak round-robin must NOT resume under the
+  // default uniform-random fairness: the policies draw entirely different
+  // trajectories, so finishing the campaign under the wrong one would
+  // silently mix statistics.  (The pre-fix fingerprint omitted fairness
+  // and resumed cleanly.)
+  CampaignOptions options = base_options();
+  options.checkpoint_path = temp_checkpoint("fairness_mismatch");
+  options.mc.fairness.policy = ppk::pp::FairnessPolicy::kWeakRoundRobin;
+  const std::atomic<bool> stop{true};
+  options.stop = &stop;  // wind down immediately; the checkpoint still lands
+  const CampaignResult halted = run(options);
+  EXPECT_FALSE(halted.complete);
+
+  options.stop = nullptr;
+  options.mc.fairness = ppk::pp::FairnessSpec{};  // back to uniform-random
+  const CampaignResult refused = run(options);
+  EXPECT_FALSE(refused.error.empty());
+  EXPECT_TRUE(refused.trials.empty());
+  std::filesystem::remove(options.checkpoint_path);
+}
+
+TEST_F(CampaignTest, AdversarialFairnessRoutesToTheAdversarialEngine) {
+  // An epsilon-fair campaign must draw the same trajectories as the
+  // Monte-Carlo runner's adversarial route with the same seeds.  (Pre-fix
+  // the campaign ignored `mc.fairness` and ran the uniform scheduler, so
+  // the totals disagree.)
+  CampaignOptions options = base_options();
+  options.mc.trials = 4;
+  options.mc.fairness =
+      ppk::pp::FairnessSpec{ppk::pp::FairnessPolicy::kEpsilonFair, 0.5};
+  const CampaignResult campaign = run(options);
+  ASSERT_TRUE(campaign.complete);
+
+  const ppk::pp::MonteCarloResult reference = ppk::pp::run_monte_carlo(
+      protocol_, table_, kN,
+      [&] { return ppk::core::stable_pattern_oracle(protocol_, kN); },
+      options.mc);
+  ASSERT_EQ(reference.trials.size(), campaign.trials.size());
+  for (std::size_t t = 0; t < campaign.trials.size(); ++t) {
+    EXPECT_EQ(campaign.trials[t].result.interactions,
+              reference.trials[t].interactions)
+        << "trial " << t;
+    EXPECT_EQ(campaign.trials[t].result.effective,
+              reference.trials[t].effective)
+        << "trial " << t;
+    EXPECT_TRUE(campaign.trials[t].result.stabilized) << "trial " << t;
+  }
+}
+
+TEST_F(CampaignTest, CountsOnlyOverloadRejectsAdversarialFairness) {
+  // Without a protocol the adversarial engine cannot probe for progress;
+  // the counts-only overload must fail fast instead of silently running
+  // the uniform scheduler.
+  CampaignOptions options = base_options();
+  options.mc.fairness.policy = ppk::pp::FairnessPolicy::kWeakRoundRobin;
+  ppk::pp::Counts initial(protocol_.num_states(), 0);
+  initial[protocol_.initial_state()] = kN;
+  EXPECT_DEATH(
+      (void)ppk::core::run_campaign(
+          table_, initial,
+          [&] { return ppk::core::stable_pattern_oracle(protocol_, kN); },
+          options),
+      "needs_adversarial_engine");
+}
+
+TEST_F(CampaignTest, WeakRoundRobinCheckpointResumesBitIdentically) {
+  // The checkpoint-kill-resume story under kWeakRoundRobin: the
+  // adversarial engine's snapshot carries the unscheduled remainder of
+  // the current round, so a censored-and-resumed campaign must be
+  // bit-identical to an uninterrupted one.  Uses the weak-fairness
+  // k-partition family (the global-fairness family livelocks here).
+  ppk::core::WeakKPartitionProtocol weak(3);
+  ppk::pp::TransitionTable table(weak);
+  CampaignOptions options = base_options();
+  options.mc.trials = 4;
+  const auto make_oracle = [&] {
+    return std::make_unique<ppk::pp::SilenceOracle>(table);
+  };
+  options.mc.fairness.policy = ppk::pp::FairnessPolicy::kWeakRoundRobin;
+  const CampaignResult reference =
+      ppk::core::run_campaign(weak, table, kN, make_oracle, options);
+  ASSERT_TRUE(reference.complete);
+  for (const auto& t : reference.trials) EXPECT_TRUE(t.result.stabilized);
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    CampaignOptions interrupted = options;
+    interrupted.mc.threads = threads;
+    interrupted.checkpoint_path = temp_checkpoint("weak_rr_resume");
+    interrupted.campaign_deadline_seconds = 1e-9;  // censor at first boundary
+    const CampaignResult partial =
+        ppk::core::run_campaign(weak, table, kN, make_oracle, interrupted);
+    EXPECT_FALSE(partial.complete);
+
+    interrupted.campaign_deadline_seconds.reset();
+    const CampaignResult resumed =
+        ppk::core::run_campaign(weak, table, kN, make_oracle, interrupted);
+    EXPECT_TRUE(resumed.resumed);
+    ASSERT_TRUE(resumed.complete) << "threads=" << threads;
+    EXPECT_EQ(verdicts(resumed), verdicts(reference)) << "threads=" << threads;
+    EXPECT_EQ(registry_json(resumed.metrics), registry_json(reference.metrics))
+        << "threads=" << threads;
+    std::filesystem::remove(interrupted.checkpoint_path);
+  }
+}
+
+TEST_F(CampaignTest, StreamsTrialVerdictsAsTheyComplete) {
+  CampaignOptions options = base_options();
+  options.mc.threads = 4;
+  std::vector<char> announced(options.mc.trials, 0);
+  std::uint32_t events = 0;
+  options.on_trial = [&](std::uint32_t trial,
+                         const ppk::core::CampaignTrial& t) {
+    // Serialized under the campaign lock, so plain writes are safe.
+    ASSERT_LT(trial, announced.size());
+    announced[trial] += 1;
+    events += t.result.stabilized ? 1u : 0u;
+  };
+  const CampaignResult result = run(options);
+  ASSERT_TRUE(result.complete);
+  EXPECT_EQ(events, options.mc.trials);
+  for (const char count : announced) EXPECT_EQ(count, 1);
 }
 
 }  // namespace

@@ -118,6 +118,65 @@ TEST(JsonReader, RoundTripsTheWriterOutput) {
   EXPECT_EQ(v->find("rows")->items.size(), 2u);
 }
 
+// --- Hostile inputs at the server boundary (ppkd parses client-supplied
+// documents with this reader; none of these may crash or hang) -------------
+
+TEST(JsonReader, RejectsNestingPastTheDepthCap) {
+  // 200 levels of arrays: past kMaxDepth (128) the parser must soft-fail
+  // instead of recursing to a stack overflow.
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep.push_back('[');
+  for (int i = 0; i < 200; ++i) deep.push_back(']');
+  std::string error;
+  EXPECT_FALSE(ppk::io::parse_json(deep, &error).has_value());
+  EXPECT_NE(error.find("nesting too deep"), std::string::npos);
+
+  // Exactly at the cap still parses.
+  std::string ok;
+  for (int i = 0; i < 128; ++i) ok.push_back('[');
+  for (int i = 0; i < 128; ++i) ok.push_back(']');
+  EXPECT_TRUE(ppk::io::parse_json(ok, &error).has_value()) << error;
+}
+
+TEST(JsonReader, U64OverflowByOneIsRejectedNotWrapped) {
+  const auto doc =
+      ppk::io::parse_json("{\"v\": 18446744073709551616}");  // 2^64
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_FALSE(doc->find("v")->as_u64().has_value());
+  const auto max = ppk::io::parse_json("{\"v\": 18446744073709551615}");
+  ASSERT_TRUE(max.has_value());
+  EXPECT_EQ(max->find("v")->as_u64(), UINT64_MAX);
+}
+
+TEST(JsonReader, TruncatedDocumentsNameWhatIsUnterminated) {
+  const struct {
+    const char* text;
+    const char* reason;
+  } cases[] = {
+      {"{\"a\": 1", "unterminated object"},
+      {"[1, 2", "unterminated array"},
+      {"\"abc", "unterminated string"},
+      {"{\"a\": ", "unexpected end of input"},
+      {"", "unexpected end of input"},
+      {"{\"a\": 1} trailing", "trailing characters"},
+  };
+  for (const auto& c : cases) {
+    std::string error;
+    EXPECT_FALSE(ppk::io::parse_json(c.text, &error).has_value()) << c.text;
+    EXPECT_NE(error.find(c.reason), std::string::npos)
+        << c.text << " -> " << error;
+  }
+}
+
+TEST(JsonReader, DuplicateKeysResolveToTheFirstOccurrence) {
+  // find() is first-match: a client repeating a member cannot override the
+  // value the validator saw (the duplicate-key smuggling pattern).
+  const auto doc = ppk::io::parse_json("{\"n\": 5, \"n\": 99}");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("n")->as_u64(), 5u);
+  EXPECT_EQ(doc->keys.size(), 2u);  // both retained, lookup is what's pinned
+}
+
 TEST(AtomicFile, WriteReplacesTheTargetCompletely) {
   const auto path =
       std::filesystem::temp_directory_path() / "ppk_atomic_file_test.txt";

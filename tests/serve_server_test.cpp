@@ -1,0 +1,322 @@
+// In-process ScenarioService tests: the wire protocol without sockets.
+// Submit/streaming/caching semantics, byte-identical cache replay,
+// seed-independent exact-mode entries, stop-flag cancellation with a
+// retained checkpoint, and crash-resume equivalence of the result frame.
+
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ppk::serve {
+namespace {
+
+/// Collects frames from handle_line (thread-safe: simulate jobs emit trial
+/// frames from campaign workers).
+class FrameLog {
+ public:
+  ScenarioService::Emit emit() {
+    return [this](const std::string& frame) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      frames_.push_back(frame);
+    };
+  }
+
+  std::vector<std::string> take() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out = std::move(frames_);
+    frames_.clear();
+    return out;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::string> frames_;
+};
+
+/// Frames of one kind ("event": "<kind>").
+std::vector<std::string> of_kind(const std::vector<std::string>& frames,
+                                 const std::string& kind) {
+  std::vector<std::string> out;
+  const std::string needle = "\"event\": \"" + kind + "\"";
+  for (const std::string& f : frames) {
+    if (f.find(needle) != std::string::npos) out.push_back(f);
+  }
+  return out;
+}
+
+std::string temp_dir(const char* tag) {
+  std::string tmpl = std::string("/tmp/ppk_serve_") + tag + "_XXXXXX";
+  std::vector<char> buffer(tmpl.begin(), tmpl.end());
+  buffer.push_back('\0');
+  const char* made = ::mkdtemp(buffer.data());
+  EXPECT_NE(made, nullptr);
+  return made != nullptr ? made : "/tmp";
+}
+
+std::string submit_line(const std::string& id, const ScenarioSpec& spec) {
+  return "{\"op\": \"submit\", \"id\": \"" + id +
+         "\", \"scenario\": " + single_line_json(serialize_scenario(spec)) +
+         "}";
+}
+
+bool file_exists(const std::string& path) {
+  return ::access(path.c_str(), F_OK) == 0;
+}
+
+TEST(ServeServer, SingleLineJsonCollapsesStructureOnly) {
+  EXPECT_EQ(single_line_json("{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}\n"),
+            "{\"a\": 1,\"b\": [2]}");
+  // Newlines inside strings are escaped by the writer and must survive.
+  EXPECT_EQ(single_line_json("{\n  \"a\": \"x\\n  y\"\n}\n"),
+            "{\"a\": \"x\\n  y\"}");
+}
+
+TEST(ServeServer, PingErrorsAndUnknownOps) {
+  ScenarioService service(ServiceOptions{});
+  FrameLog log;
+  EXPECT_TRUE(service.handle_line("{\"op\": \"ping\"}", log.emit()));
+  EXPECT_TRUE(service.handle_line("not json at all", log.emit()));
+  EXPECT_TRUE(service.handle_line("{\"op\": \"dance\"}", log.emit()));
+  EXPECT_TRUE(service.handle_line("{\"noop\": 1}", log.emit()));
+  const std::vector<std::string> frames = log.take();
+  ASSERT_EQ(frames.size(), 4u);
+  EXPECT_NE(frames[0].find("\"pong\""), std::string::npos);
+  EXPECT_NE(frames[1].find("\"error\""), std::string::npos);
+  EXPECT_NE(frames[2].find("unknown op"), std::string::npos);
+  EXPECT_NE(frames[3].find("'op'"), std::string::npos);
+}
+
+TEST(ServeServer, ShutdownStopsTheTransport) {
+  ScenarioService service(ServiceOptions{});
+  FrameLog log;
+  EXPECT_FALSE(service.handle_line("{\"op\": \"shutdown\"}", log.emit()));
+  const std::vector<std::string> frames = log.take();
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_NE(frames[0].find("\"bye\""), std::string::npos);
+}
+
+TEST(ServeServer, InvalidScenariosGetErrorFrames) {
+  ScenarioService service(ServiceOptions{});
+  FrameLog log;
+  // Silence oracle on kpartition: validation diagnostic passes through.
+  ScenarioSpec bad;
+  bad.oracle = ScenarioOracle::kSilence;
+  EXPECT_TRUE(service.handle_line(submit_line("j1", bad), log.emit()));
+  // A fault schedule parses but is not yet schedulable.
+  ScenarioSpec faulted;
+  faulted.faults.push_back({100, pp::FaultKind::kCrash, std::nullopt,
+                            std::nullopt, 0});
+  EXPECT_TRUE(service.handle_line(submit_line("j2", faulted), log.emit()));
+  EXPECT_TRUE(service.handle_line("{\"op\": \"submit\", \"id\": \"j3\"}",
+                                  log.emit()));
+  const std::vector<std::string> frames = log.take();
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_NE(frames[0].find("oracle.kind"), std::string::npos);
+  EXPECT_NE(frames[1].find("not yet schedulable"), std::string::npos);
+  EXPECT_NE(frames[2].find("'scenario'"), std::string::npos);
+}
+
+TEST(ServeServer, SimulateStreamsTrialsAndReplaysFromTheCache) {
+  ServiceOptions options;
+  options.state_dir = temp_dir("sim");
+  ScenarioService service(options);
+  FrameLog log;
+
+  ScenarioSpec spec;
+  spec.n = 12;
+  spec.trials = 4;
+  spec.seed = 7;
+  spec.budget = 1'000'000;
+
+  EXPECT_TRUE(service.handle_line(submit_line("a", spec), log.emit()));
+  const std::vector<std::string> first = log.take();
+  ASSERT_EQ(of_kind(first, "accepted").size(), 1u);
+  EXPECT_NE(first[0].find("\"cached\": false"), std::string::npos);
+  EXPECT_EQ(of_kind(first, "trial").size(), 4u);
+  ASSERT_EQ(of_kind(first, "job").size(), 1u);
+  EXPECT_NE(of_kind(first, "job")[0].find("\"resumed\": false"),
+            std::string::npos);
+  const std::vector<std::string> results = of_kind(first, "result");
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_NE(results[0].find("\"mode\": \"simulate\""), std::string::npos);
+  // The result frame is spec-pure: no job id in it.
+  EXPECT_EQ(results[0].find("\"id\""), std::string::npos);
+  // Completion deletes the job checkpoint and stores the cache entry.
+  EXPECT_TRUE(file_exists(
+      service.cache().entry_path(scenario_hash_hex(spec), spec.seed)));
+
+  // Resubmission: cache hit, byte-identical result frame, no trials re-run.
+  EXPECT_TRUE(service.handle_line(submit_line("b", spec), log.emit()));
+  const std::vector<std::string> second = log.take();
+  ASSERT_EQ(second.size(), 2u);
+  EXPECT_NE(second[0].find("\"cached\": true"), std::string::npos);
+  EXPECT_EQ(second[1], results[0]);
+
+  // A fresh service over the same state dir replays the same bytes.
+  ScenarioService reopened(options);
+  EXPECT_TRUE(reopened.handle_line(submit_line("c", spec), log.emit()));
+  const std::vector<std::string> third = log.take();
+  ASSERT_EQ(third.size(), 2u);
+  EXPECT_EQ(third[1], results[0]);
+}
+
+TEST(ServeServer, ExactModesCacheSeedIndependently) {
+  ServiceOptions options;
+  options.state_dir = temp_dir("exact");
+  ScenarioService service(options);
+  FrameLog log;
+
+  ScenarioSpec spec;
+  spec.k = 2;
+  spec.n = 6;
+  spec.mode = ScenarioMode::kVerify;
+  spec.seed = 1;
+
+  EXPECT_TRUE(service.handle_line(submit_line("v1", spec), log.emit()));
+  const std::vector<std::string> first = log.take();
+  const std::vector<std::string> results = of_kind(first, "result");
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_NE(results[0].find("\"solves\": true"), std::string::npos);
+
+  // A different seed is the same exact question: cache hit, same bytes.
+  spec.seed = 424242;
+  EXPECT_TRUE(service.handle_line(submit_line("v2", spec), log.emit()));
+  const std::vector<std::string> second = log.take();
+  ASSERT_EQ(second.size(), 2u);
+  EXPECT_NE(second[0].find("\"cached\": true"), std::string::npos);
+  EXPECT_EQ(second[1], results[0]);
+}
+
+TEST(ServeServer, MarkovModeReportsTheExactExpectation) {
+  ServiceOptions options;
+  options.state_dir = temp_dir("markov");
+  ScenarioService service(options);
+  FrameLog log;
+
+  ScenarioSpec spec;
+  spec.k = 2;
+  spec.n = 5;
+  spec.mode = ScenarioMode::kMarkov;
+
+  EXPECT_TRUE(service.handle_line(submit_line("m1", spec), log.emit()));
+  const std::vector<std::string> results = of_kind(log.take(), "result");
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_NE(results[0].find("\"mode\": \"markov\""), std::string::npos);
+  EXPECT_NE(results[0].find("\"expected_interactions\": "), std::string::npos);
+  // The paper's protocol reaches the stable pattern with probability 1, so
+  // the expectation is finite (not the null the writer uses for "never").
+  EXPECT_EQ(results[0].find("\"expected_interactions\": null"),
+            std::string::npos);
+  EXPECT_NE(results[0].find("\"absorptions\": [{"), std::string::npos);
+}
+
+TEST(ServeServer, ConformanceModeRunsTheHarness) {
+  ServiceOptions options;
+  options.state_dir = temp_dir("conf");
+  ScenarioService service(options);
+  FrameLog log;
+
+  ScenarioSpec spec;
+  spec.mode = ScenarioMode::kConformance;
+  spec.n = 8;
+  spec.k = 2;
+  spec.trials = 5;
+  spec.budget = 50'000;
+
+  EXPECT_TRUE(service.handle_line(submit_line("c1", spec), log.emit()));
+  const std::vector<std::string> results = of_kind(log.take(), "result");
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_NE(results[0].find("\"mode\": \"conformance\""), std::string::npos);
+  EXPECT_NE(results[0].find("\"ok\": true"), std::string::npos);
+}
+
+TEST(ServeServer, CancelCheckpointsAndResumeCompletesIdentically) {
+  // Budget-exhausting trials (quiescence window no trial can meet) on the
+  // slow reference engine: long enough to cancel mid-flight reliably.
+  ScenarioSpec spec;
+  spec.n = 20'000;
+  spec.trials = 8;
+  spec.seed = 11;
+  spec.budget = 3'000'000;
+  spec.engine = pp::Engine::kAgentArray;
+  spec.oracle = ScenarioOracle::kQuiescence;
+  spec.quiescence_window = 1ULL << 62;
+  ASSERT_EQ(validate_scenario(spec), "");
+
+  // Reference: one uninterrupted run.
+  ServiceOptions options;
+  options.state_dir = temp_dir("cancel_ref");
+  options.chunk_interactions = 1ULL << 14;
+  options.checkpoint_every_chunks = 2;
+  std::string reference;
+  {
+    ScenarioService service(options);
+    FrameLog log;
+    EXPECT_TRUE(service.handle_line(submit_line("ref", spec), log.emit()));
+    const std::vector<std::string> results = of_kind(log.take(), "result");
+    ASSERT_EQ(results.size(), 1u);
+    reference = results[0];
+  }
+
+  // Interrupted: cancel from another thread mid-run, then resume in a
+  // fresh service over the same state dir.
+  options.state_dir = temp_dir("cancel_cut");
+  const std::string checkpoint = options.state_dir + "/ckpt-" +
+                                 scenario_hash_hex(spec) + "-" +
+                                 std::to_string(spec.seed) + ".json";
+  bool cancelled_midway = false;
+  {
+    ScenarioService service(options);
+    FrameLog log;
+    std::thread submitter([&] {
+      EXPECT_TRUE(service.handle_line(submit_line("cut", spec), log.emit()));
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    service.cancel("cut");
+    submitter.join();
+    const std::vector<std::string> frames = log.take();
+    if (!of_kind(frames, "incomplete").empty()) {
+      cancelled_midway = true;
+      EXPECT_TRUE(file_exists(checkpoint));  // resumable state retained
+    }
+  }
+  {
+    ScenarioService service(options);
+    FrameLog log;
+    EXPECT_TRUE(service.handle_line(submit_line("cut2", spec), log.emit()));
+    const std::vector<std::string> frames = log.take();
+    const std::vector<std::string> results = of_kind(frames, "result");
+    ASSERT_EQ(results.size(), 1u);
+    // Whether this leg resumed a checkpoint or replayed the cache, the
+    // result bytes must match the uninterrupted reference exactly.
+    EXPECT_EQ(results[0], reference);
+    if (cancelled_midway) {
+      const std::vector<std::string> jobs = of_kind(frames, "job");
+      ASSERT_EQ(jobs.size(), 1u);
+      EXPECT_NE(jobs[0].find("\"resumed\": true"), std::string::npos);
+      EXPECT_FALSE(file_exists(checkpoint));  // consumed on completion
+    }
+  }
+}
+
+TEST(ServeServer, CancelReportsWhetherTheJobExisted) {
+  ScenarioService service(ServiceOptions{});
+  FrameLog log;
+  EXPECT_TRUE(
+      service.handle_line("{\"op\": \"cancel\", \"id\": \"ghost\"}", log.emit()));
+  const std::vector<std::string> frames = log.take();
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_NE(frames[0].find("\"found\": false"), std::string::npos);
+  EXPECT_FALSE(service.cancel("ghost"));
+}
+
+}  // namespace
+}  // namespace ppk::serve
