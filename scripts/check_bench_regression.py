@@ -16,6 +16,10 @@ Dispatches on the new report's schema:
    (the model's own time unit), so this branch needs no calibration:
    complete-graph probe counts are pinned to EXACT equality against the
    baseline on any machine, live-edge probes on the same machine only.
+ - ppk-bench-exact-v1 (bench/exact_vs_monte_carlo): the symmetry-lumped
+   exact back end's gates, baseline BENCH_EXACT.json -- see
+   check_exact().  Every figure is an exact count or solver answer, so
+   this branch compares across machines with no calibration.
 
 Engine-throughput gates.  Validates a fresh report and compares it
 against the committed baseline:
@@ -153,6 +157,22 @@ REQUIRED_FAIRNESS_ROW = {"family", "k", "n", "states", "policy", "epsilon",
 REQUIRED_VERDICT_ROW = {"family", "k", "n", "fairness", "solves",
                         "exploration_complete", "reachable_configs",
                         "bottom_sccs"}
+
+# Exact-report gates (schema ppk-bench-exact-v1, bench/exact_vs_monte_carlo).
+# Every gated figure is an exact count or solver answer, so this branch
+# needs no timing calibration and compares across machines.
+EXACT_SCHEMA = "ppk-bench-exact-v1"
+EXACT_FAMILIES = {"kpartition", "weak-kpartition", "bipartition"}
+EXACT_AGREEMENT_TOL = 1e-9    # lumped vs dense relative error, per row
+EXACT_CEILING_FACTOR = 10     # lumped rows sit >= this x the dense cap
+EXACT_BASELINE_TOL = 1e-9     # same chain, same exact answer, any machine
+REQUIRED_EXACT_TOP = {"schema", "bench", "git_rev", "smoke", "interrupted",
+                      "seed", "machine", "dense_cap", "monte_carlo",
+                      "agreement", "ceiling"}
+REQUIRED_AGREEMENT_ROW = {"family", "k", "n", "dense", "lumped", "rel_error",
+                          "configs", "orbits", "group_order"}
+REQUIRED_CEILING_ROW = {"family", "k", "n", "reachable_configs", "orbits",
+                        "group_order", "expected_interactions", "solved"}
 
 # Topology-report gates (schema ppk-bench-topology-v1).
 MIN_WEDGE_SPEEDUP = 50.0      # live-edge vs per-draw on the wedged ring
@@ -402,6 +422,111 @@ def gate_rate_drop(label, new_rate, new_cal, new_spread,
              f"spread)")
     print(f"ok: {label} {prefix}rate {new_rate:.3g} "
           f"({-drop:+.0%} vs baseline)")
+
+
+def validate_exact_schema(doc, path):
+    if doc.get("schema") != EXACT_SCHEMA:
+        fail(f"{path}: schema {doc.get('schema')!r}, expected {EXACT_SCHEMA}")
+    missing = REQUIRED_EXACT_TOP - doc.keys()
+    if missing:
+        fail(f"{path}: missing top-level keys {sorted(missing)}")
+    if doc["interrupted"]:
+        fail(f"{path}: report marked interrupted; regenerate before gating")
+    for key, required in (("agreement", REQUIRED_AGREEMENT_ROW),
+                          ("ceiling", REQUIRED_CEILING_ROW)):
+        rows = doc[key]
+        if not isinstance(rows, list) or not rows:
+            fail(f"{path}: {key} must be a non-empty array")
+        for i, row in enumerate(rows):
+            row_missing = required - row.keys()
+            if row_missing:
+                fail(f"{path}: {key}[{i}] missing {sorted(row_missing)}")
+        families = {row["family"] for row in rows}
+        if families != EXACT_FAMILIES:
+            fail(f"{path}: {key} covers families {sorted(families)}, "
+                 f"expected exactly {sorted(EXACT_FAMILIES)}")
+
+
+def check_exact(new_doc, base_doc, new_path, base_path):
+    """Gates for the exact report (schema ppk-bench-exact-v1):
+
+     1. Schema: agreement and ceiling rows for all three families
+        (kpartition, weak-kpartition, bipartition).
+     2. Agreement: at every size both back ends reach, the lumped answer
+        matches dense elimination to <= EXACT_AGREEMENT_TOL relative
+        error.  This is the correctness claim of the whole lumped path.
+     3. Ceiling: every family's ceiling row solved a chain whose
+        reachable configuration space is >= EXACT_CEILING_FACTOR x the
+        dense solver's cap -- the reach claim.
+     4. Baseline: exact answers are machine-independent, so any row the
+        committed BENCH_EXACT.json shares (same family, k, n) must agree
+        to EXACT_BASELINE_TOL, and no family's ceiling may shrink below
+        the baseline's.  No calibration, no same-machine carve-outs.
+    """
+    validate_exact_schema(new_doc, new_path)
+    validate_exact_schema(base_doc, base_path)
+
+    worst = max(new_doc["agreement"], key=lambda row: row["rel_error"])
+    for row in new_doc["agreement"]:
+        label = (f"agreement {row['family']} (k={row['k']}, n={row['n']})")
+        if row["dense"] <= 0 or row["lumped"] <= 0:
+            fail(f"{label}: missing back-end answer "
+                 f"(dense={row['dense']}, lumped={row['lumped']})")
+        if row["rel_error"] > EXACT_AGREEMENT_TOL:
+            fail(f"{label}: lumped diverges from dense by "
+                 f"{row['rel_error']:.3g} relative "
+                 f"(> {EXACT_AGREEMENT_TOL:.0e}); the lumped back end is "
+                 f"giving different exact answers")
+    print(f"ok: {len(new_doc['agreement'])} lumped-vs-dense rows agree "
+          f"(worst rel error {worst['rel_error']:.3g} at "
+          f"{worst['family']} n={worst['n']})")
+
+    dense_cap = new_doc["dense_cap"]
+    floor = EXACT_CEILING_FACTOR * dense_cap
+    base_ceiling = {row["family"]: row for row in base_doc["ceiling"]}
+    for row in new_doc["ceiling"]:
+        label = f"ceiling {row['family']} (n={row['n']})"
+        if not row["solved"]:
+            fail(f"{label}: the lumped back end failed to solve it")
+        if row["reachable_configs"] < floor:
+            fail(f"{label}: {row['reachable_configs']} reachable "
+                 f"configurations, below the acceptance bar "
+                 f"{EXACT_CEILING_FACTOR}x dense cap = {floor}")
+        base = base_ceiling.get(row["family"])
+        if base is None:
+            continue
+        if row["reachable_configs"] < base["reachable_configs"]:
+            fail(f"{label}: ceiling shrank to {row['reachable_configs']} "
+                 f"configurations (baseline "
+                 f"{base['reachable_configs']})")
+        if (row["n"] == base["n"] and row["k"] == base["k"]
+                and base["solved"]):
+            drift = (abs(row["expected_interactions"]
+                         - base["expected_interactions"])
+                     / base["expected_interactions"])
+            if drift > EXACT_BASELINE_TOL:
+                fail(f"{label}: exact answer drifted {drift:.3g} relative "
+                     f"from the baseline ({row['expected_interactions']!r} "
+                     f"vs {base['expected_interactions']!r}); exact answers "
+                     f"are machine-independent, so this is a solver change")
+        print(f"ok: {label} solved {row['reachable_configs']} configurations "
+              f"as {row['orbits']} orbits (|G|={row['group_order']})")
+
+    base_agreement = {(row["family"], row["k"], row["n"]): row
+                      for row in base_doc["agreement"]}
+    compared = 0
+    for row in new_doc["agreement"]:
+        base = base_agreement.get((row["family"], row["k"], row["n"]))
+        if base is None:
+            continue
+        drift = abs(row["lumped"] - base["lumped"]) / base["lumped"]
+        if drift > EXACT_BASELINE_TOL:
+            fail(f"agreement {row['family']} (k={row['k']}, n={row['n']}): "
+                 f"lumped answer drifted {drift:.3g} relative from the "
+                 f"baseline")
+        compared += 1
+    print(f"ok: {compared} agreement rows match the baseline to "
+          f"{EXACT_BASELINE_TOL:.0e}")
 
 
 def check_topology(new_doc, base_doc, new_path, base_path):
@@ -794,6 +919,8 @@ def main(argv):
         default_baseline = "BENCH_TOPOLOGY.json"
     elif schema == FAIRNESS_SCHEMA:
         default_baseline = "BENCH_FAIRNESS.json"
+    elif schema == EXACT_SCHEMA:
+        default_baseline = "BENCH_EXACT.json"
     else:
         default_baseline = "BENCH_ENGINES.json"
     base_path = (Path(argv[2]) if len(argv) == 3 else
@@ -803,6 +930,8 @@ def main(argv):
         check_topology(new_doc, base_doc, new_path, base_path)
     elif schema == FAIRNESS_SCHEMA:
         check_fairness(new_doc, base_doc, new_path, base_path)
+    elif schema == EXACT_SCHEMA:
+        check_exact(new_doc, base_doc, new_path, base_path)
     else:
         check_engines(new_doc, base_doc, new_path, base_path)
     print("all benchmark gates passed")

@@ -44,6 +44,10 @@ DEFAULT_TARGETS = sorted((REPO / "src" / "obs").glob("*.hpp")) + [
     REPO / "src" / "core" / "graph_bipartition.hpp",
     REPO / "src" / "verify" / "agent_graph.hpp",
     REPO / "src" / "verify" / "weak_fairness.hpp",
+    # The exact-analysis back end (docs/exact.md).
+    REPO / "src" / "pp" / "symmetry.hpp",
+    REPO / "src" / "util" / "csr.hpp",
+    REPO / "src" / "verify" / "lumped_markov.hpp",
     # The scenario-server surface (docs/ppkd.md).
     REPO / "src" / "serve" / "scenario.hpp",
     REPO / "src" / "serve" / "cache.hpp",

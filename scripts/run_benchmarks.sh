@@ -5,6 +5,7 @@
 #   BENCH_ENGINES.json   (bench/batch_throughput,     ppk-bench-engines-v2)
 #   BENCH_TOPOLOGY.json  (bench/topology_sensitivity, ppk-bench-topology-v1)
 #   BENCH_FAIRNESS.json  (bench/fairness_matrix,      ppk-bench-fairness-v1)
+#   BENCH_EXACT.json     (bench/exact_vs_monte_carlo, ppk-bench-exact-v1)
 #
 # The engines report covers the {n, k} throughput grid for all five
 # engines (agent/count/jump/batch/sharded), the sampler-setup
@@ -13,10 +14,11 @@
 # bit-determinism across worker counts 1/2/4/8.
 #
 # Usage:
-#   scripts/run_benchmarks.sh [--smoke] [--only engines|topology|fairness|serve]
+#   scripts/run_benchmarks.sh [--smoke]
+#                             [--only engines|topology|fairness|exact|serve]
 #                             [--reps N] [--build-dir DIR]
 #                             [--out FILE] [--topology-out FILE]
-#                             [--fairness-out FILE]
+#                             [--fairness-out FILE] [--exact-out FILE]
 #
 #   --smoke         small grids + short budgets (CI-sized, ~seconds)
 #   --only WHICH    run just one report (default: both); 'serve' runs the
@@ -29,10 +31,14 @@
 #   --out           engines JSON path (default: BENCH_ENGINES.json)
 #   --topology-out  topology JSON path (default: BENCH_TOPOLOGY.json)
 #   --fairness-out  fairness JSON path (default: BENCH_FAIRNESS.json)
+#   --exact-out     exact JSON path (default: BENCH_EXACT.json)
 #
 # The fairness report gates interaction COUNTS, not wall-clock times, so
 # --reps does not apply to it and any machine can regenerate the
 # complete-graph rows bit-identically (live-edge rows are libm-specific).
+# The exact report gates solver answers and configuration counts -- also
+# machine-independent, so --reps does not apply to it either; --smoke only
+# shrinks its ungated Monte-Carlo cross-check.
 #
 # The committed reports are the regression baselines checked by
 # scripts/check_bench_regression.py; regenerate them with a full
@@ -50,6 +56,7 @@ build_dir="${repo_root}/build"
 out="${repo_root}/BENCH_ENGINES.json"
 topology_out="${repo_root}/BENCH_TOPOLOGY.json"
 fairness_out="${repo_root}/BENCH_FAIRNESS.json"
+exact_out="${repo_root}/BENCH_EXACT.json"
 smoke=""
 reps="1"
 only="both"
@@ -63,13 +70,14 @@ while [[ $# -gt 0 ]]; do
     --out) out="$2"; shift 2 ;;
     --topology-out) topology_out="$2"; shift 2 ;;
     --fairness-out) fairness_out="$2"; shift 2 ;;
+    --exact-out) exact_out="$2"; shift 2 ;;
     *) echo "unknown flag: $1" >&2; exit 2 ;;
   esac
 done
 case "${only}" in
-  both|engines|topology|fairness|serve) ;;
-  *) echo "--only must be 'engines', 'topology', 'fairness' or 'serve'," \
-          "got '${only}'" >&2
+  both|engines|topology|fairness|exact|serve) ;;
+  *) echo "--only must be 'engines', 'topology', 'fairness', 'exact' or" \
+          "'serve', got '${only}'" >&2
      exit 2 ;;
 esac
 
@@ -109,6 +117,16 @@ if [[ "${only}" == "both" || "${only}" == "fairness" ]]; then
   "${build_dir}/bench/fairness_matrix" ${smoke} --threads 0 \
     --json "${fairness_out}" --git-rev "${git_rev}"
   echo "== wrote ${fairness_out} (git ${git_rev}) =="
+fi
+
+if [[ "${only}" == "both" || "${only}" == "exact" ]]; then
+  ensure_built exact_vs_monte_carlo
+  # No --reps and no --threads: every gated figure is an exact solver
+  # answer or a configuration count, so one single-threaded run suffices
+  # on any machine.
+  "${build_dir}/bench/exact_vs_monte_carlo" ${smoke} \
+    --json "${exact_out}" --git-rev "${git_rev}"
+  echo "== wrote ${exact_out} (git ${git_rev}) =="
 fi
 
 if [[ "${only}" == "serve" ]]; then

@@ -1,5 +1,6 @@
 #include "core/kpartition.hpp"
 
+#include "pp/symmetry.hpp"
 #include "util/assert.hpp"
 
 namespace ppk::core {
@@ -143,6 +144,22 @@ pp::Transition KPartitionProtocol::delta(pp::StateId p, pp::StateId q) const {
   return pp::Transition{p, q};  // null interaction
 }
 
+pp::SymmetrySpec KPartitionProtocol::symmetry() const {
+  pp::SymmetrySpec spec{num_states(), {}};
+  if (k_ == 2) {
+    spec.generators.push_back(
+        pp::transposition(num_states(), kInitial, kInitialPrime));
+    spec.generators.push_back(pp::transposition(num_states(), g(1), g(2)));
+  }
+  // k >= 3 admits no non-trivial state symmetry: rules 9 and 10 release
+  // demolished agents as the specific free state `initial`, so the
+  // initial <-> initial' flip is not a table automorphism (check_symmetry
+  // rejects it at the (g1, d1) pair), and the builder/demolisher chains
+  // pin every group index.  The trivial spec still routes the exact
+  // analysis through the sparse solver.
+  return spec;
+}
+
 // ---------------------------------------------------------------------------
 // BasicStrategyProtocol (transitions 1-7 only; intentionally incorrect)
 // ---------------------------------------------------------------------------
@@ -211,6 +228,12 @@ pp::Transition BasicStrategyProtocol::delta(pp::StateId p,
   if (auto t = rule(p, q)) return *t;
   if (auto t = rule(q, p)) return swapped(*t);
   return pp::Transition{p, q};
+}
+
+pp::SymmetrySpec BasicStrategyProtocol::symmetry() const {
+  pp::SymmetrySpec spec{num_states(), {}};
+  spec.generators.push_back(pp::transposition(num_states(), 0, 1));
+  return spec;
 }
 
 }  // namespace ppk::core

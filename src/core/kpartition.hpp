@@ -37,6 +37,13 @@ class KPartitionProtocol final : public pp::Protocol {
   [[nodiscard]] pp::GroupId group(pp::StateId s) const override;
   [[nodiscard]] pp::GroupId num_groups() const override { return k_; }
   [[nodiscard]] std::string state_name(pp::StateId s) const override;
+  /// The table's true symmetry group.  For k = 2 it has order 4: the
+  /// free-flip initial <-> initial' times g1 <-> g2 (no rule pins a group
+  /// index or a specific free state).  For k >= 3 the group is trivial:
+  /// rules 9 and 10 release demolished agents as the specific state
+  /// `initial`, which breaks the free-flip, and the builder/demolisher
+  /// chains pin every group index (machine-checked in the tests).
+  [[nodiscard]] pp::SymmetrySpec symmetry() const override;
 
   [[nodiscard]] pp::GroupId k() const noexcept { return k_; }
 
@@ -85,6 +92,8 @@ class BasicStrategyProtocol final : public pp::Protocol {
   [[nodiscard]] pp::GroupId group(pp::StateId s) const override;
   [[nodiscard]] pp::GroupId num_groups() const override { return k_; }
   [[nodiscard]] std::string state_name(pp::StateId s) const override;
+  /// Free-flip only (rules 5-7 name explicit g/m indices, k >= 3 always).
+  [[nodiscard]] pp::SymmetrySpec symmetry() const override;
 
   [[nodiscard]] pp::StateId g(pp::GroupId x) const;
   [[nodiscard]] pp::StateId m(pp::GroupId p) const;

@@ -8,4 +8,6 @@ std::string Protocol::state_name(StateId s) const {
   return name;
 }
 
+SymmetrySpec Protocol::symmetry() const { return {num_states(), {}}; }
+
 }  // namespace ppk::pp

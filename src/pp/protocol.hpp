@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace ppk::pp {
 
@@ -28,6 +29,26 @@ struct Transition {
   StateId responder;
 
   friend bool operator==(const Transition&, const Transition&) = default;
+};
+
+/// Declared state-permutation symmetry of a protocol's transition table,
+/// given by generators.  Each generator is a permutation pi of
+/// 0..num_states-1 (pi[s] = image of state s) under which the table is an
+/// automorphism at the count level: for every ordered pair (p, q), the
+/// output *multiset* of delta(pi(p), pi(q)) equals pi applied to the
+/// output multiset of delta(p, q).  Such permutations act on count-vector
+/// configurations, and the induced orbit quotient is a strongly lumpable
+/// partition of the uniform-scheduler Markov chain (pp/symmetry.hpp has
+/// the machinery; verify/lumped_markov.hpp certifies lumpability with an
+/// exact rate-sum check instead of trusting this declaration).
+struct SymmetrySpec {
+  /// |Q| of the table the generators act on.
+  StateId num_states = 0;
+  /// Generator permutations; empty declares the trivial group {id}.
+  std::vector<std::vector<StateId>> generators;
+
+  /// True iff only the identity is declared.
+  [[nodiscard]] bool trivial() const noexcept { return generators.empty(); }
 };
 
 /// Abstract interface of a deterministic population protocol with an output
@@ -59,6 +80,14 @@ class Protocol {
 
   /// Debug name of a state; the default is "s<i>".
   [[nodiscard]] virtual std::string state_name(StateId s) const;
+
+  /// The table's state-permutation symmetry group, declared as generators
+  /// next to the transition rules (SymmetrySpec above).  The default is the
+  /// trivial group; families override this with their true symmetries
+  /// (e.g. the k-partition free-flip initial <-> initial').  Declarations
+  /// are never trusted: pp::check_symmetry and the lumped Markov analysis
+  /// verify them programmatically.
+  [[nodiscard]] virtual SymmetrySpec symmetry() const;
 };
 
 }  // namespace ppk::pp

@@ -48,7 +48,14 @@ std::optional<std::string> ResultCache::find(const std::string& hash_hex,
 std::optional<std::string> ResultCache::find_exact(
     const std::string& hash_hex) const {
   if (!enabled()) return std::nullopt;
-  return read_file(exact_entry_path(hash_hex));
+  std::optional<std::string> entry = read_file(exact_entry_path(hash_hex));
+  if (!entry) return std::nullopt;
+  // Untagged (pre-v2) or differently-tagged entries are misses: the caller
+  // recomputes and overwrites them with a current frame.
+  const std::string tag =
+      "\"exact_schema\": \"" + std::string(kExactResultSchema) + "\"";
+  if (entry->find(tag) == std::string::npos) return std::nullopt;
+  return entry;
 }
 
 bool ResultCache::store(const std::string& hash_hex, std::uint64_t seed,

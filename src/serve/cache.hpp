@@ -21,8 +21,17 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 
 namespace ppk::serve {
+
+/// Schema tag every exact result frame must carry (as member
+/// "exact_schema") to be served from the cache.  Bump it whenever the
+/// meaning or fields of an exact answer change -- v2 introduced the
+/// solver-tagged frames of the lumped Markov back end; v1 frames carried
+/// no tag at all and are therefore recognized (and invalidated) by the
+/// tag's absence.
+inline constexpr std::string_view kExactResultSchema = "ppkd-exact-v2";
 
 /// The (scenario-hash, seed) result cache.  Thread-compatible: the daemon
 /// serializes access through its job lock.
@@ -35,7 +44,12 @@ class ResultCache {
   /// Seed-dependent lookup (simulate / conformance).
   [[nodiscard]] std::optional<std::string> find(const std::string& hash_hex,
                                                 std::uint64_t seed) const;
-  /// Seed-independent lookup (verify / markov).
+  /// Seed-independent lookup (verify / markov).  Only entries tagged with
+  /// the current kExactResultSchema are hits: an exact answer's meaning
+  /// depends on the solver generation that produced it, so untagged
+  /// entries written by an older daemon are treated as misses and
+  /// recomputed (then re-stored with the tag) instead of being replayed
+  /// as if current.
   [[nodiscard]] std::optional<std::string> find_exact(
       const std::string& hash_hex) const;
 

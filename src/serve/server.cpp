@@ -242,7 +242,7 @@ void ScenarioService::handle_submit(const io::JsonValue& request,
           break;
         case ScenarioMode::kVerify:
         case ScenarioMode::kMarkov:
-          run_exact(*spec, hash_hex, emit);
+          run_exact(*spec, id, hash_hex, emit);
           break;
         case ScenarioMode::kConformance:
           run_conformance(*spec, hash_hex, emit);
@@ -328,6 +328,7 @@ void ScenarioService::run_simulate(const ScenarioSpec& spec,
 }
 
 void ScenarioService::run_exact(const ScenarioSpec& spec,
+                                const std::string& id,
                                 const std::string& hash_hex,
                                 const Emit& emit) {
   ScenarioRuntime runtime(spec);
@@ -354,6 +355,7 @@ void ScenarioService::run_exact(const ScenarioSpec& spec,
       w.member("event", "result");
       w.member("scenario", hash_hex);
       w.member("mode", "verify");
+      w.member("exact_schema", std::string(kExactResultSchema));
       w.member("solves", verdict.solves);
       w.member("exploration_complete", verdict.exploration_complete);
       w.member("reachable_configs",
@@ -368,17 +370,37 @@ void ScenarioService::run_exact(const ScenarioSpec& spec,
         static_cast<const core::KPartitionProtocol&>(runtime.protocol());
     pp::Counts initial(runtime.table().num_states(), 0);
     initial[runtime.protocol().initial_state()] = spec.n;
-    const verify::MarkovAnalysis analysis(runtime.table(), initial);
-    const std::optional<double> expected =
-        analysis.expected_hitting_time([&](const pp::Counts& counts) {
-          return core::matches_stable_pattern(kp, spec.n, counts);
-        });
-    const std::vector<verify::MarkovAnalysis::Absorption> absorptions =
-        analysis.absorption_probabilities();
+    verify::MarkovOptions options;
+    options.symmetry = runtime.protocol().symmetry();
+    options.lumped.max_orbits = options_.markov_max_orbits;
+    options.explore.max_configs = options_.markov_max_orbits;
+    std::string why;
+    const std::optional<verify::MarkovAnalysis> analysis =
+        verify::MarkovAnalysis::try_create(runtime.table(), initial,
+                                           std::move(options), &why);
+    if (!analysis.has_value()) {
+      // A too-large chain is a recoverable job failure, never daemon death.
+      emit(error_frame(id, why));
+      return;
+    }
+    std::optional<double> expected;
+    std::vector<verify::MarkovAnalysis::Absorption> absorptions;
+    try {
+      expected = analysis->expected_hitting_time([&](const pp::Counts& counts) {
+        return core::matches_stable_pattern(kp, spec.n, counts);
+      });
+      absorptions = analysis->absorption_probabilities();
+    } catch (const std::exception& e) {
+      emit(error_frame(id, std::string("markov: ") + e.what()));
+      return;
+    }
     result_line = frame([&](io::JsonWriter& w) {
       w.member("event", "result");
       w.member("scenario", hash_hex);
       w.member("mode", "markov");
+      w.member("exact_schema", std::string(kExactResultSchema));
+      w.member("solver", analysis->method_name());
+      w.member("reachable_configs", analysis->reachable_configs());
       // nullopt (target not a.s. reached) serializes as null, the writer's
       // non-finite convention.
       w.member("expected_interactions",
@@ -388,8 +410,12 @@ void ScenarioService::run_exact(const ScenarioSpec& spec,
       for (const verify::MarkovAnalysis::Absorption& a : absorptions) {
         w.begin_object();
         w.member("scc", static_cast<std::uint64_t>(a.scc));
-        w.member("representative_config",
-                 static_cast<std::uint64_t>(a.representative_config));
+        w.key("representative");
+        w.begin_array();
+        for (const std::uint32_t c : a.representative) {
+          w.value(static_cast<std::uint64_t>(c));
+        }
+        w.end_array();
         w.member("probability", a.probability);
         w.end_object();
       }

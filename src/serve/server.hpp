@@ -63,6 +63,10 @@ struct ServiceOptions {
   std::uint64_t chunk_interactions = 1ULL << 16;
   /// Checkpoint cadence in progress events (see core/campaign.hpp).
   std::uint32_t checkpoint_every_chunks = 4;
+  /// Orbit cap for markov jobs (the lumped chain's memory bound).  A job
+  /// whose reachable orbit space exceeds it gets an `error` frame -- the
+  /// daemon itself must never die on a too-large exact request.
+  std::size_t markov_max_orbits = 1'000'000;
 };
 
 /// Transport-independent request handler (header comment).
@@ -105,8 +109,8 @@ class ScenarioService {
   void run_simulate(const ScenarioSpec& spec, const std::string& id,
                     const std::string& hash_hex,
                     const std::shared_ptr<Job>& job, const Emit& emit);
-  void run_exact(const ScenarioSpec& spec, const std::string& hash_hex,
-                 const Emit& emit);
+  void run_exact(const ScenarioSpec& spec, const std::string& id,
+                 const std::string& hash_hex, const Emit& emit);
   void run_conformance(const ScenarioSpec& spec, const std::string& hash_hex,
                        const Emit& emit);
 

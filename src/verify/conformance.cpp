@@ -27,6 +27,7 @@
 #include "util/rng.hpp"
 #include "verify/config_graph.hpp"
 #include "verify/global_fairness.hpp"
+#include "verify/lumped_markov.hpp"
 
 namespace ppk::verify {
 
@@ -75,6 +76,7 @@ constexpr CheckName kCheckNames[] = {
     {ConformanceCheck::kDistribution, "distribution"},
     {ConformanceCheck::kLemma1, "lemma1"},
     {ConformanceCheck::kGroundTruth, "ground-truth"},
+    {ConformanceCheck::kExactDistribution, "exact-distribution"},
 };
 
 // ---------------------------------------------------------------------------
@@ -550,6 +552,8 @@ constexpr std::uint64_t kPurposeChunked = 2;
 constexpr std::uint64_t kPurposeDistribution = 3;
 constexpr std::uint64_t kPurposeConfirm = 4;
 constexpr std::uint64_t kPurposeSnapshot = 5;
+constexpr std::uint64_t kPurposeExact = 6;
+constexpr std::uint64_t kPurposeExactConfirm = 7;
 
 // ---------------------------------------------------------------------------
 // Kolmogorov-Smirnov machinery (two-sample, tie-aware)
@@ -581,6 +585,84 @@ double ks_threshold(std::size_t m, std::size_t n) {
   const auto md = static_cast<double>(m);
   const auto nd = static_cast<double>(n);
   return 1.949 * std::sqrt((md + nd) / (md * nd));
+}
+
+/// One-sample KS distance between an integer-valued empirical sample
+/// (censored at `censor`) and the exact discrete CDF `cdf` (cdf[t] =
+/// P(T <= t); values at or beyond `censor` count as 1, matching the
+/// censored law min(T, censor)).  `cdf` must cover every uncensored sample
+/// value.  The sup of |F_emp - F| over two step functions is attained at
+/// the sample's jump points, so only those are evaluated.
+double ks_one_sample(std::vector<double> samples,
+                     const std::vector<double>& cdf, std::uint64_t censor) {
+  std::sort(samples.begin(), samples.end());
+  const auto m = static_cast<double>(samples.size());
+  const auto exact_at = [&](std::int64_t t) {
+    if (t < 0) return 0.0;
+    if (static_cast<std::uint64_t>(t) >= censor) return 1.0;
+    return cdf[static_cast<std::size_t>(t)];
+  };
+  double d = 0.0;
+  std::size_t i = 0;
+  while (i < samples.size()) {
+    const double x = samples[i];
+    std::size_t j = i;
+    while (j < samples.size() && samples[j] == x) ++j;
+    const auto t = static_cast<std::int64_t>(x);
+    d = std::max(d, std::abs(static_cast<double>(i) / m - exact_at(t - 1)));
+    d = std::max(d, std::abs(static_cast<double>(j) / m - exact_at(t)));
+    i = j;
+  }
+  return d;
+}
+
+/// One-sample critical value at alpha = 0.001: c(alpha) / sqrt(m) with the
+/// same c(0.001) ~= 1.949 as the two-sample net (and the same
+/// confirm-on-fail discipline keeping the family-wise rate negligible).
+double ks_one_sample_threshold(std::size_t m) {
+  return 1.949 / std::sqrt(static_cast<double>(m));
+}
+
+/// The count-level target predicate behind the engines' stabilization
+/// oracles (make_oracle, OracleKind::kStabilization), evaluated against the
+/// TRUE protocol: the exact net's reference must keep true semantics even
+/// when the engines execute a mutated table.  Families only -- candidates
+/// stop at silence of a table with no symmetry declared, which the exact
+/// net does not model.
+ConfigPredicate exact_target(const CaseContext& ctx,
+                             const pp::TransitionTable& true_table) {
+  if (ctx.kpartition != nullptr) {
+    const core::KPartitionProtocol* protocol = ctx.kpartition.get();
+    const std::uint32_t n = ctx.n;
+    return [protocol, n](const pp::Counts& counts) {
+      return core::matches_stable_pattern(*protocol, n, counts);
+    };
+  }
+  if (ctx.graphbip != nullptr) {
+    const std::uint32_t n = ctx.n;
+    return [n](const pp::Counts& counts) {
+      using P = core::GraphBipartitionProtocol;
+      return counts[P::kInitial] == 0 &&
+             counts[P::kRSig] + counts[P::kBSig] == n % 2u;
+    };
+  }
+  // Weak k-partition: the stopping rule is silence; its count-level form
+  // is "no present ordered pair is effective".
+  const pp::TransitionTable* table = &true_table;
+  return [table](const pp::Counts& counts) {
+    for (std::size_t p = 0; p < counts.size(); ++p) {
+      if (counts[p] == 0) continue;
+      for (std::size_t q = 0; q < counts.size(); ++q) {
+        if (counts[q] == 0) continue;
+        if (p == q && counts[p] < 2) continue;
+        if (table->effective(static_cast<pp::StateId>(p),
+                             static_cast<pp::StateId>(q))) {
+          return false;
+        }
+      }
+    }
+    return true;
+  };
 }
 
 // ---------------------------------------------------------------------------
@@ -1059,6 +1141,94 @@ ConformanceReport check_conformance(const ConformanceCase& c,
                           live_edge, "the per-draw counterpart", options,
                           &report);
     if (report.divergences.size() >= options.max_divergences) return report;
+  }
+
+  // --- Exact-distribution net ----------------------------------------------
+  // Every complete-topology engine's stabilization-time sample against the
+  // exact first-passage law of the true protocol's chain, computed by the
+  // symmetry-lumped Markov analysis.  The reference is absolute -- not
+  // another engine -- so a bias shared by every engine, or a mutation the
+  // engines execute while the reference keeps true semantics, fails here
+  // even when the engines agree with each other.  Both sides are censored
+  // at min(budget, exact_max_horizon); a case whose lumped orbit space
+  // exceeds exact_max_orbits skips the net (like an incomplete ground-truth
+  // exploration) rather than failing.
+  if (ctx.candidate == nullptr && c.n <= options.exact_max_n) {
+    if (true_table == nullptr) {
+      true_table = std::make_unique<pp::TransitionTable>(*ctx.true_protocol);
+    }
+    const ConfigPredicate target = exact_target(ctx, *true_table);
+    LumpedOptions lumped_options;
+    lumped_options.max_orbits = options.exact_max_orbits;
+    const std::optional<LumpedMarkovAnalysis> lumped =
+        LumpedMarkovAnalysis::try_build(*true_table,
+                                        ctx.true_protocol->symmetry(),
+                                        ctx.initial, lumped_options);
+    if (lumped.has_value()) {
+      const std::uint64_t censor =
+          std::min(c.budget, options.exact_max_horizon);
+      // The CDF is stepped lazily, only as far as the largest sample seen:
+      // stabilization times at these n are usually far below the censor
+      // point, and re-stepping on the rare extension is cheaper than
+      // always paying the full horizon.
+      std::vector<double> cdf;
+      std::uint64_t cdf_horizon = 0;
+      const auto ensure_horizon = [&](std::uint64_t h) {
+        if (!cdf.empty() && h <= cdf_horizon) return;
+        cdf_horizon = h;
+        cdf = lumped->hitting_time_cdf(target, h);
+      };
+      const auto censor_samples = [&](std::vector<double>* samples) {
+        std::uint64_t max_sample = 0;
+        for (double& s : *samples) {
+          s = std::min(s, static_cast<double>(censor));
+          max_sample = std::max(max_sample, static_cast<std::uint64_t>(s));
+        }
+        // A censored sample evaluates the exact CDF just below the censor
+        // point; an uncensored one exactly at its value.
+        ensure_horizon(std::min(max_sample, censor - 1));
+      };
+      for (const ConformanceEngine engine : engines) {
+        if (is_sparse_topology(engine)) continue;
+        DistributionSample sample =
+            sample_engine(c, ctx, ref, engine, kPurposeExact, c.trials);
+        ++report.checks_run;
+        if (sample.violation.has_value()) {
+          add_violation(&report, options, engine, *sample.violation);
+          continue;
+        }
+        censor_samples(&sample.interactions);
+        const double d = ks_one_sample(sample.interactions, cdf, censor);
+        if (d < ks_one_sample_threshold(sample.interactions.size())) continue;
+        // Confirm on an independent stream with twice the trials, exactly
+        // like the engine-to-engine net.
+        DistributionSample confirm = sample_engine(
+            c, ctx, ref, engine, kPurposeExactConfirm, 2 * c.trials);
+        if (confirm.violation.has_value()) {
+          add_violation(&report, options, engine, *confirm.violation);
+          continue;
+        }
+        censor_samples(&confirm.interactions);
+        const double d2 = ks_one_sample(confirm.interactions, cdf, censor);
+        const double threshold2 =
+            ks_one_sample_threshold(confirm.interactions.size());
+        if (d2 < threshold2) continue;
+        std::ostringstream detail;
+        detail << "stabilization-time sample diverges from the exact "
+               << "first-passage law of the true protocol: KS D=" << d
+               << " (confirm D=" << d2 << " > " << threshold2
+               << " at alpha=0.001, " << 2 * c.trials
+               << " trials; lumped chain: " << lumped->num_orbits()
+               << " orbits over " << lumped->raw_config_count()
+               << " configurations, censored at " << censor << " pairs)";
+        add_divergence(&report, options,
+                       Divergence{ConformanceCheck::kExactDistribution,
+                                  engine, 0, detail.str()});
+        if (report.divergences.size() >= options.max_divergences) {
+          return report;
+        }
+      }
+    }
   }
 
   return report;

@@ -179,6 +179,13 @@ enum class ConformanceCheck : std::uint8_t {
   kDistribution,
   kLemma1,
   kGroundTruth,
+  /// One-sample KS of each engine's empirical stabilization-time sample
+  /// against the *exact* first-passage law of the true protocol's chain,
+  /// computed by the symmetry-lumped Markov analysis
+  /// (verify/lumped_markov.hpp).  Unlike kDistribution -- which can only
+  /// say two engines agree with each other -- this net has an absolute
+  /// reference, so a bias shared by every engine still fails it.
+  kExactDistribution,
 };
 
 /// Stable identifier used in logs and repro files ("trajectory", ...).
@@ -217,6 +224,17 @@ struct ConformanceOptions {
   std::size_t ground_truth_max_configs = 200'000;
   /// Stop collecting divergences after this many.
   std::size_t max_divergences = 8;
+  /// The exact-distribution net runs only when the population is at most
+  /// this large (the lumped chain must be enumerable and the CDF stepped).
+  std::uint32_t exact_max_n = 10;
+  /// Orbit cap for the lumped analysis backing the exact-distribution net;
+  /// a case whose symmetry-lumped configuration space exceeds it skips the
+  /// net (like an incomplete ground-truth exploration) instead of failing.
+  std::size_t exact_max_orbits = 10'000;
+  /// Stabilization-time samples (and the exact CDF they are tested
+  /// against) are censored at min(budget, exact_max_horizon): the censored
+  /// laws still match exactly, and the cap bounds the CDF stepping work.
+  std::uint64_t exact_max_horizon = 20'000;
 };
 
 /// Runs every conformance net on one case.  Deterministic: the verdict is a

@@ -1,0 +1,177 @@
+// Symmetry-lumped exact Markov-chain analysis under the uniform-random
+// scheduler.
+//
+// The raw chain of markov.hpp lives on count-vector configurations.  When
+// the protocol declares a state-permutation symmetry group (SymmetrySpec,
+// machine-checked by pp::check_symmetry), the group's action on count
+// vectors commutes with the scheduler, so the orbit partition of the
+// configuration space is *strongly lumpable* (Kemeny-Snell): the process
+// watched on orbits is itself a Markov chain, and every orbit-invariant
+// quantity -- hitting times of symmetric target sets, absorption
+// probabilities, the full hitting-time distribution -- is preserved
+// exactly.  This module explores only canonical orbit representatives
+// (lex-min over group images), accumulates transition rates as exact
+// integer numerators over the common denominator n*(n-1), certifies
+// lumpability programmatically (an exact per-orbit-pair rate-sum check
+// against every group element, not a trust-the-declaration shortcut), and
+// solves the resulting linear systems with the residual-certified sparse
+// Gauss-Seidel of util/csr.hpp instead of dense elimination.
+//
+// The win is twofold: the orbit quotient shrinks the state space by up to
+// the group order, and the sparse solver removes the few-thousand-unknown
+// ceiling of dense elimination -- together they push exact analysis an
+// order of magnitude past where markov.hpp's dense path gives up
+// (bench/exact_vs_monte_carlo measures the ceilings).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pp/population.hpp"
+#include "pp/protocol.hpp"
+#include "pp/transition_table.hpp"
+#include "util/csr.hpp"
+
+namespace ppk::verify {
+
+/// Predicate selecting target (absorbing) configurations.
+using ConfigPredicate = std::function<bool(const pp::Counts&)>;
+
+/// Limits and solver configuration for the lumped analysis.
+struct LumpedOptions {
+  /// Exploration aborts (recoverably: try_build returns nullopt) past this
+  /// many orbits.
+  std::size_t max_orbits = 5'000'000;
+  /// Cap on the expanded symmetry-group order (guards bogus specs; the
+  /// groups this repo declares have order <= 4).
+  std::size_t max_group_order = 4096;
+  /// Run the exact integer rate-sum lumpability certificate per orbit.
+  /// Default on; the check is O(group order) per orbit and is the module's
+  /// defence against a declared symmetry that is not one.
+  bool check_lumpability = true;
+  /// Sparse-solver configuration (tolerance, sweep cap, method).
+  util::SolveOptions solver = {};
+};
+
+/// Exact analysis of the orbit-quotient chain.  Construct via try_build();
+/// all failure modes of construction (bad spec, group blow-up, orbit-count
+/// blow-up, lumpability violation) are recoverable and reported through the
+/// `why` out-parameter rather than aborting the process.
+class LumpedMarkovAnalysis {
+ public:
+  /// Builds the lumped chain reachable from `initial`.  Returns nullopt --
+  /// with a one-line reason in `*why` when non-null -- if the spec fails
+  /// pp::check_symmetry, the group exceeds max_group_order, exploration
+  /// exceeds max_orbits, or the exact rate-sum lumpability check fails.
+  [[nodiscard]] static std::optional<LumpedMarkovAnalysis> try_build(
+      const pp::TransitionTable& table, const pp::SymmetrySpec& symmetry,
+      const pp::Counts& initial, LumpedOptions options = {},
+      std::string* why = nullptr);
+
+  /// Number of orbits explored (orbit 0 is the initial configuration's).
+  [[nodiscard]] std::size_t num_orbits() const noexcept {
+    return reps_.size();
+  }
+
+  /// Canonical (lex-min) representative configuration of an orbit.
+  [[nodiscard]] const pp::Counts& representative(std::size_t orbit) const {
+    return reps_[orbit];
+  }
+
+  /// Number of raw configurations in an orbit (1 .. group order).
+  [[nodiscard]] std::uint64_t orbit_size(std::size_t orbit) const {
+    return sizes_[orbit];
+  }
+
+  /// Total raw configurations covered: the sum of orbit sizes.  This is
+  /// the number the raw chain would have had to explore and is the basis
+  /// for ceiling comparisons against the dense path.
+  [[nodiscard]] std::uint64_t raw_config_count() const noexcept {
+    return raw_config_count_;
+  }
+
+  /// Order of the expanded symmetry group (1 = trivial).
+  [[nodiscard]] std::size_t group_order() const noexcept {
+    return group_.size();
+  }
+
+  /// Population size n (derived from the initial configuration).
+  [[nodiscard]] std::uint64_t population_size() const noexcept { return n_; }
+
+  /// Exact expected number of interactions (including nulls) from the
+  /// initial configuration until `target` is entered; same contract as
+  /// MarkovAnalysis::expected_hitting_time (nullopt when the target is not
+  /// reached with probability 1).  The predicate must be constant on each
+  /// orbit -- this is verified against every group image and violation
+  /// throws std::invalid_argument.  Throws std::runtime_error if the
+  /// sparse solve fails to certify convergence.
+  [[nodiscard]] std::optional<double> expected_hitting_time(
+      const ConfigPredicate& target) const;
+
+  /// Probability of eventual absorption in one bottom SCC of the orbit
+  /// graph, keyed by the canonical representative of one of its orbits.
+  struct Absorption {
+    /// Orbit-graph SCC id (reverse topological order).
+    std::uint32_t scc;
+    /// Canonical representative configuration of the SCC's first orbit.
+    pp::Counts representative;
+    /// Probability of ending in this SCC; probabilities sum to 1.
+    double probability;
+  };
+
+  /// Exact absorption probabilities from the initial configuration; same
+  /// contract as MarkovAnalysis::absorption_probabilities.  Throws
+  /// std::runtime_error if a sparse solve fails to certify convergence.
+  [[nodiscard]] std::vector<Absorption> absorption_probabilities() const;
+
+  /// Exact distribution of the hitting time of `target`: returns F with
+  /// F[t] = P(target entered within the first t interactions), for
+  /// t = 0..horizon (F[0] is 1 iff the initial configuration is a target).
+  /// Computed by stepping the full lumped chain (self-loops included) with
+  /// targets made absorbing; the predicate must be orbit-invariant
+  /// (std::invalid_argument otherwise).  This is what the
+  /// exact-distribution conformance net KS-tests engines against.
+  [[nodiscard]] std::vector<double> hitting_time_cdf(
+      const ConfigPredicate& target, std::size_t horizon) const;
+
+ private:
+  /// Exact out-rates of one orbit: integer numerators over denom_.
+  struct OrbitRow {
+    /// (target orbit, numerator) sorted by target; may include the orbit
+    /// itself (an effective transition to another member of the same
+    /// orbit).
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> rates;
+    /// Null-interaction numerator: denom_ minus the effective total.
+    std::uint64_t stay = 0;
+  };
+
+  LumpedMarkovAnalysis() = default;
+
+  /// Evaluates `target` on every group image of each representative,
+  /// throwing std::invalid_argument on an orbit-inconsistent predicate.
+  [[nodiscard]] std::vector<char> target_orbits(
+      const ConfigPredicate& target) const;
+
+  /// Total self-loop numerator of an orbit (nulls + within-orbit rates).
+  [[nodiscard]] std::uint64_t self_numerator(std::size_t orbit) const;
+
+  void compute_sccs();
+
+  std::uint64_t n_ = 0;
+  std::uint64_t denom_ = 0;  // n * (n - 1), the common rate denominator
+  std::vector<std::vector<pp::StateId>> group_;
+  std::vector<pp::Counts> reps_;
+  std::vector<std::uint64_t> sizes_;
+  std::vector<OrbitRow> rows_;
+  std::vector<std::uint32_t> scc_of_;
+  std::vector<char> bottom_;
+  std::uint32_t num_sccs_ = 0;
+  std::uint64_t raw_config_count_ = 0;
+  util::SolveOptions solver_;
+};
+
+}  // namespace ppk::verify

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <stdexcept>
+#include <utility>
 
+#include "pp/symmetry.hpp"
 #include "util/assert.hpp"
 
 namespace ppk::verify {
@@ -11,20 +15,31 @@ namespace {
 
 // Largest linear system we are willing to eliminate densely.  O(size^3)
 // work: 3000 unknowns ~ a few seconds, which matches the small-(n, k)
-// regime this module is documented for.
+// regime the dense back end is documented for.  Exceeding it throws (the
+// lumped back end has no such cap).
 constexpr std::size_t kMaxDenseSystem = 3000;
 
 /// Solves A x = b in place by Gaussian elimination with partial pivoting.
-std::vector<double> solve_dense(std::vector<std::vector<double>>& a,
-                                std::vector<double>& b) {
+/// Returns nullopt if a pivot is negligible *relative to the matrix scale*
+/// (the system is numerically singular) instead of dividing by noise or
+/// aborting: near-absorbing chains produce legitimately tiny entries, and
+/// only the relative test distinguishes "ill-conditioned but solvable"
+/// from "rank-deficient".
+std::optional<std::vector<double>> solve_dense(
+    std::vector<std::vector<double>>& a, std::vector<double>& b) {
   const std::size_t m = b.size();
+  double scale = 0.0;
+  for (const auto& row : a) {
+    for (const double v : row) scale = std::max(scale, std::abs(v));
+  }
+  if (scale == 0.0) scale = 1.0;
   for (std::size_t col = 0; col < m; ++col) {
     // Pivot.
     std::size_t pivot = col;
     for (std::size_t row = col + 1; row < m; ++row) {
       if (std::abs(a[row][col]) > std::abs(a[pivot][col])) pivot = row;
     }
-    PPK_ASSERT(std::abs(a[pivot][col]) > 1e-12);
+    if (std::abs(a[pivot][col]) <= 1e-12 * scale) return std::nullopt;
     std::swap(a[col], a[pivot]);
     std::swap(b[col], b[pivot]);
     // Eliminate below.
@@ -45,44 +60,150 @@ std::vector<double> solve_dense(std::vector<std::vector<double>>& a,
   return x;
 }
 
+[[noreturn]] void throw_dense_cap(std::size_t unknowns) {
+  throw std::runtime_error(
+      "markov: dense linear system has " + std::to_string(unknowns) +
+      " unknowns, exceeding the dense cap of " +
+      std::to_string(kMaxDenseSystem) +
+      "; declare a protocol symmetry to route through the lumped solver");
+}
+
+[[noreturn]] void throw_singular() {
+  throw std::runtime_error(
+      "markov: dense elimination hit a numerically singular pivot");
+}
+
+/// Exact integer out-rate row of a raw configuration: per-target
+/// numerators over n*(n-1), accumulated in integers so the assembled
+/// matrix entries are each a single rounding away from the rational truth
+/// (the old per-edge double accumulation drifted on near-absorbing chains
+/// and then had to clamp a negative self-loop mass).
+struct DenseRow {
+  std::map<std::uint32_t, std::uint64_t> rates;  // target config -> numerator
+  std::uint64_t self = 0;  // nulls + transitions reproducing the config
+};
+
+DenseRow dense_row(const ConfigGraph& graph, std::uint32_t c,
+                   std::uint64_t denom) {
+  DenseRow row;
+  const pp::Counts& config = graph.config(c);
+  std::uint64_t effective = 0;
+  for (const Edge& e : graph.edges(c)) {
+    const std::uint64_t numerator =
+        std::uint64_t{config[e.p]} *
+        (config[e.q] - (e.p == e.q ? 1u : 0u));
+    effective += numerator;
+    if (e.target == c) {
+      row.self += numerator;
+    } else {
+      row.rates[e.target] += numerator;
+    }
+  }
+  PPK_ASSERT(effective <= denom);
+  row.self += denom - effective;  // null-interaction mass
+  return row;
+}
+
 }  // namespace
+
+std::optional<MarkovAnalysis> MarkovAnalysis::try_create(
+    const pp::TransitionTable& table, const pp::Counts& initial,
+    MarkovOptions options, std::string* why) {
+  const auto fail = [&](std::string reason) -> std::optional<MarkovAnalysis> {
+    if (why != nullptr) *why = std::move(reason);
+    return std::nullopt;
+  };
+
+  if (initial.size() != table.num_states()) {
+    return fail("markov: initial configuration has " +
+                std::to_string(initial.size()) + " state counts, table has " +
+                std::to_string(table.num_states()));
+  }
+  MarkovAnalysis out;
+  for (const std::uint32_t c : initial) out.n_ += c;
+  if (out.n_ < 2) return fail("markov: population size must be >= 2");
+
+  const bool want_lumped =
+      options.method == MarkovMethod::kLumped ||
+      (options.method == MarkovMethod::kAuto && options.symmetry.has_value());
+  std::string lumped_why;
+  if (want_lumped) {
+    const pp::SymmetrySpec spec = options.symmetry.has_value()
+                                      ? *options.symmetry
+                                      : pp::trivial_symmetry(table.num_states());
+    auto lumped = LumpedMarkovAnalysis::try_build(table, spec, initial,
+                                                  options.lumped, &lumped_why);
+    if (lumped.has_value()) {
+      out.lumped_ = std::move(lumped);
+      out.method_ = MarkovMethod::kLumped;
+      return out;
+    }
+    if (options.method == MarkovMethod::kLumped) return fail(lumped_why);
+  }
+
+  ConfigGraph graph(table, initial, options.explore);
+  if (!graph.complete()) {
+    std::string reason =
+        "markov: configuration-space exploration exceeded max_configs (" +
+        std::to_string(options.explore.max_configs) + ")";
+    if (!lumped_why.empty()) reason += "; lumped fallback: " + lumped_why;
+    return fail(std::move(reason));
+  }
+  out.graph_ = std::move(graph);
+  out.method_ = MarkovMethod::kDense;
+  return out;
+}
 
 MarkovAnalysis::MarkovAnalysis(const pp::TransitionTable& table,
                                const pp::Counts& initial,
-                               ExploreOptions options)
-    : graph_(table, initial, options), n_(0) {
-  PPK_EXPECTS(graph_.complete());
-  for (auto c : initial) n_ += c;
-  PPK_EXPECTS(n_ >= 2);
+                               MarkovOptions options) {
+  std::string why;
+  auto built = try_create(table, initial, std::move(options), &why);
+  if (!built.has_value()) throw std::runtime_error(why);
+  *this = std::move(*built);
 }
 
-double MarkovAnalysis::pair_probability(const pp::Counts& config,
-                                        pp::StateId p, pp::StateId q) const {
-  const double cp = static_cast<double>(config[p]);
-  const double cq = static_cast<double>(config[q]) - (p == q ? 1.0 : 0.0);
-  return cp * cq /
-         (static_cast<double>(n_) * static_cast<double>(n_ - 1));
+std::uint64_t MarkovAnalysis::reachable_configs() const noexcept {
+  return method_ == MarkovMethod::kLumped
+             ? lumped_->raw_config_count()
+             : static_cast<std::uint64_t>(graph_->num_configs());
+}
+
+const ConfigGraph& MarkovAnalysis::graph() const {
+  PPK_EXPECTS(graph_.has_value());
+  return *graph_;
+}
+
+const LumpedMarkovAnalysis& MarkovAnalysis::lumped() const {
+  PPK_EXPECTS(lumped_.has_value());
+  return *lumped_;
 }
 
 std::optional<double> MarkovAnalysis::expected_hitting_time(
     const ConfigPredicate& target) const {
-  const std::size_t num_configs = graph_.num_configs();
+  if (method_ == MarkovMethod::kLumped) {
+    return lumped_->expected_hitting_time(target);
+  }
+
+  const ConfigGraph& graph = *graph_;
+  const std::size_t num_configs = graph.num_configs();
+  const std::uint64_t denom = n_ * (n_ - 1);
 
   std::vector<char> is_target(num_configs, 0);
   for (std::size_t c = 0; c < num_configs; ++c) {
-    is_target[c] = target(graph_.config(c)) ? 1 : 0;
+    is_target[c] = target(graph.config(c)) ? 1 : 0;
   }
   if (is_target[0]) return 0.0;  // config 0 is the initial configuration
 
   // The target is hit with probability 1 iff every bottom SCC contains a
   // target configuration (fair executions are absorbed into bottom SCCs
   // and then visit all of their configurations).
-  std::vector<char> scc_has_target(graph_.num_sccs(), 0);
+  std::vector<char> scc_has_target(graph.num_sccs(), 0);
   for (std::size_t c = 0; c < num_configs; ++c) {
-    if (is_target[c]) scc_has_target[graph_.scc_of()[c]] = 1;
+    if (is_target[c]) scc_has_target[graph.scc_of()[c]] = 1;
   }
-  for (std::uint32_t scc = 0; scc < graph_.num_sccs(); ++scc) {
-    if (graph_.is_bottom_scc(scc) && !scc_has_target[scc]) {
+  for (std::uint32_t scc = 0; scc < graph.num_sccs(); ++scc) {
+    if (graph.is_bottom_scc(scc) && !scc_has_target[scc]) {
       return std::nullopt;  // positive probability of never hitting
     }
   }
@@ -97,68 +218,74 @@ std::optional<double> MarkovAnalysis::expected_hitting_time(
     }
   }
   const std::size_t m = unknown_configs.size();
-  PPK_EXPECTS(m <= kMaxDenseSystem);
+  if (m > kMaxDenseSystem) throw_dense_cap(m);
   if (m == 0) return 0.0;
 
   // (I - Q) E = 1, where Q is the sub-stochastic transition matrix
-  // restricted to non-target configurations.  Null interactions and
-  // effective transitions that reproduce the same configuration both land
-  // on the diagonal.
+  // restricted to non-target configurations.  Rows are assembled from
+  // exact integer numerators over n*(n-1).
   std::vector<std::vector<double>> a(m, std::vector<double>(m, 0.0));
   std::vector<double> b(m, 1.0);
+  const auto d = static_cast<double>(denom);
   for (std::size_t row = 0; row < m; ++row) {
-    const std::uint32_t c = unknown_configs[row];
-    const pp::Counts& config = graph_.config(c);
-    a[row][row] = 1.0;
-    double effective_prob = 0.0;
-    for (const Edge& e : graph_.edges(c)) {
-      const double prob = pair_probability(config, e.p, e.q);
-      effective_prob += prob;
-      if (is_target[e.target]) continue;  // E = 0 there
-      a[row][unknown_index[e.target]] -= prob;
+    const DenseRow rates = dense_row(graph, unknown_configs[row], denom);
+    a[row][row] = static_cast<double>(denom - rates.self) / d;
+    for (const auto& [target_config, numerator] : rates.rates) {
+      if (is_target[target_config]) continue;  // E = 0 there
+      a[row][unknown_index[target_config]] -=
+          static_cast<double>(numerator) / d;
     }
-    // Self-loop mass from null interactions.
-    const double self_prob = 1.0 - effective_prob;
-    PPK_ASSERT(self_prob > -1e-9);
-    a[row][row] -= std::max(0.0, self_prob);
   }
-  const std::vector<double> expectation = solve_dense(a, b);
-  return expectation[unknown_index[0]];
+  const auto expectation = solve_dense(a, b);
+  if (!expectation.has_value()) throw_singular();
+  return (*expectation)[unknown_index[0]];
 }
 
 std::vector<MarkovAnalysis::Absorption>
 MarkovAnalysis::absorption_probabilities() const {
-  const std::size_t num_configs = graph_.num_configs();
+  if (method_ == MarkovMethod::kLumped) {
+    std::vector<Absorption> result;
+    for (auto& a : lumped_->absorption_probabilities()) {
+      result.push_back(
+          Absorption{a.scc, std::move(a.representative), a.probability});
+    }
+    return result;
+  }
+
+  const ConfigGraph& graph = *graph_;
+  const std::size_t num_configs = graph.num_configs();
+  const std::uint64_t denom = n_ * (n_ - 1);
 
   // Transient = not in a bottom SCC.
   std::vector<std::uint32_t> unknown_index(num_configs, UINT32_MAX);
   std::vector<std::uint32_t> unknown_configs;
   for (std::uint32_t c = 0; c < num_configs; ++c) {
-    if (!graph_.is_bottom_scc(graph_.scc_of()[c])) {
+    if (!graph.is_bottom_scc(graph.scc_of()[c])) {
       unknown_index[c] = static_cast<std::uint32_t>(unknown_configs.size());
       unknown_configs.push_back(c);
     }
   }
   const std::size_t m = unknown_configs.size();
-  PPK_EXPECTS(m <= kMaxDenseSystem);
+  if (m > kMaxDenseSystem) throw_dense_cap(m);
 
   // Representative config per bottom SCC.
-  std::vector<std::uint32_t> representative(graph_.num_sccs(), UINT32_MAX);
+  std::vector<std::uint32_t> representative(graph.num_sccs(), UINT32_MAX);
   std::vector<std::uint32_t> bottoms;
   for (std::uint32_t c = 0; c < num_configs; ++c) {
-    const std::uint32_t scc = graph_.scc_of()[c];
-    if (graph_.is_bottom_scc(scc) && representative[scc] == UINT32_MAX) {
+    const std::uint32_t scc = graph.scc_of()[c];
+    if (graph.is_bottom_scc(scc) && representative[scc] == UINT32_MAX) {
       representative[scc] = c;
       bottoms.push_back(scc);
     }
   }
 
   std::vector<Absorption> result;
-  const std::uint32_t initial_scc = graph_.scc_of()[0];
+  const std::uint32_t initial_scc = graph.scc_of()[0];
+  const auto d = static_cast<double>(denom);
   for (std::uint32_t scc : bottoms) {
-    if (m == 0 || graph_.is_bottom_scc(initial_scc)) {
+    if (m == 0 || graph.is_bottom_scc(initial_scc)) {
       // Initial configuration already absorbed.
-      result.push_back(Absorption{scc, representative[scc],
+      result.push_back(Absorption{scc, graph.config(representative[scc]),
                                   scc == initial_scc ? 1.0 : 0.0});
       continue;
     }
@@ -166,26 +293,21 @@ MarkovAnalysis::absorption_probabilities() const {
     std::vector<std::vector<double>> a(m, std::vector<double>(m, 0.0));
     std::vector<double> b(m, 0.0);
     for (std::size_t row = 0; row < m; ++row) {
-      const std::uint32_t c = unknown_configs[row];
-      const pp::Counts& config = graph_.config(c);
-      a[row][row] = 1.0;
-      double effective_prob = 0.0;
-      for (const Edge& e : graph_.edges(c)) {
-        const double prob = pair_probability(config, e.p, e.q);
-        effective_prob += prob;
-        if (unknown_index[e.target] != UINT32_MAX) {
-          a[row][unknown_index[e.target]] -= prob;
-        } else if (graph_.scc_of()[e.target] == scc) {
-          b[row] += prob;
+      const DenseRow rates = dense_row(graph, unknown_configs[row], denom);
+      a[row][row] = static_cast<double>(denom - rates.self) / d;
+      for (const auto& [target_config, numerator] : rates.rates) {
+        if (unknown_index[target_config] != UINT32_MAX) {
+          a[row][unknown_index[target_config]] -=
+              static_cast<double>(numerator) / d;
+        } else if (graph.scc_of()[target_config] == scc) {
+          b[row] += static_cast<double>(numerator) / d;
         }
       }
-      const double self_prob = 1.0 - effective_prob;
-      PPK_ASSERT(self_prob > -1e-9);
-      a[row][row] -= std::max(0.0, self_prob);
     }
-    const std::vector<double> x = solve_dense(a, b);
-    result.push_back(Absorption{scc, representative[scc],
-                                x[unknown_index[0]]});
+    const auto x = solve_dense(a, b);
+    if (!x.has_value()) throw_singular();
+    result.push_back(Absorption{scc, graph.config(representative[scc]),
+                                (*x)[unknown_index[0]]});
   }
   return result;
 }

@@ -245,6 +245,68 @@ TEST(ConformanceMutation, FlippedTransitionIsDetectedThroughLiveEdgeEngine) {
   EXPECT_EQ(d.engine, ConformanceEngine::kLiveEdgeRing);
 }
 
+TEST(ConformanceMutation, TimingOnlyMutationOnlyFailsTheExactNet) {
+  // Nullifying rule 1 ((initial, initial) -> (initial', initial') becomes
+  // a no-op) leaves the all-initial start silent: initial' is never
+  // produced, so no other rule can ever fire.  Every relative net passes
+  // -- the trajectory is trivially deterministic, Lemma 1 holds in the
+  // all-initial configuration, and all engines agree with each other on
+  // the never-stabilizes law.  Only the exact-distribution net, whose
+  // reference is the true protocol's first-passage CDF rather than
+  // another engine, can see that the censored sample (a point mass at the
+  // budget) is impossibly slow.
+  ConformanceCase c;
+  c.protocol.k = 2;
+  c.mutation = TableMutation{core::KPartitionProtocol::kInitial,
+                             core::KPartitionProtocol::kInitial,
+                             pp::Transition{core::KPartitionProtocol::kInitial,
+                                            core::KPartitionProtocol::kInitial}};
+  c.n = 8;
+  c.seed = 1;
+  c.trials = 16;
+  c.budget = 20'000;
+  c.engines = {ConformanceEngine::kAgent};
+
+  const ConformanceReport report = check_conformance(c, fast_options());
+  ASSERT_FALSE(report.ok())
+      << "the absolute exact-distribution reference missed a timing-only "
+      << "mutation invisible to every engine-to-engine net";
+  for (const Divergence& d : report.divergences) {
+    EXPECT_EQ(d.check, ConformanceCheck::kExactDistribution)
+        << report.summary();
+    EXPECT_EQ(d.engine, ConformanceEngine::kAgent);
+  }
+}
+
+TEST(Conformance, ExactNetPassesBeyondTheDenseSolverCeiling) {
+  // The acceptance case for the lumped analysis: n = 110 puts the
+  // k = 2 chain (~3100 reachable configurations, g1 == g2 throughout)
+  // beyond the dense solver's 3000-unknown ceiling, yet the
+  // exact-distribution net still gets its reference CDF from the lumped
+  // chain (~1/4 the orbits) and every complete-topology engine must match
+  // it.  Budget exceeds the horizon so censoring is the horizon's.
+  ConformanceCase c;
+  c.protocol.k = 2;
+  c.n = 110;
+  c.seed = 20260808;
+  c.trials = 10;
+  c.budget = 60'000;
+  c.engines = {
+      ConformanceEngine::kAgent,        ConformanceEngine::kCount,
+      ConformanceEngine::kJump,         ConformanceEngine::kBatchAuto,
+      ConformanceEngine::kBatchForced,  ConformanceEngine::kThinForced,
+      ConformanceEngine::kBatchSharded, ConformanceEngine::kGraphComplete,
+      ConformanceEngine::kAdversarialEps1,
+      ConformanceEngine::kChurnNoFaults,
+      ConformanceEngine::kLiveEdgeComplete};
+  ConformanceOptions options = fast_options();
+  options.exact_max_n = 128;
+  const ConformanceReport report = check_conformance(c, options);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  // The exact net alone contributes one check per engine.
+  EXPECT_GE(report.checks_run, 30);
+}
+
 TEST(ConformanceMutation, ReproSerializationRoundTrips) {
   const core::KPartitionProtocol protocol(3);
   ConformanceCase c;
@@ -333,7 +395,8 @@ TEST(ConformanceNames, RoundTrip) {
   for (const ConformanceCheck check :
        {ConformanceCheck::kTrajectory, ConformanceCheck::kChunkedResume,
         ConformanceCheck::kDistribution, ConformanceCheck::kLemma1,
-        ConformanceCheck::kGroundTruth}) {
+        ConformanceCheck::kGroundTruth,
+        ConformanceCheck::kExactDistribution}) {
     const auto back =
         conformance_check_from_name(conformance_check_name(check));
     ASSERT_TRUE(back.has_value());

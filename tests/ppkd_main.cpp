@@ -39,6 +39,10 @@ int main(int argc, char** argv) {
       "to one chunk size)");
   auto checkpoint_every = cli.flag<long long>(
       "checkpoint-every", 4, "checkpoint cadence in campaign progress events");
+  auto markov_max_orbits = cli.flag<long long>(
+      "markov-max-orbits", 1'000'000,
+      "exact-mode exploration cap (orbits lumped, configurations dense); a "
+      "markov/verify job exceeding it fails with an error frame");
   cli.parse(argc, argv);
 
   ppk::serve::ServiceOptions options;
@@ -48,6 +52,8 @@ int main(int argc, char** argv) {
       *chunk < 1 ? 1ULL : static_cast<std::uint64_t>(*chunk);
   options.checkpoint_every_chunks =
       *checkpoint_every < 1 ? 1U : static_cast<std::uint32_t>(*checkpoint_every);
+  options.markov_max_orbits = static_cast<std::size_t>(
+      *markov_max_orbits < 1 ? 1 : *markov_max_orbits);
   ppk::serve::ScenarioService service(options);
 
   std::signal(SIGINT, on_signal);

@@ -10,7 +10,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <fstream>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -216,6 +218,85 @@ TEST(ServeServer, MarkovModeReportsTheExactExpectation) {
   EXPECT_EQ(results[0].find("\"expected_interactions\": null"),
             std::string::npos);
   EXPECT_NE(results[0].find("\"absorptions\": [{"), std::string::npos);
+}
+
+TEST(ServeServer, MarkovOrbitCapIsAnErrorFrameNotACrash) {
+  // An exact analysis that cannot complete (here: an orbit cap far below
+  // the chain's size) must come back as an `error` frame on the wire --
+  // the daemon used to abort the whole process -- and the service must
+  // keep answering afterwards.
+  ServiceOptions options;
+  options.state_dir = temp_dir("markov_cap");
+  options.markov_max_orbits = 4;
+  ScenarioService service(options);
+  FrameLog log;
+
+  ScenarioSpec spec;
+  spec.k = 2;
+  spec.n = 8;
+  spec.mode = ScenarioMode::kMarkov;
+
+  EXPECT_TRUE(service.handle_line(submit_line("cap", spec), log.emit()));
+  const std::vector<std::string> frames = log.take();
+  EXPECT_TRUE(of_kind(frames, "result").empty());
+  const std::vector<std::string> errors = of_kind(frames, "error");
+  ASSERT_EQ(errors.size(), 1u);
+
+  // The failed job left nothing cached and the daemon still serves.
+  EXPECT_FALSE(
+      file_exists(service.cache().exact_entry_path(scenario_hash_hex(spec))));
+  EXPECT_TRUE(service.handle_line("{\"op\": \"ping\"}", log.emit()));
+  EXPECT_EQ(log.take().size(), 1u);
+}
+
+TEST(ServeServer, UntaggedExactCacheEntryIsAMissAndGetsRetagged) {
+  // Migration: an exact entry written by a pre-schema daemon (no
+  // "exact_schema" member) must be recomputed, not replayed, and the
+  // recomputation overwrites it with a tagged frame.
+  ServiceOptions options;
+  options.state_dir = temp_dir("markov_mig");
+  ScenarioService service(options);
+  FrameLog log;
+
+  ScenarioSpec spec;
+  spec.k = 2;
+  spec.n = 5;
+  spec.mode = ScenarioMode::kMarkov;
+
+  EXPECT_TRUE(service.handle_line(submit_line("m1", spec), log.emit()));
+  const std::vector<std::string> results = of_kind(log.take(), "result");
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_NE(results[0].find(kExactResultSchema), std::string::npos);
+
+  const std::string entry =
+      service.cache().exact_entry_path(scenario_hash_hex(spec));
+  ASSERT_TRUE(file_exists(entry));
+
+  // Simulate the v1 daemon: same answer, no schema tag.
+  {
+    std::ofstream out(entry, std::ios::trunc);
+    out << "{\"event\": \"result\", \"mode\": \"markov\", "
+           "\"expected_interactions\": 17.5}\n";
+  }
+  EXPECT_TRUE(service.handle_line(submit_line("m2", spec), log.emit()));
+  const std::vector<std::string> second = log.take();
+  ASSERT_EQ(of_kind(second, "accepted").size(), 1u);
+  EXPECT_NE(of_kind(second, "accepted")[0].find("\"cached\": false"),
+            std::string::npos);
+  const std::vector<std::string> recomputed = of_kind(second, "result");
+  ASSERT_EQ(recomputed.size(), 1u);
+  EXPECT_EQ(recomputed[0], results[0]);
+
+  // The entry on disk is tagged again: the third submission is a hit.
+  std::ifstream in(entry);
+  std::ostringstream stored;
+  stored << in.rdbuf();
+  EXPECT_NE(stored.str().find(kExactResultSchema), std::string::npos);
+  EXPECT_TRUE(service.handle_line(submit_line("m3", spec), log.emit()));
+  const std::vector<std::string> third = log.take();
+  ASSERT_EQ(of_kind(third, "accepted").size(), 1u);
+  EXPECT_NE(of_kind(third, "accepted")[0].find("\"cached\": true"),
+            std::string::npos);
 }
 
 TEST(ServeServer, ConformanceModeRunsTheHarness) {

@@ -1,0 +1,378 @@
+// Tests of the symmetry-lumped exact Markov analysis
+// (verify/lumped_markov.hpp) and its wiring through MarkovAnalysis:
+//
+//  * dense/lumped agreement -- both back ends must reproduce the same
+//    hitting times and absorption mass to <= 1e-9 relative error at every
+//    size the dense path can reach, for the k-partition, weak-k-partition
+//    and bipartition families;
+//  * rejection of a symmetry declaration that is not one;
+//  * the ceiling claim -- for each family, a size where the dense path
+//    refuses (recoverably) and the lumped path answers;
+//  * exact hand-computed pins of the hitting-time CDF.
+
+#include "verify/lumped_markov.hpp"
+
+#include <cmath>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/bipartition.hpp"
+#include "core/invariants.hpp"
+#include "core/kpartition.hpp"
+#include "core/weak_kpartition.hpp"
+#include "pp/symmetry.hpp"
+#include "pp/transition_table.hpp"
+#include "verify/markov.hpp"
+
+namespace ppk::verify {
+namespace {
+
+pp::Counts initial_counts(const pp::Protocol& protocol, std::uint32_t n) {
+  pp::Counts counts(protocol.num_states(), 0);
+  counts[protocol.initial_state()] = n;
+  return counts;
+}
+
+/// Silence with respect to `table`: no present ordered pair is effective.
+ConfigPredicate silence_predicate(const pp::TransitionTable& table) {
+  return [&table](const pp::Counts& counts) {
+    for (std::size_t p = 0; p < counts.size(); ++p) {
+      if (counts[p] == 0) continue;
+      for (std::size_t q = 0; q < counts.size(); ++q) {
+        if (counts[q] == 0) continue;
+        if (p == q && counts[p] < 2) continue;
+        if (table.effective(static_cast<pp::StateId>(p),
+                            static_cast<pp::StateId>(q))) {
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+}
+
+/// Builds both back ends over the same chain and requires their hitting
+/// time and their absorption mass on `target` to agree to 1e-9 relative.
+void expect_backends_agree(const pp::Protocol& protocol,
+                           const pp::TransitionTable& table, std::uint32_t n,
+                           const ConfigPredicate& target,
+                           const std::string& label) {
+  const pp::Counts initial = initial_counts(protocol, n);
+
+  MarkovOptions dense_options;
+  dense_options.method = MarkovMethod::kDense;
+  const MarkovAnalysis dense(table, initial, dense_options);
+  ASSERT_EQ(dense.method(), MarkovMethod::kDense) << label;
+
+  MarkovOptions lumped_options;
+  lumped_options.symmetry = protocol.symmetry();
+  const MarkovAnalysis lumped(table, initial, std::move(lumped_options));
+  ASSERT_EQ(lumped.method(), MarkovMethod::kLumped) << label;
+
+  const std::optional<double> dense_time = dense.expected_hitting_time(target);
+  const std::optional<double> lumped_time =
+      lumped.expected_hitting_time(target);
+  ASSERT_EQ(dense_time.has_value(), lumped_time.has_value()) << label;
+  if (dense_time.has_value()) {
+    EXPECT_NEAR(*lumped_time / *dense_time, 1.0, 1e-9)
+        << label << ": dense=" << *dense_time << " lumped=" << *lumped_time;
+  }
+
+  // Bottom-SCC identities differ across back ends (the lumped quotient
+  // merges symmetric bottoms), so compare the symmetry-invariant summary:
+  // total mass and the mass absorbed on target-satisfying bottoms.
+  double dense_total = 0.0;
+  double dense_on_target = 0.0;
+  for (const auto& a : dense.absorption_probabilities()) {
+    dense_total += a.probability;
+    if (target(a.representative)) dense_on_target += a.probability;
+  }
+  double lumped_total = 0.0;
+  double lumped_on_target = 0.0;
+  for (const auto& a : lumped.absorption_probabilities()) {
+    lumped_total += a.probability;
+    if (target(a.representative)) lumped_on_target += a.probability;
+  }
+  EXPECT_NEAR(dense_total, 1.0, 1e-9) << label;
+  EXPECT_NEAR(lumped_total, 1.0, 1e-9) << label;
+  EXPECT_NEAR(lumped_on_target, dense_on_target, 1e-9) << label;
+}
+
+// ---------------------------------------------------------------------------
+// Dense/lumped agreement at every size the dense path reaches
+
+TEST(LumpedMarkov, AgreesWithDenseForKPartition) {
+  struct Case {
+    pp::GroupId k;
+    std::uint32_t n;
+  };
+  for (const Case& c : {Case{2, 4}, Case{2, 6}, Case{2, 9}, Case{3, 6},
+                        Case{3, 7}, Case{4, 8}}) {
+    const core::KPartitionProtocol protocol(c.k);
+    const pp::TransitionTable table(protocol);
+    expect_backends_agree(
+        protocol, table, c.n,
+        [&](const pp::Counts& config) {
+          return core::matches_stable_pattern(protocol, c.n, config);
+        },
+        "kpartition k=" + std::to_string(c.k) + " n=" + std::to_string(c.n));
+  }
+}
+
+TEST(LumpedMarkov, AgreesWithDenseForWeakKPartition) {
+  // Trivial symmetry group: the lumped back end degenerates to the sparse
+  // solver over the raw chain, which must still match dense elimination.
+  for (std::uint32_t n : {4u, 5u, 6u}) {
+    const core::WeakKPartitionProtocol protocol(2);
+    const pp::TransitionTable table(protocol);
+    expect_backends_agree(protocol, table, n, silence_predicate(table),
+                          "weak-kpartition k=2 n=" + std::to_string(n));
+  }
+}
+
+TEST(LumpedMarkov, AgreesWithDenseForBipartition) {
+  // The order-4 group (free-flip x group-swap) -- the strongest lumping
+  // this repo declares.
+  for (std::uint32_t n : {3u, 4u, 6u, 7u, 8u}) {
+    const core::BipartitionProtocol protocol;
+    const pp::TransitionTable table(protocol);
+    const auto free_agents = [](const pp::Counts& config) {
+      return config[core::BipartitionProtocol::kInitial] +
+             config[core::BipartitionProtocol::kInitialPrime];
+    };
+    expect_backends_agree(
+        protocol, table, n,
+        [&, n](const pp::Counts& config) {
+          return free_agents(config) == n % 2 &&
+                 config[core::BipartitionProtocol::kG1] +
+                         config[core::BipartitionProtocol::kG2] ==
+                     n - n % 2;
+        },
+        "bipartition n=" + std::to_string(n));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Exact hand pins (bipartition, n = 3)
+//
+// From (3 initial): every pair fires rule 1, so A=(3,0,0,0) -> B=(1,2,0,0)
+// with probability 1.  From B the six ordered draws split 2:4 between
+// (initial',initial') -> A and the pairing rule -> C=(0,1,1,1), which is
+// the stable pattern (one parked free agent).  Hence T = 2k with
+// P(T=2k) = (2/3)(1/3)^(k-1):  E[T] = 3 exactly, F[2] = 2/3, F[4] = 8/9.
+
+TEST(LumpedMarkov, BipartitionHandComputedPinsAreExact) {
+  const core::BipartitionProtocol protocol;
+  const pp::TransitionTable table(protocol);
+  const pp::Counts initial = initial_counts(protocol, 3);
+  const ConfigPredicate target = [](const pp::Counts& config) {
+    return config[core::BipartitionProtocol::kG1] == 1 &&
+           config[core::BipartitionProtocol::kG2] == 1;
+  };
+
+  std::string why;
+  const auto lumped = LumpedMarkovAnalysis::try_build(
+      table, protocol.symmetry(), initial, {}, &why);
+  ASSERT_TRUE(lumped.has_value()) << why;
+
+  const auto expected = lumped->expected_hitting_time(target);
+  ASSERT_TRUE(expected.has_value());
+  EXPECT_NEAR(*expected, 3.0, 1e-12);
+
+  const std::vector<double> cdf = lumped->hitting_time_cdf(target, 200);
+  ASSERT_EQ(cdf.size(), 201u);
+  EXPECT_DOUBLE_EQ(cdf[0], 0.0);
+  EXPECT_DOUBLE_EQ(cdf[1], 0.0);
+  EXPECT_NEAR(cdf[2], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cdf[3], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cdf[4], 8.0 / 9.0, 1e-12);
+  // Monotone, converging to 1.
+  for (std::size_t t = 1; t < cdf.size(); ++t) {
+    EXPECT_GE(cdf[t], cdf[t - 1]) << "t=" << t;
+  }
+  EXPECT_NEAR(cdf.back(), 1.0, 1e-12);
+  // E[T] = sum_t P(T > t): the CDF and the hitting-time solve must tell
+  // the same story.
+  double tail_sum = 0.0;
+  for (const double f : cdf) tail_sum += 1.0 - f;
+  EXPECT_NEAR(tail_sum, 3.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Symmetry-declaration hygiene
+
+TEST(LumpedMarkov, RejectsADeclaredSymmetryThatIsNotOne) {
+  // g1 <-> g2 alone is NOT a symmetry of the k = 3 protocol (rules 5-7
+  // name explicit group indices): try_build must refuse with a reason, not
+  // silently lump a non-lumpable partition.
+  const core::KPartitionProtocol protocol(3);
+  const pp::TransitionTable table(protocol);
+  const pp::SymmetrySpec bogus{
+      protocol.num_states(),
+      {pp::transposition(protocol.num_states(), protocol.g(1),
+                         protocol.g(2))}};
+  std::string why;
+  const auto lumped = LumpedMarkovAnalysis::try_build(
+      table, bogus, initial_counts(protocol, 6), {}, &why);
+  EXPECT_FALSE(lumped.has_value());
+  EXPECT_FALSE(why.empty());
+}
+
+TEST(LumpedMarkov, OrbitCapIsARecoverableError) {
+  const core::KPartitionProtocol protocol(3);
+  const pp::TransitionTable table(protocol);
+  LumpedOptions options;
+  options.max_orbits = 4;
+  std::string why;
+  const auto lumped = LumpedMarkovAnalysis::try_build(
+      table, protocol.symmetry(), initial_counts(protocol, 8), options, &why);
+  EXPECT_FALSE(lumped.has_value());
+  EXPECT_NE(why.find("orbit"), std::string::npos) << why;
+}
+
+// ---------------------------------------------------------------------------
+// The ceiling claim: beyond the dense path's reach, per family
+
+/// Smallest n in [lo, hi] whose reachable configuration count exceeds the
+/// dense back end's 3000-unknown cap (0 if none): the dense hitting-time
+/// query must throw there, and the lumped one must answer.
+std::uint32_t first_beyond_dense(const pp::Protocol& protocol,
+                                 const pp::TransitionTable& table,
+                                 std::uint32_t lo, std::uint32_t hi) {
+  for (std::uint32_t n = lo; n <= hi; ++n) {
+    ExploreOptions explore;
+    explore.max_configs = 200'000;
+    const ConfigGraph graph(table, initial_counts(protocol, n), explore);
+    if (graph.complete() && graph.num_configs() > 3000) return n;
+  }
+  return 0;
+}
+
+void expect_lumped_outreaches_dense(const pp::Protocol& protocol,
+                                    const pp::TransitionTable& table,
+                                    std::uint32_t n,
+                                    const ConfigPredicate& target,
+                                    const std::string& label) {
+  const pp::Counts initial = initial_counts(protocol, n);
+
+  // Dense: exploration still completes, but the hitting-time system
+  // exceeds the cap -- a recoverable exception, not an abort.
+  MarkovOptions dense_options;
+  dense_options.method = MarkovMethod::kDense;
+  const MarkovAnalysis dense(table, initial, dense_options);
+  EXPECT_GT(dense.reachable_configs(), 3000u) << label;
+  EXPECT_THROW((void)dense.expected_hitting_time(target), std::runtime_error)
+      << label;
+
+  // Lumped: same chain, exact answer.
+  MarkovOptions lumped_options;
+  lumped_options.symmetry = protocol.symmetry();
+  const MarkovAnalysis lumped(table, initial, std::move(lumped_options));
+  ASSERT_EQ(lumped.method(), MarkovMethod::kLumped) << label;
+  const auto expected = lumped.expected_hitting_time(target);
+  ASSERT_TRUE(expected.has_value()) << label;
+  EXPECT_GT(*expected, 0.0) << label;
+  EXPECT_TRUE(std::isfinite(*expected)) << label;
+  EXPECT_GE(lumped.reachable_configs(), dense.reachable_configs()) << label;
+}
+
+TEST(LumpedMarkov, ReachesBeyondTheDenseCapForKPartition) {
+  const core::KPartitionProtocol protocol(2);
+  const pp::TransitionTable table(protocol);
+  // Reachable configs keep g1 == g2, so the space is ~n^2/4: the dense cap
+  // falls around n = 110.
+  const std::uint32_t n = first_beyond_dense(protocol, table, 100, 140);
+  ASSERT_GT(n, 0u);
+  expect_lumped_outreaches_dense(
+      protocol, table, n,
+      [&](const pp::Counts& config) {
+        return core::matches_stable_pattern(protocol, n, config);
+      },
+      "kpartition k=2 n=" + std::to_string(n));
+}
+
+TEST(LumpedMarkov, ReachesBeyondTheDenseCapForWeakKPartition) {
+  const core::WeakKPartitionProtocol protocol(2);
+  const pp::TransitionTable table(protocol);
+  const std::uint32_t n = first_beyond_dense(protocol, table, 6, 32);
+  ASSERT_GT(n, 0u);
+  expect_lumped_outreaches_dense(protocol, table, n,
+                                 silence_predicate(table),
+                                 "weak-kpartition k=2 n=" + std::to_string(n));
+}
+
+TEST(LumpedMarkov, ReachesBeyondTheDenseCapForBipartition) {
+  const core::BipartitionProtocol protocol;
+  const pp::TransitionTable table(protocol);
+  const std::uint32_t n = first_beyond_dense(protocol, table, 100, 140);
+  ASSERT_GT(n, 0u);
+  expect_lumped_outreaches_dense(
+      protocol, table, n,
+      [n](const pp::Counts& config) {
+        return config[core::BipartitionProtocol::kInitial] +
+                       config[core::BipartitionProtocol::kInitialPrime] ==
+                   n % 2 &&
+               config[core::BipartitionProtocol::kG1] +
+                       config[core::BipartitionProtocol::kG2] ==
+                   n - n % 2;
+      },
+      "bipartition n=" + std::to_string(n));
+}
+
+// ---------------------------------------------------------------------------
+// MarkovAnalysis routing
+
+TEST(LumpedMarkov, AutoRoutesBySymmetryPresence) {
+  const core::KPartitionProtocol protocol(3);
+  const pp::TransitionTable table(protocol);
+  const pp::Counts initial = initial_counts(protocol, 6);
+
+  const MarkovAnalysis dense(table, initial);  // no symmetry declared
+  EXPECT_EQ(dense.method(), MarkovMethod::kDense);
+  EXPECT_STREQ(dense.method_name(), "dense");
+
+  MarkovOptions with_symmetry;
+  with_symmetry.symmetry = protocol.symmetry();
+  const MarkovAnalysis lumped(table, initial, std::move(with_symmetry));
+  EXPECT_EQ(lumped.method(), MarkovMethod::kLumped);
+  EXPECT_STREQ(lumped.method_name(), "lumped");
+}
+
+TEST(LumpedMarkov, TryCreateReportsLumpedFailureRecoverably) {
+  const core::KPartitionProtocol protocol(3);
+  const pp::TransitionTable table(protocol);
+  MarkovOptions options;
+  options.method = MarkovMethod::kLumped;
+  options.symmetry = protocol.symmetry();
+  options.lumped.max_orbits = 2;
+  std::string why;
+  const auto markov = MarkovAnalysis::try_create(
+      table, initial_counts(protocol, 8), std::move(options), &why);
+  EXPECT_FALSE(markov.has_value());
+  EXPECT_FALSE(why.empty());
+}
+
+TEST(LumpedMarkov, NonInvariantPredicateThrows) {
+  // counts[kInitial] alone is not invariant under the free-flip: the
+  // lumped back end must refuse the query loudly instead of answering for
+  // an arbitrary representative.
+  const core::BipartitionProtocol protocol;
+  const pp::TransitionTable table(protocol);
+  MarkovOptions options;
+  options.symmetry = protocol.symmetry();
+  // n = 5 so a one-free-agent orbit {(1,0,2,2), (0,1,2,2)} is reachable:
+  // the predicate differs across it.  (At even n every reachable orbit
+  // happens to be predicate-constant.)
+  const MarkovAnalysis markov(table, initial_counts(protocol, 5),
+                              std::move(options));
+  EXPECT_THROW((void)markov.expected_hitting_time([](const pp::Counts& c) {
+    return c[core::BipartitionProtocol::kInitial] == 1;
+  }),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ppk::verify
